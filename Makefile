@@ -1,0 +1,27 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench figures examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+figures:
+	dune exec bin/lotec_sim.exe -- figures
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/bank.exe
+	dune exec examples/cad_assembly.exe
+	dune exec examples/network_sweep.exe
+	dune exec examples/recursion_policy.exe
+
+clean:
+	dune clean

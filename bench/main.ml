@@ -1,0 +1,119 @@
+(* Benchmark harness: regenerates every table/figure of the paper's
+   evaluation (§5) and times the simulator with Bechamel.
+
+   Part 1 — reproduction (full scale): Figures 2-5 (bytes per shared object,
+   3 protocols x 4 scenarios), Figures 6-8 (consistency time vs per-message
+   software cost at 10 Mbps / 100 Mbps / 1 Gbps), the §5 headline ratio
+   table, and the two future-work ablations (RC-nested, optimistic
+   pre-acquisition).
+
+   Part 2 — performance: one Bechamel Test.make per figure (reduced root
+   count so each measurement iteration is sub-second), reporting the wall
+   time to execute one simulated cluster run. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the paper's numbers.                                        *)
+
+let reproduce () =
+  Format.printf "==================================================================@.";
+  Format.printf "LOTEC reproduction: paper figures (PODC '99, section 5)@.";
+  Format.printf "==================================================================@.@.";
+  let figures, summary = Experiments.Summary.run_all () in
+  List.iter (fun fb -> Format.printf "%a@." Experiments.Fig_bytes.pp fb) figures;
+  (* One figure rendered the way the paper plots it. *)
+  Format.printf "%a@."
+    (Experiments.Fig_bytes.pp_chart ~objects:6)
+    (List.hd figures);
+  let fig2 = List.hd figures in
+  Format.printf "%a@." Experiments.Fig_time.pp (Experiments.Fig_time.figure6 fig2);
+  Format.printf "%a@." Experiments.Fig_time.pp (Experiments.Fig_time.figure7 fig2);
+  Format.printf "%a@." Experiments.Fig_time.pp (Experiments.Fig_time.figure8 fig2);
+  Format.printf
+    "headline ratios (paper: OTEC 20-25%% below COTEC; LOTEC 5-10%% below OTEC;@.\
+     \"in some cases, the difference is more dramatic\"):@.%a@."
+    Experiments.Summary.pp summary;
+  Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.rc_comparison ());
+  Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.prefetch_comparison ());
+  Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.per_class_comparison ());
+  Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.replication_comparison ());
+  Format.printf "%a@." Experiments.Granularity.pp (Experiments.Granularity.run ());
+  Format.printf "%a@." Experiments.Active_messages.pp (Experiments.Active_messages.run ());
+  List.iter
+    (fun r -> Format.printf "%a@." Experiments.Sweep.pp r)
+    (Experiments.Sweep.run_all ());
+  Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.protocols ());
+  Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.scaling ())
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel timing of the simulator itself.                    *)
+
+let bench_scenario spec ~protocol =
+  let spec = { spec with Workload.Spec.root_count = 40 } in
+  let wl = Workload.Generator.generate spec ~page_size:4096 in
+  fun () -> ignore (Experiments.Runner.execute ~protocol wl)
+
+let fig2_spec = Workload.Scenarios.medium_high
+let fig3_spec = Workload.Scenarios.large_high
+let fig4_spec = Workload.Scenarios.medium_moderate
+let fig5_spec = Workload.Scenarios.large_moderate
+
+let tests =
+  Test.make_grouped ~name:"lotec" ~fmt:"%s %s"
+    [
+      Test.make ~name:"fig2-lotec"
+        (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Lotec));
+      Test.make ~name:"fig2-otec"
+        (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Otec));
+      Test.make ~name:"fig2-cotec"
+        (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Cotec));
+      Test.make ~name:"fig3-lotec"
+        (Staged.stage (bench_scenario fig3_spec ~protocol:Dsm.Protocol.Lotec));
+      Test.make ~name:"fig4-lotec"
+        (Staged.stage (bench_scenario fig4_spec ~protocol:Dsm.Protocol.Lotec));
+      Test.make ~name:"fig5-lotec"
+        (Staged.stage (bench_scenario fig5_spec ~protocol:Dsm.Protocol.Lotec));
+      Test.make ~name:"fig6-8-replay"
+        (Staged.stage
+           (let fb =
+              Experiments.Fig_bytes.run ~name:"bench"
+                { fig2_spec with Workload.Spec.root_count = 40 }
+            in
+            fun () ->
+              ignore (Experiments.Fig_time.figure6 fb);
+              ignore (Experiments.Fig_time.figure7 fb);
+              ignore (Experiments.Fig_time.figure8 fb)));
+      Test.make ~name:"rc-nested"
+        (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Rc_nested));
+    ]
+
+let benchmark () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Format.printf "==================================================================@.";
+  Format.printf "Simulator performance (Bechamel, monotonic clock)@.";
+  Format.printf "==================================================================@.";
+  Format.printf "%-26s %14s@." "benchmark" "time/run";
+  let rows = ref [] in
+  Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results;
+  List.iter
+    (fun (name, result) ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] ->
+          let pretty =
+            if est > 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+            else if est > 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+            else Printf.sprintf "%.2f us" (est /. 1e3)
+          in
+          Format.printf "%-26s %14s@." name pretty
+      | _ -> Format.printf "%-26s %14s@." name "n/a")
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) !rows)
+
+let () =
+  reproduce ();
+  benchmark ()

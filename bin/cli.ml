@@ -1,0 +1,264 @@
+(* Cmdliner-based driver for the LOTEC simulator.
+
+   Subcommands:
+     run         — one scenario under one protocol (rich config flags)
+     figure      — regenerate one paper figure (2-8), optionally as a chart
+     figures     — regenerate figures 2-8 + the headline ratio table
+     ratios      — the section-5 headline byte-reduction table
+     ablation    — RC-nested, prefetch, per-class, GDO-replication and
+                   active-message ablations
+     granularity — lock overhead vs object granularity (section 5.1)
+     sweep       — object count / object size / transaction count sweeps
+     throughput  — per-protocol throughput + LOTEC cluster scaling
+     trace       — run with protocol-event tracing and print the tail *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Dsm.Protocol.of_string s) in
+  let print fmt p = Dsm.Protocol.pp fmt p in
+  Arg.conv (parse, print)
+
+let scenario_conv =
+  let parse s =
+    match List.assoc_opt (String.lowercase_ascii s) Workload.Scenarios.all with
+    | Some spec -> Ok spec
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown scenario %S (expected one of: %s)" s
+                (String.concat ", " (List.map fst Workload.Scenarios.all))))
+  in
+  let print fmt spec = Workload.Spec.pp fmt spec in
+  Arg.conv (parse, print)
+
+let scenario_arg =
+  let doc =
+    "Workload scenario: medium-high, large-high, medium-moderate or large-moderate."
+  in
+  Arg.(value & opt scenario_conv Workload.Scenarios.medium_high & info [ "scenario" ] ~doc)
+
+let protocol_arg =
+  let doc = "Consistency protocol: cotec, otec, lotec or rc-nested." in
+  Arg.(value & opt protocol_conv Dsm.Protocol.Lotec & info [ "protocol"; "p" ] ~doc)
+
+let seed_arg =
+  let doc = "Override the workload seed." in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~doc)
+
+let roots_arg =
+  let doc = "Override the number of root transactions." in
+  Arg.(value & opt (some int) None & info [ "roots" ] ~doc)
+
+let apply_overrides spec seed roots =
+  let spec = match seed with Some s -> { spec with Workload.Spec.seed = s } | None -> spec in
+  match roots with Some r -> { spec with Workload.Spec.root_count = r } | None -> spec
+
+let recovery_conv =
+  let parse s = Result.map_error (fun e -> `Msg e) (Txn.Recovery.strategy_of_string s) in
+  let print fmt s = Format.pp_print_string fmt (Txn.Recovery.strategy_to_string s) in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let objects_arg =
+    let doc = "Override the number of shared objects." in
+    Arg.(value & opt (some int) None & info [ "objects" ] ~doc)
+  in
+  let skew_arg =
+    let doc = "Zipf-like access skew over root targets (0 = uniform)." in
+    Arg.(value & opt float 0.0 & info [ "skew" ] ~doc)
+  in
+  let abort_arg =
+    let doc = "Injected sub-transaction failure probability in [0,1]." in
+    Arg.(value & opt float 0.0 & info [ "abort-probability" ] ~doc)
+  in
+  let prefetch_arg =
+    let doc = "Enable optimistic pre-acquisition of sub-invocation locks." in
+    Arg.(value & flag & info [ "prefetch" ] ~doc)
+  in
+  let cpu_arg =
+    let doc = "Serialise statement execution on one CPU per node." in
+    Arg.(value & flag & info [ "cpu-limited" ] ~doc)
+  in
+  let recovery_arg =
+    let doc = "Local UNDO mechanism: undo or shadow." in
+    Arg.(value & opt recovery_conv Txn.Recovery.Undo_logging & info [ "recovery" ] ~doc)
+  in
+  let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
+      recovery =
+    let spec = apply_overrides spec seed roots in
+    let spec =
+      match objects with
+      | Some n -> { spec with Workload.Spec.object_count = n }
+      | None -> spec
+    in
+    let spec = { spec with Workload.Spec.access_skew = skew } in
+    let config =
+      {
+        Core.Config.default with
+        Core.Config.abort_probability;
+        prefetch;
+        cpu_limited;
+        recovery;
+      }
+    in
+    let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+    let run = Experiments.Runner.execute ~config ~protocol wl in
+    Format.printf "== %a ==@.%a@." Dsm.Protocol.pp protocol Dsm.Metrics.pp_summary
+      (Experiments.Runner.metrics run)
+  in
+  let term =
+    Term.(
+      const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ objects_arg
+      $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
+
+let figure_result n =
+  match n with
+  | 2 -> `Bytes (Experiments.Fig_bytes.figure2 ())
+  | 3 -> `Bytes (Experiments.Fig_bytes.figure3 ())
+  | 4 -> `Bytes (Experiments.Fig_bytes.figure4 ())
+  | 5 -> `Bytes (Experiments.Fig_bytes.figure5 ())
+  | 6 -> `Time (Experiments.Fig_time.figure6 (Experiments.Fig_bytes.figure2 ()))
+  | 7 -> `Time (Experiments.Fig_time.figure7 (Experiments.Fig_bytes.figure2 ()))
+  | 8 -> `Time (Experiments.Fig_time.figure8 (Experiments.Fig_bytes.figure2 ()))
+  | _ -> invalid_arg "figure number must be 2-8"
+
+let figure_cmd =
+  let n_arg =
+    let doc = "Figure number (2-8)." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"N" ~doc)
+  in
+  let chart_arg =
+    let doc = "Render byte figures as an ASCII bar chart (paper style)." in
+    Arg.(value & flag & info [ "chart" ] ~doc)
+  in
+  let action n chart =
+    if n < 2 || n > 8 then prerr_endline "figure number must be between 2 and 8"
+    else
+      match figure_result n with
+      | `Bytes fb ->
+          if chart then Format.printf "%a@." (Experiments.Fig_bytes.pp_chart ?objects:None) fb
+          else Format.printf "%a@." Experiments.Fig_bytes.pp fb
+      | `Time ft -> Format.printf "%a@." Experiments.Fig_time.pp ft
+  in
+  let term = Term.(const action $ n_arg $ chart_arg) in
+  Cmd.v (Cmd.info "figure" ~doc:"Regenerate one paper figure (2-8).") term
+
+let figures_cmd =
+  let action () =
+    let figures, summary = Experiments.Summary.run_all () in
+    List.iter (fun fb -> Format.printf "%a@." Experiments.Fig_bytes.pp fb) figures;
+    let fig2 = List.hd figures in
+    Format.printf "%a@." Experiments.Fig_time.pp (Experiments.Fig_time.figure6 fig2);
+    Format.printf "%a@." Experiments.Fig_time.pp (Experiments.Fig_time.figure7 fig2);
+    Format.printf "%a@." Experiments.Fig_time.pp (Experiments.Fig_time.figure8 fig2);
+    Format.printf "headline ratios (paper: OTEC -20..25%% vs COTEC; LOTEC -5..10%% vs OTEC)@.%a@."
+      Experiments.Summary.pp summary
+  in
+  let term = Term.(const action $ const ()) in
+  Cmd.v (Cmd.info "figures" ~doc:"Regenerate every figure and the headline ratio table.") term
+
+let ratios_cmd =
+  let action () =
+    let _, summary = Experiments.Summary.run_all () in
+    Format.printf "%a@." Experiments.Summary.pp summary
+  in
+  let term = Term.(const action $ const ()) in
+  Cmd.v (Cmd.info "ratios" ~doc:"Print the headline byte-reduction ratios (paper §5).") term
+
+let ablation_cmd =
+  let action () =
+    Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.rc_comparison ());
+    Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.prefetch_comparison ());
+    Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.per_class_comparison ());
+    Format.printf "%a@." Experiments.Ablation.pp (Experiments.Ablation.replication_comparison ());
+    Format.printf "%a@." Experiments.Active_messages.pp (Experiments.Active_messages.run ())
+  in
+  let term = Term.(const action $ const ()) in
+  Cmd.v (Cmd.info "ablation" ~doc:"Run the RC-nested and prefetch ablations.") term
+
+let granularity_cmd =
+  let pages_arg =
+    let doc = "Total shared pages (must be divisible by every granularity)." in
+    Arg.(value & opt int 96 & info [ "pages" ] ~doc)
+  in
+  let roots_g_arg =
+    let doc = "Root transactions." in
+    Arg.(value & opt int 120 & info [ "roots" ] ~doc)
+  in
+  let action total_pages root_count =
+    Format.printf "%a@." Experiments.Granularity.pp
+      (Experiments.Granularity.run ~total_pages ~root_count ())
+  in
+  let term = Term.(const action $ pages_arg $ roots_g_arg) in
+  Cmd.v
+    (Cmd.info "granularity"
+       ~doc:"Locking overhead vs object granularity (paper section 5.1).")
+    term
+
+let throughput_cmd =
+  let action () =
+    Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.protocols ());
+    Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.scaling ())
+  in
+  let term = Term.(const action $ const ()) in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Throughput/latency per protocol and LOTEC cluster scaling.")
+    term
+
+let sweep_cmd =
+  let action () =
+    List.iter
+      (fun r -> Format.printf "%a@." Experiments.Sweep.pp r)
+      (Experiments.Sweep.run_all ())
+  in
+  let term = Term.(const action $ const ()) in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Sweep object count, object size and transaction count (paper section 5).")
+    term
+
+let trace_cmd =
+  let count_arg =
+    let doc = "Number of trailing events to print." in
+    Arg.(value & opt int 40 & info [ "n"; "events" ] ~doc)
+  in
+  let action spec protocol seed roots n =
+    let spec = apply_overrides spec seed roots in
+    let config = { Core.Config.default with Core.Config.trace_capacity = 100_000 } in
+    let wl =
+      Workload.Generator.generate spec ~page_size:config.Core.Config.page_size
+    in
+    let run = Experiments.Runner.execute ~config ~protocol wl in
+    match Core.Runtime.trace run.Experiments.Runner.runtime with
+    | None -> prerr_endline "tracing was not enabled"
+    | Some tr ->
+        Format.printf "categories:@.";
+        List.iter
+          (fun (c, k) -> Format.printf "  %-14s %d@." c k)
+          (Sim.Trace.categories tr);
+        if Sim.Trace.dropped tr > 0 then
+          Format.printf "(%d early events dropped by the ring)@." (Sim.Trace.dropped tr);
+        Format.printf "@.last %d events:@." n;
+        List.iter (fun e -> Format.printf "%a@." Sim.Trace.pp_event e) (Sim.Trace.latest tr n)
+  in
+  let term =
+    Term.(const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ count_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a scenario with protocol-event tracing and print the tail.")
+    term
+
+let main () =
+  let doc = "LOTEC: nested object transactions over simulated DSM (PODC '99 reproduction)" in
+  let info = Cmd.info "lotec_sim" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
+            sweep_cmd; throughput_cmd; trace_cmd;
+          ]))

@@ -1,0 +1,4 @@
+(* Command-line driver: run scenarios, single simulations, and the paper's
+   figure experiments from the shell. See README for examples. *)
+
+let () = Cli.main ()

@@ -1,0 +1,16 @@
+(* Quick end-to-end exercise of the runtime: a small generated workload under
+   every protocol, printing headline numbers. Not part of the documented CLI
+   (see lotec_sim.ml); kept as a fast development smoke check. *)
+
+let () =
+  let spec =
+    { Workload.Spec.default with Workload.Spec.object_count = 12; root_count = 40; seed = 7 }
+  in
+  let wl = Workload.Generator.generate spec ~page_size:4096 in
+  Format.printf "workload: %a@." Workload.Spec.pp spec;
+  List.iter
+    (fun protocol ->
+      let run = Experiments.Runner.execute ~protocol wl in
+      let m = Experiments.Runner.metrics run in
+      Format.printf "@.== %a ==@.%a@." Dsm.Protocol.pp protocol Dsm.Metrics.pp_summary m)
+    Dsm.Protocol.all

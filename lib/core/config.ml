@@ -1,0 +1,94 @@
+type t = {
+  node_count : int;
+  page_size : int;
+  link : Sim.Network.link;
+  protocol : Dsm.Protocol.t;
+  class_protocols : (string * Dsm.Protocol.t) list;
+  control_msg_bytes : int;
+  page_header_bytes : int;
+  page_map_entry_bytes : int;
+  gdo_replicas : int;
+  local_lock_op_us : float;
+  gdo_op_us : float;
+  statement_us : float;
+  undo_page_us : float;
+  page_service_us : float;
+  recovery : Txn.Recovery.strategy;
+  abort_probability : float;
+  max_sub_retries : int;
+  max_root_retries : int;
+  root_retry_backoff_us : float;
+  prefetch : bool;
+  multicast_push : bool;
+  allow_recursive_catalogs : bool;
+  trace_capacity : int;
+  cpu_limited : bool;
+}
+
+let default =
+  {
+    node_count = 8;
+    page_size = 4096;
+    link = Sim.Network.link_100mbps;
+    protocol = Dsm.Protocol.Lotec;
+    class_protocols = [];
+    control_msg_bytes = 128;
+    page_header_bytes = 64;
+    page_map_entry_bytes = 4;
+    gdo_replicas = 0;
+    local_lock_op_us = 1.0;
+    gdo_op_us = 2.0;
+    statement_us = 0.2;
+    undo_page_us = 1.0;
+    page_service_us = 1.0;
+    recovery = Txn.Recovery.Undo_logging;
+    abort_probability = 0.0;
+    max_sub_retries = 2;
+    max_root_retries = 20;
+    root_retry_backoff_us = 200.0;
+    prefetch = false;
+    multicast_push = false;
+    allow_recursive_catalogs = false;
+    trace_capacity = 0;
+    cpu_limited = false;
+  }
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (t.node_count > 0) "node_count must be positive" in
+  let* () = check (t.page_size > 0) "page_size must be positive" in
+  let* () = check (t.link.Sim.Network.bandwidth_bps > 0.0) "bandwidth must be positive" in
+  let* () = check (t.link.Sim.Network.software_cost_us >= 0.0) "software cost must be >= 0" in
+  let* () = check (t.control_msg_bytes > 0) "control_msg_bytes must be positive" in
+  let* () = check (t.page_header_bytes >= 0) "page_header_bytes must be >= 0" in
+  let* () =
+    check (t.abort_probability >= 0.0 && t.abort_probability <= 1.0)
+      "abort_probability must be in [0,1]"
+  in
+  let* () = check (t.max_sub_retries >= 0) "max_sub_retries must be >= 0" in
+  let* () = check (t.max_root_retries >= 0) "max_root_retries must be >= 0" in
+  let* () = check (t.root_retry_backoff_us >= 0.0) "root_retry_backoff_us must be >= 0" in
+  let* () = check (t.local_lock_op_us >= 0.0) "local_lock_op_us must be >= 0" in
+  let* () = check (t.gdo_op_us >= 0.0) "gdo_op_us must be >= 0" in
+  let* () = check (t.statement_us >= 0.0) "statement_us must be >= 0" in
+  let* () = check (t.undo_page_us >= 0.0) "undo_page_us must be >= 0" in
+  let* () = check (t.page_service_us >= 0.0) "page_service_us must be >= 0" in
+  let* () = check (t.page_map_entry_bytes >= 0) "page_map_entry_bytes must be >= 0" in
+  let* () =
+    check
+      (t.gdo_replicas >= 0 && t.gdo_replicas < t.node_count)
+      "gdo_replicas must be in [0, node_count)"
+  in
+  check (t.trace_capacity >= 0) "trace_capacity must be >= 0"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>protocol: %a@,nodes: %d, page: %dB@,\
+     link: %.0f Mbps, sw cost %.1f us@,\
+     aborts: p=%.3f (sub retries %d, root retries %d)@,\
+     prefetch: %b, multicast push: %b@]"
+    Dsm.Protocol.pp t.protocol t.node_count t.page_size
+    (t.link.Sim.Network.bandwidth_bps /. 1e6)
+    t.link.Sim.Network.software_cost_us t.abort_probability t.max_sub_retries
+    t.max_root_retries t.prefetch t.multicast_push

@@ -1,0 +1,63 @@
+(** Runtime configuration: protocol choice, cluster shape, cost model.
+
+    All times are simulated microseconds; all sizes are bytes. The defaults
+    correspond to the paper's setting: 4 KiB pages, a switched 100 Mbps
+    network with 20 µs per-message software cost, and cheap local
+    operations relative to messaging. *)
+
+type t = {
+  node_count : int;
+  page_size : int;
+  link : Sim.Network.link;
+  protocol : Dsm.Protocol.t;
+  class_protocols : (string * Dsm.Protocol.t) list;
+      (** per-class protocol overrides, by class name — the paper's §6
+          future-work extension ("different consistency protocols ... on a
+          per-class basis"). Classes not listed use [protocol]. *)
+  (* Message sizing. *)
+  control_msg_bytes : int;  (** lock requests, page requests, acks *)
+  page_header_bytes : int;  (** per-page framing in data messages *)
+  page_map_entry_bytes : int;  (** per-page cost of shipping the page map in a grant *)
+  gdo_replicas : int;
+      (** The paper's GDO is "partitioned and replicated ... to ensure
+          efficiency and reliability". Each directory mutation (lock grant,
+          queue change, release) is shipped asynchronously to this many
+          replica sites; 0 (default) disables replication. Only the traffic
+          cost is modelled — no failures are injected, so failover logic
+          would be dead code (recovery mechanisms are §6 future work). *)
+  (* Local costs. *)
+  local_lock_op_us : float;
+  gdo_op_us : float;  (** directory processing per lock operation *)
+  statement_us : float;  (** CPU cost per executed IR statement *)
+  undo_page_us : float;  (** cost of undoing one page write *)
+  page_service_us : float;  (** cost for a node to serve a page request *)
+  (* Failure injection and recovery policy. *)
+  recovery : Txn.Recovery.strategy;  (** local UNDO mechanism: undo logs or shadow pages *)
+  abort_probability : float;  (** chance an executing sub-transaction fails at its end *)
+  max_sub_retries : int;  (** re-executions of a failed sub-transaction *)
+  max_root_retries : int;  (** re-executions of a deadlock-aborted family *)
+  root_retry_backoff_us : float;  (** base backoff, doubled per retry, jittered *)
+  (* Extensions (paper §5.1 / §6). *)
+  prefetch : bool;  (** optimistic pre-acquisition of sub-invocation locks *)
+  multicast_push : bool;  (** RC-nested pushes charged as one multicast message *)
+  (* Recursion policy (paper §3.4). *)
+  allow_recursive_catalogs : bool;
+      (** The paper precludes mutually recursive invocations and offers two
+          enforcement alternatives. [false] (default): reject cyclic
+          reference graphs statically at {!Runtime.create}. [true]: admit
+          them and verify at run time — each invocation walks its ancestor
+          chain (cost proportional to nesting depth, as the paper notes) and
+          a family that actually recurses is aborted permanently. *)
+  (* Instrumentation and execution model. *)
+  trace_capacity : int;  (** > 0 keeps a ring of protocol events of that size *)
+  cpu_limited : bool;
+      (** serialise statement execution on one CPU per node (off by default:
+          the paper's metrics are traffic-, not CPU-bound) *)
+}
+
+val default : t
+
+val validate : t -> (unit, string) result
+(** Sanity-check ranges (positive sizes, probability in [0,1], ...). *)
+
+val pp : Format.formatter -> t -> unit

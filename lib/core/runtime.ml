@@ -1,0 +1,884 @@
+open Objmodel
+open Txn
+
+exception Family_abort
+(* Raised inside a family's fiber to unwind the invocation stack when the
+   family must abort (deadlock victim, or a sub-transaction out of retries).
+   Every enclosing invocation aborts its own transaction and re-raises; the
+   root driver catches it and retries the whole family with backoff. *)
+
+exception Recursion_rejected of Oid.t
+(* Raised (when recursive catalogs are admitted) by the run-time recursion
+   check: the invocation chain revisited the object. Deterministic, so the
+   root driver gives up immediately instead of retrying. *)
+
+type root_outcome = Committed | Gave_up
+
+type root_result = {
+  oid : Oid.t;
+  meth : string;
+  node : int;
+  submitted_at : float;
+  completed_at : float;
+  attempts : int;
+  outcome : root_outcome;
+}
+
+(* Network payloads are thunks executed at the destination when the message
+   is delivered; all byte/kind/tag accounting happens at send time. *)
+type msg = Exec of (unit -> unit)
+
+type refusal = Busy | Deadlock of Txn_id.t list
+
+type reply = (Gdo.Directory.grant, refusal) result
+
+type t = {
+  cfg : Config.t;
+  catalog : Catalog.t;
+  engine : Sim.Engine.t;
+  net : msg Sim.Network.t;
+  tree : Txn_tree.t;
+  gdo : Gdo.Directory.t;
+  stores : Dsm.Page_store.t array;
+  locks : Local_locks.t array;
+  metrics : Dsm.Metrics.t;
+  mutable next_version : int;
+  (* Deferred GDO grants: (object, family) -> ivar of the blocked acquire. *)
+  pending : (int * Txn_id.t, reply Sim.Engine.Ivar.t) Hashtbl.t;
+  (* Global acquires in flight, to serialise racing acquires (main fiber vs
+     prefetch fibers) by the same family on the same object. *)
+  inflight : (int * Txn_id.t, reply Sim.Engine.Ivar.t) Hashtbl.t;
+  (* Acquisition-time page transfers in flight: with optimistic
+     pre-acquisition, a child can be granted the lock locally while the
+     prefetch fiber's pages are still on the wire; every grant path awaits
+     this before the method body may touch the object. *)
+  transfers : (int * Txn_id.t, unit Sim.Engine.Ivar.t) Hashtbl.t;
+  (* Family grant snapshots: the page map each family received for each
+     object it holds; consulted for staleness checks and demand fetches. *)
+  snapshots : Gdo.Directory.grant Oid.Table.t Txn_id.Table.t;
+  recovery_logs : Recovery.t Txn_id.Table.t;
+  (* object each transaction's method executes on; used by the run-time
+     recursion check. *)
+  txn_objects : Oid.t Txn_id.Table.t;
+  read_logs : Serializability.access list ref Txn_id.Table.t;
+  write_logs : Serializability.access list ref Txn_id.Table.t;
+  mutable history : Serializability.committed_root list;
+  mutable results : root_result list;
+  mutable outstanding : int;
+  mutable ran : bool;
+  trace : Sim.Trace.t option;
+  cpus : Sim.Engine.Semaphore.t array option;  (* one CPU per node when cpu_limited *)
+}
+
+let config t = t.cfg
+let catalog t = t.catalog
+let engine t = t.engine
+let metrics t = t.metrics
+let directory t = t.gdo
+let store t ~node = t.stores.(node)
+let trace t = t.trace
+
+let record_trace t ~category fmt =
+  match t.trace with
+  | None -> Format.ikfprintf ignore Format.str_formatter fmt
+  | Some tr -> Sim.Trace.recordf tr ~time:(Sim.Engine.now t.engine) ~category fmt
+
+(* Statement execution holds the node's CPU when the CPU-limited model is
+   on; waits for locks, pages and messages never do. *)
+let exec_statement t ~node =
+  match t.cpus with
+  | None -> Sim.Engine.wait t.cfg.Config.statement_us
+  | Some cpus ->
+      Sim.Engine.Semaphore.with_permit cpus.(node) (fun () ->
+          Sim.Engine.wait t.cfg.Config.statement_us)
+
+let home_of t oid = Oid.to_int oid mod t.cfg.Config.node_count
+
+let create ~config:cfg ~catalog =
+  (match Config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Runtime.create: " ^ msg));
+  (if not cfg.Config.allow_recursive_catalogs then
+     match Catalog.validate_acyclic catalog with
+     | Ok () -> ()
+     | Error cycle ->
+         invalid_arg
+           (Format.asprintf "Runtime.create: catalog has recursive references through %a"
+              (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " -> ") Oid.pp)
+              cycle));
+  let engine = Sim.Engine.create () in
+  let metrics = Dsm.Metrics.create () in
+  let on_message ~src:_ ~dst:_ ~kind ~bytes ~tag =
+    let oid = if tag >= 0 then Oid.of_int tag else Dsm.Metrics.untagged in
+    Dsm.Metrics.record_message metrics ~oid ~kind ~bytes
+  in
+  let net =
+    Sim.Network.create ~engine ~node_count:cfg.Config.node_count ~link:cfg.Config.link
+      ~on_message ()
+  in
+  let tree = Txn_tree.create () in
+  let t =
+    {
+      cfg;
+      catalog;
+      engine;
+      net;
+      tree;
+      gdo = Gdo.Directory.create ();
+      stores = Array.init cfg.Config.node_count (fun node -> Dsm.Page_store.create ~node);
+      locks = Array.init cfg.Config.node_count (fun _ -> Local_locks.create tree);
+      metrics;
+      next_version = 0;
+      pending = Hashtbl.create 64;
+      inflight = Hashtbl.create 16;
+      transfers = Hashtbl.create 16;
+      snapshots = Txn_id.Table.create 64;
+      recovery_logs = Txn_id.Table.create 64;
+      txn_objects = Txn_id.Table.create 64;
+      read_logs = Txn_id.Table.create 64;
+      write_logs = Txn_id.Table.create 64;
+      history = [];
+      results = [];
+      outstanding = 0;
+      ran = false;
+      trace =
+        (if cfg.Config.trace_capacity > 0 then
+           Some (Sim.Trace.create ~capacity:cfg.Config.trace_capacity)
+         else None);
+      cpus =
+        (if cfg.Config.cpu_limited then
+           Some
+             (Array.init cfg.Config.node_count (fun _ ->
+                  Sim.Engine.Semaphore.create ~permits:1))
+         else None);
+    }
+  in
+  (* Trivial dispatch: every node executes delivered thunks. *)
+  for node = 0 to cfg.Config.node_count - 1 do
+    Sim.Network.set_handler net ~node (fun ~src:_ (Exec f) -> f ())
+  done;
+  (* Initial placement: all pages of every object live on its home node at
+     version 0; the GDO entry lives on the same node. *)
+  List.iter
+    (fun oid ->
+      let pages = Catalog.page_count catalog oid in
+      let home = home_of t oid in
+      Gdo.Directory.register_object t.gdo oid ~pages ~initial_node:home;
+      for p = 0 to pages - 1 do
+        Dsm.Page_store.receive t.stores.(home) oid ~page:p ~version:0
+      done)
+    (Catalog.oids catalog);
+  t
+
+(* Per-class protocol override (paper section 6 future work); cached per
+   object since it is consulted on every access. *)
+let protocol_for t oid =
+  match t.cfg.Config.class_protocols with
+  | [] -> t.cfg.Config.protocol
+  | overrides -> (
+      let cls_name = Obj_class.name (Catalog.find t.catalog oid).Catalog.cls in
+      match List.assoc_opt cls_name overrides with
+      | Some p -> p
+      | None -> t.cfg.Config.protocol)
+
+let send_exec t ~src ~dst ~kind ~bytes ~tag f =
+  Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
+
+let tag_of oid = Oid.to_int oid
+
+(* ------------------------------------------------------------------ *)
+(* Per-transaction bookkeeping.                                        *)
+
+let init_txn_state t txn =
+  Txn_id.Table.replace t.recovery_logs txn (Recovery.create t.cfg.Config.recovery);
+  Txn_id.Table.replace t.read_logs txn (ref []);
+  Txn_id.Table.replace t.write_logs txn (ref [])
+
+let recovery_of t txn = Txn_id.Table.find t.recovery_logs txn
+let read_log t txn = Txn_id.Table.find t.read_logs txn
+let write_log t txn = Txn_id.Table.find t.write_logs txn
+
+let drop_txn_state t txn =
+  Txn_id.Table.remove t.recovery_logs txn;
+  Txn_id.Table.remove t.txn_objects txn;
+  Txn_id.Table.remove t.read_logs txn;
+  Txn_id.Table.remove t.write_logs txn
+
+let family_snapshots t family =
+  match Txn_id.Table.find_opt t.snapshots family with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Oid.Table.create 8 in
+      Txn_id.Table.add t.snapshots family tbl;
+      tbl
+
+let snapshot t ~family ~oid =
+  match Oid.Table.find_opt (family_snapshots t family) oid with
+  | Some g -> g
+  | None ->
+      invalid_arg
+        (Format.asprintf "Runtime: family %a has no grant snapshot for %a" Txn_id.pp family
+           Oid.pp oid)
+
+let set_snapshot t ~family ~oid grant = Oid.Table.replace (family_snapshots t family) oid grant
+
+(* ------------------------------------------------------------------ *)
+(* GDO interaction (Algorithms 4.2 and 4.4, message side).             *)
+
+let grant_bytes t pages = t.cfg.Config.control_msg_bytes + (pages * t.cfg.Config.page_map_entry_bytes)
+
+(* Deliver a reply from the GDO home to the acquiring site. *)
+let reply_from_home t ~home ~dst ~oid (iv : reply Sim.Engine.Ivar.t) (r : reply) =
+  let deliver () = Sim.Engine.Ivar.fill iv r in
+  if home = dst then Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us deliver
+  else
+    let bytes =
+      match r with
+      | Ok g -> grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes)
+      | Error _ -> t.cfg.Config.control_msg_bytes
+    in
+    send_exec t ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid) deliver
+
+(* Ship a directory mutation to the partition's replicas (paper §4.1: the
+   GDO is "partitioned and replicated"). Asynchronous and fire-and-forget:
+   only the traffic cost is modelled — there are no failures to fail over
+   from in this simulation. *)
+let replicate_gdo_update t ~home ~oid =
+  let n = t.cfg.Config.node_count in
+  for i = 1 to t.cfg.Config.gdo_replicas do
+    let replica = (home + i) mod n in
+    if replica <> home then
+      send_exec t ~src:home ~dst:replica ~kind:Sim.Network.Control
+        ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
+        (fun () -> ())
+  done
+
+(* Executed at the GDO home when an acquire request arrives. *)
+let process_acquire t ~home ~requester ~family ~oid ~mode ~block (iv : reply Sim.Engine.Ivar.t) =
+  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      Gdo.Directory.note_cached t.gdo oid ~node:requester;
+      match Gdo.Directory.acquire t.gdo oid ~family ~node:requester ~mode ~block () with
+      | Gdo.Directory.Granted g ->
+          replicate_gdo_update t ~home ~oid;
+          reply_from_home t ~home ~dst:requester ~oid iv (Ok g)
+      | Gdo.Directory.Queued ->
+          replicate_gdo_update t ~home ~oid;
+          Hashtbl.replace t.pending (Oid.to_int oid, family) iv
+      | Gdo.Directory.Busy -> reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
+      | Gdo.Directory.Deadlock cycle ->
+          reply_from_home t ~home ~dst:requester ~oid iv (Error (Deadlock cycle)))
+
+let deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
+  let oid = d.d_grant.Gdo.Directory.g_oid in
+  match Hashtbl.find_opt t.pending (Oid.to_int oid, d.d_family) with
+  | None -> ()  (* e.g. a test driving the directory directly *)
+  | Some iv ->
+      Hashtbl.remove t.pending (Oid.to_int oid, d.d_family);
+      reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok d.d_grant)
+
+(* Executed at the GDO home when a release arrives. [items] lists the objects
+   (with their dirty page info) whose home is this node. *)
+let process_release t ~home ~family items =
+  let n_items = List.length items in
+  Sim.Engine.schedule t.engine ~delay:(t.cfg.Config.gdo_op_us *. float_of_int n_items)
+    (fun () ->
+      List.iter
+        (fun (oid, dirty) ->
+          let deliveries = Gdo.Directory.release t.gdo oid ~family ~dirty in
+          replicate_gdo_update t ~home ~oid;
+          List.iter (deliver_deferred_grant t ~home) deliveries)
+        items)
+
+(* Fiber-side global acquisition: route to the home, block until the reply. *)
+let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
+  let key = (Oid.to_int oid, family) in
+  match Hashtbl.find_opt t.inflight key with
+  | Some iv -> Sim.Engine.Ivar.read iv
+  | None ->
+      let iv = Sim.Engine.Ivar.create () in
+      Hashtbl.replace t.inflight key iv;
+      let home = home_of t oid in
+      let start () = process_acquire t ~home ~requester:node ~family ~oid ~mode ~block iv in
+      if home = node then start ()
+      else
+        send_exec t ~src:node ~dst:home ~kind:Sim.Network.Control
+          ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) start;
+      let r = Sim.Engine.Ivar.read iv in
+      Hashtbl.remove t.inflight key;
+      r
+
+(* Fire-and-forget global release of objects grouped by GDO home. [items] is
+   (oid, dirty) with dirty = (page, version, node) list. *)
+let gdo_release t ~node ~family items =
+  let by_home = Hashtbl.create 8 in
+  List.iter
+    (fun ((oid, _) as item) ->
+      let home = home_of t oid in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_home home) in
+      Hashtbl.replace by_home home (item :: cur))
+    items;
+  Hashtbl.iter
+    (fun home items ->
+      let run () = process_release t ~home ~family items in
+      if home = node then run ()
+      else
+        let bytes =
+          t.cfg.Config.control_msg_bytes
+          + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
+        in
+        send_exec t ~src:node ~dst:home ~kind:Sim.Network.Control ~bytes ~tag:(-1) run)
+    by_home
+
+(* ------------------------------------------------------------------ *)
+(* Page movement (Algorithm 4.5 and demand fetches).                   *)
+
+(* Group pages by the node holding their newest copy, per the grant. *)
+let group_by_source ~node ~oid (grant : Gdo.Directory.grant) pages =
+  let by_src = Hashtbl.create 4 in
+  List.iter
+    (fun p ->
+      let src = grant.Gdo.Directory.g_page_nodes.(p) in
+      if src = node then
+        invalid_arg
+          (Format.asprintf "Runtime: page %d of %a maps to the fetching node" p Oid.pp oid);
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_src src) in
+      Hashtbl.replace by_src src (p :: cur))
+    pages;
+  Hashtbl.fold (fun src ps acc -> (src, List.rev ps) :: acc) by_src []
+
+(* Fetch the given pages from their source nodes, in parallel, and install
+   them locally. Blocks until every group has arrived. *)
+let fetch_groups t ~node ~oid groups =
+  let cfg = t.cfg in
+  let join =
+    List.map
+      (fun (src, pages) ->
+        let iv = Sim.Engine.Ivar.create () in
+        let n_pages = List.length pages in
+        let req_bytes = cfg.Config.control_msg_bytes + (4 * n_pages) in
+        let reply_bytes = n_pages * (cfg.Config.page_size + cfg.Config.page_header_bytes) in
+        let serve () =
+          (* At the source: look the pages up, then ship them. *)
+          Sim.Engine.schedule t.engine ~delay:cfg.Config.page_service_us (fun () ->
+              let copies =
+                List.map (fun p -> (p, Dsm.Page_store.version t.stores.(src) oid ~page:p)) pages
+              in
+              let install () =
+                List.iter
+                  (fun (p, v) -> Dsm.Page_store.receive t.stores.(node) oid ~page:p ~version:v)
+                  copies;
+                Sim.Engine.Ivar.fill iv ()
+              in
+              send_exec t ~src ~dst:node ~kind:Sim.Network.Data ~bytes:reply_bytes
+                ~tag:(tag_of oid) install)
+        in
+        send_exec t ~src:node ~dst:src ~kind:Sim.Network.Control ~bytes:req_bytes
+          ~tag:(tag_of oid) serve;
+        iv)
+      groups
+  in
+  List.iter Sim.Engine.Ivar.read join
+
+(* Acquisition-time transfer: what moves depends on the protocol. *)
+let transfer_on_acquire t ~node ~oid ~(grant : Gdo.Directory.grant) ~predicted =
+  let pages = Array.length grant.Gdo.Directory.g_page_nodes in
+  let local_version p = Dsm.Page_store.version t.stores.(node) oid ~page:p in
+  let set =
+    Dsm.Protocol.transfer_set (protocol_for t oid) ~page_count:pages
+      ~page_nodes:grant.Gdo.Directory.g_page_nodes
+      ~page_versions:grant.Gdo.Directory.g_page_versions ~local_version ~node ~predicted
+  in
+  if set <> [] then begin
+    record_trace t ~category:"transfer" "%a: %d page(s) to node %d" Oid.pp oid
+      (List.length set) node;
+    fetch_groups t ~node ~oid (group_by_source ~node ~oid grant set)
+  end
+
+(* Make sure the pages an access touches are up to date locally, fetching on
+   demand when the protocol allows it (LOTEC's lazy fetch; RC-nested cold
+   pages). For COTEC/OTEC a stale page here is a protocol bug. *)
+let ensure_pages t ~family ~node ~oid pages =
+  let g = snapshot t ~family ~oid in
+  let stale =
+    List.filter
+      (fun p ->
+        Dsm.Page_store.version t.stores.(node) oid ~page:p
+        < g.Gdo.Directory.g_page_versions.(p))
+      pages
+  in
+  if stale <> [] then begin
+    let protocol = protocol_for t oid in
+    if not (Dsm.Protocol.demand_fetch_allowed protocol) then
+      failwith
+        (Format.asprintf "protocol invariant violated: %a stale under %a" Oid.pp oid
+           Dsm.Protocol.pp protocol);
+    Dsm.Metrics.record_demand_fetch t.metrics ~oid;
+    record_trace t ~category:"demand-fetch" "%a: %d stale page(s) at node %d" Oid.pp oid
+      (List.length stale) node;
+    fetch_groups t ~node ~oid (group_by_source ~node ~oid g stale)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lock acquisition at method entry (Algorithm 4.1 + global path).     *)
+
+(* Block until a concurrent fiber of the same family (a prefetch) has
+   finished pulling the object's acquisition-time pages; being granted the
+   lock locally does not mean the pages have landed. *)
+let await_transfer t ~family ~oid =
+  match Hashtbl.find_opt t.transfers (Oid.to_int oid, family) with
+  | Some iv -> Sim.Engine.Ivar.read iv
+  | None -> ()
+
+(* [optimistic] marks pre-acquisition attempts: they never block at the GDO
+   (Busy is a silent no-op) and never upgrade — the invoking child falls back
+   to a normal acquisition later. Returns true when the lock is held on
+   return. *)
+let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
+  let node = Txn_tree.node_of t.tree txn in
+  let family = Txn_tree.root_of t.tree txn in
+  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  let wake_iv = Sim.Engine.Ivar.create () in
+  match
+    Local_locks.acquire t.locks.(node) oid ~txn ~mode ~wake:(fun () ->
+        Sim.Engine.Ivar.fill wake_iv ())
+  with
+  | Local_locks.Granted ->
+      Dsm.Metrics.incr_local_acquisitions t.metrics;
+      await_transfer t ~family ~oid;
+      true
+  | Local_locks.Queued ->
+      Dsm.Metrics.incr_local_acquisitions t.metrics;
+      Sim.Engine.Ivar.read wake_iv;
+      await_transfer t ~family ~oid;
+      true
+  | Local_locks.Needs_upgrade ->
+      if optimistic then true  (* already held for Read: good enough to keep *)
+      else begin
+        Dsm.Metrics.incr_upgrades t.metrics;
+        match gdo_acquire t ~node ~family ~oid ~mode:Lock.Write ~block:true with
+        | Ok g ->
+            Local_locks.upgrade_granted t.locks.(node) oid ~txn;
+            set_snapshot t ~family ~oid g;
+            await_transfer t ~family ~oid;
+            true
+        | Error Busy ->
+            (* We shared the reply of an in-flight non-blocking prefetch;
+               issue our own blocking request. *)
+            acquire_object t ~txn ~oid ~mode ~predicted ~optimistic
+        | Error (Deadlock _) ->
+            Dsm.Metrics.incr_deadlock_aborts t.metrics;
+            raise Family_abort
+      end
+  | Local_locks.Not_cached -> (
+      Dsm.Metrics.incr_global_acquisitions t.metrics;
+      let had_inflight = Hashtbl.mem t.inflight (Oid.to_int oid, family) in
+      match gdo_acquire t ~node ~family ~oid ~mode ~block:(not optimistic) with
+      | Ok g ->
+          if had_inflight then
+            (* Another fiber of this family raced us and already installed
+               the grant; just retry the local path. *)
+            acquire_object t ~txn ~oid ~mode ~predicted ~optimistic
+          else begin
+            Local_locks.install_grant t.locks.(node) oid ~txn ~mode;
+            set_snapshot t ~family ~oid g;
+            Dsm.Metrics.record_acquisition t.metrics ~oid;
+            record_trace t ~category:"lock" "%a granted %a to %a@%d" Oid.pp oid Lock.pp mode
+              Txn_id.pp txn node;
+            let transfer_iv = Sim.Engine.Ivar.create () in
+            Hashtbl.replace t.transfers (Oid.to_int oid, family) transfer_iv;
+            transfer_on_acquire t ~node ~oid ~grant:g ~predicted;
+            Hashtbl.remove t.transfers (Oid.to_int oid, family);
+            Sim.Engine.Ivar.fill transfer_iv ();
+            true
+          end
+      | Error Busy ->
+          if optimistic then false  (* optimistic refusal: leave it to the child *)
+          else
+            (* A shared in-flight prefetch reply; retry as a blocking
+               request of our own. *)
+            acquire_object t ~txn ~oid ~mode ~predicted ~optimistic
+      | Error (Deadlock cycle) ->
+          if optimistic then false
+          else begin
+            Dsm.Metrics.incr_deadlock_aborts t.metrics;
+            record_trace t ~category:"deadlock" "%a@%d aborts; cycle of %d families" Txn_id.pp
+              txn node (List.length cycle);
+            raise Family_abort
+          end)
+
+(* ------------------------------------------------------------------ *)
+(* Transaction completion (Algorithm 4.3 and root paths).              *)
+
+let precommit_txn t txn =
+  let parent =
+    match Txn_tree.parent t.tree txn with
+    | Some p -> p
+    | None -> invalid_arg "Runtime.precommit_txn: root"
+  in
+  let node = Txn_tree.node_of t.tree txn in
+  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  Local_locks.precommit t.locks.(node) txn;
+  Recovery.merge_into_parent ~child:(recovery_of t txn) ~parent:(recovery_of t parent);
+  let rl = read_log t txn and prl = read_log t parent in
+  prl := !rl @ !prl;
+  let wl = write_log t txn and pwl = write_log t parent in
+  pwl := !wl @ !pwl;
+  Txn_tree.set_status t.tree txn Txn_tree.Precommitted;
+  record_trace t ~category:"txn" "%a pre-commits into %a" Txn_id.pp txn Txn_id.pp parent;
+  drop_txn_state t txn
+
+let undo_txn t txn =
+  let node = Txn_tree.node_of t.tree txn in
+  let log = recovery_of t txn in
+  let cost = Recovery.restore_cost_units log in
+  if cost > 0 then Sim.Engine.wait (t.cfg.Config.undo_page_us *. float_of_int cost);
+  List.iter
+    (fun (oid, page, version) -> Dsm.Page_store.restore t.stores.(node) oid ~page ~version)
+    (Recovery.restore_plan log)
+
+let abort_sub_txn t txn =
+  let node = Txn_tree.node_of t.tree txn in
+  undo_txn t txn;
+  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  let family = Txn_tree.root_of t.tree txn in
+  Local_locks.abort t.locks.(node) txn ~to_release:(fun oid ->
+      Oid.Table.remove (family_snapshots t family) oid;
+      gdo_release t ~node ~family [ (oid, []) ]);
+  Txn_tree.set_status t.tree txn Txn_tree.Aborted;
+  record_trace t ~category:"txn" "%a aborts (sub-transaction)" Txn_id.pp txn;
+  drop_txn_state t txn
+
+(* Dirty info for the family's release: for every page its undo log touched,
+   report the final local version so the GDO page map points here. *)
+let dirty_items t ~node ~root released =
+  let log = recovery_of t root in
+  let dirty = Recovery.dirty_pages log in
+  let by_oid = Hashtbl.create 8 in
+  List.iter
+    (fun (oid, page) ->
+      let v = Dsm.Page_store.version t.stores.(node) oid ~page in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_oid (Oid.to_int oid)) in
+      Hashtbl.replace by_oid (Oid.to_int oid) ((page, v, node) :: cur))
+    dirty;
+  (* Locks are held to root commit (rule 2), so every dirty object must
+     still be family-held — otherwise its dirty info would be lost here. *)
+  List.iter
+    (fun (oid, _) ->
+      if not (List.exists (fun o -> Oid.to_int o = Oid.to_int oid) released) then
+        failwith
+          (Format.asprintf "Runtime: dirty object %a not among released locks" Oid.pp oid))
+    dirty;
+  List.map
+    (fun oid ->
+      (oid, Option.value ~default:[] (Hashtbl.find_opt by_oid (Oid.to_int oid))))
+    released
+
+(* RC-nested: push dirty pages to every caching site at root release. The
+   copyset is read straight from the directory rather than shipped with the
+   grant — a simulation shortcut; the value is identical to what a real
+   implementation would have piggybacked, and no message cost is avoided
+   (the pushes themselves are fully costed). *)
+let eager_push t ~node items =
+  let cfg = t.cfg in
+  List.iter
+    (fun (oid, dirty) ->
+      if dirty <> [] then begin
+        let dests = List.filter (fun d -> d <> node) (Gdo.Directory.copyset t.gdo oid) in
+        if dests <> [] then begin
+          let bytes =
+            List.length dirty * (cfg.Config.page_size + cfg.Config.page_header_bytes)
+          in
+          let install dest () =
+            List.iter
+              (fun (page, v, _) -> Dsm.Page_store.receive t.stores.(dest) oid ~page ~version:v)
+              dirty
+          in
+          Dsm.Metrics.incr_eager_pushes t.metrics;
+          match (cfg.Config.multicast_push, dests) with
+          | true, first :: rest ->
+              (* One multicast message: charged once, delivered everywhere. *)
+              send_exec t ~src:node ~dst:first ~kind:Sim.Network.Data ~bytes ~tag:(tag_of oid)
+                (install first);
+              let delay = Sim.Network.transfer_time_us (Sim.Network.link t.net) bytes in
+              List.iter
+                (fun dest -> Sim.Engine.schedule t.engine ~delay (fun () -> install dest ()))
+                rest
+          | _ ->
+              List.iter
+                (fun dest ->
+                  send_exec t ~src:node ~dst:dest ~kind:Sim.Network.Data ~bytes
+                    ~tag:(tag_of oid) (install dest))
+                dests
+        end
+      end)
+    items
+
+let dedup_accesses accesses =
+  let module S = Set.Make (struct
+    type t = Serializability.access
+
+    let compare = compare
+  end) in
+  S.elements (S.of_list accesses)
+
+let commit_root t root =
+  let node = Txn_tree.node_of t.tree root in
+  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  let released = Local_locks.root_release t.locks.(node) ~root in
+  let items = dirty_items t ~node ~root released in
+  let push_items =
+    List.filter (fun (oid, _) -> Dsm.Protocol.is_eager_push (protocol_for t oid)) items
+  in
+  if push_items <> [] then eager_push t ~node push_items;
+  gdo_release t ~node ~family:root items;
+  t.history <-
+    {
+      Serializability.root;
+      reads = dedup_accesses !(read_log t root);
+      writes = dedup_accesses !(write_log t root);
+    }
+    :: t.history;
+  Txn_tree.set_status t.tree root Txn_tree.Committed;
+  record_trace t ~category:"commit" "root %a commits, releasing %d object(s)" Txn_id.pp root
+    (List.length released);
+  Txn_id.Table.remove t.snapshots root;
+  drop_txn_state t root;
+  Dsm.Metrics.incr_roots_committed t.metrics
+
+let abort_root t root =
+  let node = Txn_tree.node_of t.tree root in
+  undo_txn t root;
+  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  let released = Local_locks.root_release t.locks.(node) ~root in
+  gdo_release t ~node ~family:root (List.map (fun oid -> (oid, [])) released);
+  Txn_tree.set_status t.tree root Txn_tree.Aborted;
+  Txn_id.Table.remove t.snapshots root;
+  drop_txn_state t root
+
+(* ------------------------------------------------------------------ *)
+(* Method execution.                                                   *)
+
+let log_read t txn ~oid ~page ~version =
+  let l = read_log t txn in
+  l := { Serializability.oid; page; version } :: !l
+
+let log_write t txn ~oid ~page ~version =
+  let l = write_log t txn in
+  l := { Serializability.oid; page; version } :: !l
+
+(* Optimistic pre-acquisition (paper §5.1): at method entry, asynchronously
+   acquire — as the current transaction — the locks of the objects this
+   method may invoke on, and pull their predicted pages, overlapping the
+   latency with local execution. Failures are benign: the child simply
+   acquires normally later. *)
+let spawn_prefetches t ~txn ~oid ~(cm : Obj_class.compiled_method) =
+  let node = Txn_tree.node_of t.tree txn in
+  let family = Txn_tree.root_of t.tree txn in
+  let targets =
+    List.sort_uniq
+      (fun (o1, _) (o2, _) -> Oid.compare o1 o2)
+      (List.map
+         (fun (slot, meth) -> (Catalog.resolve_slot t.catalog oid slot, meth))
+         cm.Obj_class.summary.Access_analysis.invoked)
+  in
+  List.filter_map
+    (fun (target, meth) ->
+      match Local_locks.family_mode t.locks.(node) target ~family with
+      | Some _ -> None  (* already held: nothing to hide *)
+      | None ->
+          let target_cm = Catalog.find_method t.catalog target meth in
+          let mode =
+            if target_cm.Obj_class.summary.Access_analysis.updates then Lock.Write
+            else Lock.Read
+          in
+          let done_iv = Sim.Engine.Ivar.create () in
+          Sim.Engine.spawn t.engine ~name:"prefetch" (fun () ->
+              (try
+                 ignore
+                   (acquire_object t ~txn ~oid:target ~mode
+                      ~predicted:target_cm.Obj_class.page_summary.Access_analysis.access_pages
+                      ~optimistic:true)
+               with Family_abort -> ());
+              Sim.Engine.Ivar.fill done_iv ());
+          Some done_iv)
+    targets
+
+(* Paper (section 3.4): "verify compliance at run-time (with per-invocation
+   overhead for checking proportional to the depth of transaction nesting at
+   the point of invocation)". Walk the ancestor chain; charge one local op
+   per level. *)
+let check_no_recursion t ~parent ~target =
+  let rec climb txn depth =
+    (match Txn_id.Table.find_opt t.txn_objects txn with
+    | Some o when Oid.equal o target -> raise (Recursion_rejected target)
+    | _ -> ());
+    match Txn_tree.parent t.tree txn with
+    | Some p -> climb p (depth + 1)
+    | None -> depth
+  in
+  let depth = climb parent 1 in
+  Sim.Engine.wait (t.cfg.Config.local_lock_op_us *. float_of_int depth)
+
+let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
+  let node = Txn_tree.node_of t.tree txn in
+  let family = Txn_tree.root_of t.tree txn in
+  Txn_id.Table.replace t.txn_objects txn oid;
+  let mode = if cm.Obj_class.summary.Access_analysis.updates then Lock.Write else Lock.Read in
+  let (_ : bool) =
+    acquire_object t ~txn ~oid ~mode
+      ~predicted:cm.Obj_class.page_summary.Access_analysis.access_pages ~optimistic:false
+  in
+  let prefetch_joins =
+    if t.cfg.Config.prefetch then spawn_prefetches t ~txn ~oid ~cm else []
+  in
+  let layout = Catalog.layout t.catalog oid in
+  let handler =
+    {
+      Method_ir.on_read =
+        (fun a ->
+          exec_statement t ~node;
+          let pages = Layout.pages_of_attr layout a in
+          ensure_pages t ~family ~node ~oid pages;
+          List.iter
+            (fun page ->
+              let version = Dsm.Page_store.version t.stores.(node) oid ~page in
+              log_read t txn ~oid ~page ~version)
+            pages);
+      on_write =
+        (fun a ->
+          exec_statement t ~node;
+          let pages = Layout.pages_of_attr layout a in
+          ensure_pages t ~family ~node ~oid pages;
+          List.iter
+            (fun page ->
+              t.next_version <- t.next_version + 1;
+              let v = t.next_version in
+              let prev = Dsm.Page_store.write t.stores.(node) oid ~page ~new_version:v in
+              Recovery.note_write (recovery_of t txn) ~oid ~page ~pre_image:prev;
+              log_write t txn ~oid ~page ~version:v)
+            pages);
+      on_invoke =
+        (fun slot meth ->
+          exec_statement t ~node;
+          let target = Catalog.resolve_slot t.catalog oid slot in
+          if t.cfg.Config.allow_recursive_catalogs then
+            check_no_recursion t ~parent:txn ~target;
+          invoke_child t ~prng ~parent:txn ~oid:target ~meth);
+      choose = (fun p -> Sim.Prng.bernoulli prng p);
+    }
+  in
+  let join () = List.iter Sim.Engine.Ivar.read prefetch_joins in
+  (try Method_ir.interp cm.Obj_class.ir handler
+   with e ->
+     join ();
+     raise e);
+  join ()
+
+(* Run a sub-transaction, retrying injected failures in place. *)
+and invoke_child t ~prng ~parent ~oid ~meth =
+  let cm = Catalog.find_method t.catalog oid meth in
+  let rec attempt k =
+    let txn = Txn_tree.create_child t.tree ~parent in
+    init_txn_state t txn;
+    let ok =
+      try
+        run_body t ~prng ~txn ~oid ~cm;
+        true
+      with
+      | Family_abort ->
+          abort_sub_txn t txn;
+          false
+      | Recursion_rejected _ as e ->
+          (* Fatal for the whole family: undo this level, keep unwinding. *)
+          abort_sub_txn t txn;
+          raise e
+    in
+    if not ok then raise Family_abort
+    else if Sim.Prng.bernoulli prng t.cfg.Config.abort_probability then begin
+      (* Injected failure at completion: undo and re-execute (paper §3.2:
+         failed sub-transactions may be retried without discarding the rest
+         of the family). *)
+      Dsm.Metrics.incr_sub_aborts t.metrics;
+      abort_sub_txn t txn;
+      if k < t.cfg.Config.max_sub_retries then attempt (k + 1) else raise Family_abort
+    end
+    else precommit_txn t txn
+  in
+  attempt 0
+
+(* ------------------------------------------------------------------ *)
+(* Root driving.                                                       *)
+
+let submit t ~at ~node ~oid ~meth ~seed =
+  if t.ran then invalid_arg "Runtime.submit: run already completed";
+  if node < 0 || node >= t.cfg.Config.node_count then
+    invalid_arg "Runtime.submit: node out of range";
+  let cm = Catalog.find_method t.catalog oid meth in
+  t.outstanding <- t.outstanding + 1;
+  let name = Format.asprintf "root:%a.%s@%d" Oid.pp oid meth node in
+  Sim.Engine.schedule t.engine ~delay:at (fun () ->
+      Sim.Engine.spawn t.engine ~name (fun () ->
+          let prng = Sim.Prng.create ~seed in
+          let submitted_at = Sim.Engine.now t.engine in
+          let rec attempt k =
+            let root = Txn_tree.create_root t.tree ~node in
+            init_txn_state t root;
+            let ok =
+              try
+                run_body t ~prng ~txn:root ~oid ~cm;
+                `Committed
+              with
+              | Family_abort ->
+                  abort_root t root;
+                  `Retry
+              | Recursion_rejected target ->
+                  record_trace t ~category:"recursion" "root %a rejected: revisits %a"
+                    Txn_id.pp root Oid.pp target;
+                  abort_root t root;
+                  `Fatal
+            in
+            match ok with
+            | `Committed ->
+                commit_root t root;
+                (k + 1, Committed)
+            | `Fatal ->
+                Dsm.Metrics.incr_roots_aborted t.metrics;
+                (k + 1, Gave_up)
+            | `Retry when k < t.cfg.Config.max_root_retries -> begin
+              Dsm.Metrics.incr_retries t.metrics;
+              let backoff =
+                t.cfg.Config.root_retry_backoff_us
+                *. float_of_int (1 lsl min k 6)
+                *. (1.0 +. Sim.Prng.float prng 1.0)
+              in
+              Sim.Engine.wait backoff;
+              attempt (k + 1)
+            end
+            | `Retry ->
+                Dsm.Metrics.incr_roots_aborted t.metrics;
+                (k + 1, Gave_up)
+          in
+          let attempts, outcome = attempt 0 in
+          t.results <-
+            {
+              oid;
+              meth;
+              node;
+              submitted_at;
+              completed_at = Sim.Engine.now t.engine;
+              attempts;
+              outcome;
+            }
+            :: t.results;
+          t.outstanding <- t.outstanding - 1))
+
+let run t =
+  Sim.Engine.run t.engine;
+  t.ran <- true;
+  assert (t.outstanding = 0);
+  Dsm.Metrics.set_completion_time_us t.metrics (Sim.Engine.now t.engine)
+
+let results t = List.rev t.results
+let committed_history t = List.rev t.history
+let check_serializable t = Serializability.check (committed_history t)
+let next_version_exceeds t n = t.next_version > n

@@ -1,0 +1,119 @@
+open Objmodel
+open Txn
+
+type access = { oid : Oid.t; page : int; version : int }
+
+type committed_root = { root : Txn_id.t; reads : access list; writes : access list }
+
+type verdict = Serializable of Txn_id.t list | Cyclic of Txn_id.t list
+
+module PageKey = struct
+  type t = Oid.t * int
+
+  let compare (o1, p1) (o2, p2) =
+    let c = Oid.compare o1 o2 in
+    if c <> 0 then c else Int.compare p1 p2
+end
+
+module PageMap = Map.Make (PageKey)
+
+module EdgeSet = Set.Make (struct
+  type t = Txn_id.t * Txn_id.t
+
+  let compare (a1, b1) (a2, b2) =
+    let c = Txn_id.compare a1 a2 in
+    if c <> 0 then c else Txn_id.compare b1 b2
+end)
+
+(* For each page: the versions written (version -> writer), sorted; and the
+   versions read (version -> readers). *)
+let index roots =
+  let writers = ref PageMap.empty in
+  let readers = ref PageMap.empty in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun a ->
+          let key = (a.oid, a.page) in
+          let cur = Option.value ~default:[] (PageMap.find_opt key !writers) in
+          writers := PageMap.add key ((a.version, r.root) :: cur) !writers)
+        r.writes;
+      List.iter
+        (fun a ->
+          let key = (a.oid, a.page) in
+          let cur = Option.value ~default:[] (PageMap.find_opt key !readers) in
+          readers := PageMap.add key ((a.version, r.root) :: cur) !readers)
+        r.reads)
+    roots;
+  (!writers, !readers)
+
+let edges roots =
+  let writers, readers = index roots in
+  let acc = ref EdgeSet.empty in
+  let add a b = if not (Txn_id.equal a b) then acc := EdgeSet.add (a, b) !acc in
+  PageMap.iter
+    (fun key ws ->
+      let ws = List.sort (fun (v1, _) (v2, _) -> Int.compare v1 v2) ws in
+      (* ww edges between consecutive writers. *)
+      let rec ww = function
+        | (_, w1) :: ((_, w2) :: _ as rest) ->
+            add w1 w2;
+            ww rest
+        | _ -> ()
+      in
+      ww ws;
+      let rs = Option.value ~default:[] (PageMap.find_opt key readers) in
+      List.iter
+        (fun (rv, reader) ->
+          (* wr: whoever wrote version rv precedes the reader. *)
+          List.iter (fun (wv, writer) -> if wv = rv then add writer reader) ws;
+          (* rw: the reader precedes the writer of the next version. *)
+          let next =
+            List.fold_left
+              (fun best (wv, writer) ->
+                if wv > rv then
+                  match best with
+                  | Some (bv, _) when bv <= wv -> best
+                  | _ -> Some (wv, writer)
+                else best)
+              None ws
+          in
+          match next with Some (_, writer) -> add reader writer | None -> ())
+        rs)
+    writers;
+  EdgeSet.elements !acc
+
+let check roots =
+  let es = edges roots in
+  let nodes = List.map (fun r -> r.root) roots in
+  let succs = Txn_id.Table.create 64 in
+  List.iter
+    (fun (a, b) ->
+      let cur = Option.value ~default:[] (Txn_id.Table.find_opt succs a) in
+      Txn_id.Table.replace succs a (b :: cur))
+    es;
+  (* Iterative DFS with colours; produces reverse topological order or finds a
+     cycle. *)
+  let colour = Txn_id.Table.create 64 in
+  (* 1 = in progress, 2 = done *)
+  let order = ref [] in
+  let cycle = ref None in
+  let rec visit path n =
+    if !cycle <> None then ()
+    else
+      match Txn_id.Table.find_opt colour n with
+      | Some 2 -> ()
+      | Some _ ->
+          let rec take acc = function
+            | [] -> acc
+            | x :: rest -> if Txn_id.equal x n then x :: acc else take (x :: acc) rest
+          in
+          cycle := Some (take [] path)
+      | None ->
+          Txn_id.Table.replace colour n 1;
+          List.iter (visit (n :: path)) (Option.value ~default:[] (Txn_id.Table.find_opt succs n));
+          Txn_id.Table.replace colour n 2;
+          order := n :: !order
+  in
+  List.iter (fun n -> visit [] n) nodes;
+  match !cycle with Some c -> Cyclic c | None -> Serializable !order

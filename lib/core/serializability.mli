@@ -1,0 +1,33 @@
+open Txn
+
+(** Conflict-serializability checking over committed root transactions.
+
+    Nested O2PL guarantees serializable executions (paper §4.3); this module
+    verifies it empirically. Page writes are globally unique version numbers,
+    so the conflict graph over committed families can be rebuilt exactly:
+
+    - {b ww}: the writer of version [v] precedes the writer of the next
+      version of the same page;
+    - {b wr}: the writer of version [v] precedes every family that read [v];
+    - {b rw}: a family that read version [v] precedes the writer of the next
+      version of the same page.
+
+    An execution is conflict-serializable iff this graph is acyclic; the
+    serialization order is any topological order. *)
+
+type access = { oid : Objmodel.Oid.t; page : int; version : int }
+
+type committed_root = {
+  root : Txn_id.t;
+  reads : access list;  (** versions observed (reads and read-before-write) *)
+  writes : access list;  (** versions produced *)
+}
+
+type verdict =
+  | Serializable of Txn_id.t list  (** a witness serialization order *)
+  | Cyclic of Txn_id.t list  (** a conflict cycle *)
+
+val check : committed_root list -> verdict
+
+val edges : committed_root list -> (Txn_id.t * Txn_id.t) list
+(** The conflict edges (deduplicated, no self-edges), for diagnostics. *)

@@ -1,0 +1,188 @@
+open Objmodel
+
+type per_object = {
+  mutable messages : int;
+  mutable control_messages : int;
+  mutable control_bytes : int;
+  mutable data_messages : int;
+  mutable data_bytes : int;
+  mutable demand_fetches : int;
+  mutable acquisitions : int;
+}
+
+type totals = {
+  roots_committed : int;
+  roots_aborted : int;
+  deadlock_aborts : int;
+  sub_aborts : int;
+  retries : int;
+  local_acquisitions : int;
+  global_acquisitions : int;
+  upgrades : int;
+  eager_pushes : int;
+  demand_fetches : int;
+}
+
+type t = {
+  objects : per_object Oid.Table.t;
+  mutable roots_committed : int;
+  mutable roots_aborted : int;
+  mutable deadlock_aborts : int;
+  mutable sub_aborts : int;
+  mutable retries : int;
+  mutable local_acquisitions : int;
+  mutable global_acquisitions : int;
+  mutable upgrades : int;
+  mutable eager_pushes : int;
+  mutable completion_time_us : float;
+  size_buckets : int array;  (* power-of-two message size histogram *)
+}
+
+let bucket_bounds = [| 128; 256; 512; 1024; 2048; 4096; 8192; max_int |]
+
+let untagged = Oid.of_int 0x3FFFFFFF
+
+let create () =
+  {
+    objects = Oid.Table.create 128;
+    roots_committed = 0;
+    roots_aborted = 0;
+    deadlock_aborts = 0;
+    sub_aborts = 0;
+    retries = 0;
+    local_acquisitions = 0;
+    global_acquisitions = 0;
+    upgrades = 0;
+    eager_pushes = 0;
+    completion_time_us = 0.0;
+    size_buckets = Array.make (Array.length bucket_bounds) 0;
+  }
+
+let zero () =
+  {
+    messages = 0;
+    control_messages = 0;
+    control_bytes = 0;
+    data_messages = 0;
+    data_bytes = 0;
+    demand_fetches = 0;
+    acquisitions = 0;
+  }
+
+let entry t oid =
+  match Oid.Table.find_opt t.objects oid with
+  | Some e -> e
+  | None ->
+      let e = zero () in
+      Oid.Table.add t.objects oid e;
+      e
+
+let record_message t ~oid ~kind ~bytes =
+  let rec bucket i = if bytes <= bucket_bounds.(i) then i else bucket (i + 1) in
+  let b = bucket 0 in
+  t.size_buckets.(b) <- t.size_buckets.(b) + 1;
+  let e = entry t oid in
+  e.messages <- e.messages + 1;
+  match (kind : Sim.Network.kind) with
+  | Control ->
+      e.control_messages <- e.control_messages + 1;
+      e.control_bytes <- e.control_bytes + bytes
+  | Data ->
+      e.data_messages <- e.data_messages + 1;
+      e.data_bytes <- e.data_bytes + bytes
+
+let record_demand_fetch t ~oid =
+  let e = entry t oid in
+  e.demand_fetches <- e.demand_fetches + 1
+
+let record_acquisition t ~oid =
+  let e = entry t oid in
+  e.acquisitions <- e.acquisitions + 1
+
+let incr_roots_committed t = t.roots_committed <- t.roots_committed + 1
+let incr_roots_aborted t = t.roots_aborted <- t.roots_aborted + 1
+let incr_deadlock_aborts t = t.deadlock_aborts <- t.deadlock_aborts + 1
+let incr_sub_aborts t = t.sub_aborts <- t.sub_aborts + 1
+let incr_retries t = t.retries <- t.retries + 1
+let incr_local_acquisitions t = t.local_acquisitions <- t.local_acquisitions + 1
+let incr_global_acquisitions t = t.global_acquisitions <- t.global_acquisitions + 1
+let incr_upgrades t = t.upgrades <- t.upgrades + 1
+let incr_eager_pushes t = t.eager_pushes <- t.eager_pushes + 1
+
+let totals t =
+  let demand =
+    Oid.Table.fold (fun _ (e : per_object) acc -> acc + e.demand_fetches) t.objects 0
+  in
+  {
+    roots_committed = t.roots_committed;
+    roots_aborted = t.roots_aborted;
+    deadlock_aborts = t.deadlock_aborts;
+    sub_aborts = t.sub_aborts;
+    retries = t.retries;
+    local_acquisitions = t.local_acquisitions;
+    global_acquisitions = t.global_acquisitions;
+    upgrades = t.upgrades;
+    eager_pushes = t.eager_pushes;
+    demand_fetches = demand;
+  }
+
+let per_object t oid =
+  match Oid.Table.find_opt t.objects oid with Some e -> e | None -> zero ()
+
+let objects t =
+  Oid.Table.fold (fun oid _ acc -> oid :: acc) t.objects [] |> List.sort Oid.compare
+
+let total_bytes t =
+  Oid.Table.fold (fun _ e acc -> acc + e.control_bytes + e.data_bytes) t.objects 0
+
+let total_data_bytes t = Oid.Table.fold (fun _ e acc -> acc + e.data_bytes) t.objects 0
+let total_messages t = Oid.Table.fold (fun _ e acc -> acc + e.messages) t.objects 0
+
+let time_of ~messages ~bytes ~(link : Sim.Network.link) =
+  (float_of_int messages *. link.software_cost_us)
+  +. (float_of_int bytes *. 8.0 /. link.bandwidth_bps *. 1e6)
+
+let object_time_us t oid ~link =
+  let e = per_object t oid in
+  time_of ~messages:e.messages ~bytes:(e.control_bytes + e.data_bytes) ~link
+
+let total_time_us t ~link =
+  time_of ~messages:(total_messages t) ~bytes:(total_bytes t) ~link
+
+let time_of_am ~control_messages ~data_messages ~bytes ~(link : Sim.Network.link)
+    ~control_software_cost_us =
+  (float_of_int control_messages *. control_software_cost_us)
+  +. (float_of_int data_messages *. link.software_cost_us)
+  +. (float_of_int bytes *. 8.0 /. link.bandwidth_bps *. 1e6)
+
+let object_time_us_am t oid ~link ~control_software_cost_us =
+  let e = per_object t oid in
+  time_of_am ~control_messages:e.control_messages ~data_messages:e.data_messages
+    ~bytes:(e.control_bytes + e.data_bytes) ~link ~control_software_cost_us
+
+let total_time_us_am t ~link ~control_software_cost_us =
+  Oid.Table.fold
+    (fun _ e acc ->
+      acc
+      +. time_of_am ~control_messages:e.control_messages ~data_messages:e.data_messages
+           ~bytes:(e.control_bytes + e.data_bytes) ~link ~control_software_cost_us)
+    t.objects 0.0
+
+let size_histogram t =
+  Array.to_list (Array.mapi (fun i count -> (bucket_bounds.(i), count)) t.size_buckets)
+
+let completion_time_us t = t.completion_time_us
+let set_completion_time_us t v = t.completion_time_us <- v
+
+let pp_summary fmt t =
+  let tt = totals t in
+  Format.fprintf fmt
+    "@[<v>roots committed: %d (aborted %d, deadlock aborts %d, retries %d)@,\
+     sub-transaction aborts: %d@,\
+     lock acquisitions: %d local, %d global, %d upgrades@,\
+     demand fetches: %d; eager pushes: %d@,\
+     traffic: %d messages, %d bytes (%d data)@,\
+     completion: %.1f us@]"
+    tt.roots_committed tt.roots_aborted tt.deadlock_aborts tt.retries tt.sub_aborts
+    tt.local_acquisitions tt.global_acquisitions tt.upgrades tt.demand_fetches tt.eager_pushes
+    (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us

@@ -1,0 +1,106 @@
+(** Measurement ledger for a simulation run.
+
+    Records, per shared object, the consistency traffic (message and byte
+    counts, split control/data) plus system-wide transaction counters. The
+    per-object message ledger is what regenerates the paper's figures:
+
+    - Figures 2–5 plot [data_bytes] (+ control) per object;
+    - Figures 6–8 replay the ledger through {!object_time_us} for a grid of
+      (bandwidth × software cost) link parameters — exactly how the authors
+      "instrumented [the] simulator to assess the effects of changing the
+      network bandwidth and message initiation overhead". *)
+
+type per_object = {
+  mutable messages : int;
+  mutable control_messages : int;
+  mutable control_bytes : int;
+  mutable data_messages : int;
+  mutable data_bytes : int;
+  mutable demand_fetches : int;
+  mutable acquisitions : int;  (** global lock acquisitions granted *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_message :
+  t -> oid:Objmodel.Oid.t -> kind:Sim.Network.kind -> bytes:int -> unit
+(** Fed from the network's [on_message] hook; [oid] comes from the message
+    tag. Untagged traffic (negative tag in the hook) should be recorded
+    against {!untagged}. *)
+
+val untagged : Objmodel.Oid.t
+(** Pseudo-object charging traffic not attributable to a single object
+    (multi-object root release messages). *)
+
+val record_demand_fetch : t -> oid:Objmodel.Oid.t -> unit
+val record_acquisition : t -> oid:Objmodel.Oid.t -> unit
+
+(* System-wide counters. *)
+val incr_roots_committed : t -> unit
+val incr_roots_aborted : t -> unit
+val incr_deadlock_aborts : t -> unit
+val incr_sub_aborts : t -> unit
+val incr_retries : t -> unit
+val incr_local_acquisitions : t -> unit
+val incr_global_acquisitions : t -> unit
+val incr_upgrades : t -> unit
+val incr_eager_pushes : t -> unit
+
+type totals = {
+  roots_committed : int;
+  roots_aborted : int;
+  deadlock_aborts : int;
+  sub_aborts : int;
+  retries : int;
+  local_acquisitions : int;
+  global_acquisitions : int;
+  upgrades : int;
+  eager_pushes : int;
+  demand_fetches : int;
+}
+
+val totals : t -> totals
+
+val per_object : t -> Objmodel.Oid.t -> per_object
+(** Zeroed entry if the object generated no traffic. *)
+
+val objects : t -> Objmodel.Oid.t list
+(** Objects with recorded traffic, ascending (excludes {!untagged} unless it
+    has traffic). *)
+
+val total_bytes : t -> int
+val total_data_bytes : t -> int
+val total_messages : t -> int
+
+val object_time_us : t -> Objmodel.Oid.t -> link:Sim.Network.link -> float
+(** Total message time to maintain the object's consistency under the given
+    link: [messages * software_cost + bytes * 8 / bandwidth]. *)
+
+val total_time_us : t -> link:Sim.Network.link -> float
+
+val object_time_us_am :
+  t -> Objmodel.Oid.t -> link:Sim.Network.link -> control_software_cost_us:float -> float
+(** Active-messages variant of {!object_time_us} (paper §6: "integration of
+    active messaging into LOTEC to improve its performance for gigabit
+    networks"): control messages — lock traffic, page requests, the small
+    messages LOTEC sends many of — are charged
+    [control_software_cost_us] instead of the link's software cost; data
+    messages and all serialisation terms are unchanged. *)
+
+val total_time_us_am :
+  t -> link:Sim.Network.link -> control_software_cost_us:float -> float
+
+val size_histogram : t -> (int * int) list
+(** Message-size distribution as (upper-bound bytes, count) pairs with
+    power-of-two buckets from 128 B up (the last bucket's bound is
+    [max_int]). Substantiates the paper's observation that LOTEC "sends
+    many more messages (albeit small ones)": LOTEC's extra traffic lands in
+    the small buckets. *)
+
+val completion_time_us : t -> float
+val set_completion_time_us : t -> float -> unit
+(** Simulated makespan of the run, recorded by the runtime. *)
+
+val pp_summary : Format.formatter -> t -> unit

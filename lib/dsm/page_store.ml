@@ -1,0 +1,52 @@
+open Objmodel
+
+type t = { node : int; pages : (int, int) Hashtbl.t Oid.Table.t }
+
+let absent = -1
+
+let create ~node = { node; pages = Oid.Table.create 64 }
+
+let node t = t.node
+
+let table_for t oid =
+  match Oid.Table.find_opt t.pages oid with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 8 in
+      Oid.Table.add t.pages oid tbl;
+      tbl
+
+let version t oid ~page =
+  match Oid.Table.find_opt t.pages oid with
+  | None -> absent
+  | Some tbl -> ( match Hashtbl.find_opt tbl page with Some v -> v | None -> absent)
+
+let receive t oid ~page ~version:v =
+  let tbl = table_for t oid in
+  let cur = match Hashtbl.find_opt tbl page with Some c -> c | None -> absent in
+  if v > cur then Hashtbl.replace tbl page v
+
+let write t oid ~page ~new_version =
+  let tbl = table_for t oid in
+  let prev = match Hashtbl.find_opt tbl page with Some c -> c | None -> absent in
+  Hashtbl.replace tbl page new_version;
+  prev
+
+let restore t oid ~page ~version:v =
+  let tbl = table_for t oid in
+  if v = absent then Hashtbl.remove tbl page else Hashtbl.replace tbl page v
+
+let is_current t oid ~page ~newest = version t oid ~page >= newest
+
+let cached_pages t oid =
+  match Oid.Table.find_opt t.pages oid with
+  | None -> []
+  | Some tbl ->
+      Hashtbl.fold (fun p v acc -> (p, v) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let cached_objects t =
+  Oid.Table.fold
+    (fun oid tbl acc -> if Hashtbl.length tbl > 0 then oid :: acc else acc)
+    t.pages []
+  |> List.sort Oid.compare

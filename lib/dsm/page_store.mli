@@ -1,0 +1,39 @@
+(** Per-node cache of object pages, in the page-version model.
+
+    Contents are version numbers: a node holds page [p] of object [o] at some
+    version [v]; it is up to date iff [v] equals the newest version recorded
+    in the GDO page map. A node that has never seen a page reports version
+    [absent] (-1). *)
+
+type t
+
+val absent : int
+(** Version reported for pages never cached here (-1); any real version,
+    including the initial 0, is greater. *)
+
+val create : node:int -> t
+
+val node : t -> int
+
+val version : t -> Objmodel.Oid.t -> page:int -> int
+(** Cached version, or {!absent}. *)
+
+val receive : t -> Objmodel.Oid.t -> page:int -> version:int -> unit
+(** Install a page copy obtained from another node. Keeps the newest: an
+    older incoming copy never overwrites a newer cached one. *)
+
+val write : t -> Objmodel.Oid.t -> page:int -> new_version:int -> int
+(** Local update: set the page to [new_version], returning the previous
+    cached version (possibly {!absent}) for the undo log. *)
+
+val restore : t -> Objmodel.Oid.t -> page:int -> version:int -> unit
+(** Undo: put the page back to exactly [version] (or remove it when
+    [version = absent]). *)
+
+val is_current : t -> Objmodel.Oid.t -> page:int -> newest:int -> bool
+
+val cached_pages : t -> Objmodel.Oid.t -> (int * int) list
+(** (page, version) pairs cached for the object, ascending by page. *)
+
+val cached_objects : t -> Objmodel.Oid.t list
+(** Objects with at least one cached page, ascending. *)

@@ -1,0 +1,43 @@
+type t = Cotec | Otec | Lotec | Rc_nested
+
+let all = [ Cotec; Otec; Lotec; Rc_nested ]
+
+let to_string = function
+  | Cotec -> "cotec"
+  | Otec -> "otec"
+  | Lotec -> "lotec"
+  | Rc_nested -> "rc-nested"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "cotec" -> Ok Cotec
+  | "otec" -> Ok Otec
+  | "lotec" -> Ok Lotec
+  | "rc-nested" | "rc" | "rc_nested" -> Ok Rc_nested
+  | other -> Error (Printf.sprintf "unknown protocol %S (expected cotec|otec|lotec|rc-nested)" other)
+
+let pp fmt t = Format.pp_print_string fmt (String.uppercase_ascii (to_string t))
+
+let equal a b =
+  match (a, b) with
+  | Cotec, Cotec | Otec, Otec | Lotec, Lotec | Rc_nested, Rc_nested -> true
+  | _ -> false
+
+let is_eager_push = function Rc_nested -> true | Cotec | Otec | Lotec -> false
+
+let transfer_set t ~page_count ~page_nodes ~page_versions ~local_version ~node ~predicted =
+  let stale p = local_version p < page_versions.(p) in
+  let remote p = page_nodes.(p) <> node in
+  let candidates = List.init page_count (fun p -> p) in
+  match t with
+  | Cotec ->
+      (* Whole object, wherever a remote copy is the newest one. *)
+      List.filter remote candidates
+  | Otec | Rc_nested ->
+      (* Only what this site does not already have up to date. *)
+      List.filter (fun p -> remote p && stale p) candidates
+  | Lotec ->
+      let predicted_set = List.sort_uniq Int.compare predicted in
+      List.filter (fun p -> remote p && stale p && List.mem p predicted_set) candidates
+
+let demand_fetch_allowed = function Lotec | Rc_nested -> true | Cotec | Otec -> false

@@ -1,0 +1,52 @@
+(** The consistency-protocol suite of the paper's §5.
+
+    All four protocols are entry-consistency style (updates move at lock
+    acquisition), differing only in {e which} pages move:
+
+    - {b COTEC} (Conservative OTEC): all of the object's pages are brought to
+      the acquiring site — the baseline, with no dirty-page knowledge.
+    - {b OTEC}: only pages whose up-to-date version is not already cached at
+      the acquiring site.
+    - {b LOTEC}: the OTEC set intersected with the pages the acquiring
+      method is (conservatively) predicted to access; anything else is
+      fetched on demand if a later access in the family needs it.
+    - {b RC_nested}: the Release-Consistency variant from the paper's
+      future-work list — updates are pushed eagerly to every caching site at
+      root release, so acquisition only fetches what is still stale (cold
+      caches). *)
+
+type t = Cotec | Otec | Lotec | Rc_nested
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val is_eager_push : t -> bool
+(** True only for [Rc_nested]: the runtime pushes dirty pages to the copyset
+    at root release. *)
+
+val transfer_set :
+  t ->
+  page_count:int ->
+  page_nodes:int array ->
+  page_versions:int array ->
+  local_version:(int -> int) ->
+  node:int ->
+  predicted:int list ->
+  int list
+(** [transfer_set p ...] is the ascending list of pages the acquiring site
+    [node] must fetch at lock-acquisition time, given the grant's page map
+    ([page_nodes], [page_versions]), the site's cached versions
+    ([local_version page]), and the acquiring method's conservative predicted
+    access pages [predicted].
+
+    Pages whose newest copy already resides at [node] are never in the set
+    (there is nowhere to fetch them from). *)
+
+val demand_fetch_allowed : t -> bool
+(** Whether the runtime may lazily fetch pages missed at acquisition time.
+    True for LOTEC (by design) and RC_nested (cold pages outside the initial
+    fetch); for COTEC/OTEC a demand fetch would indicate a protocol bug and
+    the runtime treats it as an invariant violation. *)

@@ -1,0 +1,160 @@
+type row = {
+  label : string;
+  total_bytes : int;
+  total_messages : int;
+  completion_us : float;
+  mean_root_latency_us : float;
+}
+
+type result = { scenario : string; rows : row list }
+
+let mean_root_latency runtime =
+  let results = Core.Runtime.results runtime in
+  let committed =
+    List.filter (fun r -> r.Core.Runtime.outcome = Core.Runtime.Committed) results
+  in
+  match committed with
+  | [] -> 0.0
+  | _ ->
+      let sum =
+        List.fold_left
+          (fun acc (r : Core.Runtime.root_result) ->
+            acc +. (r.Core.Runtime.completed_at -. r.Core.Runtime.submitted_at))
+          0.0 committed
+      in
+      sum /. float_of_int (List.length committed)
+
+let row_of_run ~label (run : Runner.run) =
+  let m = Runner.metrics run in
+  {
+    label;
+    total_bytes = Dsm.Metrics.total_bytes m;
+    total_messages = Dsm.Metrics.total_messages m;
+    completion_us = Dsm.Metrics.completion_time_us m;
+    mean_root_latency_us = mean_root_latency run.Runner.runtime;
+  }
+
+let rc_comparison ?(config = Core.Config.default) ?(spec = Workload.Scenarios.medium_high) () =
+  let workload = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  let label protocol = Format.asprintf "%a" Dsm.Protocol.pp protocol in
+  let plain =
+    List.map
+      (fun protocol ->
+        row_of_run ~label:(label protocol) (Runner.execute ~config ~protocol workload))
+      Dsm.Protocol.all
+  in
+  let multicast =
+    let config = { config with Core.Config.multicast_push = true } in
+    row_of_run ~label:"RC-NESTED+multicast"
+      (Runner.execute ~config ~protocol:Dsm.Protocol.Rc_nested workload)
+  in
+  { scenario = "rc ablation: medium objects, high contention"; rows = plain @ [ multicast ] }
+
+(* Optimistic pre-acquisition hides remote lock latency when locks are
+   likely free; under heavy conflict the extra optimistic W locks backfire.
+   Show both regimes. *)
+let prefetch_low_contention_spec =
+  {
+    Workload.Scenarios.large_moderate with
+    Workload.Spec.root_count = 60;
+    arrival_mean_us = 500.0;
+  }
+
+let prefetch_comparison ?(config = Core.Config.default) ?spec () =
+  let pair label spec =
+    let workload = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+    let base =
+      row_of_run ~label:(label ^ " LOTEC")
+        (Runner.execute ~config ~protocol:Dsm.Protocol.Lotec workload)
+    in
+    let pre =
+      let config = { config with Core.Config.prefetch = true } in
+      row_of_run ~label:(label ^ " LOTEC+prefetch")
+        (Runner.execute ~config ~protocol:Dsm.Protocol.Lotec workload)
+    in
+    [ base; pre ]
+  in
+  let rows =
+    match spec with
+    | Some s -> pair "custom" s
+    | None ->
+        pair "low-contention" prefetch_low_contention_spec
+        @ pair "high-contention" Workload.Scenarios.large_high
+  in
+  { scenario = "prefetch ablation (optimistic pre-acquisition)"; rows }
+
+(* GDO replication cost (paper §4.1: the directory is "partitioned and
+   replicated"): what reliability's standing traffic costs under LOTEC. *)
+let replication_comparison ?(config = Core.Config.default)
+    ?(spec = Workload.Scenarios.medium_high) () =
+  let workload = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  let rows =
+    List.map
+      (fun replicas ->
+        let config = { config with Core.Config.gdo_replicas = replicas } in
+        row_of_run
+          ~label:(Printf.sprintf "LOTEC, %d GDO replica(s)" replicas)
+          (Runner.execute ~config ~protocol:Dsm.Protocol.Lotec workload))
+      [ 0; 1; 2 ]
+  in
+  { scenario = "gdo replication ablation: medium objects, high contention"; rows }
+
+let per_class_comparison ?(config = Core.Config.default) ?spec () =
+  let spec =
+    match spec with
+    | Some s -> s
+    | None ->
+        {
+          Workload.Spec.default with
+          Workload.Spec.seed = 23;
+          object_count = 30;
+          min_pages = 1;
+          max_pages = 20;
+          root_count = 120;
+        }
+  in
+  let workload = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  let uniform =
+    List.map
+      (fun protocol ->
+        row_of_run
+          ~label:(Format.asprintf "uniform %a" Dsm.Protocol.pp protocol)
+          (Runner.execute ~config ~protocol workload))
+      [ Dsm.Protocol.Cotec; Dsm.Protocol.Otec; Dsm.Protocol.Lotec ]
+  in
+  let hybrid =
+    let catalog = workload.Workload.Generator.catalog in
+    let class_protocols =
+      List.filter_map
+        (fun oid ->
+          let inst = Objmodel.Catalog.find catalog oid in
+          let cls = inst.Objmodel.Catalog.cls in
+          if Objmodel.Obj_class.page_count cls < 6 then
+            Some (Objmodel.Obj_class.name cls, Dsm.Protocol.Otec)
+          else None)
+        (Objmodel.Catalog.oids catalog)
+    in
+    let config = { config with Core.Config.class_protocols } in
+    row_of_run
+      ~label:(Printf.sprintf "hybrid (%d small classes on OTEC)" (List.length class_protocols))
+      (Runner.execute ~config ~protocol:Dsm.Protocol.Lotec workload)
+  in
+  { scenario = "per-class protocol ablation (heterogeneous 1-20 page objects)";
+    rows = uniform @ [ hybrid ] }
+
+let pp fmt result =
+  let header = [ "variant"; "bytes"; "messages"; "completion us"; "mean root us" ] in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          Report.fmt_bytes r.total_bytes;
+          string_of_int r.total_messages;
+          Report.fmt_us r.completion_us;
+          Report.fmt_us r.mean_root_latency_us;
+        ])
+      result.rows
+  in
+  Format.fprintf fmt "%s@.%s@." result.scenario
+    (Report.render ~header ~align:[ Report.Left; Right; Right; Right; Right ] rows)

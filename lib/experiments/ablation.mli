@@ -1,0 +1,41 @@
+(** Ablations for the paper's future-work items (§5.1, §6).
+
+    - {b RC-nested}: the Release-Consistency comparison the authors describe
+      as "now underway" — eager pushing trades bytes for acquisition latency.
+    - {b Optimistic pre-acquisition}: LOTEC with locks (and predicted pages)
+      of upcoming sub-invocations acquired asynchronously at method entry,
+      hiding remote lock latency behind local execution.
+    - {b Multicast push}: RC-nested with the per-destination software cost
+      collapsed to one message per push. *)
+
+type row = {
+  label : string;
+  total_bytes : int;
+  total_messages : int;
+  completion_us : float;
+  mean_root_latency_us : float;
+}
+
+type result = { scenario : string; rows : row list }
+
+val rc_comparison : ?config:Core.Config.t -> ?spec:Workload.Spec.t -> unit -> result
+(** COTEC/OTEC/LOTEC/RC-nested (and RC + multicast) over one scenario
+    (default: Figure 2's). *)
+
+val prefetch_comparison : ?config:Core.Config.t -> ?spec:Workload.Spec.t -> unit -> result
+(** LOTEC with and without optimistic pre-acquisition (default scenario:
+    Figure 3's — large objects make the hidden latency visible). *)
+
+val replication_comparison : ?config:Core.Config.t -> ?spec:Workload.Spec.t -> unit -> result
+(** LOTEC with 0/1/2 GDO replicas: the standing control-traffic cost of the
+    §4.1 "partitioned and replicated" directory design. *)
+
+val per_class_comparison : ?config:Core.Config.t -> ?spec:Workload.Spec.t -> unit -> result
+(** The §6 per-class protocol extension: a heterogeneous workload (object
+    sizes 1–20 pages) run uniformly under COTEC, OTEC and LOTEC, and under a
+    hybrid that keeps LOTEC's lazy prediction only for classes of at least 6
+    pages (where partial transfer pays) while small classes use plain OTEC
+    (avoiding LOTEC's extra demand-fetch messages on objects that fit in a
+    couple of pages anyway). *)
+
+val pp : Format.formatter -> result -> unit

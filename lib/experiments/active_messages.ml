@@ -1,0 +1,67 @@
+type cell = {
+  control_cost_us : float;
+  time_us : (Dsm.Protocol.t * float) list;
+  lotec_vs_otec_pct : float;
+}
+
+type result = { bandwidth_bps : float; data_cost_us : float; cells : cell list }
+
+let control_costs_us = [ 20.0; 5.0; 1.0; 0.5 ]
+
+let of_runs ?(bandwidth_bps = 1e9) ?(data_cost_us = 20.0) runs =
+  let link = { Sim.Network.bandwidth_bps; software_cost_us = data_cost_us } in
+  let cells =
+    List.map
+      (fun control_cost_us ->
+        let time_us =
+          List.map
+            (fun (run : Runner.run) ->
+              ( run.Runner.protocol,
+                Dsm.Metrics.total_time_us_am (Runner.metrics run) ~link
+                  ~control_software_cost_us:control_cost_us ))
+            runs
+        in
+        let margin =
+          match
+            ( List.assoc_opt Dsm.Protocol.Lotec time_us,
+              List.assoc_opt Dsm.Protocol.Otec time_us )
+          with
+          | Some l, Some o when o > 0.0 -> 100.0 *. ((l -. o) /. o)
+          | _ -> 0.0
+        in
+        { control_cost_us; time_us; lotec_vs_otec_pct = margin })
+      control_costs_us
+  in
+  { bandwidth_bps; data_cost_us; cells }
+
+let run ?(spec = Workload.Scenarios.medium_high) () =
+  let wl = Workload.Generator.generate spec ~page_size:4096 in
+  let runs =
+    Runner.execute_all ~protocols:[ Dsm.Protocol.Cotec; Dsm.Protocol.Otec; Dsm.Protocol.Lotec ]
+      wl
+  in
+  of_runs runs
+
+let pp fmt result =
+  Format.fprintf fmt
+    "active messages at %.0f Mbps (data msgs stay at %.0f us; control msgs swept)@."
+    (result.bandwidth_bps /. 1e6) result.data_cost_us;
+  let protocols = match result.cells with [] -> [] | c :: _ -> List.map fst c.time_us in
+  let header =
+    ("ctrl cost us" :: List.map (fun p -> Format.asprintf "%a us" Dsm.Protocol.pp p) protocols)
+    @ [ "LOTEC vs OTEC" ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        (Printf.sprintf "%g" c.control_cost_us
+         :: List.map
+              (fun p ->
+                match List.assoc_opt p c.time_us with
+                | Some v -> Report.fmt_us v
+                | None -> "-")
+              protocols)
+        @ [ Report.fmt_pct c.lotec_vs_otec_pct ])
+      result.cells
+  in
+  Format.fprintf fmt "%s@." (Report.render ~header rows)

@@ -1,0 +1,40 @@
+(** Active messaging on gigabit networks (paper §6 future work).
+
+    The paper concludes that at 1 Gbps "any LOTEC implementation will also
+    have to incorporate extremely efficient message transmission protocols"
+    and names "the integration of active messages into LOTEC" as the way to
+    get there. Active messages cut the software cost of small
+    handler-dispatched messages — exactly the control messages (lock
+    requests/grants, page requests) that LOTEC sends more of than OTEC.
+
+    The experiment replays one workload's ledgers at 1 Gbps with the data
+    software cost held at the conventional 20 µs and the control software
+    cost swept downward, showing LOTEC's margin over OTEC recovering as
+    messaging gets cheaper. *)
+
+type cell = {
+  control_cost_us : float;
+  time_us : (Dsm.Protocol.t * float) list;  (** total consistency time *)
+  lotec_vs_otec_pct : float;  (** negative = LOTEC faster *)
+}
+
+type result = {
+  bandwidth_bps : float;
+  data_cost_us : float;
+  cells : cell list;
+}
+
+val control_costs_us : float list
+(** 20, 5, 1, 0.5 µs. *)
+
+val of_runs :
+  ?bandwidth_bps:float -> ?data_cost_us:float -> Runner.run list -> result
+(** Defaults: 1 Gbps, 20 µs data cost. Requires OTEC and LOTEC among the
+    runs for the margin column (cells are still produced otherwise, with a
+    0 margin). *)
+
+val run : ?spec:Workload.Spec.t -> unit -> result
+(** Execute the Figure 2 scenario (or [spec]) under COTEC/OTEC/LOTEC and
+    replay. *)
+
+val pp : Format.formatter -> result -> unit

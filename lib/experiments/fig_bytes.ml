@@ -1,0 +1,99 @@
+open Objmodel
+
+type series = {
+  protocol : Dsm.Protocol.t;
+  bytes_per_object : (Oid.t * int) list;
+  total_bytes : int;
+  total_messages : int;
+}
+
+type result = {
+  name : string;
+  spec : Workload.Spec.t;
+  runs : Runner.run list;
+  series : series list;
+}
+
+let default_protocols = [ Dsm.Protocol.Cotec; Dsm.Protocol.Otec; Dsm.Protocol.Lotec ]
+
+let series_of_run (run : Runner.run) =
+  let m = Runner.metrics run in
+  let oids = Catalog.oids run.Runner.workload.Workload.Generator.catalog in
+  let bytes_per_object =
+    List.map
+      (fun oid ->
+        let e = Dsm.Metrics.per_object m oid in
+        (oid, e.Dsm.Metrics.data_bytes + e.Dsm.Metrics.control_bytes))
+      oids
+  in
+  {
+    protocol = run.Runner.protocol;
+    bytes_per_object;
+    total_bytes = Dsm.Metrics.total_bytes m;
+    total_messages = Dsm.Metrics.total_messages m;
+  }
+
+let run ?config ?(protocols = default_protocols) ~name spec =
+  let page_size =
+    match config with
+    | Some c -> c.Core.Config.page_size
+    | None -> Core.Config.default.Core.Config.page_size
+  in
+  let workload = Workload.Generator.generate spec ~page_size in
+  let runs = Runner.execute_all ?config ~protocols workload in
+  { name; spec; runs; series = List.map series_of_run runs }
+
+let figure2 ?config () = run ?config ~name:"fig2: medium objects, high contention" Workload.Scenarios.medium_high
+let figure3 ?config () = run ?config ~name:"fig3: large objects, high contention" Workload.Scenarios.large_high
+let figure4 ?config () = run ?config ~name:"fig4: medium objects, moderate contention" Workload.Scenarios.medium_moderate
+let figure5 ?config () = run ?config ~name:"fig5: large objects, moderate contention" Workload.Scenarios.large_moderate
+
+let top_objects result n =
+  match result.series with
+  | [] -> []
+  | base :: _ ->
+      base.bytes_per_object
+      |> List.sort (fun (_, b1) (_, b2) -> Int.compare b2 b1)
+      |> List.filteri (fun i _ -> i < n)
+      |> List.map fst
+      |> List.sort Oid.compare
+
+let pp_chart ?(objects = 8) fmt result =
+  let display = top_objects result objects in
+  let groups =
+    List.map
+      (fun oid ->
+        {
+          Report.group = Format.asprintf "%a" Oid.pp oid;
+          bars =
+            List.map
+              (fun s ->
+                ( Format.asprintf "%a" Dsm.Protocol.pp s.protocol,
+                  float_of_int (List.assoc oid s.bytes_per_object) ))
+              result.series;
+        })
+      display
+  in
+  Format.fprintf fmt "%s@.%s@." result.name
+    (Report.bar_chart ~value_fmt:(fun v -> Report.fmt_bytes (int_of_float v)) groups)
+
+let pp fmt result =
+  let display = top_objects result 20 in
+  let header =
+    "object"
+    :: List.map (fun s -> Format.asprintf "%a" Dsm.Protocol.pp s.protocol) result.series
+  in
+  let rows =
+    List.map
+      (fun oid ->
+        Format.asprintf "%a" Oid.pp oid
+        :: List.map
+             (fun s -> Report.fmt_bytes (List.assoc oid s.bytes_per_object))
+             result.series)
+      display
+    @ [
+        "TOTAL" :: List.map (fun s -> Report.fmt_bytes s.total_bytes) result.series;
+        "msgs" :: List.map (fun s -> Report.fmt_bytes s.total_messages) result.series;
+      ]
+  in
+  Format.fprintf fmt "%s@.%s@." result.name (Report.render ~header rows)

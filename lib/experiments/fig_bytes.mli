@@ -1,0 +1,48 @@
+(** Figures 2–5: bytes transferred per shared object under COTEC, OTEC and
+    LOTEC.
+
+    Each figure runs one workload scenario once per protocol (fresh cluster,
+    identical workload and seeds) and reports, per object, the bytes that
+    moved to maintain its consistency — page data plus the object-tagged
+    control traffic (lock and page-request messages). *)
+
+type series = {
+  protocol : Dsm.Protocol.t;
+  bytes_per_object : (Objmodel.Oid.t * int) list;  (** ascending by oid *)
+  total_bytes : int;
+  total_messages : int;
+}
+
+type result = {
+  name : string;
+  spec : Workload.Spec.t;
+  runs : Runner.run list;  (** kept so Figures 6–8 can replay the ledgers *)
+  series : series list;  (** one per protocol, in the order requested *)
+}
+
+val default_protocols : Dsm.Protocol.t list
+(** COTEC, OTEC, LOTEC — the paper's three. *)
+
+val run :
+  ?config:Core.Config.t ->
+  ?protocols:Dsm.Protocol.t list ->
+  name:string ->
+  Workload.Spec.t ->
+  result
+
+val figure2 : ?config:Core.Config.t -> unit -> result
+val figure3 : ?config:Core.Config.t -> unit -> result
+val figure4 : ?config:Core.Config.t -> unit -> result
+val figure5 : ?config:Core.Config.t -> unit -> result
+
+val top_objects : result -> int -> Objmodel.Oid.t list
+(** The [n] objects with the most baseline (first-series) traffic, ascending
+    by oid — the "selected shared objects" shown on a figure's x-axis. *)
+
+val pp : Format.formatter -> result -> unit
+(** Paper-style table: one row per displayed object, one column per
+    protocol, plus totals. *)
+
+val pp_chart : ?objects:int -> Format.formatter -> result -> unit
+(** ASCII grouped bar chart of the figure — the form the paper actually
+    plots. Shows the [objects] highest-traffic objects (default 8). *)

@@ -1,0 +1,94 @@
+open Objmodel
+
+let software_costs_us = [ 100.0; 20.0; 5.0; 1.0; 0.5 ]
+
+type cell = { software_cost_us : float; time_us : (Dsm.Protocol.t * float) list }
+
+type result = {
+  name : string;
+  bandwidth_bps : float;
+  object_shown : Oid.t;
+  per_object : cell list;
+  totals : cell list;
+}
+
+let of_runs ~name ~bandwidth_bps runs =
+  (match runs with [] -> invalid_arg "Fig_time.of_runs: no runs" | _ -> ());
+  let first = List.hd runs in
+  let object_shown =
+    let m = Runner.metrics first in
+    let oids = Catalog.oids first.Runner.workload.Workload.Generator.catalog in
+    let traffic oid =
+      let e = Dsm.Metrics.per_object m oid in
+      e.Dsm.Metrics.data_bytes + e.Dsm.Metrics.control_bytes
+    in
+    List.fold_left
+      (fun best oid -> if traffic oid > traffic best then oid else best)
+      (List.hd oids) oids
+  in
+  let grid time_of =
+    List.map
+      (fun sw ->
+        let link = { Sim.Network.bandwidth_bps; software_cost_us = sw } in
+        {
+          software_cost_us = sw;
+          time_us = List.map (fun (run : Runner.run) -> (run.Runner.protocol, time_of run link)) runs;
+        })
+      software_costs_us
+  in
+  {
+    name;
+    bandwidth_bps;
+    object_shown;
+    per_object =
+      grid (fun run link -> Dsm.Metrics.object_time_us (Runner.metrics run) object_shown ~link);
+    totals = grid (fun run link -> Dsm.Metrics.total_time_us (Runner.metrics run) ~link);
+  }
+
+let figure6 (fb : Fig_bytes.result) =
+  of_runs ~name:"fig6: transfer time at 10 Mbps" ~bandwidth_bps:1e7 fb.Fig_bytes.runs
+
+let figure7 (fb : Fig_bytes.result) =
+  of_runs ~name:"fig7: transfer time at 100 Mbps" ~bandwidth_bps:1e8 fb.Fig_bytes.runs
+
+let figure8 (fb : Fig_bytes.result) =
+  of_runs ~name:"fig8: transfer time at 1 Gbps" ~bandwidth_bps:1e9 fb.Fig_bytes.runs
+
+let crossover result ~faster ~than =
+  List.fold_left
+    (fun best cell ->
+      match (List.assoc_opt faster cell.time_us, List.assoc_opt than cell.time_us) with
+      | Some f, Some t when f < t -> (
+          match best with
+          | Some b when b >= cell.software_cost_us -> best
+          | _ -> Some cell.software_cost_us)
+      | _ -> best)
+    None result.totals
+
+let pp_cells fmt ~label cells protocols =
+  let header =
+    "sw cost (us)" :: List.map (fun p -> Format.asprintf "%a" Dsm.Protocol.pp p) protocols
+  in
+  let rows =
+    List.map
+      (fun c ->
+        Printf.sprintf "%g" c.software_cost_us
+        :: List.map
+             (fun p ->
+               match List.assoc_opt p c.time_us with
+               | Some v -> Report.fmt_us v
+               | None -> "-")
+             protocols)
+      cells
+  in
+  Format.fprintf fmt "%s@.%s@." label (Report.render ~header rows)
+
+let pp fmt result =
+  let protocols =
+    match result.totals with [] -> [] | c :: _ -> List.map fst c.time_us
+  in
+  Format.fprintf fmt "%s@." result.name;
+  pp_cells fmt
+    ~label:(Format.asprintf "object %a (us)" Oid.pp result.object_shown)
+    result.per_object protocols;
+  pp_cells fmt ~label:"all objects (us)" result.totals protocols

@@ -1,0 +1,43 @@
+(** Figures 6–8: total message time to maintain an object's consistency, as
+    a function of per-message software cost, at 10 Mbps, 100 Mbps and 1 Gbps.
+
+    The paper instruments the simulator and recomputes total message time for
+    a grid of network parameters; we do the same by replaying each protocol's
+    recorded message ledger (message and byte counts per object) through
+    [count * software_cost + bytes * 8 / bandwidth]. *)
+
+val software_costs_us : float list
+(** The paper's x-axis: 100 µs, 20 µs, 5 µs, 1 µs, 500 ns. *)
+
+type cell = { software_cost_us : float; time_us : (Dsm.Protocol.t * float) list }
+
+type result = {
+  name : string;
+  bandwidth_bps : float;
+  object_shown : Objmodel.Oid.t;  (** the "arbitrary shared object" plotted *)
+  per_object : cell list;  (** times for [object_shown] *)
+  totals : cell list;  (** same grid, summed over every object *)
+}
+
+val of_runs : name:string -> bandwidth_bps:float -> Runner.run list -> result
+(** Replay ledgers of previously executed runs (one per protocol). The
+    object shown is the highest-traffic object under the first run's
+    protocol.
+    @raise Invalid_argument on an empty run list. *)
+
+val figure6 : Fig_bytes.result -> result
+(** 10 Mbps, over the Figure 2 scenario's ledgers. *)
+
+val figure7 : Fig_bytes.result -> result
+(** 100 Mbps. *)
+
+val figure8 : Fig_bytes.result -> result
+(** 1 Gbps. *)
+
+val crossover :
+  result -> faster:Dsm.Protocol.t -> than:Dsm.Protocol.t -> float option
+(** Largest software cost in the grid at which [faster] is strictly faster
+    (total time) than [than], if any — locating where LOTEC's extra messages
+    stop paying off. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,92 @@
+type row = {
+  object_count : int;
+  pages_per_object : int;
+  global_acquisitions : int;
+  control_messages : int;
+  control_bytes : int;
+  data_bytes : int;
+  completion_us : float;
+  mean_latency_us : float;
+  p95_latency_us : float;
+}
+
+type result = { total_pages : int; root_count : int; rows : row list }
+
+let run ?(config = Core.Config.default) ?(total_pages = 96) ?(root_count = 120) ?(seed = 31)
+    ?(granularities = [ 2; 4; 8; 16 ]) () =
+  let rows =
+    List.map
+      (fun pages_per_object ->
+        if total_pages mod pages_per_object <> 0 then
+          invalid_arg "Granularity.run: granularity must divide total_pages";
+        let object_count = total_pages / pages_per_object in
+        let spec =
+          {
+            Workload.Spec.default with
+            Workload.Spec.seed;
+            object_count;
+            min_pages = pages_per_object;
+            max_pages = pages_per_object;
+            root_count;
+            node_count = config.Core.Config.node_count;
+          }
+        in
+        let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+        let run = Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl in
+        let m = Runner.metrics run in
+        let totals = Dsm.Metrics.totals m in
+        let control_messages, control_bytes =
+          List.fold_left
+            (fun (cm, cb) oid ->
+              let e = Dsm.Metrics.per_object m oid in
+              (cm + e.Dsm.Metrics.control_messages, cb + e.Dsm.Metrics.control_bytes))
+            (0, 0) (Dsm.Metrics.objects m)
+        in
+        let latencies = Stats.root_latencies run.Runner.runtime in
+        {
+          object_count;
+          pages_per_object;
+          global_acquisitions = totals.Dsm.Metrics.global_acquisitions;
+          control_messages;
+          control_bytes;
+          data_bytes = Dsm.Metrics.total_data_bytes m;
+          completion_us = Dsm.Metrics.completion_time_us m;
+          mean_latency_us = Stats.mean latencies;
+          p95_latency_us = Stats.percentile 95.0 latencies;
+        })
+      granularities
+  in
+  { total_pages; root_count; rows }
+
+let pp fmt result =
+  Format.fprintf fmt
+    "locking overhead vs object granularity (LOTEC, %d shared pages, %d roots)@."
+    result.total_pages result.root_count;
+  let header =
+    [
+      "objects";
+      "pages/obj";
+      "global locks";
+      "ctrl msgs";
+      "ctrl bytes";
+      "data bytes";
+      "mean lat us";
+      "p95 lat us";
+    ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          string_of_int r.object_count;
+          string_of_int r.pages_per_object;
+          string_of_int r.global_acquisitions;
+          string_of_int r.control_messages;
+          Report.fmt_bytes r.control_bytes;
+          Report.fmt_bytes r.data_bytes;
+          Report.fmt_us r.mean_latency_us;
+          Report.fmt_us r.p95_latency_us;
+        ])
+      result.rows
+  in
+  Format.fprintf fmt "%s@." (Report.render ~header rows)

@@ -1,0 +1,45 @@
+(** Locking overhead versus object granularity (paper §5.1).
+
+    "The LOTEC protocol, as described, has a natural preference for
+    coarse-grained concurrency since the larger objects are, the fewer lock
+    operations are necessary. ... Heavily object-based environments can
+    sometimes aggregate related small objects into larger objects for the
+    purpose of decreasing the cost of concurrency control and consistency
+    maintenance. While this is not optimal for all applications..."
+
+    The experiment holds the total shared state fixed (in pages) and the
+    transaction load fixed, while varying how the state is partitioned into
+    lockable objects — from many small objects to a few large ones — and
+    reports, under LOTEC:
+
+    - global lock operations and their control traffic (drops with
+      aggregation: the §5.1 benefit);
+    - root-transaction latency (eventually rises with aggregation: the
+      false-contention cost of locking unrelated data together).  *)
+
+type row = {
+  object_count : int;
+  pages_per_object : int;
+  global_acquisitions : int;
+  control_messages : int;
+  control_bytes : int;
+  data_bytes : int;
+  completion_us : float;
+  mean_latency_us : float;
+  p95_latency_us : float;
+}
+
+type result = { total_pages : int; root_count : int; rows : row list }
+
+val run :
+  ?config:Core.Config.t ->
+  ?total_pages:int ->
+  ?root_count:int ->
+  ?seed:int ->
+  ?granularities:int list ->
+  unit ->
+  result
+(** [granularities] lists pages-per-object values; each must divide
+    [total_pages] (default 96 pages; granularities 2, 4, 8, 16). *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,34 @@
+type run = {
+  protocol : Dsm.Protocol.t;
+  workload : Workload.Generator.t;
+  runtime : Core.Runtime.t;
+}
+
+let execute ?(config = Core.Config.default) ~protocol (workload : Workload.Generator.t) =
+  let cfg =
+    {
+      config with
+      Core.Config.protocol;
+      node_count = workload.Workload.Generator.spec.Workload.Spec.node_count;
+    }
+  in
+  let runtime = Core.Runtime.create ~config:cfg ~catalog:workload.Workload.Generator.catalog in
+  List.iter
+    (fun (r : Workload.Generator.root_spec) ->
+      Core.Runtime.submit runtime ~at:r.at ~node:r.node ~oid:r.oid ~meth:r.meth ~seed:r.seed)
+    workload.Workload.Generator.roots;
+  Core.Runtime.run runtime;
+  (match Core.Runtime.check_serializable runtime with
+  | Core.Serializability.Serializable _ -> ()
+  | Core.Serializability.Cyclic cycle ->
+      failwith
+        (Format.asprintf "serializability violation under %a: cycle %a" Dsm.Protocol.pp protocol
+           (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " -> ")
+              Txn.Txn_id.pp)
+           cycle));
+  { protocol; workload; runtime }
+
+let execute_all ?config ~protocols workload =
+  List.map (fun protocol -> execute ?config ~protocol workload) protocols
+
+let metrics run = Core.Runtime.metrics run.runtime

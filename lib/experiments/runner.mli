@@ -1,0 +1,22 @@
+(** Run a generated workload under a protocol and collect the metrics. *)
+
+type run = {
+  protocol : Dsm.Protocol.t;
+  workload : Workload.Generator.t;
+  runtime : Core.Runtime.t;  (** after [run] completed *)
+}
+
+val execute :
+  ?config:Core.Config.t -> protocol:Dsm.Protocol.t -> Workload.Generator.t -> run
+(** Build a runtime for the workload's catalog (node count taken from the
+    workload spec; everything else from [config], default
+    {!Core.Config.default}), submit every root, drive the simulation to
+    completion, and verify the committed history is serializable.
+    @raise Failure if the serializability check fails — that would be a
+    protocol bug, not a workload property. *)
+
+val execute_all :
+  ?config:Core.Config.t -> protocols:Dsm.Protocol.t list -> Workload.Generator.t -> run list
+(** One fresh runtime per protocol over the same workload. *)
+
+val metrics : run -> Dsm.Metrics.t

@@ -1,0 +1,32 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+      sqrt var
+
+let percentile p xs =
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of [0,100]";
+  match xs with
+  | [] -> 0.0
+  | _ ->
+      let sorted = List.sort Float.compare xs in
+      let n = List.length sorted in
+      let rank = int_of_float (Float.ceil (p /. 100.0 *. float_of_int n)) in
+      let idx = max 0 (min (n - 1) (rank - 1)) in
+      List.nth sorted idx
+
+let median xs = percentile 50.0 xs
+
+let root_latencies rt =
+  List.filter_map
+    (fun (r : Core.Runtime.root_result) ->
+      match r.Core.Runtime.outcome with
+      | Core.Runtime.Committed -> Some (r.Core.Runtime.completed_at -. r.Core.Runtime.submitted_at)
+      | Core.Runtime.Gave_up -> None)
+    (Core.Runtime.results rt)

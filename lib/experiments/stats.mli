@@ -1,0 +1,18 @@
+(** Small descriptive-statistics helpers for experiment reporting. *)
+
+val mean : float list -> float
+(** 0 on an empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on fewer than two samples. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100], nearest-rank on the sorted
+    sample; 0 on an empty list.
+    @raise Invalid_argument if [p] is outside [0,100]. *)
+
+val median : float list -> float
+
+val root_latencies : Core.Runtime.t -> float list
+(** Completion minus submission for every committed root, in completion
+    order. *)

@@ -1,0 +1,84 @@
+type scenario_row = {
+  scenario : string;
+  cotec_bytes : int;
+  otec_bytes : int;
+  lotec_bytes : int;
+  otec_vs_cotec_pct : float;
+  lotec_vs_otec_pct : float;
+  cotec_messages : int;
+  otec_messages : int;
+  lotec_messages : int;
+}
+
+type result = { rows : scenario_row list }
+
+let find_series (fb : Fig_bytes.result) protocol =
+  List.find_opt
+    (fun (s : Fig_bytes.series) -> Dsm.Protocol.equal s.Fig_bytes.protocol protocol)
+    fb.Fig_bytes.series
+
+let pct_change ~from ~to_ =
+  if from = 0 then 0.0 else 100.0 *. (float_of_int (to_ - from) /. float_of_int from)
+
+let of_figures figures =
+  let rows =
+    List.filter_map
+      (fun (fb : Fig_bytes.result) ->
+        match
+          ( find_series fb Dsm.Protocol.Cotec,
+            find_series fb Dsm.Protocol.Otec,
+            find_series fb Dsm.Protocol.Lotec )
+        with
+        | Some c, Some o, Some l ->
+            Some
+              {
+                scenario = fb.Fig_bytes.name;
+                cotec_bytes = c.Fig_bytes.total_bytes;
+                otec_bytes = o.Fig_bytes.total_bytes;
+                lotec_bytes = l.Fig_bytes.total_bytes;
+                otec_vs_cotec_pct =
+                  pct_change ~from:c.Fig_bytes.total_bytes ~to_:o.Fig_bytes.total_bytes;
+                lotec_vs_otec_pct =
+                  pct_change ~from:o.Fig_bytes.total_bytes ~to_:l.Fig_bytes.total_bytes;
+                cotec_messages = c.Fig_bytes.total_messages;
+                otec_messages = o.Fig_bytes.total_messages;
+                lotec_messages = l.Fig_bytes.total_messages;
+              }
+        | _ -> None)
+      figures
+  in
+  { rows }
+
+let run_all ?config () =
+  let figures =
+    [
+      Fig_bytes.figure2 ?config ();
+      Fig_bytes.figure3 ?config ();
+      Fig_bytes.figure4 ?config ();
+      Fig_bytes.figure5 ?config ();
+    ]
+  in
+  (figures, of_figures figures)
+
+let pp fmt result =
+  let header =
+    [ "scenario"; "COTEC B"; "OTEC B"; "LOTEC B"; "OTEC vs COTEC"; "LOTEC vs OTEC"; "msgs C/O/L" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.scenario;
+          Report.fmt_bytes r.cotec_bytes;
+          Report.fmt_bytes r.otec_bytes;
+          Report.fmt_bytes r.lotec_bytes;
+          Report.fmt_pct r.otec_vs_cotec_pct;
+          Report.fmt_pct r.lotec_vs_otec_pct;
+          Printf.sprintf "%d/%d/%d" r.cotec_messages r.otec_messages r.lotec_messages;
+        ])
+      result.rows
+  in
+  Format.fprintf fmt "%s@."
+    (Report.render ~header
+       ~align:[ Report.Left; Right; Right; Right; Right; Right; Right ]
+       rows)

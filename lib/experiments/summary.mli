@@ -1,0 +1,26 @@
+(** The paper's headline numbers (§5 text): across the conflict scenarios,
+    OTEC sends ~20–25 % fewer consistency bytes than COTEC, and LOTEC a
+    further ~5–10 % fewer than OTEC, while sending more (small) messages. *)
+
+type scenario_row = {
+  scenario : string;
+  cotec_bytes : int;
+  otec_bytes : int;
+  lotec_bytes : int;
+  otec_vs_cotec_pct : float;  (** negative = OTEC sends less *)
+  lotec_vs_otec_pct : float;
+  cotec_messages : int;
+  otec_messages : int;
+  lotec_messages : int;
+}
+
+type result = { rows : scenario_row list }
+
+val of_figures : Fig_bytes.result list -> result
+(** Build the ratio table from already-executed byte figures. Figures whose
+    series do not include all of COTEC/OTEC/LOTEC are skipped. *)
+
+val run_all : ?config:Core.Config.t -> unit -> Fig_bytes.result list * result
+(** Execute Figures 2–5 and summarise them. *)
+
+val pp : Format.formatter -> result -> unit

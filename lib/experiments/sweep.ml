@@ -1,0 +1,95 @@
+type row = {
+  label : string;
+  cotec_bytes : int;
+  otec_bytes : int;
+  lotec_bytes : int;
+  otec_vs_cotec_pct : float;
+  lotec_vs_otec_pct : float;
+}
+
+type result = { dimension : string; rows : row list }
+
+let pct ~from ~to_ =
+  if from = 0 then 0.0 else 100.0 *. float_of_int (to_ - from) /. float_of_int from
+
+let measure ~config ~label spec =
+  let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  let bytes protocol =
+    Dsm.Metrics.total_bytes (Runner.metrics (Runner.execute ~config ~protocol wl))
+  in
+  let cotec = bytes Dsm.Protocol.Cotec in
+  let otec = bytes Dsm.Protocol.Otec in
+  let lotec = bytes Dsm.Protocol.Lotec in
+  {
+    label;
+    cotec_bytes = cotec;
+    otec_bytes = otec;
+    lotec_bytes = lotec;
+    otec_vs_cotec_pct = pct ~from:cotec ~to_:otec;
+    lotec_vs_otec_pct = pct ~from:otec ~to_:lotec;
+  }
+
+let base = Workload.Scenarios.medium_high
+
+let object_count_sweep ?(config = Core.Config.default) ?(counts = [ 10; 20; 50; 100; 200 ]) () =
+  let rows =
+    List.map
+      (fun n ->
+        measure ~config
+          ~label:(Printf.sprintf "%d objects" n)
+          { base with Workload.Spec.object_count = n })
+      counts
+  in
+  { dimension = "object count (contention)"; rows }
+
+let object_size_sweep ?(config = Core.Config.default)
+    ?(sizes = [ (1, 2); (1, 5); (5, 10); (10, 20) ]) () =
+  let rows =
+    List.map
+      (fun (lo, hi) ->
+        measure ~config
+          ~label:(Printf.sprintf "%d-%d pages" lo hi)
+          { base with Workload.Spec.min_pages = lo; max_pages = hi })
+      sizes
+  in
+  { dimension = "object size (pages)"; rows }
+
+let transaction_count_sweep ?(config = Core.Config.default) ?(counts = [ 50; 100; 200; 400 ]) ()
+    =
+  let rows =
+    List.map
+      (fun n ->
+        measure ~config
+          ~label:(Printf.sprintf "%d roots" n)
+          { base with Workload.Spec.root_count = n })
+      counts
+  in
+  { dimension = "transaction count"; rows }
+
+let run_all ?config () =
+  [
+    object_count_sweep ?config ();
+    object_size_sweep ?config ();
+    transaction_count_sweep ?config ();
+  ]
+
+let pp fmt result =
+  Format.fprintf fmt "sweep: %s@." result.dimension;
+  let header =
+    [ "setting"; "COTEC B"; "OTEC B"; "LOTEC B"; "OTEC vs COTEC"; "LOTEC vs OTEC" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          Report.fmt_bytes r.cotec_bytes;
+          Report.fmt_bytes r.otec_bytes;
+          Report.fmt_bytes r.lotec_bytes;
+          Report.fmt_pct r.otec_vs_cotec_pct;
+          Report.fmt_pct r.lotec_vs_otec_pct;
+        ])
+      result.rows
+  in
+  Format.fprintf fmt "%s@."
+    (Report.render ~header ~align:[ Report.Left; Right; Right; Right; Right; Right ] rows)

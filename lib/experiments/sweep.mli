@@ -1,0 +1,34 @@
+(** Parameter sweeps over the workload dimensions the paper varied (§5):
+    "We varied the number of objects, the size of the objects (in units of
+    pages) and the number of transactions in order to achieve a range of
+    conflict scenarios."
+
+    Each sweep holds the other dimensions at the Figure 2 setting and
+    reports total consistency bytes for COTEC/OTEC/LOTEC plus the two
+    reduction ratios, showing how the protocol gaps respond to contention,
+    object size and load. *)
+
+type row = {
+  label : string;  (** the swept value, e.g. "20 objects" *)
+  cotec_bytes : int;
+  otec_bytes : int;
+  lotec_bytes : int;
+  otec_vs_cotec_pct : float;
+  lotec_vs_otec_pct : float;
+}
+
+type result = { dimension : string; rows : row list }
+
+val object_count_sweep : ?config:Core.Config.t -> ?counts:int list -> unit -> result
+(** Default counts: 10, 20, 50, 100, 200 — spanning the paper's high (20)
+    and moderate (100) contention points. *)
+
+val object_size_sweep : ?config:Core.Config.t -> ?sizes:(int * int) list -> unit -> result
+(** Default (min,max) page ranges: (1,2), (1,5), (5,10), (10,20). *)
+
+val transaction_count_sweep : ?config:Core.Config.t -> ?counts:int list -> unit -> result
+(** Default root counts: 50, 100, 200, 400. *)
+
+val run_all : ?config:Core.Config.t -> unit -> result list
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,103 @@
+type row = {
+  label : string;
+  committed : int;
+  gave_up : int;
+  makespan_us : float;
+  throughput_tps : float;
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p95_latency_us : float;
+}
+
+type result = { title : string; rows : row list }
+
+let row_of_run ~label (run : Runner.run) =
+  let m = Runner.metrics run in
+  let totals = Dsm.Metrics.totals m in
+  let makespan = Dsm.Metrics.completion_time_us m in
+  let latencies = Stats.root_latencies run.Runner.runtime in
+  {
+    label;
+    committed = totals.Dsm.Metrics.roots_committed;
+    gave_up = totals.Dsm.Metrics.roots_aborted;
+    makespan_us = makespan;
+    throughput_tps =
+      (if makespan > 0.0 then float_of_int totals.Dsm.Metrics.roots_committed /. makespan *. 1e6
+       else 0.0);
+    mean_latency_us = Stats.mean latencies;
+    p50_latency_us = Stats.median latencies;
+    p95_latency_us = Stats.percentile 95.0 latencies;
+  }
+
+let protocols ?(config = Core.Config.default) ?(spec = Workload.Scenarios.medium_high)
+    ?(protocols = Dsm.Protocol.all) () =
+  let workload = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  let rows =
+    List.map
+      (fun protocol ->
+        row_of_run
+          ~label:(Format.asprintf "%a" Dsm.Protocol.pp protocol)
+          (Runner.execute ~config ~protocol workload))
+      protocols
+  in
+  { title = "throughput and latency per protocol"; rows }
+
+(* Two regimes. The paper's premise (§2) is that transaction processing is
+   bound by the *volume* of computation, so spreading families over more
+   processors raises throughput — that only shows when CPUs are a modelled,
+   contended resource and method execution is non-trivial. The
+   communication-bound rows (default cost model: ~0.2 µs per statement,
+   free CPUs) show the opposite force: more nodes means less locality and
+   more consistency traffic. *)
+let scaling ?(config = Core.Config.default)
+    ?(spec =
+      (* Dense arrivals: the offered load must exceed what a couple of CPUs
+         can absorb, or there is nothing for extra processors to pick up. *)
+      { Workload.Scenarios.medium_moderate with Workload.Spec.arrival_mean_us = 15.0 })
+    ?(node_counts = [ 2; 4; 8; 16 ]) () =
+  let run_at ~label ~config node_count =
+    let spec = { spec with Workload.Spec.node_count } in
+    let workload = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+    let config = { config with Core.Config.node_count } in
+    row_of_run
+      ~label:(Printf.sprintf "%s, %d nodes" label node_count)
+      (Runner.execute ~config ~protocol:Dsm.Protocol.Lotec workload)
+  in
+  let communication_bound =
+    List.map (run_at ~label:"comm-bound" ~config) node_counts
+  in
+  let compute_bound =
+    let config =
+      { config with Core.Config.cpu_limited = true; statement_us = 50.0 }
+    in
+    List.map (run_at ~label:"cpu-bound" ~config) node_counts
+  in
+  {
+    title = "LOTEC throughput vs cluster size (fixed offered load, both regimes)";
+    rows = compute_bound @ communication_bound;
+  }
+
+let pp fmt result =
+  Format.fprintf fmt "%s@." result.title;
+  let header =
+    [ "variant"; "committed"; "gave up"; "makespan us"; "txn/s"; "mean lat"; "p50"; "p95" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.label;
+          string_of_int r.committed;
+          string_of_int r.gave_up;
+          Report.fmt_us r.makespan_us;
+          Printf.sprintf "%.1f" r.throughput_tps;
+          Report.fmt_us r.mean_latency_us;
+          Report.fmt_us r.p50_latency_us;
+          Report.fmt_us r.p95_latency_us;
+        ])
+      result.rows
+  in
+  Format.fprintf fmt "%s@."
+    (Report.render ~header
+       ~align:[ Report.Left; Right; Right; Right; Right; Right; Right; Right ]
+       rows)

@@ -1,0 +1,38 @@
+(** Throughput and latency (paper §2).
+
+    "The design focus for transaction processing systems is on overall
+    system throughput not individual transaction latency. ... the available
+    transactions need only be distributed across the available processors to
+    balance the computational load."
+
+    Two views:
+    - {!protocols}: for one cluster, committed-transaction throughput and
+      root-latency distribution per protocol;
+    - {!scaling}: for LOTEC, how throughput responds to cluster size under a
+      fixed offered load (the distribute-across-processors claim). *)
+
+type row = {
+  label : string;
+  committed : int;
+  gave_up : int;
+  makespan_us : float;
+  throughput_tps : float;  (** committed roots per simulated second *)
+  mean_latency_us : float;
+  p50_latency_us : float;
+  p95_latency_us : float;
+}
+
+type result = { title : string; rows : row list }
+
+val protocols :
+  ?config:Core.Config.t -> ?spec:Workload.Spec.t -> ?protocols:Dsm.Protocol.t list -> unit ->
+  result
+(** Default spec: the Figure 2 scenario; default protocols: all four. *)
+
+val scaling :
+  ?config:Core.Config.t -> ?spec:Workload.Spec.t -> ?node_counts:int list -> unit -> result
+(** Default node counts: 2, 4, 8, 16. The workload (arrivals, objects,
+    methods) is held fixed; only the cluster grows, with roots rebalanced
+    round-robin over the available nodes. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,280 @@
+open Objmodel
+open Txn
+
+type lock_state = Free | Held_read | Held_write
+
+type holder = { family : Txn_id.t; node : int }
+
+type grant = {
+  g_oid : Oid.t;
+  g_mode : Lock.mode;
+  g_page_nodes : int array;
+  g_page_versions : int array;
+}
+
+type acquire_result = Granted of grant | Queued | Busy | Deadlock of Txn_id.t list
+
+type delivery = { d_family : Txn_id.t; d_node : int; d_grant : grant }
+
+type waiter = { wt_family : Txn_id.t; wt_node : int; wt_mode : Lock.mode; wt_upgrade : bool }
+
+type entry = {
+  oid : Oid.t;
+  mutable state : lock_state;
+  mutable holders : holder list;  (* one writer, or >= 1 readers *)
+  mutable waiting : waiter list;  (* FIFO; upgrades are inserted at the front *)
+  page_nodes : int array;
+  page_versions : int array;
+  mutable copyset : int list;  (* ascending *)
+}
+
+type t = {
+  entries : entry Oid.Table.t;
+  (* family -> objects it is currently queued on. Usually a singleton (a
+     family executes sequentially), but optimistic pre-acquisition can have a
+     family waiting on several locks at once. *)
+  mutable waiting_on : Oid.Set.t Txn_id.Map.t;
+}
+
+let create () = { entries = Oid.Table.create 128; waiting_on = Txn_id.Map.empty }
+
+let waits_of t f =
+  match Txn_id.Map.find_opt f t.waiting_on with Some s -> s | None -> Oid.Set.empty
+
+let add_wait t f oid = t.waiting_on <- Txn_id.Map.add f (Oid.Set.add oid (waits_of t f)) t.waiting_on
+
+let remove_wait t f oid =
+  let s = Oid.Set.remove oid (waits_of t f) in
+  t.waiting_on <-
+    (if Oid.Set.is_empty s then Txn_id.Map.remove f t.waiting_on
+     else Txn_id.Map.add f s t.waiting_on)
+
+let register_object t oid ~pages ~initial_node =
+  if Oid.Table.mem t.entries oid then
+    invalid_arg (Format.asprintf "Directory.register_object: duplicate %a" Oid.pp oid);
+  if pages <= 0 then invalid_arg "Directory.register_object: pages must be positive";
+  Oid.Table.add t.entries oid
+    {
+      oid;
+      state = Free;
+      holders = [];
+      waiting = [];
+      page_nodes = Array.make pages initial_node;
+      page_versions = Array.make pages 0;
+      copyset = [ initial_node ];
+    }
+
+let get t oid =
+  match Oid.Table.find_opt t.entries oid with
+  | Some e -> e
+  | None -> invalid_arg (Format.asprintf "Directory: unregistered object %a" Oid.pp oid)
+
+let make_grant e mode =
+  {
+    g_oid = e.oid;
+    g_mode = mode;
+    g_page_nodes = Array.copy e.page_nodes;
+    g_page_versions = Array.copy e.page_versions;
+  }
+
+let holds e family = List.exists (fun h -> Txn_id.equal h.family family) e.holders
+
+(* Families that [family] would wait on if queued on [e] with [mode]. *)
+let blockers e ~family ~upgrade:_ =
+  List.filter_map
+    (fun h -> if Txn_id.equal h.family family then None else Some h.family)
+    e.holders
+
+(* Does making [family] wait on [oid] close a cycle? Walk the dynamic
+   waits-for graph: a waiting family points at the current holders of the
+   object it waits on. *)
+let would_deadlock t ~family ~on_oid =
+  let visited = ref Txn_id.Set.empty in
+  let rec reaches_requester f =
+    if Txn_id.equal f family then true
+    else if Txn_id.Set.mem f !visited then false
+    else begin
+      visited := Txn_id.Set.add f !visited;
+      Oid.Set.exists
+        (fun oid ->
+          let e = get t oid in
+          List.exists (fun h -> reaches_requester h.family) e.holders)
+        (waits_of t f)
+    end
+  in
+  let e = get t on_oid in
+  let bs = blockers e ~family ~upgrade:false in
+  let cycle = List.filter reaches_requester bs in
+  if cycle = [] then None else Some (family :: cycle)
+
+let enqueue t e w =
+  if w.wt_upgrade then e.waiting <- w :: e.waiting else e.waiting <- e.waiting @ [ w ];
+  add_wait t w.wt_family e.oid
+
+let acquire t oid ~family ~node ~mode ?(block = true) () =
+  let e = get t oid in
+  let wait_or_busy ~upgrade =
+    if not block then Busy
+    else
+      match would_deadlock t ~family ~on_oid:oid with
+      | Some cycle -> Deadlock cycle
+      | None ->
+          enqueue t e { wt_family = family; wt_node = node; wt_mode = mode; wt_upgrade = upgrade };
+          Queued
+  in
+  let grant_fresh m =
+    e.state <- (match m with Lock.Read -> Held_read | Lock.Write -> Held_write);
+    e.holders <- e.holders @ [ { family; node } ];
+    Granted (make_grant e m)
+  in
+  match e.state with
+  | Free -> grant_fresh mode
+  | Held_read when holds e family -> (
+      match mode with
+      | Lock.Read -> Granted (make_grant e Lock.Read)  (* re-entrant *)
+      | Lock.Write ->
+          (* Upgrade. Sole reader: grant. Otherwise wait at the front. *)
+          if List.length e.holders = 1 then begin
+            e.state <- Held_write;
+            Granted (make_grant e Lock.Write)
+          end
+          else wait_or_busy ~upgrade:true)
+  | Held_write when holds e family ->
+      (* Re-entrant in either mode: Write subsumes Read. *)
+      Granted (make_grant e Lock.Write)
+  | Held_read when Lock.equal mode Lock.Read && e.waiting = [] ->
+      (* Concurrent reading is OK — but do not overtake queued writers. *)
+      e.holders <- e.holders @ [ { family; node } ];
+      Granted (make_grant e Lock.Read)
+  | Held_read | Held_write -> wait_or_busy ~upgrade:false
+
+let apply_dirty e dirty =
+  List.iter
+    (fun (page, version, node) ->
+      if page < 0 || page >= Array.length e.page_nodes then
+        invalid_arg "Directory.release: dirty page out of range";
+      if version > e.page_versions.(page) then begin
+        e.page_versions.(page) <- version;
+        e.page_nodes.(page) <- node
+      end)
+    dirty
+
+(* After a release, hand the lock over per Algorithm 4.4: first a pending
+   upgrade if its family is now the sole reader, then the FIFO prefix of
+   compatible waiters (one writer, or a maximal batch of readers). *)
+let promote t e =
+  let deliveries = ref [] in
+  let grant_to w mode =
+    remove_wait t w.wt_family e.oid;
+    (match mode with
+    | Lock.Read ->
+        e.state <- Held_read;
+        if not (holds e w.wt_family) then
+          e.holders <- e.holders @ [ { family = w.wt_family; node = w.wt_node } ]
+    | Lock.Write ->
+        e.state <- Held_write;
+        if not (holds e w.wt_family) then
+          e.holders <- e.holders @ [ { family = w.wt_family; node = w.wt_node } ]);
+    deliveries :=
+      { d_family = w.wt_family; d_node = w.wt_node; d_grant = make_grant e mode } :: !deliveries
+  in
+  let rec loop () =
+    match e.waiting with
+    | [] -> ()
+    | w :: rest -> (
+        match e.state with
+        | Free ->
+            e.waiting <- rest;
+            grant_to w w.wt_mode;
+            loop ()
+        | Held_read
+          when w.wt_upgrade
+               && List.length e.holders = 1
+               && holds e w.wt_family ->
+            e.waiting <- rest;
+            grant_to w Lock.Write
+        | Held_read when Lock.equal w.wt_mode Lock.Read && not w.wt_upgrade ->
+            e.waiting <- rest;
+            grant_to w Lock.Read;
+            loop ()
+        | Held_read | Held_write -> ())
+  in
+  loop ();
+  List.rev !deliveries
+
+let release t oid ~family ~dirty =
+  let e = get t oid in
+  if not (holds e family) then []
+  else begin
+    apply_dirty e dirty;
+    e.holders <- List.filter (fun h -> not (Txn_id.equal h.family family)) e.holders;
+    if e.holders = [] then e.state <- Free;
+    promote t e
+  end
+
+let lock_state t oid = (get t oid).state
+let holders t oid = (get t oid).holders
+
+let read_count t oid =
+  let e = get t oid in
+  match e.state with Held_read -> List.length e.holders | _ -> 0
+
+let waiting_count t oid = List.length (get t oid).waiting
+
+let page_map t oid =
+  let e = get t oid in
+  (Array.copy e.page_nodes, Array.copy e.page_versions)
+
+let note_cached t oid ~node =
+  let e = get t oid in
+  if not (List.mem node e.copyset) then e.copyset <- List.sort Int.compare (node :: e.copyset)
+
+let copyset t oid = (get t oid).copyset
+
+let object_count t = Oid.Table.length t.entries
+
+let dump t =
+  let buf = Buffer.create 256 in
+  let entries =
+    Oid.Table.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> Oid.compare a.oid b.oid)
+  in
+  List.iter
+    (fun e ->
+      if e.state <> Free || e.waiting <> [] then begin
+        let state =
+          match e.state with Free -> "free" | Held_read -> "R" | Held_write -> "W"
+        in
+        let holders =
+          String.concat ","
+            (List.map
+               (fun h -> Format.asprintf "%a@%d" Txn_id.pp h.family h.node)
+               e.holders)
+        in
+        let waiters =
+          String.concat ","
+            (List.map
+               (fun w ->
+                 Format.asprintf "%a@%d:%a%s" Txn_id.pp w.wt_family w.wt_node Lock.pp w.wt_mode
+                   (if w.wt_upgrade then "!" else ""))
+               e.waiting)
+        in
+        Buffer.add_string buf
+          (Format.asprintf "%a: %s holders=[%s] waiting=[%s]\n" Oid.pp e.oid state holders
+             waiters)
+      end)
+    entries;
+  Buffer.contents buf
+
+let waits_for_edges t =
+  Txn_id.Map.fold
+    (fun waiter oids acc ->
+      Oid.Set.fold
+        (fun oid acc ->
+          let e = get t oid in
+          List.fold_left
+            (fun acc h ->
+              if Txn_id.equal h.family waiter then acc else (waiter, h.family) :: acc)
+            acc e.holders)
+        oids acc)
+    t.waiting_on []

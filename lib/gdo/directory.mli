@@ -1,0 +1,115 @@
+open Txn
+
+(** The Global Directory of Objects (GDO).
+
+    One entry per object, holding the lock and consistency fields of the
+    paper's Figure 1:
+
+    - [LockState] — free, held for read, held for update;
+    - [ReadCount] — number of families concurrently holding read locks;
+    - [HolderPtr] — the holding families (with their executing nodes);
+    - [NonHoldersPtr] — FIFO of waiting families;
+    - [PageMap] — per page, the node storing its most up-to-date version,
+      together with that version number.
+
+    The directory is partitioned: each object has a {e home} node, and the
+    runtime routes every global lock operation to the home as a message. The
+    data structure itself is therefore purely local and synchronous; all
+    distribution lives in the runtime.
+
+    Beyond the paper, the directory maintains a waits-for graph over waiting
+    families and refuses (with [Deadlock]) any request whose wait would close
+    a cycle — the victim family aborts and retries. It also tracks each
+    object's {e copyset} (nodes caching any of its pages), which the
+    RC-nested extension uses to push updates eagerly. *)
+
+type lock_state = Free | Held_read | Held_write
+
+type holder = { family : Txn_id.t; node : int }
+
+(** Payload of a successful (or queued-then-delivered) grant: what the GDO
+    sends to the acquiring site — the holder list and the object's page
+    map. *)
+type grant = {
+  g_oid : Objmodel.Oid.t;
+  g_mode : Lock.mode;
+  g_page_nodes : int array;  (** index: page; value: node with newest copy *)
+  g_page_versions : int array;
+}
+
+type acquire_result =
+  | Granted of grant
+  | Queued  (** the caller will receive a deferred grant on release *)
+  | Busy  (** non-blocking acquire refused: the lock is not free *)
+  | Deadlock of Txn_id.t list
+      (** granting would close a waits-for cycle (returned as the family
+          cycle); the requester must abort *)
+
+(** A deferred grant produced by a release: deliver [d_grant] to family
+    [d_family] at node [d_node]. *)
+type delivery = { d_family : Txn_id.t; d_node : int; d_grant : grant }
+
+type t
+
+val create : unit -> t
+
+val register_object : t -> Objmodel.Oid.t -> pages:int -> initial_node:int -> unit
+(** Add an entry; all pages start at version 0 on [initial_node].
+    @raise Invalid_argument on duplicate registration. *)
+
+val acquire :
+  t ->
+  Objmodel.Oid.t ->
+  family:Txn_id.t ->
+  node:int ->
+  mode:Lock.mode ->
+  ?block:bool ->
+  unit ->
+  acquire_result
+(** Algorithm 4.2 (GlobalLockAcquisition). Re-entrant acquisition by a family
+    that already holds the lock in a sufficient mode returns [Granted]
+    immediately. A Read→Write request by a family holding Read is treated as
+    an upgrade: granted when the family is the sole reader, queued at the
+    front otherwise.
+
+    [block] (default true) selects what happens when the lock cannot be
+    granted now: blocking requests join the wait queue (after the waits-for
+    cycle check), non-blocking ones — used by optimistic pre-acquisition —
+    get [Busy] back and leave no trace. Keeping pre-acquisition non-blocking
+    preserves the soundness of enqueue-time deadlock detection: every family
+    has at most one blocking wait outstanding. *)
+
+val release :
+  t ->
+  Objmodel.Oid.t ->
+  family:Txn_id.t ->
+  dirty:(int * int * int) list ->
+  delivery list
+(** Algorithm 4.4 (GlobalLockRelease) for one object. [dirty] lists
+    [(page, version, node)] updates to fold into the page map (empty on abort
+    releases). Returns the deferred grants the caller must deliver.
+    Releasing a lock the family does not hold is a no-op returning []. *)
+
+val lock_state : t -> Objmodel.Oid.t -> lock_state
+val holders : t -> Objmodel.Oid.t -> holder list
+val read_count : t -> Objmodel.Oid.t -> int
+val waiting_count : t -> Objmodel.Oid.t -> int
+
+val page_map : t -> Objmodel.Oid.t -> int array * int array
+(** Copy of (page_nodes, page_versions). *)
+
+val note_cached : t -> Objmodel.Oid.t -> node:int -> unit
+(** Record that [node] now caches pages of the object (copyset). *)
+
+val copyset : t -> Objmodel.Oid.t -> int list
+(** Nodes caching the object, ascending. *)
+
+val object_count : t -> int
+
+val waits_for_edges : t -> (Txn_id.t * Txn_id.t) list
+(** Current waits-for edges (waiting family, holding family); for tests and
+    diagnostics. *)
+
+val dump : t -> string
+(** Human-readable dump of every non-free entry (lock state, holders,
+    waiters) — a stall diagnostic. *)

@@ -1,0 +1,56 @@
+module IS = Set.Make (Int)
+
+module SlotMeth = Set.Make (struct
+  type t = int * string
+
+  let compare = compare
+end)
+
+type summary = {
+  read_attrs : Attribute.id list;
+  write_attrs : Attribute.id list;
+  invoked : (Method_ir.slot * string) list;
+  updates : bool;
+}
+
+type acc = { reads : IS.t; writes : IS.t; invoked : SlotMeth.t }
+
+let empty_acc = { reads = IS.empty; writes = IS.empty; invoked = SlotMeth.empty }
+
+let rec analyse_block acc body = List.fold_left analyse_stmt acc body
+
+and analyse_stmt acc = function
+  | Method_ir.Read a -> { acc with reads = IS.add a acc.reads }
+  | Method_ir.Write a -> { acc with reads = IS.add a acc.reads; writes = IS.add a acc.writes }
+  | Method_ir.Invoke { slot; meth } ->
+      { acc with invoked = SlotMeth.add (slot, meth) acc.invoked }
+  | Method_ir.If { then_; else_; _ } ->
+      (* Either side may execute: union both. *)
+      analyse_block (analyse_block acc then_) else_
+  | Method_ir.Loop { body; _ } ->
+      (* Accesses are idempotent for set purposes: one pass suffices. *)
+      analyse_block acc body
+
+let analyse (m : Method_ir.t) =
+  let acc = analyse_block empty_acc m.body in
+  {
+    read_attrs = IS.elements acc.reads;
+    write_attrs = IS.elements acc.writes;
+    invoked = SlotMeth.elements acc.invoked;
+    updates = not (IS.is_empty acc.writes);
+  }
+
+type page_summary = { access_pages : int list; write_pages : int list }
+
+let pages layout s =
+  {
+    access_pages = Layout.pages_of_attrs layout s.read_attrs;
+    write_pages = Layout.pages_of_attrs layout s.write_attrs;
+  }
+
+let pp_summary fmt s =
+  let pp_ints fmt l =
+    Format.fprintf fmt "[%s]" (String.concat ";" (List.map string_of_int l))
+  in
+  Format.fprintf fmt "reads=%a writes=%a updates=%b" pp_ints s.read_attrs pp_ints s.write_attrs
+    s.updates

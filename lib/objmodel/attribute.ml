@@ -1,0 +1,9 @@
+type id = int
+
+type t = { name : string; size_bytes : int }
+
+let make ~name ~size_bytes =
+  if size_bytes <= 0 then invalid_arg "Attribute.make: size must be positive";
+  { name; size_bytes }
+
+let pp fmt t = Format.fprintf fmt "%s:%dB" t.name t.size_bytes

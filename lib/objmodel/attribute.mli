@@ -1,0 +1,17 @@
+(** Object attributes (instance variables).
+
+    An attribute is identified inside its class by its index in the class's
+    attribute array. The layout module maps attributes to pages. *)
+
+type id = int
+(** Index of the attribute within its class. *)
+
+type t = {
+  name : string;
+  size_bytes : int;  (** storage footprint in the object's representation *)
+}
+
+val make : name:string -> size_bytes:int -> t
+(** @raise Invalid_argument if [size_bytes <= 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,99 @@
+type instance = { oid : Oid.t; cls : Obj_class.t; refs : Oid.t array }
+
+type t = { table : instance Oid.Table.t }
+
+let create instances =
+  let table = Oid.Table.create (List.length instances * 2) in
+  List.iter
+    (fun inst ->
+      if Oid.Table.mem table inst.oid then
+        invalid_arg (Format.asprintf "Catalog.create: duplicate %a" Oid.pp inst.oid);
+      (* Force layout computation so uncompiled classes fail here. *)
+      ignore (Obj_class.layout inst.cls);
+      if Array.length inst.refs <> Obj_class.ref_slots inst.cls then
+        invalid_arg
+          (Format.asprintf "Catalog.create: %a has %d refs, class %s declares %d slots" Oid.pp
+             inst.oid (Array.length inst.refs)
+             (Obj_class.name inst.cls)
+             (Obj_class.ref_slots inst.cls));
+      Oid.Table.add table inst.oid inst)
+    instances;
+  List.iter
+    (fun inst ->
+      Array.iter
+        (fun target ->
+          if not (Oid.Table.mem table target) then
+            invalid_arg
+              (Format.asprintf "Catalog.create: %a references unknown %a" Oid.pp inst.oid Oid.pp
+                 target))
+        inst.refs)
+    instances;
+  { table }
+
+let find t oid =
+  match Oid.Table.find_opt t.table oid with Some i -> i | None -> raise Not_found
+
+let size t = Oid.Table.length t.table
+
+let oids t =
+  Oid.Table.fold (fun oid _ acc -> oid :: acc) t.table [] |> List.sort Oid.compare
+
+let page_count t oid = Obj_class.page_count (find t oid).cls
+let layout t oid = Obj_class.layout (find t oid).cls
+let find_method t oid m_name = Obj_class.find_method (find t oid).cls m_name
+
+let resolve_slot t oid slot =
+  let inst = find t oid in
+  if slot < 0 || slot >= Array.length inst.refs then
+    invalid_arg (Format.asprintf "Catalog.resolve_slot: %a slot %d out of range" Oid.pp oid slot);
+  inst.refs.(slot)
+
+(* Iterative three-colour DFS over the reference graph. *)
+let validate_acyclic t =
+  let module M = Oid.Map in
+  let colour = ref M.empty in
+  (* 0 unvisited (absent), 1 in progress, 2 done *)
+  let cycle = ref None in
+  let rec visit path oid =
+    match !cycle with
+    | Some _ -> ()
+    | None -> (
+        match M.find_opt oid !colour with
+        | Some 2 -> ()
+        | Some 1 ->
+            (* Found a back edge: extract the cycle from the path. *)
+            let rec take acc = function
+              | [] -> acc
+              | o :: rest -> if Oid.equal o oid then o :: acc else take (o :: acc) rest
+            in
+            cycle := Some (take [] path)
+        | _ ->
+            colour := M.add oid 1 !colour;
+            let inst = find t oid in
+            Array.iter (fun target -> visit (oid :: path) target) inst.refs;
+            colour := M.add oid 2 !colour)
+  in
+  List.iter (fun oid -> visit [] oid) (oids t);
+  match !cycle with None -> Ok () | Some c -> Error c
+
+let max_invocation_depth t =
+  (match validate_acyclic t with
+  | Ok () -> ()
+  | Error _ -> invalid_arg "Catalog.max_invocation_depth: catalog is cyclic");
+  let module M = Oid.Map in
+  let memo = ref M.empty in
+  let rec depth oid =
+    match M.find_opt oid !memo with
+    | Some d -> d
+    | None ->
+        let inst = find t oid in
+        let d =
+          Array.fold_left (fun acc target -> max acc (1 + depth target)) 1 inst.refs
+        in
+        memo := M.add oid d !memo;
+        d
+  in
+  List.fold_left (fun acc oid -> max acc (depth oid)) 0 (oids t)
+
+let total_pages t =
+  Oid.Table.fold (fun _ inst acc -> acc + Obj_class.page_count inst.cls) t.table 0

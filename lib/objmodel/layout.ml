@@ -1,0 +1,53 @@
+type t = {
+  page_size : int;
+  offsets : int array;  (* byte offset of each attribute *)
+  sizes : int array;
+  total_bytes : int;
+}
+
+let create ~page_size attrs =
+  if page_size <= 0 then invalid_arg "Layout.create: page_size must be positive";
+  let n = Array.length attrs in
+  let offsets = Array.make n 0 in
+  let sizes = Array.make n 0 in
+  let cursor = ref 0 in
+  for i = 0 to n - 1 do
+    offsets.(i) <- !cursor;
+    sizes.(i) <- attrs.(i).Attribute.size_bytes;
+    cursor := !cursor + attrs.(i).Attribute.size_bytes
+  done;
+  { page_size; offsets; sizes; total_bytes = !cursor }
+
+let page_size t = t.page_size
+
+let page_count t =
+  if t.total_bytes = 0 then 1 else (t.total_bytes + t.page_size - 1) / t.page_size
+
+let total_bytes t = t.total_bytes
+
+let check_attr t a =
+  if a < 0 || a >= Array.length t.offsets then invalid_arg "Layout: attribute id out of range"
+
+let offset t a =
+  check_attr t a;
+  t.offsets.(a)
+
+let pages_of_attr t a =
+  check_attr t a;
+  let first = t.offsets.(a) / t.page_size in
+  let last = (t.offsets.(a) + t.sizes.(a) - 1) / t.page_size in
+  List.init (last - first + 1) (fun i -> first + i)
+
+let pages_of_attrs t attrs =
+  let module IS = Set.Make (Int) in
+  let set =
+    List.fold_left (fun acc a -> List.fold_left (fun s p -> IS.add p s) acc (pages_of_attr t a))
+      IS.empty attrs
+  in
+  IS.elements set
+
+let attr_count t = Array.length t.offsets
+
+let pp fmt t =
+  Format.fprintf fmt "layout: %d attrs, %d bytes, %d pages of %dB" (attr_count t) t.total_bytes
+    (page_count t) t.page_size

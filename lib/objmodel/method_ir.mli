@@ -1,0 +1,61 @@
+(** A tiny method-body intermediate representation.
+
+    The paper's compiler performs conservative attribute-access analysis over
+    real method code; we model method bodies in an IR that exhibits exactly
+    the features that make the analysis conservative — data-dependent control
+    flow ([If]) and repetition ([Loop]) — plus the nested-transaction source
+    of structure: [Invoke], a method call on another object, which at run
+    time becomes a sub-transaction.
+
+    Invocation targets are *reference slots*: a class declares how many
+    outgoing references its instances carry, and each object instance binds
+    its slots to concrete object identifiers. This keeps method bodies
+    shareable between instances (as compiled code is) while letting the
+    run-time object graph decide which object a sub-transaction touches. *)
+
+type slot = int
+(** Index into an instance's reference-slot array. *)
+
+type stmt =
+  | Read of Attribute.id
+  | Write of Attribute.id
+  | Invoke of { slot : slot; meth : string }
+      (** Method call on the object bound to [slot] — a sub-transaction. *)
+  | If of { prob_then : float; then_ : stmt list; else_ : stmt list }
+      (** Data-dependent branch. The analysis must assume either side may
+          run; at execution time the branch is chosen with probability
+          [prob_then] from the transaction's random stream (standing in for
+          runtime data values the compiler cannot see). *)
+  | Loop of { count : int; body : stmt list }
+      (** Definite iteration: the body's accesses repeat [count] times. *)
+
+type t = {
+  name : string;
+  body : stmt list;
+}
+
+val make : name:string -> body:stmt list -> t
+
+val max_slot : t -> int
+(** Largest reference slot mentioned anywhere in the body, or [-1] if none.
+    Used to validate instances against classes. *)
+
+val statement_count : t -> int
+(** Total statements, counting nested blocks (loop bodies once) — used as the
+    method's CPU-cost measure. *)
+
+(** Callbacks consumed by {!interp}. *)
+type 'a handler = {
+  on_read : Attribute.id -> unit;
+  on_write : Attribute.id -> unit;
+  on_invoke : slot -> string -> unit;
+  choose : float -> bool;  (** branch oracle: [choose p] is the If outcome *)
+}
+
+val interp : t -> 'a handler -> unit
+(** Execute the body sequentially, resolving [If] with [choose] and calling
+    the callbacks in program order. [Invoke] is delegated entirely to
+    [on_invoke] (which, in the runtime, starts the sub-transaction and blocks
+    until it finishes). *)
+
+val pp : Format.formatter -> t -> unit

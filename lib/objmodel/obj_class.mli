@@ -1,0 +1,45 @@
+(** Class definitions and their compiled form.
+
+    A class bundles attributes and methods. "Compiling" a class fixes the
+    attribute layout for a page size and precomputes, per method, the
+    conservative access summary in page terms plus the lock-acquisition and
+    lock-release bracketing the paper's compiler inserts (represented here by
+    the runtime consulting these summaries at method entry/exit). *)
+
+type t
+
+type compiled_method = {
+  ir : Method_ir.t;
+  summary : Access_analysis.summary;
+  page_summary : Access_analysis.page_summary;
+  cpu_statements : int;  (** statement count, used as execution cost *)
+}
+
+val define :
+  name:string -> attrs:Attribute.t array -> methods:Method_ir.t list -> ref_slots:int -> t
+(** Declare a class. [ref_slots] is the number of outgoing reference slots
+    instances carry; every [Invoke] in every method must use a slot below it.
+    @raise Invalid_argument on duplicate method names or an [Invoke] slot out
+    of range. *)
+
+val compile : page_size:int -> t -> t
+(** Fix the layout and compute method summaries. Idempotent. *)
+
+val name : t -> string
+val attrs : t -> Attribute.t array
+val ref_slots : t -> int
+
+val layout : t -> Layout.t
+(** @raise Invalid_argument if the class has not been compiled. *)
+
+val page_count : t -> int
+(** Pages an instance spans. @raise Invalid_argument if not compiled. *)
+
+val find_method : t -> string -> compiled_method
+(** @raise Not_found if the method does not exist.
+    @raise Invalid_argument if the class has not been compiled. *)
+
+val methods : t -> compiled_method list
+val method_names : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,20 @@
+(** Object identifiers.
+
+    Objects are the unit of locking and consistency maintenance in LOTEC.
+    Identifiers are dense non-negative integers assigned by the catalog. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints in the paper's style: [O7]. *)
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,199 @@
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : float;
+  mutable seq : int;
+  queue : event Heap.t;
+  mutable fibers : int;
+  mutable suspended : (string * float) list;
+      (* names and suspension times of currently blocked fibers, for the
+         stall diagnostic only *)
+}
+
+exception Stalled of string
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { now = 0.0; seq = 0; queue = Heap.create ~cmp:compare_event; fibers = 0; suspended = [] }
+
+let now t = t.now
+
+let schedule t ~delay run =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  t.seq <- t.seq + 1;
+  Heap.push t.queue { time = t.now +. delay; seq = t.seq; run }
+
+(* Effects performed by fibers. [Suspend register] hands the handler a
+   resume-callback registration function: the fiber is continued when the
+   callback is invoked. *)
+type _ Effect.t +=
+  | Wait : float -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let wait d = Effect.perform (Wait d)
+
+let fiber_count t = t.fibers
+
+let spawn t ?(name = "fiber") f =
+  t.fibers <- t.fibers + 1;
+  let body () =
+    let open Effect.Deep in
+    match_with f ()
+      {
+        retc = (fun () -> t.fibers <- t.fibers - 1);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type b) (eff : b Effect.t) ->
+            match eff with
+            | Wait d ->
+                Some
+                  (fun (k : (b, _) continuation) ->
+                    schedule t ~delay:(max 0.0 d) (fun () -> continue k ()))
+            | Suspend register ->
+                Some
+                  (fun (k : (b, _) continuation) ->
+                    let fired = ref false in
+                    let mark = (name, t.now) in
+                    t.suspended <- mark :: t.suspended;
+                    register (fun () ->
+                        if !fired then invalid_arg "Engine: fiber resumed twice";
+                        fired := true;
+                        t.suspended <-
+                          (let rec remove = function
+                             | [] -> []
+                             | m :: rest -> if m == mark then rest else m :: remove rest
+                           in
+                           remove t.suspended);
+                        schedule t ~delay:0.0 (fun () -> continue k ())))
+            | _ -> None);
+      }
+  in
+  schedule t ~delay:0.0 body
+
+let run t =
+  let rec loop () =
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some ev ->
+        t.now <- ev.time;
+        ev.run ();
+        loop ()
+  in
+  loop ();
+  if t.fibers > 0 && t.suspended <> [] then begin
+    let describe (name, since) = Printf.sprintf "%s (suspended at %.1fus)" name since in
+    raise
+      (Stalled
+         (Printf.sprintf "simulation stalled with %d blocked fiber(s): %s" t.fibers
+            (String.concat ", " (List.map describe t.suspended))))
+  end
+
+let run_for t d =
+  let deadline = t.now +. d in
+  let rec loop () =
+    match Heap.peek t.queue with
+    | Some ev when ev.time <= deadline -> (
+        match Heap.pop t.queue with
+        | Some ev ->
+            t.now <- ev.time;
+            ev.run ();
+            loop ()
+        | None -> ())
+    | _ -> t.now <- deadline
+  in
+  loop ()
+
+module Ivar = struct
+  type 'a state = Empty of (unit -> unit) list | Full of 'a
+  type 'a t = { mutable state : 'a state }
+
+  let create () = { state = Empty [] }
+
+  let is_filled iv = match iv.state with Full _ -> true | Empty _ -> false
+
+  let peek iv = match iv.state with Full v -> Some v | Empty _ -> None
+
+  let fill iv v =
+    match iv.state with
+    | Full _ -> invalid_arg "Ivar.fill: already filled"
+    | Empty waiters ->
+        iv.state <- Full v;
+        (* Resume callbacks schedule the fiber continuations themselves. *)
+        List.iter (fun wake -> wake ()) (List.rev waiters)
+
+  let read iv =
+    match iv.state with
+    | Full v -> v
+    | Empty _ ->
+        Effect.perform
+          (Suspend
+             (fun wake ->
+               match iv.state with
+               | Full _ -> wake ()
+               | Empty waiters -> iv.state <- Empty (wake :: waiters)));
+        (match iv.state with
+        | Full v -> v
+        | Empty _ -> assert false)
+end
+
+module Semaphore = struct
+  type t = { permits : int; mutable free : int; mutable waiters : (unit -> unit) list }
+
+  let create ~permits =
+    if permits <= 0 then invalid_arg "Semaphore.create: permits must be positive";
+    { permits; free = permits; waiters = [] }
+
+  let acquire s =
+    if s.free > 0 then s.free <- s.free - 1
+    else Effect.perform (Suspend (fun wake -> s.waiters <- s.waiters @ [ wake ]))
+  (* The releaser hands its permit directly to the woken waiter, so [free]
+     is not incremented on that path. *)
+
+  let release s =
+    match s.waiters with
+    | wake :: rest ->
+        s.waiters <- rest;
+        wake ()
+    | [] ->
+        if s.free >= s.permits then invalid_arg "Semaphore.release: too many releases";
+        s.free <- s.free + 1
+
+  let with_permit s f =
+    acquire s;
+    match f () with
+    | v ->
+        release s;
+        v
+    | exception e ->
+        release s;
+        raise e
+
+  let available s = s.free
+  let waiting s = List.length s.waiters
+end
+
+module Mailbox = struct
+  type 'a t = { items : 'a Queue.t; mutable takers : (unit -> unit) list }
+
+  let create () = { items = Queue.create (); takers = [] }
+
+  let put mb v =
+    Queue.push v mb.items;
+    match mb.takers with
+    | [] -> ()
+    | wake :: rest ->
+        mb.takers <- rest;
+        wake ()
+
+  let rec take mb =
+    if Queue.is_empty mb.items then begin
+      Effect.perform (Suspend (fun wake -> mb.takers <- mb.takers @ [ wake ]));
+      take mb
+    end
+    else Queue.pop mb.items
+
+  let length mb = Queue.length mb.items
+end

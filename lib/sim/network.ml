@@ -1,0 +1,97 @@
+type link = { bandwidth_bps : float; software_cost_us : float }
+
+let default_software_cost_us = 20.0
+
+let link_10mbps = { bandwidth_bps = 1e7; software_cost_us = default_software_cost_us }
+let link_100mbps = { bandwidth_bps = 1e8; software_cost_us = default_software_cost_us }
+let link_1gbps = { bandwidth_bps = 1e9; software_cost_us = default_software_cost_us }
+
+let transfer_time_us link bytes =
+  link.software_cost_us +. (float_of_int bytes *. 8.0 /. link.bandwidth_bps *. 1e6)
+
+type kind = Control | Data
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable control_messages : int;
+  mutable control_bytes : int;
+  mutable data_messages : int;
+  mutable data_bytes : int;
+}
+
+type 'msg t = {
+  engine : Engine.t;
+  node_count : int;
+  link : link;
+  handlers : (src:int -> 'msg -> unit) option array;
+  stats : stats;
+  on_message : (src:int -> dst:int -> kind:kind -> bytes:int -> tag:int -> unit) option;
+  (* FIFO channels: absolute delivery time of the last message per ordered
+     (src, dst) pair; a later send never arrives before it. *)
+  last_delivery : float array;
+}
+
+let local_delivery_cost_us = 0.1
+
+let create ~engine ~node_count ~link ?on_message () =
+  if node_count <= 0 then invalid_arg "Network.create: node_count must be positive";
+  {
+    engine;
+    node_count;
+    link;
+    handlers = Array.make node_count None;
+    stats =
+      {
+        messages = 0;
+        bytes = 0;
+        control_messages = 0;
+        control_bytes = 0;
+        data_messages = 0;
+        data_bytes = 0;
+      };
+    on_message;
+    last_delivery = Array.make (node_count * node_count) neg_infinity;
+  }
+
+let node_count t = t.node_count
+let link t = t.link
+let stats t = t.stats
+
+let check_node t node =
+  if node < 0 || node >= t.node_count then invalid_arg "Network: node id out of range"
+
+let set_handler t ~node handler =
+  check_node t node;
+  t.handlers.(node) <- Some handler
+
+let deliver t ~src ~dst msg =
+  match t.handlers.(dst) with
+  | None -> invalid_arg (Printf.sprintf "Network: node %d has no handler" dst)
+  | Some h -> h ~src msg
+
+let send t ~src ~dst ~kind ~bytes ~tag msg =
+  check_node t src;
+  check_node t dst;
+  if src = dst then
+    Engine.schedule t.engine ~delay:local_delivery_cost_us (fun () -> deliver t ~src ~dst msg)
+  else begin
+    let s = t.stats in
+    s.messages <- s.messages + 1;
+    s.bytes <- s.bytes + bytes;
+    (match kind with
+    | Control ->
+        s.control_messages <- s.control_messages + 1;
+        s.control_bytes <- s.control_bytes + bytes
+    | Data ->
+        s.data_messages <- s.data_messages + 1;
+        s.data_bytes <- s.data_bytes + bytes);
+    (match t.on_message with Some f -> f ~src ~dst ~kind ~bytes ~tag | None -> ());
+    let now = Engine.now t.engine in
+    let channel = (src * t.node_count) + dst in
+    let arrival =
+      Float.max (now +. transfer_time_us t.link bytes) t.last_delivery.(channel)
+    in
+    t.last_delivery.(channel) <- arrival;
+    Engine.schedule t.engine ~delay:(arrival -. now) (fun () -> deliver t ~src ~dst msg)
+  end

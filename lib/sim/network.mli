@@ -1,0 +1,84 @@
+(** Simulated cluster interconnect.
+
+    Models a switched (collision-free) network, as in the paper's target
+    environment: each message experiences a fixed per-message software cost
+    (protocol-stack overhead at the endpoints) plus a serialisation term
+    [size_bytes * 8 / bandwidth]. There is no link contention — the paper's
+    system-area-network assumption.
+
+    Nodes are dense integer identifiers [0 .. node_count - 1]. Each node
+    registers a handler for incoming one-way messages; request/reply
+    interactions are built above this in the runtime using
+    {!Engine.Ivar}s. The network is polymorphic in the payload type ['msg]
+    so the runtime supplies its own message variant. *)
+
+type 'msg t
+
+(** Link parameters. *)
+type link = {
+  bandwidth_bps : float;  (** bits per second, e.g. 1e8 for 100 Mbps *)
+  software_cost_us : float;  (** per-message startup overhead, microseconds *)
+}
+
+val link_10mbps : link
+val link_100mbps : link
+val link_1gbps : link
+(** The three networks of Figures 6–8, with the paper's default 20 µs
+    software cost. *)
+
+val transfer_time_us : link -> int -> float
+(** [transfer_time_us link bytes] is the end-to-end latency of one message of
+    [bytes] bytes: software cost plus serialisation time. Exposed so
+    experiments can replay a message ledger through alternative link
+    parameters (Figures 6–8). *)
+
+(** Classification recorded with every message, used by the metrics layer to
+    attribute traffic. *)
+type kind =
+  | Control  (** lock requests/grants/releases, directory traffic *)
+  | Data  (** page payloads *)
+
+type stats = {
+  mutable messages : int;
+  mutable bytes : int;
+  mutable control_messages : int;
+  mutable control_bytes : int;
+  mutable data_messages : int;
+  mutable data_bytes : int;
+}
+
+val create :
+  engine:Engine.t ->
+  node_count:int ->
+  link:link ->
+  ?on_message:(src:int -> dst:int -> kind:kind -> bytes:int -> tag:int -> unit) ->
+  unit ->
+  'msg t
+(** [create ~engine ~node_count ~link ()] builds the interconnect. The
+    optional [on_message] hook fires once per remote message sent (at send
+    time); the DSM metrics ledger uses it to attribute traffic to objects —
+    [tag] carries the object identifier (or [-1] for untagged traffic). *)
+
+val node_count : _ t -> int
+val link : _ t -> link
+val stats : _ t -> stats
+
+val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
+(** Install the message handler for [node]. Handlers run as plain callbacks
+    when the message is delivered and must not block; they may spawn
+    fibers. *)
+
+val send : 'msg t -> src:int -> dst:int -> kind:kind -> bytes:int -> tag:int -> 'msg -> unit
+(** One-way message, delivered to the destination handler after the link
+    latency. Same-node sends ([src = dst]) are delivered after a negligible
+    local-delivery cost and are neither counted in {!stats} nor reported to
+    [on_message].
+
+    Delivery is FIFO per ordered (src, dst) pair, as a connection-oriented
+    transport provides: a later, smaller message never overtakes an earlier,
+    larger one on the same channel. (Without this, a lock re-acquisition
+    could overtake the in-flight release it must follow.) Messages between
+    different pairs are independent. *)
+
+val local_delivery_cost_us : float
+(** Cost charged for a same-node "message" (a local procedure call). *)

@@ -1,0 +1,56 @@
+type event = { time : float; category : string; detail : string }
+
+type t = {
+  capacity : int;
+  ring : event option array;
+  mutable next : int;  (* slot for the next write *)
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; ring = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time ~category ~detail =
+  t.ring.(t.next) <- Some { time; category; detail };
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let recordf t ~time ~category fmt =
+  Format.kasprintf (fun detail -> record t ~time ~category ~detail) fmt
+
+let length t = min t.total t.capacity
+
+let dropped t = max 0 (t.total - t.capacity)
+
+let total t = t.total
+
+let events t =
+  let n = length t in
+  let start = if t.total <= t.capacity then 0 else t.next in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let latest t n =
+  let all = events t in
+  let len = List.length all in
+  if n >= len then all else List.filteri (fun i _ -> i >= len - n) all
+
+let clear t =
+  Array.fill t.ring 0 t.capacity None;
+  t.next <- 0;
+  t.total <- 0
+
+let categories t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl e.category) in
+      Hashtbl.replace tbl e.category (cur + 1))
+    (events t);
+  Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_event fmt e = Format.fprintf fmt "[%10.1fus] %s: %s" e.time e.category e.detail

@@ -1,0 +1,46 @@
+(** Bounded in-memory event tracing.
+
+    A ring buffer of timestamped, categorised events. The runtime records
+    protocol-level events (lock grants, transfers, commits, aborts) into a
+    trace when one is configured; the CLI's [trace] command prints the tail
+    of a run's timeline. Bounded capacity keeps long simulations from
+    accumulating unbounded state — the oldest events are dropped and
+    counted. *)
+
+type event = { time : float; category : string; detail : string }
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val record : t -> time:float -> category:string -> detail:string -> unit
+
+val recordf :
+  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the detail string is only built if the trace has
+    capacity (it always does — the ring overwrites — so this is purely a
+    convenience). *)
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val latest : t -> int -> event list
+(** The last [n] events, oldest first. *)
+
+val length : t -> int
+(** Events currently retained (≤ capacity). *)
+
+val dropped : t -> int
+(** Events evicted by the ring so far. *)
+
+val total : t -> int
+(** Events ever recorded. *)
+
+val clear : t -> unit
+
+val categories : t -> (string * int) list
+(** Retained event counts per category, sorted by name. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** ["[   123.4us] lock: ..."]. *)

@@ -1,0 +1,11 @@
+type mode = Read | Write
+
+let conflicts a b = match (a, b) with Read, Read -> false | _ -> true
+
+let stronger_or_equal a b = match (a, b) with Write, _ -> true | Read, Read -> true | Read, Write -> false
+
+let max a b = match (a, b) with Read, Read -> Read | _ -> Write
+
+let equal a b = match (a, b) with Read, Read | Write, Write -> true | _ -> false
+
+let pp fmt = function Read -> Format.pp_print_string fmt "R" | Write -> Format.pp_print_string fmt "W"

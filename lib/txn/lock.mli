@@ -1,0 +1,14 @@
+(** Lock modes — multiple readers / single writer, per-object (the paper's
+    chosen granularity). *)
+
+type mode = Read | Write
+
+val conflicts : mode -> mode -> bool
+(** Read/Read is compatible; every other pairing conflicts. *)
+
+val stronger_or_equal : mode -> mode -> bool
+(** [stronger_or_equal a b]: does holding [a] subsume a request for [b]? *)
+
+val max : mode -> mode -> mode
+val equal : mode -> mode -> bool
+val pp : Format.formatter -> mode -> unit

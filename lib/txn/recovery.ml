@@ -1,0 +1,47 @@
+type strategy = Undo_logging | Shadow_paging
+
+let strategy_of_string s =
+  match String.lowercase_ascii s with
+  | "undo" | "undo-log" | "undo_logging" -> Ok Undo_logging
+  | "shadow" | "shadow-pages" | "shadow_paging" -> Ok Shadow_paging
+  | other -> Error (Printf.sprintf "unknown recovery strategy %S (expected undo|shadow)" other)
+
+let strategy_to_string = function Undo_logging -> "undo" | Shadow_paging -> "shadow"
+
+type t = Undo of Undo_log.t | Shadow of Shadow_pages.t
+
+let create = function
+  | Undo_logging -> Undo (Undo_log.create ())
+  | Shadow_paging -> Shadow (Shadow_pages.create ())
+
+let note_write t ~oid ~page ~pre_image =
+  match t with
+  | Undo log -> Undo_log.record log ~oid ~page ~prev_version:pre_image
+  | Shadow sp -> Shadow_pages.note_write sp ~oid ~page ~pre_image
+
+let merge_into_parent ~child ~parent =
+  match (child, parent) with
+  | Undo c, Undo p -> Undo_log.merge_into_parent ~child:c ~parent:p
+  | Shadow c, Shadow p -> Shadow_pages.merge_into_parent ~child:c ~parent:p
+  | _ -> invalid_arg "Recovery.merge_into_parent: mixed strategies"
+
+let restore_plan = function
+  | Undo log ->
+      List.map
+        (fun (r : Undo_log.record) -> (r.Undo_log.oid, r.Undo_log.page, r.Undo_log.prev_version))
+        (Undo_log.entries_newest_first log)
+  | Shadow sp -> Shadow_pages.shadows sp
+
+let restore_cost_units = function
+  | Undo log -> Undo_log.length log
+  | Shadow sp -> Shadow_pages.page_count sp
+
+let dirty_pages = function
+  | Undo log -> Undo_log.dirty_pages log
+  | Shadow sp -> Shadow_pages.dirty_pages sp
+
+let is_empty = function
+  | Undo log -> Undo_log.is_empty log
+  | Shadow sp -> Shadow_pages.is_empty sp
+
+let clear = function Undo log -> Undo_log.clear log | Shadow sp -> Shadow_pages.clear sp

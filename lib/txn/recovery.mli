@@ -1,0 +1,38 @@
+(** Per-transaction recovery state, abstracting over the paper's two local
+    UNDO mechanisms: undo logs and shadow pages (§4.1). Both record enough
+    to restore every page the transaction (and its pre-committed
+    descendants) wrote; they differ in bookkeeping — a log entry per write
+    versus a snapshot per first-touched page. *)
+
+type strategy = Undo_logging | Shadow_paging
+
+val strategy_of_string : string -> (strategy, string) result
+val strategy_to_string : strategy -> string
+
+type t
+
+val create : strategy -> t
+
+val note_write : t -> oid:Objmodel.Oid.t -> page:int -> pre_image:int -> unit
+(** Record that the transaction is writing the page whose current (about to
+    be overwritten) version is [pre_image]. *)
+
+val merge_into_parent : child:t -> parent:t -> unit
+(** Pre-commit disposition; the child becomes empty.
+    @raise Invalid_argument if the two use different strategies. *)
+
+val restore_plan : t -> (Objmodel.Oid.t * int * int) list
+(** The (object, page, version) restores an abort must apply, in order.
+    Applying them sequentially over a page store returns every touched page
+    to its pre-transaction version. *)
+
+val restore_cost_units : t -> int
+(** Work units an abort costs: log entries replayed, or shadow pages
+    reinstated. *)
+
+val dirty_pages : t -> (Objmodel.Oid.t * int) list
+(** Deduplicated pages written — the dirty-page info piggybacked on the
+    family's global release. *)
+
+val is_empty : t -> bool
+val clear : t -> unit

@@ -1,0 +1,34 @@
+open Objmodel
+
+module Key = struct
+  type t = Oid.t * int
+
+  let equal (o1, p1) (o2, p2) = Oid.equal o1 o2 && Int.equal p1 p2
+  let hash = Hashtbl.hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+
+type t = { shadows : int Tbl.t }
+
+let create () = { shadows = Tbl.create 16 }
+
+let note_write t ~oid ~page ~pre_image =
+  if not (Tbl.mem t.shadows (oid, page)) then Tbl.add t.shadows (oid, page) pre_image
+
+let has_shadow t ~oid ~page = Tbl.mem t.shadows (oid, page)
+
+let merge_into_parent ~child ~parent =
+  Tbl.iter
+    (fun key pre ->
+      if not (Tbl.mem parent.shadows key) then Tbl.add parent.shadows key pre)
+    child.shadows;
+  Tbl.reset child.shadows
+
+let shadows t = Tbl.fold (fun (oid, page) pre acc -> (oid, page, pre) :: acc) t.shadows []
+
+let dirty_pages t = Tbl.fold (fun key _ acc -> key :: acc) t.shadows []
+
+let page_count t = Tbl.length t.shadows
+let is_empty t = Tbl.length t.shadows = 0
+let clear t = Tbl.reset t.shadows

@@ -1,0 +1,38 @@
+(** Shadow-page recovery — the paper's alternative to undo logs (§4.1:
+    "the UNDO operations ... may be done using either local UNDO logs or
+    shadow pages. In either case, no network communication is required.")
+
+    Instead of logging every write, a transaction snapshots a page's
+    pre-image the {e first} time it touches the page; an abort restores the
+    snapshots, a pre-commit hands them to the parent (who keeps its own
+    older snapshot when both have one — the parent's pre-image is the
+    correct restore point for the merged transaction). Compared to an undo
+    log this stores one entry per touched page rather than one per write,
+    at the cost of a lookup per write. *)
+
+type t
+
+val create : unit -> t
+
+val note_write : t -> oid:Objmodel.Oid.t -> page:int -> pre_image:int -> unit
+(** Record the pre-image unless a shadow for the page already exists. Call
+    before (or with) every page write with the page's current version. *)
+
+val has_shadow : t -> oid:Objmodel.Oid.t -> page:int -> bool
+
+val merge_into_parent : child:t -> parent:t -> unit
+(** Pre-commit: the parent adopts the child's shadows for pages it has not
+    itself shadowed; its own (older) shadows win otherwise. The child
+    becomes empty. *)
+
+val shadows : t -> (Objmodel.Oid.t * int * int) list
+(** All (object, page, pre-image version) snapshots, unordered — exactly
+    what an abort must restore. *)
+
+val dirty_pages : t -> (Objmodel.Oid.t * int) list
+(** Pages shadowed (= pages written by this transaction or its committed
+    descendants). *)
+
+val page_count : t -> int
+val is_empty : t -> bool
+val clear : t -> unit

@@ -1,0 +1,18 @@
+(** Transaction identifiers.
+
+    Every method invocation is a transaction; identifiers are unique across
+    the whole simulated system and never reused (a retried root is a new
+    transaction). *)
+
+type t = private int
+
+val of_int : int -> t
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,31 @@
+(** Random workload generation: catalog plus root-transaction stream.
+
+    Determinism: the same spec and page size produce exactly the same catalog
+    and roots. Every root also carries its own seed, so its branch and
+    failure draws are independent of cross-family interleaving — which makes
+    byte counts comparable when the same workload runs under different
+    protocols.
+
+    Recursion preclusion (paper §3.4): the reference graph is generated as a
+    DAG — object [i]'s slots only point to objects with larger identifiers —
+    so no invocation chain can revisit an object. *)
+
+type root_spec = {
+  at : float;  (** absolute submission time, µs *)
+  node : int;
+  oid : Objmodel.Oid.t;
+  meth : string;
+  seed : int;  (** the root's private random stream *)
+}
+
+type t = {
+  spec : Spec.t;
+  catalog : Objmodel.Catalog.t;
+  roots : root_spec list;  (** ascending by [at] *)
+}
+
+val generate : Spec.t -> page_size:int -> t
+(** @raise Invalid_argument on an invalid spec. *)
+
+val method_name : int -> string
+(** ["m<i>"] — the naming scheme used for generated methods. *)

@@ -1,0 +1,36 @@
+type contention = High | Moderate
+type size = Medium | Large
+
+let spec ?(seed = 42) ?(root_count = 200) contention size =
+  let object_count = match contention with High -> 20 | Moderate -> 100 in
+  let min_pages, max_pages = match size with Medium -> (1, 5) | Large -> (10, 20) in
+  {
+    Spec.default with
+    Spec.seed;
+    object_count;
+    min_pages;
+    max_pages;
+    root_count;
+    node_count = 8;
+    (* Large objects execute longer; keep arrivals brisk so conflicts stay
+       frequent — the paper expressly induces high degrees of conflict. *)
+    arrival_mean_us = (match contention with High -> 100.0 | Moderate -> 150.0);
+  }
+
+let medium_high = spec High Medium
+let large_high = spec High Large
+let medium_moderate = spec Moderate Medium
+let large_moderate = spec Moderate Large
+
+let name contention size =
+  Printf.sprintf "%s-%s"
+    (match size with Medium -> "medium" | Large -> "large")
+    (match contention with High -> "high" | Moderate -> "moderate")
+
+let all =
+  [
+    (name High Medium, medium_high);
+    (name High Large, large_high);
+    (name Moderate Medium, medium_moderate);
+    (name Moderate Large, large_moderate);
+  ]

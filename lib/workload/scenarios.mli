@@ -1,0 +1,26 @@
+(** The paper's evaluation scenarios (§5).
+
+    High contention uses few shared objects (20) under 200 transactions;
+    moderate contention spreads the same transaction load over 100 objects.
+    Medium objects span 1–5 pages, large objects 10–20 pages (paper Figures
+    2–5). *)
+
+type contention = High | Moderate
+type size = Medium | Large
+
+val spec : ?seed:int -> ?root_count:int -> contention -> size -> Spec.t
+
+val medium_high : Spec.t
+(** Figure 2 *)
+
+val large_high : Spec.t
+(** Figure 3 *)
+
+val medium_moderate : Spec.t
+(** Figure 4 *)
+
+val large_moderate : Spec.t
+(** Figure 5 *)
+
+val name : contention -> size -> string
+val all : (string * Spec.t) list

@@ -1,0 +1,76 @@
+type t = {
+  seed : int;
+  object_count : int;
+  min_pages : int;
+  max_pages : int;
+  root_count : int;
+  node_count : int;
+  arrival_mean_us : float;
+  methods_per_class : int;
+  attr_size_bytes : int;
+  access_fraction : float;
+  access_density : float;
+  scatter_probability : float;
+  write_fraction : float;
+  branch_probability : float;
+  branch_taken_probability : float;
+  invoke_probability : float;
+  max_ref_slots : int;
+  read_only_method_fraction : float;
+  access_skew : float;
+}
+
+let default =
+  {
+    seed = 42;
+    object_count = 40;
+    min_pages = 1;
+    max_pages = 5;
+    root_count = 100;
+    node_count = 8;
+    arrival_mean_us = 150.0;
+    methods_per_class = 4;
+    attr_size_bytes = 256;
+    access_fraction = 0.55;
+    access_density = 0.9;
+    scatter_probability = 0.1;
+    write_fraction = 0.4;
+    branch_probability = 0.35;
+    branch_taken_probability = 0.5;
+    invoke_probability = 0.5;
+    max_ref_slots = 4;
+    read_only_method_fraction = 0.25;
+    access_skew = 0.0;
+  }
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (t.object_count > 0) "object_count must be positive" in
+  let* () = check (t.min_pages >= 1 && t.max_pages >= t.min_pages) "bad page range" in
+  let* () = check (t.root_count >= 0) "root_count must be >= 0" in
+  let* () = check (t.node_count > 0) "node_count must be positive" in
+  let* () = check (t.arrival_mean_us >= 0.0) "arrival_mean_us must be >= 0" in
+  let* () = check (t.methods_per_class > 0) "methods_per_class must be positive" in
+  let* () = check (t.attr_size_bytes > 0) "attr_size_bytes must be positive" in
+  let frac name v = check (v >= 0.0 && v <= 1.0) (name ^ " must be in [0,1]") in
+  let* () = frac "access_fraction" t.access_fraction in
+  let* () = frac "access_density" t.access_density in
+  let* () = frac "scatter_probability" t.scatter_probability in
+  let* () = frac "write_fraction" t.write_fraction in
+  let* () = frac "branch_probability" t.branch_probability in
+  let* () = frac "branch_taken_probability" t.branch_taken_probability in
+  let* () = frac "invoke_probability" t.invoke_probability in
+  let* () = frac "read_only_method_fraction" t.read_only_method_fraction in
+  let* () = check (t.max_ref_slots >= 0) "max_ref_slots must be >= 0" in
+  check (t.access_skew >= 0.0) "access_skew must be >= 0"
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>%d objects x %d-%d pages, %d roots over %d nodes@,\
+     access %.0f%%, write %.0f%%, branch %.0f%%, invoke %.0f%%%s (seed %d)@]"
+    t.object_count t.min_pages t.max_pages t.root_count t.node_count
+    (t.access_fraction *. 100.) (t.write_fraction *. 100.) (t.branch_probability *. 100.)
+    (t.invoke_probability *. 100.)
+    (if t.access_skew > 0.0 then Printf.sprintf ", skew %.2f" t.access_skew else "")
+    t.seed

@@ -1,0 +1,43 @@
+(** Workload parameters for randomly generated nested object transactions.
+
+    These are the knobs the paper varies: "the number of objects, the size of
+    the objects (in units of pages) and the number of transactions in order
+    to achieve a range of conflict scenarios" (§5). The rest shapes method
+    bodies so that methods access only a subset of an object's pages and
+    update only a subset of what they access — the property LOTEC exploits. *)
+
+type t = {
+  seed : int;
+  object_count : int;
+  min_pages : int;  (** object size lower bound, in pages *)
+  max_pages : int;
+  root_count : int;  (** transactions submitted *)
+  node_count : int;  (** must match the runtime's cluster size *)
+  arrival_mean_us : float;  (** mean exponential inter-arrival time of roots *)
+  methods_per_class : int;
+  attr_size_bytes : int;  (** attribute granularity *)
+  access_fraction : float;
+      (** fraction of an object's attributes covered by a method's access
+          window — methods touch a {e contiguous} region of the layout, as
+          real methods touch related fields, so predictions cover a strict
+          subset of the object's pages *)
+  access_density : float;  (** chance each attribute inside the window is accessed *)
+  scatter_probability : float;  (** chance of one extra access outside the window *)
+  write_fraction : float;  (** fraction of touched attributes that are written *)
+  branch_probability : float;  (** chance an access sits behind a data-dependent If *)
+  branch_taken_probability : float;  (** runtime chance the If executes its access *)
+  invoke_probability : float;  (** per reference slot, chance a method invokes through it *)
+  max_ref_slots : int;  (** outgoing references per object (DAG edges) *)
+  read_only_method_fraction : float;
+  access_skew : float;
+      (** Zipf-like skew of root-transaction targets: 0 = uniform over
+          objects (the default); larger values concentrate load on
+          low-numbered objects with weight 1/(rank+1)^skew — the uneven
+          per-object traffic visible in the paper's figures. *)
+}
+
+val default : t
+(** A medium-contention baseline; scenario presets override it. *)
+
+val validate : t -> (unit, string) result
+val pp : Format.formatter -> t -> unit

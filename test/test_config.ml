@@ -1,0 +1,39 @@
+(* Tests for Core.Config validation. *)
+
+let test_default_valid () =
+  Alcotest.(check bool) "default" true (Core.Config.validate Core.Config.default = Ok ())
+
+let expect_invalid name cfg =
+  Alcotest.(check bool) name true (Result.is_error (Core.Config.validate cfg))
+
+let test_invalid_fields () =
+  expect_invalid "nodes" { Core.Config.default with Core.Config.node_count = 0 };
+  expect_invalid "page size" { Core.Config.default with Core.Config.page_size = -1 };
+  expect_invalid "bandwidth"
+    {
+      Core.Config.default with
+      Core.Config.link = { Sim.Network.bandwidth_bps = 0.0; software_cost_us = 1.0 };
+    };
+  expect_invalid "software cost"
+    {
+      Core.Config.default with
+      Core.Config.link = { Sim.Network.bandwidth_bps = 1e8; software_cost_us = -1.0 };
+    };
+  expect_invalid "abort probability"
+    { Core.Config.default with Core.Config.abort_probability = 1.5 };
+  expect_invalid "retries" { Core.Config.default with Core.Config.max_sub_retries = -1 };
+  expect_invalid "backoff" { Core.Config.default with Core.Config.root_retry_backoff_us = -5.0 }
+
+let test_pp_mentions_protocol () =
+  let s = Format.asprintf "%a" Core.Config.pp Core.Config.default in
+  Alcotest.(check bool) "prints" true (String.length s > 0)
+
+let tests =
+  [
+    ( "config",
+      [
+        Alcotest.test_case "default valid" `Quick test_default_valid;
+        Alcotest.test_case "invalid fields" `Quick test_invalid_fields;
+        Alcotest.test_case "pp" `Quick test_pp_mentions_protocol;
+      ] );
+  ]

@@ -1,0 +1,233 @@
+(* Tests for the experiment harness: runner, figure generators, summary,
+   ablations, report rendering. Uses shrunk scenarios to stay fast. *)
+
+let small name contention size =
+  (name, Workload.Scenarios.spec ~seed:11 ~root_count:30 contention size)
+
+let test_report_render () =
+  let s =
+    Experiments.Report.render ~header:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check bool) "right aligned" true (List.nth lines 2 = "  1   2")
+
+let test_report_formats () =
+  Alcotest.(check string) "bytes" "1,234,567" (Experiments.Report.fmt_bytes 1234567);
+  Alcotest.(check string) "small bytes" "42" (Experiments.Report.fmt_bytes 42);
+  Alcotest.(check string) "us" "3.1" (Experiments.Report.fmt_us 3.14);
+  Alcotest.(check string) "pct" "-12.5%" (Experiments.Report.fmt_pct (-12.5))
+
+let test_bar_chart () =
+  let chart =
+    Experiments.Report.bar_chart ~width:10
+      [
+        { Experiments.Report.group = "O1"; bars = [ ("A", 100.0); ("B", 50.0) ] };
+        { Experiments.Report.group = "O2"; bars = [ ("A", 10.0); ("B", 0.0) ] };
+      ]
+  in
+  let lines = String.split_on_char '\n' (String.trim chart) in
+  Alcotest.(check int) "four bars" 4 (List.length lines);
+  (* Largest value gets the full width. *)
+  let first = List.hd lines in
+  Alcotest.(check bool) "max bar full width" true
+    (String.length (String.concat "" (String.split_on_char ' ' first)) >= 10);
+  let count_hashes s = String.fold_left (fun acc c -> if c = '#' then acc + 1 else acc) 0 s in
+  Alcotest.(check int) "full bar" 10 (count_hashes (List.nth lines 0));
+  Alcotest.(check int) "half bar" 5 (count_hashes (List.nth lines 1));
+  Alcotest.(check int) "min bar at least 1" 1 (count_hashes (List.nth lines 2));
+  Alcotest.(check int) "zero bar empty" 0 (count_hashes (List.nth lines 3))
+
+let test_fig_bytes_chart () =
+  let _, spec = small "c" Workload.Scenarios.High Workload.Scenarios.Medium in
+  let r = Experiments.Fig_bytes.run ~name:"chart-fig" spec in
+  let s = Format.asprintf "%a" (Experiments.Fig_bytes.pp_chart ~objects:4) r in
+  Alcotest.(check bool) "has bars" true (String.contains s '#');
+  Alcotest.(check bool) "mentions protocols" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length s && (String.sub s i 5 = "LOTEC" || contains (i + 1))
+    in
+    contains 0)
+
+let test_runner_executes () =
+  let name, spec = small "t" Workload.Scenarios.High Workload.Scenarios.Medium in
+  ignore name;
+  let wl = Workload.Generator.generate spec ~page_size:4096 in
+  let run = Experiments.Runner.execute ~protocol:Dsm.Protocol.Lotec wl in
+  let m = Experiments.Runner.metrics run in
+  Alcotest.(check int) "all roots committed" 30
+    (Dsm.Metrics.totals m).Dsm.Metrics.roots_committed;
+  Alcotest.(check bool) "traffic recorded" true (Dsm.Metrics.total_bytes m > 0)
+
+let fig_result () =
+  let _, spec = small "fig" Workload.Scenarios.High Workload.Scenarios.Medium in
+  Experiments.Fig_bytes.run ~name:"test-fig" spec
+
+let test_fig_bytes_structure () =
+  let r = fig_result () in
+  Alcotest.(check int) "three series" 3 (List.length r.Experiments.Fig_bytes.series);
+  List.iter
+    (fun (s : Experiments.Fig_bytes.series) ->
+      Alcotest.(check int) "per-object rows" 20 (List.length s.Experiments.Fig_bytes.bytes_per_object);
+      let sum = List.fold_left (fun acc (_, b) -> acc + b) 0 s.Experiments.Fig_bytes.bytes_per_object in
+      Alcotest.(check bool) "object bytes bounded by total" true
+        (sum <= s.Experiments.Fig_bytes.total_bytes))
+    r.Experiments.Fig_bytes.series;
+  (* The headline ordering. *)
+  match r.Experiments.Fig_bytes.series with
+  | [ c; o; l ] ->
+      Alcotest.(check bool) "otec <= cotec" true
+        (o.Experiments.Fig_bytes.total_bytes <= c.Experiments.Fig_bytes.total_bytes);
+      Alcotest.(check bool) "lotec <= otec" true
+        (l.Experiments.Fig_bytes.total_bytes <= o.Experiments.Fig_bytes.total_bytes)
+  | _ -> Alcotest.fail "series order"
+
+let test_fig_bytes_top_objects () =
+  let r = fig_result () in
+  let top = Experiments.Fig_bytes.top_objects r 5 in
+  Alcotest.(check int) "five objects" 5 (List.length top);
+  let sorted = List.sort Objmodel.Oid.compare top in
+  Alcotest.(check bool) "ascending" true (top = sorted)
+
+let test_fig_bytes_pp () =
+  let r = fig_result () in
+  let s = Format.asprintf "%a" Experiments.Fig_bytes.pp r in
+  Alcotest.(check bool) "mentions totals" true
+    (String.length s > 0
+    &&
+    let rec contains i =
+      i + 5 <= String.length s && (String.sub s i 5 = "TOTAL" || contains (i + 1))
+    in
+    contains 0)
+
+let test_fig_time_grid () =
+  let r = fig_result () in
+  let ft = Experiments.Fig_time.of_runs ~name:"t6" ~bandwidth_bps:1e7 r.Experiments.Fig_bytes.runs in
+  Alcotest.(check int) "five software costs" 5 (List.length ft.Experiments.Fig_time.per_object);
+  Alcotest.(check int) "five total cells" 5 (List.length ft.Experiments.Fig_time.totals);
+  List.iter
+    (fun (c : Experiments.Fig_time.cell) ->
+      Alcotest.(check int) "three protocols" 3 (List.length c.Experiments.Fig_time.time_us);
+      List.iter
+        (fun (_, t) -> Alcotest.(check bool) "positive time" true (t > 0.0))
+        c.Experiments.Fig_time.time_us)
+    ft.Experiments.Fig_time.totals;
+  (* Times decrease as software cost drops (same bytes, fewer overheads). *)
+  let lotec_times =
+    List.map (fun (c : Experiments.Fig_time.cell) ->
+        List.assoc Dsm.Protocol.Lotec c.Experiments.Fig_time.time_us)
+      ft.Experiments.Fig_time.totals
+  in
+  let rec decreasing = function
+    | a :: b :: rest -> a >= b && decreasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone in software cost" true (decreasing lotec_times)
+
+let test_fig_time_bandwidth_effect () =
+  (* At slow links LOTEC (fewest bytes) must beat COTEC on total time. *)
+  let r = fig_result () in
+  let slow = Experiments.Fig_time.of_runs ~name:"slow" ~bandwidth_bps:1e7 r.Experiments.Fig_bytes.runs in
+  let cell = List.hd slow.Experiments.Fig_time.totals in
+  let time p = List.assoc p cell.Experiments.Fig_time.time_us in
+  Alcotest.(check bool) "lotec wins at 10 Mbps" true
+    (time Dsm.Protocol.Lotec < time Dsm.Protocol.Cotec)
+
+let test_fig_time_crossover_none_or_some () =
+  let r = fig_result () in
+  let ft = Experiments.Fig_time.of_runs ~name:"x" ~bandwidth_bps:1e9 r.Experiments.Fig_bytes.runs in
+  (* crossover returns either a grid value or None; both acceptable, but it
+     must come from the grid. *)
+  match Experiments.Fig_time.crossover ft ~faster:Dsm.Protocol.Lotec ~than:Dsm.Protocol.Otec with
+  | None -> ()
+  | Some v ->
+      Alcotest.(check bool) "from grid" true (List.mem v Experiments.Fig_time.software_costs_us)
+
+let test_summary_ratios () =
+  let r = fig_result () in
+  let s = Experiments.Summary.of_figures [ r ] in
+  match s.Experiments.Summary.rows with
+  | [ row ] ->
+      Alcotest.(check bool) "otec reduction negative" true
+        (row.Experiments.Summary.otec_vs_cotec_pct <= 0.0);
+      Alcotest.(check bool) "lotec reduction negative" true
+        (row.Experiments.Summary.lotec_vs_otec_pct <= 0.0);
+      Alcotest.(check bool) "bytes ordered" true
+        (row.Experiments.Summary.lotec_bytes <= row.Experiments.Summary.otec_bytes
+        && row.Experiments.Summary.otec_bytes <= row.Experiments.Summary.cotec_bytes)
+  | _ -> Alcotest.fail "one row"
+
+let test_summary_skips_incomplete () =
+  let _, spec = small "o" Workload.Scenarios.High Workload.Scenarios.Medium in
+  let only_lotec =
+    Experiments.Fig_bytes.run ~protocols:[ Dsm.Protocol.Lotec ] ~name:"partial" spec
+  in
+  let s = Experiments.Summary.of_figures [ only_lotec ] in
+  Alcotest.(check int) "skipped" 0 (List.length s.Experiments.Summary.rows)
+
+let test_ablation_rc () =
+  let _, spec = small "rc" Workload.Scenarios.High Workload.Scenarios.Medium in
+  let r = Experiments.Ablation.rc_comparison ~spec () in
+  Alcotest.(check int) "five rows" 5 (List.length r.Experiments.Ablation.rows);
+  let find l =
+    List.find (fun (row : Experiments.Ablation.row) -> row.Experiments.Ablation.label = l)
+      r.Experiments.Ablation.rows
+  in
+  let rc = find "RC-NESTED" and lotec = find "LOTEC" in
+  Alcotest.(check bool) "rc sends more bytes" true
+    (rc.Experiments.Ablation.total_bytes > lotec.Experiments.Ablation.total_bytes);
+  let mc = find "RC-NESTED+multicast" in
+  Alcotest.(check bool) "multicast fewer bytes than rc" true
+    (mc.Experiments.Ablation.total_bytes < rc.Experiments.Ablation.total_bytes)
+
+let test_ablation_replication () =
+  let _, spec = small "rep" Workload.Scenarios.High Workload.Scenarios.Medium in
+  let r = Experiments.Ablation.replication_comparison ~spec () in
+  match r.Experiments.Ablation.rows with
+  | [ r0; r1; r2 ] ->
+      (* Each replica adds control messages, asynchronously (latency flat). *)
+      Alcotest.(check bool) "messages grow" true
+        (r0.Experiments.Ablation.total_messages < r1.Experiments.Ablation.total_messages
+        && r1.Experiments.Ablation.total_messages < r2.Experiments.Ablation.total_messages);
+      Alcotest.(check bool) "bytes grow" true
+        (r0.Experiments.Ablation.total_bytes < r1.Experiments.Ablation.total_bytes);
+      let flat a b = Float.abs (a -. b) /. Float.max a 1.0 < 0.02 in
+      Alcotest.(check bool) "latency unaffected" true
+        (flat r0.Experiments.Ablation.mean_root_latency_us
+           r2.Experiments.Ablation.mean_root_latency_us)
+  | _ -> Alcotest.fail "three rows"
+
+let test_ablation_prefetch () =
+  let _, spec = small "pf" Workload.Scenarios.Moderate Workload.Scenarios.Medium in
+  let r = Experiments.Ablation.prefetch_comparison ~spec () in
+  Alcotest.(check int) "two rows for custom spec" 2 (List.length r.Experiments.Ablation.rows);
+  List.iter
+    (fun (row : Experiments.Ablation.row) ->
+      Alcotest.(check bool) "latency recorded" true (row.Experiments.Ablation.mean_root_latency_us > 0.0))
+    r.Experiments.Ablation.rows
+
+let tests =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "report render" `Quick test_report_render;
+        Alcotest.test_case "report formats" `Quick test_report_formats;
+        Alcotest.test_case "bar chart" `Quick test_bar_chart;
+        Alcotest.test_case "fig bytes chart" `Quick test_fig_bytes_chart;
+        Alcotest.test_case "runner executes" `Quick test_runner_executes;
+        Alcotest.test_case "fig bytes structure" `Quick test_fig_bytes_structure;
+        Alcotest.test_case "fig bytes top objects" `Quick test_fig_bytes_top_objects;
+        Alcotest.test_case "fig bytes pp" `Quick test_fig_bytes_pp;
+        Alcotest.test_case "fig time grid" `Quick test_fig_time_grid;
+        Alcotest.test_case "fig time bandwidth effect" `Quick test_fig_time_bandwidth_effect;
+        Alcotest.test_case "fig time crossover" `Quick test_fig_time_crossover_none_or_some;
+        Alcotest.test_case "summary ratios" `Quick test_summary_ratios;
+        Alcotest.test_case "summary skips incomplete" `Quick test_summary_skips_incomplete;
+        Alcotest.test_case "ablation rc" `Slow test_ablation_rc;
+        Alcotest.test_case "ablation replication" `Slow test_ablation_replication;
+        Alcotest.test_case "ablation prefetch" `Slow test_ablation_prefetch;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+(* Tests for Sim.Heap. *)
+
+open Sim
+
+let int_heap () = Heap.create ~cmp:Int.compare
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap") (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_ordering () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check int) "length" 7 (Heap.length h);
+  Alcotest.(check (option int)) "peek" (Some 1) (Heap.peek h);
+  let drained = List.init 7 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list int)) "ascending drain" [ 1; 1; 2; 3; 4; 5; 9 ] drained;
+  Alcotest.(check bool) "empty after drain" true (Heap.is_empty h)
+
+let test_interleaved () =
+  let h = int_heap () in
+  Heap.push h 10;
+  Heap.push h 5;
+  Alcotest.(check (option int)) "pop min" (Some 5) (Heap.pop h);
+  Heap.push h 1;
+  Heap.push h 7;
+  Alcotest.(check (option int)) "pop new min" (Some 1) (Heap.pop h);
+  Alcotest.(check (option int)) "then 7" (Some 7) (Heap.pop h);
+  Alcotest.(check (option int)) "then 10" (Some 10) (Heap.pop h)
+
+let test_to_sorted_list_preserves () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "sorted copy" [ 1; 2; 3 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "heap unchanged" 3 (Heap.length h)
+
+let test_clear () =
+  let h = int_heap () in
+  List.iter (Heap.push h) [ 1; 2; 3 ];
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h);
+  Heap.push h 42;
+  Alcotest.(check (option int)) "usable after clear" (Some 42) (Heap.pop h)
+
+let test_custom_order () =
+  let h = Heap.create ~cmp:(fun a b -> Int.compare b a) in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (option int)) "max-heap" (Some 3) (Heap.pop h)
+
+let test_stability_via_pairs () =
+  (* Events with equal keys must come out in sequence order when the
+     comparison includes a tiebreaker, as the engine's does. *)
+  let h =
+    Heap.create ~cmp:(fun (t1, s1) (t2, s2) ->
+        let c = Int.compare t1 t2 in
+        if c <> 0 then c else Int.compare s1 s2)
+  in
+  List.iter (Heap.push h) [ (1, 0); (1, 1); (0, 2); (1, 3) ];
+  let order = List.init 4 (fun _ -> Heap.pop_exn h) in
+  Alcotest.(check (list (pair int int))) "fifo among equal keys"
+    [ (0, 2); (1, 0); (1, 1); (1, 3) ]
+    order
+
+let qcheck_sorted_drain =
+  QCheck.Test.make ~name:"heap drains sorted" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = int_heap () in
+      List.iter (Heap.push h) xs;
+      let drained = List.init (List.length xs) (fun _ -> Heap.pop_exn h) in
+      drained = List.sort Int.compare xs)
+
+let tests =
+  [
+    ( "heap",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "interleaved" `Quick test_interleaved;
+        Alcotest.test_case "to_sorted_list" `Quick test_to_sorted_list_preserves;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "custom order" `Quick test_custom_order;
+        Alcotest.test_case "tiebreaker order" `Quick test_stability_via_pairs;
+        QCheck_alcotest.to_alcotest qcheck_sorted_drain;
+      ] );
+  ]

@@ -1,0 +1,29 @@
+(* Aggregated test entry point: every module contributes suites. *)
+
+let () =
+  Alcotest.run "lotec"
+    (List.concat
+       [
+         Test_prng.tests;
+         Test_heap.tests;
+         Test_engine.tests;
+         Test_network.tests;
+         Test_trace.tests;
+         Test_objmodel.tests;
+         Test_txn.tests;
+         Test_directory.tests;
+         Test_lock_model.tests;
+         Test_dsm.tests;
+         Test_serializability.tests;
+         Test_config.tests;
+         Test_recovery.tests;
+         Test_runtime.tests;
+         Test_runtime_edge.tests;
+         Test_workload.tests;
+         Test_experiments.tests;
+         Test_stats.tests;
+         Test_sweeps.tests;
+         Test_properties.tests;
+         Test_soak.tests;
+         Test_edge_cases.tests;
+       ])

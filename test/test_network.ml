@@ -1,0 +1,125 @@
+(* Tests for the simulated interconnect. *)
+
+open Sim
+
+let test_transfer_time () =
+  let link = { Network.bandwidth_bps = 1e8; software_cost_us = 20.0 } in
+  (* 1250 bytes = 10,000 bits; at 100 Mbps that's 100 us on the wire. *)
+  Alcotest.(check (float 0.001)) "sw + serialisation" 120.0 (Network.transfer_time_us link 1250);
+  Alcotest.(check (float 0.001)) "zero bytes = sw only" 20.0 (Network.transfer_time_us link 0)
+
+let test_preset_links () =
+  Alcotest.(check (float 1.0)) "10 Mbps" 1e7 Network.link_10mbps.Network.bandwidth_bps;
+  Alcotest.(check (float 1.0)) "100 Mbps" 1e8 Network.link_100mbps.Network.bandwidth_bps;
+  Alcotest.(check (float 1.0)) "1 Gbps" 1e9 Network.link_1gbps.Network.bandwidth_bps
+
+let make ?on_message () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~node_count:3 ~link:Network.link_100mbps ?on_message () in
+  (engine, net)
+
+let test_delivery_and_latency () =
+  let engine, net = make () in
+  let arrived = ref (-1.0) in
+  let got = ref "" in
+  Network.set_handler net ~node:1 (fun ~src msg ->
+      Alcotest.(check int) "src" 0 src;
+      got := msg;
+      arrived := Engine.now engine);
+  Network.set_handler net ~node:0 (fun ~src:_ _ -> ());
+  Network.set_handler net ~node:2 (fun ~src:_ _ -> ());
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:1250 ~tag:7 "hello";
+  Engine.run engine;
+  Alcotest.(check string) "payload" "hello" !got;
+  Alcotest.(check (float 0.001)) "latency" 120.0 !arrived
+
+let test_stats_and_kinds () =
+  let engine, net = make () in
+  List.iter (fun n -> Network.set_handler net ~node:n (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:1 "c";
+  Network.send net ~src:1 ~dst:2 ~kind:Network.Data ~bytes:4000 ~tag:2 "d";
+  Engine.run engine;
+  let s = Network.stats net in
+  Alcotest.(check int) "messages" 2 s.Network.messages;
+  Alcotest.(check int) "bytes" 4100 s.Network.bytes;
+  Alcotest.(check int) "control msgs" 1 s.Network.control_messages;
+  Alcotest.(check int) "control bytes" 100 s.Network.control_bytes;
+  Alcotest.(check int) "data msgs" 1 s.Network.data_messages;
+  Alcotest.(check int) "data bytes" 4000 s.Network.data_bytes
+
+let test_local_send_not_counted () =
+  let hook_calls = ref 0 in
+  let engine, net = make ~on_message:(fun ~src:_ ~dst:_ ~kind:_ ~bytes:_ ~tag:_ -> incr hook_calls) () in
+  let delivered = ref false in
+  Network.set_handler net ~node:0 (fun ~src:_ _ -> delivered := true);
+  Network.send net ~src:0 ~dst:0 ~kind:Network.Data ~bytes:9999 ~tag:1 "self";
+  Engine.run engine;
+  Alcotest.(check bool) "delivered" true !delivered;
+  Alcotest.(check int) "not counted" 0 (Network.stats net).Network.messages;
+  Alcotest.(check int) "hook not fired" 0 !hook_calls
+
+let test_on_message_hook () =
+  let seen = ref [] in
+  let engine, net =
+    make ~on_message:(fun ~src ~dst ~kind:_ ~bytes ~tag -> seen := (src, dst, bytes, tag) :: !seen) ()
+  in
+  List.iter (fun n -> Network.set_handler net ~node:n (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  Network.send net ~src:2 ~dst:0 ~kind:Network.Data ~bytes:500 ~tag:42 "x";
+  Engine.run engine;
+  Alcotest.(check (list (pair (pair int int) (pair int int))))
+    "hook saw message"
+    [ ((2, 0), (500, 42)) ]
+    (List.map (fun (a, b, c, d) -> ((a, b), (c, d))) !seen)
+
+let test_missing_handler () =
+  let engine, net = make () in
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:10 ~tag:0 "x";
+  Alcotest.check_raises "no handler" (Invalid_argument "Network: node 1 has no handler")
+    (fun () -> Engine.run engine)
+
+let test_bad_node () =
+  let _, net = make () in
+  Alcotest.check_raises "bad node" (Invalid_argument "Network: node id out of range") (fun () ->
+      Network.send net ~src:0 ~dst:5 ~kind:Network.Control ~bytes:1 ~tag:0 "x")
+
+let test_fifo_between_pair () =
+  (* Equal-size messages between the same pair deliver in send order. *)
+  let engine, net = make () in
+  let got = ref [] in
+  List.iter (fun n -> Network.set_handler net ~node:n (fun ~src:_ m -> got := m :: !got)) [ 0; 1; 2 ];
+  List.iter
+    (fun m -> Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 m)
+    [ "1"; "2"; "3" ];
+  Engine.run engine;
+  Alcotest.(check (list string)) "in order" [ "1"; "2"; "3" ] (List.rev !got)
+
+let test_fifo_small_does_not_overtake_large () =
+  (* A later small message must not overtake an earlier large one on the
+     same channel (connection FIFO), but is free to on another channel. *)
+  let engine, net = make () in
+  let got = ref [] in
+  List.iter (fun n -> Network.set_handler net ~node:n (fun ~src:_ m -> got := m :: !got)) [ 0; 1; 2 ];
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Data ~bytes:1_000_000 ~tag:0 "big";
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:10 ~tag:0 "small-same";
+  Network.send net ~src:2 ~dst:1 ~kind:Network.Control ~bytes:10 ~tag:0 "small-other";
+  Engine.run engine;
+  Alcotest.(check (list string)) "channel fifo preserved"
+    [ "small-other"; "big"; "small-same" ]
+    (List.rev !got)
+
+let tests =
+  [
+    ( "network",
+      [
+        Alcotest.test_case "transfer time" `Quick test_transfer_time;
+        Alcotest.test_case "preset links" `Quick test_preset_links;
+        Alcotest.test_case "delivery and latency" `Quick test_delivery_and_latency;
+        Alcotest.test_case "stats and kinds" `Quick test_stats_and_kinds;
+        Alcotest.test_case "local send not counted" `Quick test_local_send_not_counted;
+        Alcotest.test_case "on_message hook" `Quick test_on_message_hook;
+        Alcotest.test_case "missing handler" `Quick test_missing_handler;
+        Alcotest.test_case "bad node" `Quick test_bad_node;
+        Alcotest.test_case "fifo between pair" `Quick test_fifo_between_pair;
+        Alcotest.test_case "fifo no overtaking" `Quick test_fifo_small_does_not_overtake_large;
+      ] );
+  ]

@@ -1,0 +1,161 @@
+(* Tests for Sim.Prng: determinism, ranges, splitting, sampling. *)
+
+open Sim
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_different_seeds () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Prng.bits64 a) (Prng.bits64 b) then incr same
+  done;
+  check bool_c "streams differ" true (!same < 4)
+
+let test_copy () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  check Alcotest.int64 "copy continues identically" (Prng.bits64 a) (Prng.bits64 b)
+
+let test_split_independence () =
+  let a = Prng.create ~seed:99 in
+  let b = Prng.split a in
+  (* Drawing from the parent after the split must not change the child's
+     stream relative to a fresh identical split. *)
+  let a2 = Prng.create ~seed:99 in
+  let b2 = Prng.split a2 in
+  ignore (Prng.bits64 a2);
+  check Alcotest.int64 "child stream is self-contained" (Prng.bits64 b) (Prng.bits64 b2)
+
+let test_int_range () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    check bool_c "in range" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Prng.create ~seed:5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0))
+
+let test_int_in () =
+  let rng = Prng.create ~seed:6 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    let v = Prng.int_in rng 3 7 in
+    check bool_c "in [3,7]" true (v >= 3 && v <= 7);
+    seen.(v - 3) <- true
+  done;
+  check bool_c "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Prng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 2.5 in
+    check bool_c "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Prng.create ~seed:9 in
+  for _ = 1 to 100 do
+    check bool_c "p=0 never" false (Prng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    check bool_c "p=1 always" true (Prng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_rate () =
+  let rng = Prng.create ~seed:10 in
+  let hits = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check bool_c "rate near 0.3" true (rate > 0.25 && rate < 0.35)
+
+let test_pick () =
+  let rng = Prng.create ~seed:11 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    check bool_c "member" true (Array.exists (( = ) (Prng.pick rng arr)) arr)
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Prng.pick: empty array") (fun () ->
+      ignore (Prng.pick rng [||]))
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create ~seed:12 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array int_c) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create ~seed:13 in
+  let s = Prng.sample_without_replacement rng 10 30 in
+  check int_c "size" 10 (List.length s);
+  check int_c "distinct" 10 (List.length (List.sort_uniq compare s));
+  List.iter (fun v -> check bool_c "in range" true (v >= 0 && v < 30)) s;
+  Alcotest.check_raises "k > n" (Invalid_argument "Prng.sample_without_replacement: k > n")
+    (fun () -> ignore (Prng.sample_without_replacement rng 5 3))
+
+let test_exponential () =
+  let rng = Prng.create ~seed:14 in
+  let n = 10_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Prng.exponential rng ~mean:50.0 in
+    Alcotest.check bool_c "positive" true (v >= 0.0);
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  check bool_c "mean near 50" true (mean > 45.0 && mean < 55.0)
+
+let test_geometric () =
+  let rng = Prng.create ~seed:15 in
+  check int_c "p=1 is 0" 0 (Prng.geometric rng ~p:1.0);
+  for _ = 1 to 100 do
+    check bool_c "non-negative" true (Prng.geometric rng ~p:0.3 >= 0)
+  done
+
+let qcheck_int_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let v = Prng.int rng bound in
+      v >= 0 && v < bound)
+
+let tests =
+  [
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "different seeds" `Quick test_different_seeds;
+        Alcotest.test_case "copy" `Quick test_copy;
+        Alcotest.test_case "split independence" `Quick test_split_independence;
+        Alcotest.test_case "int range" `Quick test_int_range;
+        Alcotest.test_case "int rejects non-positive" `Quick test_int_rejects_nonpositive;
+        Alcotest.test_case "int_in" `Quick test_int_in;
+        Alcotest.test_case "float range" `Quick test_float_range;
+        Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+        Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+        Alcotest.test_case "pick" `Quick test_pick;
+        Alcotest.test_case "shuffle permutation" `Quick test_shuffle_is_permutation;
+        Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+        Alcotest.test_case "exponential mean" `Quick test_exponential;
+        Alcotest.test_case "geometric" `Quick test_geometric;
+        QCheck_alcotest.to_alcotest qcheck_int_bounds;
+      ] );
+  ]

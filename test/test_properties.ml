@@ -1,0 +1,186 @@
+(* Whole-system property tests: random small workloads, every protocol,
+   checked against the system's global invariants. These are the paper's
+   correctness claims (§4.3) exercised mechanically:
+
+   - every committed history is conflict-serializable;
+   - after a run, every GDO lock is free with no waiters (nothing leaks);
+   - the GDO page map never points at a node whose store lacks the version;
+   - per-acquisition data traffic keeps the LOTEC/OTEC/COTEC ordering
+     within the schedule-noise bounds quantified below;
+   - runs are deterministic. *)
+
+open Objmodel
+
+let spec_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* object_count = int_range 3 15 in
+    let* min_pages = int_range 1 4 in
+    let* extra = int_range 0 6 in
+    let* root_count = int_range 5 30 in
+    let* node_count = int_range 2 6 in
+    let* abort_pct = int_range 0 25 in
+    return (seed, object_count, (min_pages, min_pages + extra), root_count, node_count, abort_pct))
+
+let arb_spec =
+  QCheck.make
+    ~print:(fun (seed, oc, (lo, hi), rc, nc, ap) ->
+      Printf.sprintf "seed=%d objects=%d pages=%d-%d roots=%d nodes=%d abort%%=%d" seed oc lo hi
+        rc nc ap)
+    spec_gen
+
+let build (seed, object_count, (min_pages, max_pages), root_count, node_count, abort_pct) =
+  let spec =
+    {
+      Workload.Spec.default with
+      Workload.Spec.seed;
+      object_count;
+      min_pages;
+      max_pages;
+      root_count;
+      node_count;
+    }
+  in
+  let config =
+    {
+      Core.Config.default with
+      Core.Config.node_count;
+      abort_probability = float_of_int abort_pct /. 100.0;
+    }
+  in
+  (spec, config)
+
+let run_one ~protocol (spec, config) =
+  let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  Experiments.Runner.execute ~config ~protocol wl
+
+let all_locks_free run =
+  let rt = run.Experiments.Runner.runtime in
+  let dir = Core.Runtime.directory rt in
+  List.for_all
+    (fun o ->
+      Gdo.Directory.lock_state dir o = Gdo.Directory.Free
+      && Gdo.Directory.waiting_count dir o = 0
+      && Gdo.Directory.holders dir o = [])
+    (Catalog.oids (Core.Runtime.catalog rt))
+
+let page_map_consistent run =
+  let rt = run.Experiments.Runner.runtime in
+  let dir = Core.Runtime.directory rt in
+  List.for_all
+    (fun o ->
+      let nodes, versions = Gdo.Directory.page_map dir o in
+      Array.for_all Fun.id
+        (Array.mapi
+           (fun p node ->
+             Dsm.Page_store.version (Core.Runtime.store rt ~node) o ~page:p >= versions.(p))
+           nodes))
+    (Catalog.oids (Core.Runtime.catalog rt))
+
+(* Runner.execute already fails on non-serializable histories, so reaching
+   here implies serializability; we re-check explicitly for clarity. *)
+let serializable run =
+  match Core.Runtime.check_serializable run.Experiments.Runner.runtime with
+  | Core.Serializability.Serializable _ -> true
+  | Core.Serializability.Cyclic _ -> false
+
+let prop_invariants_all_protocols =
+  QCheck.Test.make ~name:"locks free, map consistent, serializable (all protocols)" ~count:25
+    arb_spec (fun params ->
+      let inputs = build params in
+      List.for_all
+        (fun protocol ->
+          let run = run_one ~protocol inputs in
+          all_locks_free run && page_map_consistent run && serializable run)
+        Dsm.Protocol.all)
+
+let prop_byte_ordering =
+  (* The per-acquisition subset property (LOTEC set ⊆ OTEC set ⊆ COTEC set
+     for a fixed staleness snapshot) is exact and tested at the
+     Protocol.transfer_set level. At the whole-system level, different
+     protocols produce different interleavings on tiny high-conflict
+     clusters — acquisition counts diverge, ownership ping-pongs
+     differently, staleness snapshots differ — so per-run cross-protocol
+     totals carry scheduling noise in both directions (observed: OTEC with
+     32 acquisitions where COTEC took 28; LOTEC 10 % above OTEC per
+     acquisition on a 2-node run). What must survive arbitrary schedules:
+     LOTEC per acquisition never exceeds COTEC's (the headline gap is
+     large), and the neighbouring comparisons hold within bounded noise.
+     The exact orderings are asserted on the paper's (bigger, deterministic)
+     scenarios elsewhere. *)
+  QCheck.Test.make ~name:"data bytes per acquisition: ordering within noise" ~count:20
+    arb_spec (fun params ->
+      let spec, config = build params in
+      (* Abort retries perturb schedules further; keep failure-free runs. *)
+      let config = { config with Core.Config.abort_probability = 0.0 } in
+      let per_acquisition protocol =
+        let m = Experiments.Runner.metrics (run_one ~protocol (spec, config)) in
+        let acq = (Dsm.Metrics.totals m).Dsm.Metrics.global_acquisitions in
+        if acq = 0 then 0.0
+        else float_of_int (Dsm.Metrics.total_data_bytes m) /. float_of_int acq
+      in
+      let cotec = per_acquisition Dsm.Protocol.Cotec in
+      let otec = per_acquisition Dsm.Protocol.Otec in
+      let lotec = per_acquisition Dsm.Protocol.Lotec in
+      (* On 1-2 page objects LOTEC degenerates to OTEC exactly, and on
+         2-node clusters schedule divergence alone moves per-acquisition
+         averages by up to ~30 % in either direction (observed: OTEC 5 %
+         above COTEC; LOTEC 29 % above OTEC with 12 % fewer acquisitions).
+         No strict inequality survives adversarial interleavings at this
+         scale. The margins below are regression detectors, not the paper's
+         claim: a LOTEC that stopped filtering (= COTEC behaviour) would
+         sit ~1.9x above OTEC and trip the 1.4 bound; the paper-scale
+         strict orderings are asserted on the deterministic scenarios. *)
+      lotec <= (cotec *. 1.15) +. 1.0
+      && lotec <= (otec *. 1.40) +. 1.0
+      && otec <= (cotec *. 1.25) +. 1.0)
+
+let prop_deterministic =
+  QCheck.Test.make ~name:"same inputs, same run" ~count:10 arb_spec (fun params ->
+      let inputs = build params in
+      let fingerprint () =
+        let run = run_one ~protocol:Dsm.Protocol.Lotec inputs in
+        let m = Experiments.Runner.metrics run in
+        ( Dsm.Metrics.total_bytes m,
+          Dsm.Metrics.total_messages m,
+          Dsm.Metrics.completion_time_us m,
+          (Dsm.Metrics.totals m).Dsm.Metrics.roots_committed )
+      in
+      fingerprint () = fingerprint ())
+
+let prop_all_roots_resolve =
+  QCheck.Test.make ~name:"every submitted root commits or gives up explicitly" ~count:20
+    arb_spec (fun params ->
+      let _, config = build params in
+      let spec, _ = build params in
+      let run = run_one ~protocol:Dsm.Protocol.Lotec (spec, config) in
+      let results = Core.Runtime.results run.Experiments.Runner.runtime in
+      List.length results = spec.Workload.Spec.root_count
+      && List.for_all
+           (fun (r : Core.Runtime.root_result) ->
+             r.Core.Runtime.completed_at >= r.Core.Runtime.submitted_at
+             && r.Core.Runtime.attempts >= 1)
+           results)
+
+let prop_demand_fetches_only_lazy =
+  QCheck.Test.make ~name:"demand fetches only under lazy protocols" ~count:15 arb_spec
+    (fun params ->
+      let inputs = build params in
+      List.for_all
+        (fun protocol ->
+          let run = run_one ~protocol inputs in
+          let t = Dsm.Metrics.totals (Experiments.Runner.metrics run) in
+          Dsm.Protocol.demand_fetch_allowed protocol || t.Dsm.Metrics.demand_fetches = 0)
+        [ Dsm.Protocol.Cotec; Dsm.Protocol.Otec; Dsm.Protocol.Lotec ])
+
+let tests =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest ~long:true prop_invariants_all_protocols;
+        QCheck_alcotest.to_alcotest ~long:true prop_byte_ordering;
+        QCheck_alcotest.to_alcotest ~long:true prop_deterministic;
+        QCheck_alcotest.to_alcotest ~long:true prop_all_roots_resolve;
+        QCheck_alcotest.to_alcotest ~long:true prop_demand_fetches_only_lazy;
+      ] );
+  ]

@@ -1,0 +1,406 @@
+(* Integration tests of the full runtime: nested transactions over the
+   simulated cluster, all four protocols. *)
+
+open Objmodel
+
+let oid = Oid.of_int
+
+(* A small banking world: two account objects (one page each) and a branch
+   object whose [transfer] method invokes a withdraw and a deposit —
+   a three-transaction family. *)
+
+let attr size name = Attribute.make ~name ~size_bytes:size
+
+let account_class ~page_size =
+  Obj_class.compile ~page_size
+    (Obj_class.define ~name:"Account"
+       ~attrs:[| attr 64 "balance"; attr 64 "last_txn" |]
+       ~methods:
+         [
+           Method_ir.make ~name:"deposit" ~body:[ Method_ir.Read 0; Method_ir.Write 0; Method_ir.Write 1 ];
+           Method_ir.make ~name:"audit" ~body:[ Method_ir.Read 0; Method_ir.Read 1 ];
+         ]
+       ~ref_slots:0)
+
+let branch_class ~page_size =
+  Obj_class.compile ~page_size
+    (Obj_class.define ~name:"Branch"
+       ~attrs:[| attr 64 "volume" |]
+       ~methods:
+         [
+           Method_ir.make ~name:"transfer"
+             ~body:
+               [
+                 Method_ir.Invoke { slot = 0; meth = "deposit" };
+                 Method_ir.Invoke { slot = 1; meth = "deposit" };
+                 Method_ir.Write 0;
+               ];
+           Method_ir.make ~name:"report"
+             ~body:
+               [
+                 Method_ir.Invoke { slot = 0; meth = "audit" };
+                 Method_ir.Invoke { slot = 1; meth = "audit" };
+                 Method_ir.Read 0;
+               ];
+         ]
+       ~ref_slots:2)
+
+let bank_catalog ~page_size =
+  let acct = account_class ~page_size in
+  let branch = branch_class ~page_size in
+  Catalog.create
+    [
+      { Catalog.oid = oid 0; cls = branch; refs = [| oid 1; oid 2 |] };
+      { Catalog.oid = oid 1; cls = acct; refs = [||] };
+      { Catalog.oid = oid 2; cls = acct; refs = [||] };
+    ]
+
+let make_runtime ?(protocol = Dsm.Protocol.Lotec) ?(nodes = 4) ?(config = Core.Config.default)
+    ?catalog () =
+  let config = { config with Core.Config.protocol; node_count = nodes } in
+  let catalog =
+    match catalog with Some c -> c | None -> bank_catalog ~page_size:config.Core.Config.page_size
+  in
+  Core.Runtime.create ~config ~catalog
+
+(* The GDO page map and the per-node stores must agree after a run: the node
+   a page maps to really holds that version. *)
+let check_consistency rt =
+  let cat = Core.Runtime.catalog rt in
+  let dir = Core.Runtime.directory rt in
+  List.iter
+    (fun o ->
+      let nodes, versions = Gdo.Directory.page_map dir o in
+      Array.iteri
+        (fun p node ->
+          let v = Dsm.Page_store.version (Core.Runtime.store rt ~node) o ~page:p in
+          if v < versions.(p) then
+            Alcotest.failf "page map says %a page %d v%d at node %d, store has v%d" Oid.pp o p
+              versions.(p) node v)
+        nodes)
+    (Catalog.oids cat)
+
+let check_serializable rt =
+  match Core.Runtime.check_serializable rt with
+  | Core.Serializability.Serializable _ -> ()
+  | Core.Serializability.Cyclic _ -> Alcotest.fail "history not serializable"
+
+let committed rt =
+  (Dsm.Metrics.totals (Core.Runtime.metrics rt)).Dsm.Metrics.roots_committed
+
+let test_single_root_commits () =
+  let rt = make_runtime () in
+  Core.Runtime.submit rt ~at:0.0 ~node:1 ~oid:(oid 0) ~meth:"transfer" ~seed:1;
+  Core.Runtime.run rt;
+  Alcotest.(check int) "committed" 1 (committed rt);
+  (match Core.Runtime.results rt with
+  | [ r ] ->
+      Alcotest.(check bool) "outcome" true (r.Core.Runtime.outcome = Core.Runtime.Committed);
+      Alcotest.(check int) "attempts" 1 r.Core.Runtime.attempts;
+      Alcotest.(check bool) "time sane" true
+        (r.Core.Runtime.completed_at >= r.Core.Runtime.submitted_at)
+  | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs));
+  check_serializable rt;
+  check_consistency rt;
+  (* Family of 3: root + two deposits. *)
+  match Core.Runtime.committed_history rt with
+  | [ h ] ->
+      Alcotest.(check bool) "wrote both accounts and branch" true
+        (List.length h.Core.Serializability.writes >= 3)
+  | _ -> Alcotest.fail "one family expected"
+
+let test_locks_released_after_run () =
+  let rt = make_runtime () in
+  Core.Runtime.submit rt ~at:0.0 ~node:1 ~oid:(oid 0) ~meth:"transfer" ~seed:1;
+  Core.Runtime.run rt;
+  let dir = Core.Runtime.directory rt in
+  List.iter
+    (fun o ->
+      Alcotest.(check bool) "free" true (Gdo.Directory.lock_state dir o = Gdo.Directory.Free);
+      Alcotest.(check int) "no waiters" 0 (Gdo.Directory.waiting_count dir o))
+    (Catalog.oids (Core.Runtime.catalog rt))
+
+let test_update_visible_across_nodes () =
+  let rt = make_runtime () in
+  Core.Runtime.submit rt ~at:0.0 ~node:0 ~oid:(oid 1) ~meth:"deposit" ~seed:1;
+  Core.Runtime.submit rt ~at:10_000.0 ~node:3 ~oid:(oid 1) ~meth:"audit" ~seed:2;
+  Core.Runtime.run rt;
+  Alcotest.(check int) "both committed" 2 (committed rt);
+  check_serializable rt;
+  (* The audit family must have observed the deposit's version. *)
+  let history = Core.Runtime.committed_history rt in
+  let deposit = List.nth history 0 and audit = List.nth history 1 in
+  let written_v =
+    List.fold_left (fun acc a -> max acc a.Core.Serializability.version) 0
+      deposit.Core.Serializability.writes
+  in
+  let read_v =
+    List.fold_left (fun acc a -> max acc a.Core.Serializability.version) 0
+      audit.Core.Serializability.reads
+  in
+  Alcotest.(check bool) "read saw write" true (read_v >= written_v && written_v > 0)
+
+let test_conflicting_writers_serialize () =
+  let rt = make_runtime () in
+  for i = 0 to 5 do
+    Core.Runtime.submit rt ~at:(float_of_int i) ~node:(i mod 4) ~oid:(oid 0) ~meth:"transfer"
+      ~seed:(100 + i)
+  done;
+  Core.Runtime.run rt;
+  Alcotest.(check int) "all committed" 6 (committed rt);
+  check_serializable rt;
+  check_consistency rt
+
+let test_concurrent_readers_share () =
+  let rt = make_runtime () in
+  for i = 0 to 3 do
+    Core.Runtime.submit rt ~at:0.0 ~node:i ~oid:(oid 0) ~meth:"report" ~seed:(200 + i)
+  done;
+  Core.Runtime.run rt;
+  Alcotest.(check int) "all committed" 4 (committed rt);
+  check_serializable rt
+
+let run_protocol protocol =
+  let rt = make_runtime ~protocol () in
+  for i = 0 to 7 do
+    Core.Runtime.submit rt ~at:(float_of_int (i * 50)) ~node:(i mod 4) ~oid:(oid 0)
+      ~meth:(if i mod 3 = 0 then "report" else "transfer")
+      ~seed:(300 + i)
+  done;
+  Core.Runtime.run rt;
+  rt
+
+let test_all_protocols_complete () =
+  List.iter
+    (fun protocol ->
+      let rt = run_protocol protocol in
+      Alcotest.(check int)
+        (Format.asprintf "%a commits all" Dsm.Protocol.pp protocol)
+        8 (committed rt);
+      check_serializable rt;
+      check_consistency rt)
+    Dsm.Protocol.all
+
+let test_no_demand_fetch_for_eager_protocols () =
+  List.iter
+    (fun protocol ->
+      let rt = run_protocol protocol in
+      let t = Dsm.Metrics.totals (Core.Runtime.metrics rt) in
+      Alcotest.(check int)
+        (Format.asprintf "%a demand fetches" Dsm.Protocol.pp protocol)
+        0 t.Dsm.Metrics.demand_fetches)
+    [ Dsm.Protocol.Cotec; Dsm.Protocol.Otec ]
+
+let test_upgrade_deadlock_resolved () =
+  (* Two symmetric families each read object 1 (via audit) then write it (via
+     deposit) inside one root: classic upgrade deadlock; the victim retries
+     and both commit. *)
+  let page_size = Core.Config.default.Core.Config.page_size in
+  (* The audited read phase loops long enough that both families hold Read
+     concurrently before either requests the upgrade. *)
+  let acct =
+    Obj_class.compile ~page_size
+      (Obj_class.define ~name:"SlowAccount"
+         ~attrs:[| attr 64 "balance" |]
+         ~methods:
+           [
+             Method_ir.make ~name:"audit"
+               ~body:[ Method_ir.Loop { count = 2000; body = [ Method_ir.Read 0 ] } ];
+             Method_ir.make ~name:"deposit" ~body:[ Method_ir.Write 0 ];
+           ]
+         ~ref_slots:0)
+  in
+  let driver =
+    Obj_class.compile ~page_size
+      (Obj_class.define ~name:"Driver" ~attrs:[||]
+         ~methods:
+           [
+             Method_ir.make ~name:"read_then_write"
+               ~body:
+                 [
+                   Method_ir.Invoke { slot = 0; meth = "audit" };
+                   Method_ir.Invoke { slot = 0; meth = "deposit" };
+                 ];
+           ]
+         ~ref_slots:1)
+  in
+  let catalog =
+    Catalog.create
+      [
+        { Catalog.oid = oid 0; cls = driver; refs = [| oid 2 |] };
+        { Catalog.oid = oid 1; cls = driver; refs = [| oid 2 |] };
+        { Catalog.oid = oid 2; cls = acct; refs = [||] };
+      ]
+  in
+  let rt = make_runtime ~catalog () in
+  Core.Runtime.submit rt ~at:0.0 ~node:1 ~oid:(oid 0) ~meth:"read_then_write" ~seed:1;
+  Core.Runtime.submit rt ~at:0.0 ~node:2 ~oid:(oid 1) ~meth:"read_then_write" ~seed:2;
+  Core.Runtime.run rt;
+  let t = Dsm.Metrics.totals (Core.Runtime.metrics rt) in
+  Alcotest.(check int) "both committed" 2 (committed rt);
+  Alcotest.(check bool) "a deadlock was detected and resolved" true
+    (t.Dsm.Metrics.deadlock_aborts >= 1);
+  Alcotest.(check bool) "upgrades happened" true (t.Dsm.Metrics.upgrades >= 1);
+  check_serializable rt;
+  check_consistency rt
+
+let test_abort_injection_recovers () =
+  let config = { Core.Config.default with Core.Config.abort_probability = 0.3 } in
+  let rt = make_runtime ~config () in
+  for i = 0 to 9 do
+    Core.Runtime.submit rt ~at:(float_of_int (i * 100)) ~node:(i mod 4) ~oid:(oid 0)
+      ~meth:"transfer" ~seed:(400 + i)
+  done;
+  Core.Runtime.run rt;
+  let t = Dsm.Metrics.totals (Core.Runtime.metrics rt) in
+  Alcotest.(check bool) "sub aborts happened" true (t.Dsm.Metrics.sub_aborts > 0);
+  Alcotest.(check int) "all recovered" 10 (committed rt);
+  check_serializable rt;
+  check_consistency rt
+
+let test_prefetch_mode () =
+  let config = { Core.Config.default with Core.Config.prefetch = true } in
+  let rt = make_runtime ~config () in
+  for i = 0 to 7 do
+    Core.Runtime.submit rt ~at:(float_of_int (i * 50)) ~node:(i mod 4) ~oid:(oid 0)
+      ~meth:"transfer" ~seed:(500 + i)
+  done;
+  Core.Runtime.run rt;
+  Alcotest.(check int) "all committed" 8 (committed rt);
+  check_serializable rt;
+  check_consistency rt
+
+let test_rc_pushes () =
+  let rt = make_runtime ~protocol:Dsm.Protocol.Rc_nested () in
+  (* Warm two nodes' caches, then a third write triggers pushes to both. *)
+  Core.Runtime.submit rt ~at:0.0 ~node:0 ~oid:(oid 1) ~meth:"deposit" ~seed:1;
+  Core.Runtime.submit rt ~at:5_000.0 ~node:1 ~oid:(oid 1) ~meth:"deposit" ~seed:2;
+  Core.Runtime.submit rt ~at:10_000.0 ~node:2 ~oid:(oid 1) ~meth:"deposit" ~seed:3;
+  Core.Runtime.run rt;
+  let t = Dsm.Metrics.totals (Core.Runtime.metrics rt) in
+  Alcotest.(check bool) "eager pushes happened" true (t.Dsm.Metrics.eager_pushes >= 1);
+  Alcotest.(check int) "all committed" 3 (committed rt);
+  check_consistency rt
+
+let test_determinism () =
+  let run () =
+    let rt = run_protocol Dsm.Protocol.Lotec in
+    let m = Core.Runtime.metrics rt in
+    (Dsm.Metrics.total_bytes m, Dsm.Metrics.total_messages m, Dsm.Metrics.completion_time_us m)
+  in
+  let b1, m1, t1 = run () and b2, m2, t2 = run () in
+  Alcotest.(check int) "bytes deterministic" b1 b2;
+  Alcotest.(check int) "messages deterministic" m1 m2;
+  Alcotest.(check (float 0.0001)) "time deterministic" t1 t2
+
+let test_byte_ordering_across_protocols () =
+  (* The defining byte relationship of the paper, on a generated workload:
+     data moved by LOTEC <= OTEC <= COTEC. *)
+  let spec =
+    { Workload.Spec.default with Workload.Spec.object_count = 16; root_count = 60; seed = 77 }
+  in
+  let wl = Workload.Generator.generate spec ~page_size:Core.Config.default.Core.Config.page_size in
+  let data protocol =
+    let run = Experiments.Runner.execute ~protocol wl in
+    Dsm.Metrics.total_data_bytes (Experiments.Runner.metrics run)
+  in
+  let cotec = data Dsm.Protocol.Cotec in
+  let otec = data Dsm.Protocol.Otec in
+  let lotec = data Dsm.Protocol.Lotec in
+  (* Cross-protocol runs take different interleavings, which adds a few
+     percent of schedule noise in either direction on small workloads (see
+     test_properties.ml); the paper-scale scenarios in Fig_bytes assert the
+     strict ordering. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "otec (%d) <= cotec (%d)" otec cotec)
+    true (otec <= int_of_float (float_of_int cotec *. 1.05));
+  Alcotest.(check bool)
+    (Printf.sprintf "lotec (%d) <= otec (%d) within noise" lotec otec)
+    true (lotec <= int_of_float (float_of_int otec *. 1.05))
+
+let test_per_class_protocol_override () =
+  (* Overriding every class to COTEC must reproduce uniform COTEC exactly;
+     an empty override list must reproduce the default protocol. *)
+  let spec =
+    { Workload.Spec.default with Workload.Spec.object_count = 8; root_count = 20; seed = 3 }
+  in
+  let wl = Workload.Generator.generate spec ~page_size:4096 in
+  let totals config protocol =
+    let r = Experiments.Runner.execute ~config ~protocol wl in
+    let m = Experiments.Runner.metrics r in
+    (Dsm.Metrics.total_bytes m, Dsm.Metrics.total_messages m)
+  in
+  let uniform_cotec = totals Core.Config.default Dsm.Protocol.Cotec in
+  let all_to_cotec =
+    let class_protocols =
+      List.init spec.Workload.Spec.object_count (fun i ->
+          (Printf.sprintf "C%d" i, Dsm.Protocol.Cotec))
+    in
+    totals { Core.Config.default with Core.Config.class_protocols } Dsm.Protocol.Lotec
+  in
+  Alcotest.(check (pair int int)) "all-override equals uniform" uniform_cotec all_to_cotec;
+  (* A genuine mix must still complete and serialize. *)
+  let mixed =
+    {
+      Core.Config.default with
+      Core.Config.class_protocols =
+        [ ("C0", Dsm.Protocol.Cotec); ("C1", Dsm.Protocol.Rc_nested); ("C2", Dsm.Protocol.Otec) ];
+    }
+  in
+  let r = Experiments.Runner.execute ~config:mixed ~protocol:Dsm.Protocol.Lotec wl in
+  Alcotest.(check int) "mixed commits all" 20
+    (Dsm.Metrics.totals (Experiments.Runner.metrics r)).Dsm.Metrics.roots_committed
+
+let test_submit_validation () =
+  let rt = make_runtime () in
+  Alcotest.check_raises "bad node" (Invalid_argument "Runtime.submit: node out of range")
+    (fun () -> Core.Runtime.submit rt ~at:0.0 ~node:99 ~oid:(oid 0) ~meth:"transfer" ~seed:1);
+  Alcotest.check_raises "bad method" Not_found (fun () ->
+      Core.Runtime.submit rt ~at:0.0 ~node:0 ~oid:(oid 0) ~meth:"nope" ~seed:1);
+  Core.Runtime.run rt;
+  Alcotest.check_raises "submit after run" (Invalid_argument "Runtime.submit: run already completed")
+    (fun () -> Core.Runtime.submit rt ~at:0.0 ~node:0 ~oid:(oid 0) ~meth:"transfer" ~seed:1)
+
+let test_create_validation () =
+  let bad_config = { Core.Config.default with Core.Config.node_count = 0 } in
+  Alcotest.check_raises "bad config" (Invalid_argument "Runtime.create: node_count must be positive")
+    (fun () ->
+      ignore (Core.Runtime.create ~config:bad_config ~catalog:(bank_catalog ~page_size:4096)))
+
+let test_empty_run () =
+  let rt = make_runtime () in
+  Core.Runtime.run rt;
+  Alcotest.(check int) "nothing committed" 0 (committed rt);
+  Alcotest.(check (list unit)) "no results" []
+    (List.map (fun _ -> ()) (Core.Runtime.results rt))
+
+let test_progress_probe () =
+  let rt = make_runtime () in
+  Core.Runtime.submit rt ~at:0.0 ~node:0 ~oid:(oid 0) ~meth:"transfer" ~seed:9;
+  Core.Runtime.run rt;
+  Alcotest.(check bool) "versions advanced" true (Core.Runtime.next_version_exceeds rt 0)
+
+let tests =
+  [
+    ( "runtime",
+      [
+        Alcotest.test_case "single root commits" `Quick test_single_root_commits;
+        Alcotest.test_case "locks released" `Quick test_locks_released_after_run;
+        Alcotest.test_case "update visible across nodes" `Quick test_update_visible_across_nodes;
+        Alcotest.test_case "conflicting writers serialize" `Quick test_conflicting_writers_serialize;
+        Alcotest.test_case "concurrent readers" `Quick test_concurrent_readers_share;
+        Alcotest.test_case "all protocols complete" `Quick test_all_protocols_complete;
+        Alcotest.test_case "no demand fetch for eager" `Quick test_no_demand_fetch_for_eager_protocols;
+        Alcotest.test_case "upgrade deadlock resolved" `Quick test_upgrade_deadlock_resolved;
+        Alcotest.test_case "abort injection recovers" `Quick test_abort_injection_recovers;
+        Alcotest.test_case "prefetch mode" `Quick test_prefetch_mode;
+        Alcotest.test_case "rc pushes" `Quick test_rc_pushes;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "byte ordering across protocols" `Slow test_byte_ordering_across_protocols;
+        Alcotest.test_case "per-class protocol override" `Slow test_per_class_protocol_override;
+        Alcotest.test_case "submit validation" `Quick test_submit_validation;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "empty run" `Quick test_empty_run;
+        Alcotest.test_case "progress probe" `Quick test_progress_probe;
+      ] );
+  ]

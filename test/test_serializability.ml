@@ -1,0 +1,197 @@
+(* Tests for the conflict-serializability checker. *)
+
+open Objmodel
+open Txn
+open Core.Serializability
+
+let oid = Oid.of_int
+let tid = Txn_id.of_int
+let acc o p v = { oid = oid o; page = p; version = v }
+
+let is_serializable = function Serializable _ -> true | Cyclic _ -> false
+
+let test_empty_history () =
+  Alcotest.(check bool) "empty ok" true (is_serializable (check []))
+
+let test_disjoint_roots () =
+  let h =
+    [
+      { root = tid 1; reads = [ acc 1 0 0 ]; writes = [ acc 1 0 1 ] };
+      { root = tid 2; reads = [ acc 2 0 0 ]; writes = [ acc 2 0 2 ] };
+    ]
+  in
+  Alcotest.(check bool) "disjoint ok" true (is_serializable (check h));
+  Alcotest.(check int) "no edges" 0 (List.length (edges h))
+
+let test_ww_chain () =
+  let h =
+    [
+      { root = tid 1; reads = []; writes = [ acc 1 0 1 ] };
+      { root = tid 2; reads = []; writes = [ acc 1 0 2 ] };
+      { root = tid 3; reads = []; writes = [ acc 1 0 3 ] };
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "chain edges" [ (1, 2); (2, 3) ]
+    (List.map (fun (a, b) -> (Txn_id.to_int a, Txn_id.to_int b)) (edges h));
+  match check h with
+  | Serializable order ->
+      Alcotest.(check (list int)) "topological order" [ 1; 2; 3 ]
+        (List.map Txn_id.to_int order)
+  | Cyclic _ -> Alcotest.fail "must be serializable"
+
+let test_wr_edge () =
+  let h =
+    [
+      { root = tid 1; reads = []; writes = [ acc 1 0 1 ] };
+      { root = tid 2; reads = [ acc 1 0 1 ]; writes = [] };
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "wr edge" [ (1, 2) ]
+    (List.map (fun (a, b) -> (Txn_id.to_int a, Txn_id.to_int b)) (edges h))
+
+let test_rw_edge () =
+  let h =
+    [
+      { root = tid 1; reads = [ acc 1 0 0 ]; writes = [] };
+      { root = tid 2; reads = []; writes = [ acc 1 0 1 ] };
+    ]
+  in
+  Alcotest.(check (list (pair int int))) "rw edge" [ (1, 2) ]
+    (List.map (fun (a, b) -> (Txn_id.to_int a, Txn_id.to_int b)) (edges h))
+
+let test_rw_skips_to_next_version_only () =
+  (* Reader of v1 precedes the writer of v2 (the next version), and v2's
+     writer precedes v3's; no direct edge reader -> v3 writer is required,
+     but the transitive order must hold. *)
+  let h =
+    [
+      { root = tid 1; reads = [ acc 1 0 1 ]; writes = [] };
+      { root = tid 2; reads = []; writes = [ acc 1 0 2 ] };
+      { root = tid 3; reads = []; writes = [ acc 1 0 3 ] };
+      { root = tid 4; reads = []; writes = [ acc 1 0 1 ] };
+    ]
+  in
+  match check h with
+  | Serializable order ->
+      let pos x = ref (-1) |> fun r ->
+        List.iteri (fun i t -> if Txn_id.to_int t = x then r := i) order;
+        !r
+  in
+      Alcotest.(check bool) "reader before next writer" true (pos 1 < pos 2);
+      Alcotest.(check bool) "writer order" true (pos 2 < pos 3);
+      Alcotest.(check bool) "v1 writer before reader" true (pos 4 < pos 1)
+  | Cyclic _ -> Alcotest.fail "must be serializable"
+
+let test_classic_cycle () =
+  (* T1 reads x then writes y; T2 reads y(old) then writes x(next): the
+     textbook non-serializable interleaving. *)
+  let h =
+    [
+      { root = tid 1; reads = [ acc 1 0 0 ]; writes = [ acc 2 0 1 ] };
+      { root = tid 2; reads = [ acc 2 0 0 ]; writes = [ acc 1 0 2 ] };
+    ]
+  in
+  match check h with
+  | Cyclic cycle -> Alcotest.(check bool) "cycle found" true (List.length cycle >= 2)
+  | Serializable _ -> Alcotest.fail "expected cycle"
+
+let test_self_access_no_edge () =
+  let h = [ { root = tid 1; reads = [ acc 1 0 1 ]; writes = [ acc 1 0 1 ] } ] in
+  Alcotest.(check int) "no self edges" 0 (List.length (edges h));
+  Alcotest.(check bool) "ok" true (is_serializable (check h))
+
+let test_witness_order_complete () =
+  let h =
+    [
+      { root = tid 5; reads = []; writes = [ acc 1 0 1 ] };
+      { root = tid 6; reads = []; writes = [] };
+    ]
+  in
+  match check h with
+  | Serializable order -> Alcotest.(check int) "all roots in order" 2 (List.length order)
+  | Cyclic _ -> Alcotest.fail "serializable"
+
+(* Cross-check the graph-based checker against brute force: a history is
+   conflict-serializable iff some permutation of the roots respects every
+   conflict edge. For <= 5 random roots the permutation space is tiny. *)
+let qcheck_checker_matches_brute_force =
+  let gen =
+    QCheck.Gen.(
+      let* n_roots = int_range 1 5 in
+      let* accesses =
+        list_size (int_range 0 12)
+          (let* root = int_bound (n_roots - 1) in
+           let* page = int_bound 2 in
+           let* is_write = bool in
+           let* observed = int_bound 12 in
+           return (root, page, is_write, observed))
+      in
+      return (n_roots, accesses))
+  in
+  let build (n_roots, accesses) =
+    (* Writes produce globally unique versions per page; reads observe an
+       *arbitrary* one of that page's versions (or the initial 0), so both
+       serializable and cyclic histories arise. *)
+    let produced = Array.make 3 [ 0 ] in
+    let next = ref 0 in
+    let reads = Array.make n_roots [] and writes = Array.make n_roots [] in
+    List.iter
+      (fun (root, page, is_write, observed) ->
+        if is_write then begin
+          incr next;
+          produced.(page) <- !next :: produced.(page);
+          writes.(root) <- { oid = oid 0; page; version = !next } :: writes.(root)
+        end
+        else
+          let versions = produced.(page) in
+          let version = List.nth versions (observed mod List.length versions) in
+          reads.(root) <- { oid = oid 0; page; version } :: reads.(root))
+      accesses;
+    List.init n_roots (fun i -> { root = tid i; reads = reads.(i); writes = writes.(i) })
+  in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            List.map (fun p -> x :: p) (permutations (List.filter (( <> ) x) l)))
+          l
+  in
+  QCheck.Test.make ~name:"checker agrees with brute force" ~count:300
+    (QCheck.make ~print:(fun _ -> "<history>") gen)
+    (fun input ->
+      let history = build input in
+      let es = edges history in
+      let roots = List.map (fun r -> r.root) history in
+      let brute =
+        List.exists
+          (fun perm ->
+            let pos x =
+              let rec find i = function
+                | [] -> -1
+                | y :: rest -> if Txn_id.equal x y then i else find (i + 1) rest
+              in
+              find 0 perm
+            in
+            List.for_all (fun (a, b) -> pos a < pos b) es)
+          (permutations roots)
+      in
+      let checker = match check history with Serializable _ -> true | Cyclic _ -> false in
+      brute = checker)
+
+let tests =
+  [
+    ( "serializability",
+      [
+        Alcotest.test_case "empty" `Quick test_empty_history;
+        Alcotest.test_case "disjoint" `Quick test_disjoint_roots;
+        Alcotest.test_case "ww chain" `Quick test_ww_chain;
+        Alcotest.test_case "wr edge" `Quick test_wr_edge;
+        Alcotest.test_case "rw edge" `Quick test_rw_edge;
+        Alcotest.test_case "rw next version" `Quick test_rw_skips_to_next_version_only;
+        Alcotest.test_case "classic cycle" `Quick test_classic_cycle;
+        Alcotest.test_case "self access" `Quick test_self_access_no_edge;
+        Alcotest.test_case "witness complete" `Quick test_witness_order_complete;
+        QCheck_alcotest.to_alcotest qcheck_checker_matches_brute_force;
+      ] );
+  ]

@@ -1,0 +1,145 @@
+(* Tests for the active-messages replay and the parameter sweeps. *)
+
+let small_spec =
+  { Workload.Scenarios.medium_high with Workload.Spec.root_count = 30; seed = 13 }
+
+let test_am_margin_grows () =
+  let r = Experiments.Active_messages.run ~spec:small_spec () in
+  Alcotest.(check int) "four cells" 4 (List.length r.Experiments.Active_messages.cells);
+  (* Cheaper control messages help LOTEC (more small messages): the margin
+     over OTEC must improve (become more negative) monotonically. *)
+  let margins =
+    List.map
+      (fun (c : Experiments.Active_messages.cell) ->
+        c.Experiments.Active_messages.lotec_vs_otec_pct)
+      r.Experiments.Active_messages.cells
+  in
+  let rec non_increasing = function
+    | a :: b :: rest -> a >= b && non_increasing (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "margin improves with cheaper control" true (non_increasing margins)
+
+let test_am_times_positive_and_ordered () =
+  let r = Experiments.Active_messages.run ~spec:small_spec () in
+  List.iter
+    (fun (c : Experiments.Active_messages.cell) ->
+      List.iter
+        (fun (_, t) -> Alcotest.(check bool) "positive" true (t > 0.0))
+        c.Experiments.Active_messages.time_us;
+      (* Dropping only the control cost can never slow anything down. *)
+      ())
+    r.Experiments.Active_messages.cells;
+  match r.Experiments.Active_messages.cells with
+  | first :: rest ->
+      let last = List.fold_left (fun _ c -> c) first rest in
+      List.iter2
+        (fun (p1, t1) (p2, t2) ->
+          Alcotest.(check bool) "same protocol" true (Dsm.Protocol.equal p1 p2);
+          Alcotest.(check bool) "cheaper control is faster" true (t2 <= t1))
+        first.Experiments.Active_messages.time_us last.Experiments.Active_messages.time_us
+  | [] -> Alcotest.fail "cells"
+
+let test_am_pp () =
+  let r = Experiments.Active_messages.run ~spec:small_spec () in
+  let s = Format.asprintf "%a" Experiments.Active_messages.pp r in
+  Alcotest.(check bool) "renders" true (String.length s > 100)
+
+let test_sweep_object_count () =
+  let r = Experiments.Sweep.object_count_sweep ~counts:[ 10; 30 ] () in
+  Alcotest.(check int) "two rows" 2 (List.length r.Experiments.Sweep.rows);
+  List.iter
+    (fun (row : Experiments.Sweep.row) ->
+      Alcotest.(check bool) "ordering holds" true
+        (row.Experiments.Sweep.lotec_bytes <= row.Experiments.Sweep.otec_bytes
+        && row.Experiments.Sweep.otec_bytes <= row.Experiments.Sweep.cotec_bytes))
+    r.Experiments.Sweep.rows
+
+let test_sweep_size_gap_grows () =
+  (* LOTEC's edge over OTEC must be larger on big objects than on tiny ones
+     (tiny objects: the predicted set covers everything). *)
+  let r = Experiments.Sweep.object_size_sweep ~sizes:[ (1, 2); (10, 20) ] () in
+  match r.Experiments.Sweep.rows with
+  | [ tiny; large ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "large gap (%.1f%%) <= tiny gap (%.1f%%)"
+           large.Experiments.Sweep.lotec_vs_otec_pct tiny.Experiments.Sweep.lotec_vs_otec_pct)
+        true
+        (large.Experiments.Sweep.lotec_vs_otec_pct
+        <= tiny.Experiments.Sweep.lotec_vs_otec_pct)
+  | _ -> Alcotest.fail "two rows"
+
+let test_sweep_txn_count_monotone_bytes () =
+  let r = Experiments.Sweep.transaction_count_sweep ~counts:[ 20; 60 ] () in
+  match r.Experiments.Sweep.rows with
+  | [ small; big ] ->
+      Alcotest.(check bool) "more txns, more traffic" true
+        (big.Experiments.Sweep.cotec_bytes > small.Experiments.Sweep.cotec_bytes)
+  | _ -> Alcotest.fail "two rows"
+
+let test_throughput_protocols () =
+  let r = Experiments.Throughput.protocols ~spec:small_spec () in
+  Alcotest.(check int) "four rows" 4 (List.length r.Experiments.Throughput.rows);
+  List.iter
+    (fun (row : Experiments.Throughput.row) ->
+      Alcotest.(check int) "all committed" 30 row.Experiments.Throughput.committed;
+      Alcotest.(check bool) "throughput positive" true
+        (row.Experiments.Throughput.throughput_tps > 0.0);
+      Alcotest.(check bool) "p95 >= p50" true
+        (row.Experiments.Throughput.p95_latency_us >= row.Experiments.Throughput.p50_latency_us))
+    r.Experiments.Throughput.rows
+
+let test_throughput_scaling_regimes () =
+  (* Dense arrivals so the CPUs are genuinely the bottleneck in the
+     cpu-bound regime. *)
+  let r =
+    Experiments.Throughput.scaling
+      ~spec:
+        {
+          small_spec with
+          Workload.Spec.object_count = 40;
+          root_count = 60;
+          arrival_mean_us = 10.0;
+        }
+      ~node_counts:[ 2; 8 ] ()
+  in
+  Alcotest.(check int) "two regimes x two sizes" 4 (List.length r.Experiments.Throughput.rows);
+  let find label =
+    List.find
+      (fun (row : Experiments.Throughput.row) -> row.Experiments.Throughput.label = label)
+      r.Experiments.Throughput.rows
+  in
+  (* Compute-bound work gains from more processors; communication-bound work
+     loses locality. *)
+  let cpu2 = find "cpu-bound, 2 nodes" and cpu8 = find "cpu-bound, 8 nodes" in
+  Alcotest.(check bool)
+    (Printf.sprintf "cpu-bound scales (%.0f -> %.0f txn/s)"
+       cpu2.Experiments.Throughput.throughput_tps cpu8.Experiments.Throughput.throughput_tps)
+    true
+    (cpu8.Experiments.Throughput.throughput_tps > cpu2.Experiments.Throughput.throughput_tps);
+  let comm2 = find "comm-bound, 2 nodes" and comm8 = find "comm-bound, 8 nodes" in
+  Alcotest.(check bool) "comm-bound does not scale" true
+    (comm8.Experiments.Throughput.throughput_tps <= comm2.Experiments.Throughput.throughput_tps);
+  let s = Format.asprintf "%a" Experiments.Throughput.pp r in
+  Alcotest.(check bool) "renders" true (String.length s > 100)
+
+let test_sweep_pp () =
+  let r = Experiments.Sweep.object_count_sweep ~counts:[ 10 ] () in
+  let s = Format.asprintf "%a" Experiments.Sweep.pp r in
+  Alcotest.(check bool) "renders" true (String.length s > 50)
+
+let tests =
+  [
+    ( "sweeps",
+      [
+        Alcotest.test_case "am margin grows" `Slow test_am_margin_grows;
+        Alcotest.test_case "am times ordered" `Slow test_am_times_positive_and_ordered;
+        Alcotest.test_case "am pp" `Slow test_am_pp;
+        Alcotest.test_case "object count sweep" `Slow test_sweep_object_count;
+        Alcotest.test_case "size gap grows" `Slow test_sweep_size_gap_grows;
+        Alcotest.test_case "txn count sweep" `Slow test_sweep_txn_count_monotone_bytes;
+        Alcotest.test_case "throughput protocols" `Slow test_throughput_protocols;
+        Alcotest.test_case "throughput scaling regimes" `Slow test_throughput_scaling_regimes;
+        Alcotest.test_case "sweep pp" `Slow test_sweep_pp;
+      ] );
+  ]

@@ -1,0 +1,182 @@
+(* Tests for the trace ring buffer and the engine semaphore, plus their
+   runtime integrations (protocol-event tracing, CPU-limited mode). *)
+
+open Sim
+
+(* ---------- Trace ---------- *)
+
+let test_trace_basic () =
+  let tr = Trace.create ~capacity:10 in
+  Trace.record tr ~time:1.0 ~category:"a" ~detail:"one";
+  Trace.record tr ~time:2.0 ~category:"b" ~detail:"two";
+  Alcotest.(check int) "length" 2 (Trace.length tr);
+  Alcotest.(check int) "total" 2 (Trace.total tr);
+  Alcotest.(check int) "dropped" 0 (Trace.dropped tr);
+  match Trace.events tr with
+  | [ e1; e2 ] ->
+      Alcotest.(check string) "order" "one" e1.Trace.detail;
+      Alcotest.(check string) "order2" "two" e2.Trace.detail
+  | _ -> Alcotest.fail "two events"
+
+let test_trace_ring_eviction () =
+  let tr = Trace.create ~capacity:3 in
+  for i = 1 to 5 do
+    Trace.record tr ~time:(float_of_int i) ~category:"c" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check int) "capped" 3 (Trace.length tr);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped tr);
+  Alcotest.(check (list string)) "oldest evicted" [ "3"; "4"; "5" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.events tr))
+
+let test_trace_latest () =
+  let tr = Trace.create ~capacity:10 in
+  for i = 1 to 6 do
+    Trace.record tr ~time:(float_of_int i) ~category:"c" ~detail:(string_of_int i)
+  done;
+  Alcotest.(check (list string)) "last two" [ "5"; "6" ]
+    (List.map (fun e -> e.Trace.detail) (Trace.latest tr 2));
+  Alcotest.(check int) "latest more than length" 6 (List.length (Trace.latest tr 100))
+
+let test_trace_recordf_and_pp () =
+  let tr = Trace.create ~capacity:4 in
+  Trace.recordf tr ~time:12.5 ~category:"lock" "object %d to %s" 3 "T1";
+  (match Trace.events tr with
+  | [ e ] ->
+      Alcotest.(check string) "formatted" "object 3 to T1" e.Trace.detail;
+      Alcotest.(check string) "pp" "[      12.5us] lock: object 3 to T1"
+        (Format.asprintf "%a" Trace.pp_event e)
+  | _ -> Alcotest.fail "one event");
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+let test_trace_categories () =
+  let tr = Trace.create ~capacity:10 in
+  List.iter
+    (fun c -> Trace.record tr ~time:0.0 ~category:c ~detail:"")
+    [ "b"; "a"; "b"; "b" ];
+  Alcotest.(check (list (pair string int))) "counts" [ ("a", 1); ("b", 3) ]
+    (Trace.categories tr)
+
+let test_trace_bad_capacity () =
+  Alcotest.check_raises "zero" (Invalid_argument "Trace.create: capacity must be positive")
+    (fun () -> ignore (Trace.create ~capacity:0))
+
+(* ---------- Semaphore ---------- *)
+
+let test_semaphore_mutual_exclusion () =
+  let e = Engine.create () in
+  let sem = Engine.Semaphore.create ~permits:1 in
+  let active = ref 0 and max_active = ref 0 and order = ref [] in
+  for i = 1 to 3 do
+    Engine.spawn e (fun () ->
+        Engine.Semaphore.with_permit sem (fun () ->
+            incr active;
+            max_active := max !max_active !active;
+            order := i :: !order;
+            Engine.wait 10.0;
+            decr active))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "never concurrent" 1 !max_active;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check (float 0.001)) "serialised time" 30.0 (Engine.now e)
+
+let test_semaphore_counting () =
+  let e = Engine.create () in
+  let sem = Engine.Semaphore.create ~permits:2 in
+  let max_active = ref 0 and active = ref 0 in
+  for _ = 1 to 4 do
+    Engine.spawn e (fun () ->
+        Engine.Semaphore.with_permit sem (fun () ->
+            incr active;
+            max_active := max !max_active !active;
+            Engine.wait 10.0;
+            decr active))
+  done;
+  Engine.run e;
+  Alcotest.(check int) "two at a time" 2 !max_active;
+  Alcotest.(check (float 0.001)) "two batches" 20.0 (Engine.now e);
+  Alcotest.(check int) "permits restored" 2 (Engine.Semaphore.available sem)
+
+let test_semaphore_release_guard () =
+  let sem = Engine.Semaphore.create ~permits:1 in
+  Alcotest.check_raises "over-release" (Invalid_argument "Semaphore.release: too many releases")
+    (fun () -> Engine.Semaphore.release sem)
+
+let test_semaphore_releases_on_exception () =
+  let e = Engine.create () in
+  let sem = Engine.Semaphore.create ~permits:1 in
+  let second_ran = ref false in
+  Engine.spawn e (fun () ->
+      try Engine.Semaphore.with_permit sem (fun () -> raise Exit) with Exit -> ());
+  Engine.spawn e (fun () ->
+      Engine.Semaphore.with_permit sem (fun () -> second_ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "permit recovered" true !second_ran
+
+let test_semaphore_bad_permits () =
+  Alcotest.check_raises "zero" (Invalid_argument "Semaphore.create: permits must be positive")
+    (fun () -> ignore (Engine.Semaphore.create ~permits:0))
+
+(* ---------- Runtime integration ---------- *)
+
+let run_workload config =
+  let spec =
+    { Workload.Spec.default with Workload.Spec.object_count = 8; root_count = 20; seed = 2 }
+  in
+  let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl
+
+let test_runtime_tracing () =
+  let config = { Core.Config.default with Core.Config.trace_capacity = 10_000 } in
+  let run = run_workload config in
+  match Core.Runtime.trace run.Experiments.Runner.runtime with
+  | None -> Alcotest.fail "trace expected"
+  | Some tr ->
+      let cats = List.map fst (Sim.Trace.categories tr) in
+      Alcotest.(check bool) "has commits" true (List.mem "commit" cats);
+      Alcotest.(check bool) "has locks" true (List.mem "lock" cats);
+      Alcotest.(check bool) "has transfers" true (List.mem "transfer" cats);
+      (* Timestamps are non-decreasing. *)
+      let times = List.map (fun e -> e.Sim.Trace.time) (Sim.Trace.events tr) in
+      let rec mono = function
+        | a :: b :: rest -> a <= b && mono (b :: rest)
+        | _ -> true
+      in
+      Alcotest.(check bool) "monotone timestamps" true (mono times)
+
+let test_runtime_no_trace_by_default () =
+  let run = run_workload Core.Config.default in
+  Alcotest.(check bool) "no trace" true
+    (Core.Runtime.trace run.Experiments.Runner.runtime = None)
+
+let test_runtime_cpu_limited () =
+  (* CPU-limited execution must still complete and be serializable, and the
+     makespan cannot shrink relative to the infinite-CPU model. *)
+  let free = run_workload Core.Config.default in
+  let limited = run_workload { Core.Config.default with Core.Config.cpu_limited = true } in
+  let time r = Dsm.Metrics.completion_time_us (Experiments.Runner.metrics r) in
+  Alcotest.(check bool) "completes no faster" true (time limited >= time free);
+  Alcotest.(check int) "all committed" 20
+    (Dsm.Metrics.totals (Experiments.Runner.metrics limited)).Dsm.Metrics.roots_committed
+
+let tests =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "basic" `Quick test_trace_basic;
+        Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
+        Alcotest.test_case "latest" `Quick test_trace_latest;
+        Alcotest.test_case "recordf and pp" `Quick test_trace_recordf_and_pp;
+        Alcotest.test_case "categories" `Quick test_trace_categories;
+        Alcotest.test_case "bad capacity" `Quick test_trace_bad_capacity;
+        Alcotest.test_case "semaphore mutual exclusion" `Quick test_semaphore_mutual_exclusion;
+        Alcotest.test_case "semaphore counting" `Quick test_semaphore_counting;
+        Alcotest.test_case "semaphore release guard" `Quick test_semaphore_release_guard;
+        Alcotest.test_case "semaphore exception safety" `Quick test_semaphore_releases_on_exception;
+        Alcotest.test_case "semaphore bad permits" `Quick test_semaphore_bad_permits;
+        Alcotest.test_case "runtime tracing" `Quick test_runtime_tracing;
+        Alcotest.test_case "runtime no trace by default" `Quick test_runtime_no_trace_by_default;
+        Alcotest.test_case "runtime cpu limited" `Quick test_runtime_cpu_limited;
+      ] );
+  ]
