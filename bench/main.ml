@@ -55,6 +55,23 @@ let bench_scenario spec ~protocol =
   let wl = Workload.Generator.generate spec ~page_size:4096 in
   fun () -> ignore (Experiments.Runner.execute ~protocol wl)
 
+(* Same run under an unreliable interconnect: times the fault injector plus
+   the reliable transport (acks, dedup, retransmit timers). *)
+let bench_chaos spec ~protocol =
+  let spec = { spec with Workload.Spec.root_count = 40 } in
+  let wl = Workload.Generator.generate spec ~page_size:4096 in
+  let faults =
+    {
+      Sim.Fault.none with
+      Sim.Fault.seed = 7;
+      drop_probability = 0.05;
+      duplicate_probability = 0.05;
+      delay_jitter_us = 25.0;
+    }
+  in
+  let config = { Core.Config.default with Core.Config.faults = Some faults } in
+  fun () -> ignore (Experiments.Runner.execute ~config ~protocol wl)
+
 let fig2_spec = Workload.Scenarios.medium_high
 let fig3_spec = Workload.Scenarios.large_high
 let fig4_spec = Workload.Scenarios.medium_moderate
@@ -87,6 +104,8 @@ let tests =
               ignore (Experiments.Fig_time.figure8 fb)));
       Test.make ~name:"rc-nested"
         (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Rc_nested));
+      Test.make ~name:"fig2-lotec-chaos"
+        (Staged.stage (bench_chaos fig2_spec ~protocol:Dsm.Protocol.Lotec));
     ]
 
 let benchmark () =

@@ -10,7 +10,8 @@
      granularity — lock overhead vs object granularity (section 5.1)
      sweep       — object count / object size / transaction count sweeps
      throughput  — per-protocol throughput + LOTEC cluster scaling
-     trace       — run with protocol-event tracing and print the tail *)
+     trace       — run with protocol-event tracing and print the tail
+     chaos       — fault-rate sweep asserting the protocol invariants *)
 
 open Cmdliner
 
@@ -59,6 +60,51 @@ let recovery_conv =
   let print fmt s = Format.pp_print_string fmt (Txn.Recovery.strategy_to_string s) in
   Arg.conv (parse, print)
 
+(* Interconnect fault injection (shared by run and chaos). *)
+let fault_drop_arg =
+  let doc = "Per-message drop probability in [0,1]." in
+  Arg.(value & opt float 0.0 & info [ "fault-drop" ] ~doc)
+
+let fault_duplicate_arg =
+  let doc = "Per-message duplication probability in [0,1]." in
+  Arg.(value & opt float 0.0 & info [ "fault-duplicate" ] ~doc)
+
+let fault_jitter_arg =
+  let doc = "Max extra delivery delay in microseconds (uniform in [0, jitter])." in
+  Arg.(value & opt float 0.0 & info [ "fault-jitter-us" ] ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed of the fault injector's PRNG (independent of the workload seed)." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~doc)
+
+let timeout_arg =
+  let doc = "Retransmit timer for unacknowledged messages, in microseconds." in
+  Arg.(
+    value
+    & opt float Core.Config.default.Core.Config.request_timeout_us
+    & info [ "request-timeout-us" ] ~doc)
+
+let retransmits_arg =
+  let doc = "Retransmissions of one message before the transport gives up." in
+  Arg.(
+    value
+    & opt int Core.Config.default.Core.Config.max_retransmits
+    & info [ "max-retransmits" ] ~doc)
+
+let fault_config ~drop ~duplicate ~jitter ~fault_seed =
+  if drop = 0.0 && duplicate = 0.0 && jitter = 0.0 then None
+  else
+    (* Any non-default value gets a config, even an out-of-range one, so it
+       reaches Config.validate instead of being silently ignored. *)
+    Some
+      {
+        Sim.Fault.none with
+        Sim.Fault.seed = fault_seed;
+        drop_probability = drop;
+        duplicate_probability = duplicate;
+        delay_jitter_us = jitter;
+      }
+
 let run_cmd =
   let objects_arg =
     let doc = "Override the number of shared objects." in
@@ -85,7 +131,7 @@ let run_cmd =
     Arg.(value & opt recovery_conv Txn.Recovery.Undo_logging & info [ "recovery" ] ~doc)
   in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
-      recovery =
+      recovery drop duplicate jitter fault_seed request_timeout_us max_retransmits =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
@@ -100,6 +146,9 @@ let run_cmd =
         prefetch;
         cpu_limited;
         recovery;
+        faults = fault_config ~drop ~duplicate ~jitter ~fault_seed;
+        request_timeout_us;
+        max_retransmits;
       }
     in
     let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
@@ -111,7 +160,9 @@ let run_cmd =
   let term =
     Term.(
       const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ objects_arg
-      $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg)
+      $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg $ fault_drop_arg
+      $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ timeout_arg
+      $ retransmits_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
 
@@ -221,6 +272,54 @@ let sweep_cmd =
        ~doc:"Sweep object count, object size and transaction count (paper section 5).")
     term
 
+let chaos_cmd =
+  let rates_conv =
+    (* "drop:dup:jitter", e.g. "0.1:0.1:50". *)
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ d; p; j ] -> (
+          try Ok (float_of_string d, float_of_string p, float_of_string j)
+          with Failure _ -> Error (`Msg ("bad rate triple " ^ s)))
+      | _ -> Error (`Msg ("expected DROP:DUP:JITTER, got " ^ s))
+    in
+    let print fmt (d, p, j) = Format.fprintf fmt "%g:%g:%g" d p j in
+    Arg.conv (parse, print)
+  in
+  let rates_arg =
+    let doc =
+      "Fault-rate point as DROP:DUP:JITTER_US (repeatable); default sweeps 0 to 0.2."
+    in
+    Arg.(value & opt_all rates_conv [] & info [ "rate" ] ~doc)
+  in
+  let seeds_arg =
+    let doc = "Fault-injector seed (repeatable)." in
+    Arg.(value & opt_all int [] & info [ "fault-seed" ] ~doc)
+  in
+  let action seed roots rates seeds request_timeout_us max_retransmits =
+    let spec =
+      apply_overrides Experiments.Chaos.default_spec seed roots
+    in
+    let config =
+      { Core.Config.default with Core.Config.request_timeout_us; max_retransmits }
+    in
+    let rates = if rates = [] then None else Some rates in
+    let fault_seeds = if seeds = [] then None else Some seeds in
+    let outcomes = Experiments.Chaos.sweep ~config ~spec ?rates ?fault_seeds () in
+    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+    Format.printf "%a@." Experiments.Chaos.pp_report outcomes
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ roots_arg $ rates_arg $ seeds_arg $ timeout_arg
+      $ retransmits_arg)
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep interconnect fault rates x seeds x protocols and assert the protocol \
+          invariants (serializability, root accounting, ledger balance) hold.")
+    term
+
 let trace_cmd =
   let count_arg =
     let doc = "Number of trailing events to print." in
@@ -260,5 +359,5 @@ let main () =
        (Cmd.group info
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
-            sweep_cmd; throughput_cmd; trace_cmd;
+            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd;
           ]))

@@ -23,6 +23,9 @@ type t = {
   allow_recursive_catalogs : bool;
   trace_capacity : int;
   cpu_limited : bool;
+  faults : Sim.Fault.config option;
+  request_timeout_us : float;
+  max_retransmits : int;
 }
 
 let default =
@@ -51,6 +54,9 @@ let default =
     allow_recursive_catalogs = false;
     trace_capacity = 0;
     cpu_limited = false;
+    faults = None;
+    request_timeout_us = 5_000.0;
+    max_retransmits = 10;
   }
 
 let validate t =
@@ -80,15 +86,24 @@ let validate t =
       (t.gdo_replicas >= 0 && t.gdo_replicas < t.node_count)
       "gdo_replicas must be in [0, node_count)"
   in
-  check (t.trace_capacity >= 0) "trace_capacity must be >= 0"
+  let* () = check (t.trace_capacity >= 0) "trace_capacity must be >= 0" in
+  let* () = check (t.request_timeout_us > 0.0) "request_timeout_us must be positive" in
+  let* () = check (t.max_retransmits >= 0) "max_retransmits must be >= 0" in
+  match t.faults with None -> Ok () | Some f -> Sim.Fault.validate f
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>protocol: %a@,nodes: %d, page: %dB@,\
      link: %.0f Mbps, sw cost %.1f us@,\
      aborts: p=%.3f (sub retries %d, root retries %d)@,\
-     prefetch: %b, multicast push: %b@]"
+     prefetch: %b, multicast push: %b"
     Dsm.Protocol.pp t.protocol t.node_count t.page_size
     (t.link.Sim.Network.bandwidth_bps /. 1e6)
     t.link.Sim.Network.software_cost_us t.abort_probability t.max_sub_retries
-    t.max_root_retries t.prefetch t.multicast_push
+    t.max_root_retries t.prefetch t.multicast_push;
+  (match t.faults with
+  | Some f when Sim.Fault.is_active f ->
+      Format.fprintf fmt "@,faults: %a; timeout %.0f us, max retransmits %d"
+        Sim.Fault.pp_config f t.request_timeout_us t.max_retransmits
+  | Some _ | None -> ());
+  Format.fprintf fmt "@]"

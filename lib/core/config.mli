@@ -53,6 +53,23 @@ type t = {
   cpu_limited : bool;
       (** serialise statement execution on one CPU per node (off by default:
           the paper's metrics are traffic-, not CPU-bound) *)
+  (* Interconnect fault injection and the runtime's reliable transport. *)
+  faults : Sim.Fault.config option;
+      (** [None] (default): the paper's perfectly reliable switched network.
+          [Some f] with {!Sim.Fault.is_active}[ f]: the network drops,
+          duplicates, jitters and window-defers messages per [f], and the
+          runtime layers a reliable transport (per-message acks, receiver
+          dedup, sender retransmit) over every protocol message so the run
+          still completes correctly. An inactive config behaves exactly like
+          [None]. *)
+  request_timeout_us : float;
+      (** retransmit timer for an unacknowledged protocol message; doubled
+          after every retransmission (exponential backoff). Only used when
+          [faults] is active. *)
+  max_retransmits : int;
+      (** retransmissions of one message before the transport gives up (a
+          given-up delivery can stall the simulation — with the default 10
+          and drop rates <= 0.2 this is a ~1e-8 per-message event) *)
 }
 
 val default : t

@@ -68,6 +68,15 @@ type t = {
   mutable ran : bool;
   trace : Sim.Trace.t option;
   cpus : Sim.Engine.Semaphore.t array option;  (* one CPU per node when cpu_limited *)
+  (* Reliable transport over the faulty interconnect (active only when the
+     config carries an active fault model): every remote protocol message is
+     sequence-numbered, acknowledged by the receiver's transport, deduplicated
+     at the receiver, and retransmitted by the sender with exponential backoff
+     while unacknowledged. *)
+  reliable : bool;
+  mutable next_mid : int;
+  acked : (int, unit) Hashtbl.t;  (* at the sender: mids known delivered *)
+  seen : (int, unit) Hashtbl.t;  (* at receivers: mids whose effect already ran *)
 }
 
 let config t = t.cfg
@@ -108,13 +117,29 @@ let create ~config:cfg ~catalog =
               cycle));
   let engine = Sim.Engine.create () in
   let metrics = Dsm.Metrics.create () in
+  let trace =
+    if cfg.Config.trace_capacity > 0 then
+      Some (Sim.Trace.create ~capacity:cfg.Config.trace_capacity)
+    else None
+  in
   let on_message ~src:_ ~dst:_ ~kind ~bytes ~tag =
     let oid = if tag >= 0 then Oid.of_int tag else Dsm.Metrics.untagged in
     Dsm.Metrics.record_message metrics ~oid ~kind ~bytes
   in
+  let on_fault ~event ~src ~dst =
+    (match event with
+    | Sim.Fault.Drop | Sim.Fault.Crash_drop -> Dsm.Metrics.incr_drops metrics
+    | Sim.Fault.Duplicate -> Dsm.Metrics.incr_duplicates metrics
+    | Sim.Fault.Pause_defer -> ());
+    match trace with
+    | None -> ()
+    | Some tr ->
+        Sim.Trace.recordf tr ~time:(Sim.Engine.now engine) ~category:"fault" "%s %d->%d"
+          (Sim.Fault.event_to_string event) src dst
+  in
   let net =
     Sim.Network.create ~engine ~node_count:cfg.Config.node_count ~link:cfg.Config.link
-      ~on_message ()
+      ?faults:cfg.Config.faults ~on_fault ~on_message ()
   in
   let tree = Txn_tree.create () in
   let t =
@@ -141,16 +166,17 @@ let create ~config:cfg ~catalog =
       results = [];
       outstanding = 0;
       ran = false;
-      trace =
-        (if cfg.Config.trace_capacity > 0 then
-           Some (Sim.Trace.create ~capacity:cfg.Config.trace_capacity)
-         else None);
+      trace;
       cpus =
         (if cfg.Config.cpu_limited then
            Some
              (Array.init cfg.Config.node_count (fun _ ->
                   Sim.Engine.Semaphore.create ~permits:1))
          else None);
+      reliable = Sim.Network.faults_active net;
+      next_mid = 0;
+      acked = Hashtbl.create 256;
+      seen = Hashtbl.create 256;
     }
   in
   (* Trivial dispatch: every node executes delivered thunks. *)
@@ -185,6 +211,51 @@ let send_exec t ~src ~dst ~kind ~bytes ~tag f =
   Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
 
 let tag_of oid = Oid.to_int oid
+
+(* Reliable delivery of one protocol message over the faulty interconnect.
+   The message gets a fresh sequence number; its delivery thunk first sends a
+   transport-level ack back (re-acking on every delivery, since a previous
+   ack may itself have been lost), then runs the effect at most once — the
+   receiver's [seen] table absorbs injected duplicates and retransmissions.
+   The sender retransmits on an exponential-backoff timer until acked or out
+   of attempts. Without an active fault model this is exactly [send_exec]:
+   no acks, no timers, no accounting difference. *)
+let send_reliable t ~src ~dst ~kind ~bytes ~tag f =
+  if (not t.reliable) || src = dst then send_exec t ~src ~dst ~kind ~bytes ~tag f
+  else begin
+    t.next_mid <- t.next_mid + 1;
+    let mid = t.next_mid in
+    let deliver () =
+      send_exec t ~src:dst ~dst:src ~kind:Sim.Network.Control
+        ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
+        (fun () -> Hashtbl.replace t.acked mid ());
+      if not (Hashtbl.mem t.seen mid) then begin
+        Hashtbl.add t.seen mid ();
+        f ()
+      end
+    in
+    let transmit () = Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec deliver) in
+    let rec arm attempt timeout =
+      Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
+          if not (Hashtbl.mem t.acked mid) then begin
+            Dsm.Metrics.incr_timeouts t.metrics;
+            if attempt < t.cfg.Config.max_retransmits then begin
+              Dsm.Metrics.incr_retransmits t.metrics;
+              record_trace t ~category:"retransmit" "msg %d: %d->%d attempt %d" mid src dst
+                (attempt + 1);
+              transmit ();
+              arm (attempt + 1) (timeout *. 2.0)
+            end
+            else
+              (* Out of attempts; anyone blocked on this message will stall
+                 the simulation. Astronomically unlikely at the drop rates
+                 the chaos harness sweeps — see Config.max_retransmits. *)
+              record_trace t ~category:"retransmit" "msg %d: %d->%d abandoned" mid src dst
+          end)
+    in
+    transmit ();
+    arm 0 t.cfg.Config.request_timeout_us
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Per-transaction bookkeeping.                                        *)
@@ -229,7 +300,14 @@ let grant_bytes t pages = t.cfg.Config.control_msg_bytes + (pages * t.cfg.Config
 
 (* Deliver a reply from the GDO home to the acquiring site. *)
 let reply_from_home t ~home ~dst ~oid (iv : reply Sim.Engine.Ivar.t) (r : reply) =
-  let deliver () = Sim.Engine.Ivar.fill iv r in
+  let deliver () =
+    (* Under the faulty network a grant can legitimately be re-delivered
+       (retransmitted reply racing its original); drop the re-delivery. On
+       the reliable network a double fill is a protocol bug and still
+       raises. *)
+    if t.reliable && Sim.Engine.Ivar.is_filled iv then ()
+    else Sim.Engine.Ivar.fill iv r
+  in
   if home = dst then Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us deliver
   else
     let bytes =
@@ -237,12 +315,13 @@ let reply_from_home t ~home ~dst ~oid (iv : reply Sim.Engine.Ivar.t) (r : reply)
       | Ok g -> grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes)
       | Error _ -> t.cfg.Config.control_msg_bytes
     in
-    send_exec t ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid) deliver
+    send_reliable t ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid) deliver
 
 (* Ship a directory mutation to the partition's replicas (paper §4.1: the
    GDO is "partitioned and replicated"). Asynchronous and fire-and-forget:
-   only the traffic cost is modelled — there are no failures to fail over
-   from in this simulation. *)
+   only the traffic cost is modelled, so these stay best-effort even under
+   fault injection — a lost replica update loses nothing the simulation
+   tracks (directory failover is §6 future work). *)
 let replicate_gdo_update t ~home ~oid =
   let n = t.cfg.Config.node_count in
   for i = 1 to t.cfg.Config.gdo_replicas do
@@ -301,7 +380,7 @@ let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
       let start () = process_acquire t ~home ~requester:node ~family ~oid ~mode ~block iv in
       if home = node then start ()
       else
-        send_exec t ~src:node ~dst:home ~kind:Sim.Network.Control
+        send_reliable t ~src:node ~dst:home ~kind:Sim.Network.Control
           ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) start;
       let r = Sim.Engine.Ivar.read iv in
       Hashtbl.remove t.inflight key;
@@ -326,7 +405,7 @@ let gdo_release t ~node ~family items =
           t.cfg.Config.control_msg_bytes
           + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
         in
-        send_exec t ~src:node ~dst:home ~kind:Sim.Network.Control ~bytes ~tag:(-1) run)
+        send_reliable t ~src:node ~dst:home ~kind:Sim.Network.Control ~bytes ~tag:(-1) run)
     by_home
 
 (* ------------------------------------------------------------------ *)
@@ -369,10 +448,10 @@ let fetch_groups t ~node ~oid groups =
                   copies;
                 Sim.Engine.Ivar.fill iv ()
               in
-              send_exec t ~src ~dst:node ~kind:Sim.Network.Data ~bytes:reply_bytes
+              send_reliable t ~src ~dst:node ~kind:Sim.Network.Data ~bytes:reply_bytes
                 ~tag:(tag_of oid) install)
         in
-        send_exec t ~src:node ~dst:src ~kind:Sim.Network.Control ~bytes:req_bytes
+        send_reliable t ~src:node ~dst:src ~kind:Sim.Network.Control ~bytes:req_bytes
           ~tag:(tag_of oid) serve;
         iv)
       groups
@@ -596,9 +675,11 @@ let eager_push t ~node items =
           Dsm.Metrics.incr_eager_pushes t.metrics;
           match (cfg.Config.multicast_push, dests) with
           | true, first :: rest ->
-              (* One multicast message: charged once, delivered everywhere. *)
-              send_exec t ~src:node ~dst:first ~kind:Sim.Network.Data ~bytes ~tag:(tag_of oid)
-                (install first);
+              (* One multicast message: charged once, delivered everywhere.
+                 The extra recipients are installed off-network, so only the
+                 charged copy is exposed to fault injection. *)
+              send_reliable t ~src:node ~dst:first ~kind:Sim.Network.Data ~bytes
+                ~tag:(tag_of oid) (install first);
               let delay = Sim.Network.transfer_time_us (Sim.Network.link t.net) bytes in
               List.iter
                 (fun dest -> Sim.Engine.schedule t.engine ~delay (fun () -> install dest ()))
@@ -606,7 +687,7 @@ let eager_push t ~node items =
           | _ ->
               List.iter
                 (fun dest ->
-                  send_exec t ~src:node ~dst:dest ~kind:Sim.Network.Data ~bytes
+                  send_reliable t ~src:node ~dst:dest ~kind:Sim.Network.Data ~bytes
                     ~tag:(tag_of oid) (install dest))
                 dests
         end

@@ -21,6 +21,10 @@ type totals = {
   upgrades : int;
   eager_pushes : int;
   demand_fetches : int;
+  drops : int;
+  duplicates : int;
+  retransmits : int;
+  timeouts : int;
 }
 
 type t = {
@@ -34,6 +38,10 @@ type t = {
   mutable global_acquisitions : int;
   mutable upgrades : int;
   mutable eager_pushes : int;
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
 }
@@ -54,6 +62,10 @@ let create () =
     global_acquisitions = 0;
     upgrades = 0;
     eager_pushes = 0;
+    drops = 0;
+    duplicates = 0;
+    retransmits = 0;
+    timeouts = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
   }
@@ -108,6 +120,10 @@ let incr_local_acquisitions t = t.local_acquisitions <- t.local_acquisitions + 1
 let incr_global_acquisitions t = t.global_acquisitions <- t.global_acquisitions + 1
 let incr_upgrades t = t.upgrades <- t.upgrades + 1
 let incr_eager_pushes t = t.eager_pushes <- t.eager_pushes + 1
+let incr_drops t = t.drops <- t.drops + 1
+let incr_duplicates t = t.duplicates <- t.duplicates + 1
+let incr_retransmits t = t.retransmits <- t.retransmits + 1
+let incr_timeouts t = t.timeouts <- t.timeouts + 1
 
 let totals t =
   let demand =
@@ -124,6 +140,10 @@ let totals t =
     upgrades = t.upgrades;
     eager_pushes = t.eager_pushes;
     demand_fetches = demand;
+    drops = t.drops;
+    duplicates = t.duplicates;
+    retransmits = t.retransmits;
+    timeouts = t.timeouts;
   }
 
 let per_object t oid =
@@ -180,9 +200,14 @@ let pp_summary fmt t =
     "@[<v>roots committed: %d (aborted %d, deadlock aborts %d, retries %d)@,\
      sub-transaction aborts: %d@,\
      lock acquisitions: %d local, %d global, %d upgrades@,\
-     demand fetches: %d; eager pushes: %d@,\
-     traffic: %d messages, %d bytes (%d data)@,\
-     completion: %.1f us@]"
+     demand fetches: %d; eager pushes: %d@,"
     tt.roots_committed tt.roots_aborted tt.deadlock_aborts tt.retries tt.sub_aborts
-    tt.local_acquisitions tt.global_acquisitions tt.upgrades tt.demand_fetches tt.eager_pushes
+    tt.local_acquisitions tt.global_acquisitions tt.upgrades tt.demand_fetches
+    tt.eager_pushes;
+  (* The fault line only appears when fault injection actually fired, so
+     fault-free runs print byte-for-byte what they always did. *)
+  if tt.drops + tt.duplicates + tt.retransmits + tt.timeouts > 0 then
+    Format.fprintf fmt "faults: %d drops, %d duplicates, %d retransmits, %d timeouts@,"
+      tt.drops tt.duplicates tt.retransmits tt.timeouts;
+  Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us

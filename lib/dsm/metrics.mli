@@ -48,6 +48,15 @@ val incr_global_acquisitions : t -> unit
 val incr_upgrades : t -> unit
 val incr_eager_pushes : t -> unit
 
+(* Fault-injection counters (see {!Sim.Fault} and the runtime's reliable
+   transport): network-level drops (including crash-window losses) and
+   duplicates, and transport-level retransmissions and retransmit-timer
+   expiries. All zero on a fault-free run. *)
+val incr_drops : t -> unit
+val incr_duplicates : t -> unit
+val incr_retransmits : t -> unit
+val incr_timeouts : t -> unit
+
 type totals = {
   roots_committed : int;
   roots_aborted : int;
@@ -59,6 +68,10 @@ type totals = {
   upgrades : int;
   eager_pushes : int;
   demand_fetches : int;
+  drops : int;
+  duplicates : int;
+  retransmits : int;
+  timeouts : int;
 }
 
 val totals : t -> totals

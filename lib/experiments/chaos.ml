@@ -1,0 +1,138 @@
+type case = {
+  protocol : Dsm.Protocol.t;
+  drop : float;
+  duplicate : float;
+  jitter_us : float;
+  fault_seed : int;
+}
+
+type outcome = {
+  case : case;
+  committed : int;
+  aborted : int;
+  messages : int;
+  drops : int;
+  duplicates : int;
+  retransmits : int;
+  timeouts : int;
+  completion_us : float;
+}
+
+let fault_config c =
+  let fc =
+    {
+      Sim.Fault.none with
+      Sim.Fault.seed = c.fault_seed;
+      drop_probability = c.drop;
+      duplicate_probability = c.duplicate;
+      delay_jitter_us = c.jitter_us;
+    }
+  in
+  if Sim.Fault.is_active fc then Some fc else None
+
+let ledger_balanced m =
+  List.for_all
+    (fun oid ->
+      let o = Dsm.Metrics.per_object m oid in
+      o.Dsm.Metrics.messages = o.Dsm.Metrics.control_messages + o.Dsm.Metrics.data_messages
+      && (o.Dsm.Metrics.messages = 0 || o.Dsm.Metrics.control_bytes + o.Dsm.Metrics.data_bytes > 0))
+    (Dsm.Metrics.objects m)
+
+let case_name c =
+  Format.asprintf "%a drop=%.2f dup=%.2f jitter=%.0fus fseed=%d" Dsm.Protocol.pp c.protocol
+    c.drop c.duplicate c.jitter_us c.fault_seed
+
+let run_case ?(config = Core.Config.default) ~spec c =
+  let config = { config with Core.Config.faults = fault_config c } in
+  let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  (* Runner.execute raises on a serializability violation; Engine.Stalled
+     escapes from Runtime.run if a fiber never drains. *)
+  let run = Runner.execute ~config ~protocol:c.protocol wl in
+  let m = Runner.metrics run in
+  let t = Dsm.Metrics.totals m in
+  let fail fmt =
+    Format.kasprintf (fun s -> failwith ("chaos [" ^ case_name c ^ "]: " ^ s)) fmt
+  in
+  let submitted = spec.Workload.Spec.root_count in
+  if t.Dsm.Metrics.roots_committed + t.Dsm.Metrics.roots_aborted <> submitted then
+    fail "root accounting broken: %d committed + %d aborted <> %d submitted"
+      t.Dsm.Metrics.roots_committed t.Dsm.Metrics.roots_aborted submitted;
+  if not (ledger_balanced m) then fail "metrics ledger out of balance";
+  {
+    case = c;
+    committed = t.Dsm.Metrics.roots_committed;
+    aborted = t.Dsm.Metrics.roots_aborted;
+    messages = Dsm.Metrics.total_messages m;
+    drops = t.Dsm.Metrics.drops;
+    duplicates = t.Dsm.Metrics.duplicates;
+    retransmits = t.Dsm.Metrics.retransmits;
+    timeouts = t.Dsm.Metrics.timeouts;
+    completion_us = Dsm.Metrics.completion_time_us m;
+  }
+
+let default_spec =
+  {
+    Workload.Scenarios.medium_high with
+    Workload.Spec.object_count = 10;
+    root_count = 25;
+    node_count = 4;
+  }
+
+let default_rates = [ (0.0, 0.0, 0.0); (0.05, 0.05, 25.0); (0.1, 0.1, 50.0); (0.2, 0.2, 100.0) ]
+
+let sweep ?config ?(spec = default_spec)
+    ?(protocols = Dsm.Protocol.[ Cotec; Otec; Lotec ]) ?(rates = default_rates)
+    ?(fault_seeds = [ 1; 2 ]) () =
+  List.concat_map
+    (fun protocol ->
+      List.concat_map
+        (fun (drop, duplicate, jitter_us) ->
+          (* A fault-free case is seed-independent: run it once. *)
+          let seeds =
+            if drop = 0.0 && duplicate = 0.0 && jitter_us = 0.0 then [ List.hd fault_seeds ]
+            else fault_seeds
+          in
+          List.map
+            (fun fault_seed ->
+              run_case ?config ~spec { protocol; drop; duplicate; jitter_us; fault_seed })
+            seeds)
+        rates)
+    protocols
+
+let pp_outcome fmt o =
+  Format.fprintf fmt "%s: %d/%d committed, %d msgs, %d drops, %d dups, %d rexmit, %.0f us"
+    (case_name o.case) o.committed (o.committed + o.aborted) o.messages o.drops o.duplicates
+    o.retransmits o.completion_us
+
+let pp_report fmt outcomes =
+  let header =
+    [
+      "protocol"; "drop"; "dup"; "jitter"; "fseed"; "ok/roots"; "msgs"; "drops"; "dups";
+      "rexmit"; "completion";
+    ]
+  in
+  let rows =
+    List.map
+      (fun o ->
+        [
+          Format.asprintf "%a" Dsm.Protocol.pp o.case.protocol;
+          Printf.sprintf "%.2f" o.case.drop;
+          Printf.sprintf "%.2f" o.case.duplicate;
+          Printf.sprintf "%.0f" o.case.jitter_us;
+          string_of_int o.case.fault_seed;
+          Printf.sprintf "%d/%d" o.committed (o.committed + o.aborted);
+          string_of_int o.messages;
+          string_of_int o.drops;
+          string_of_int o.duplicates;
+          string_of_int o.retransmits;
+          Report.fmt_us o.completion_us;
+        ])
+      outcomes
+  in
+  Format.fprintf fmt "chaos sweep: all invariants held@.%s@."
+    (Report.render ~header
+       ~align:
+         [
+           Report.Left; Right; Right; Right; Right; Right; Right; Right; Right; Right; Right;
+         ]
+       rows)

@@ -1,0 +1,75 @@
+(** Chaos testing: full workloads under an unreliable interconnect.
+
+    The paper assumes a perfectly reliable switched network; {!Sim.Fault}
+    relaxes that with seed-deterministic message drops, duplicates, delay
+    jitter and node pause/crash windows, and the runtime layers a reliable
+    transport on top. This module is the harness that checks the protocols
+    survive the abuse: it sweeps fault rates × seeds × protocols over a
+    workload and asserts, for every run, the invariants that hold on the
+    reliable network —
+
+    - the committed history is serializable (checked by {!Runner.execute});
+    - every root is accounted for: committed + aborted = submitted;
+    - the simulation drains (a stuck fiber raises {!Sim.Engine.Stalled});
+    - the metrics ledger balances per object:
+      [messages = control_messages + data_messages] (and likewise bytes).
+
+    A violated invariant raises [Failure] naming the case, so the harness
+    doubles as a property checker for the test suite and as a CLI command. *)
+
+type case = {
+  protocol : Dsm.Protocol.t;
+  drop : float;  (** per-message loss probability *)
+  duplicate : float;  (** per-message duplication probability *)
+  jitter_us : float;  (** max extra delivery delay, uniform in [0, jitter] *)
+  fault_seed : int;  (** PRNG seed of the fault injector (not the workload) *)
+}
+
+type outcome = {
+  case : case;
+  committed : int;
+  aborted : int;
+  messages : int;  (** total messages, including retransmissions and acks *)
+  drops : int;
+  duplicates : int;
+  retransmits : int;
+  timeouts : int;
+  completion_us : float;
+}
+
+val fault_config : case -> Sim.Fault.config option
+(** [None] when the case injects nothing (all rates zero) — the run then
+    takes the exact fault-free code path, byte-identical to the reliable
+    network. *)
+
+val ledger_balanced : Dsm.Metrics.t -> bool
+(** Per-object check that [messages = control_messages + data_messages] and
+    [messages > 0 => control_bytes + data_bytes > 0], over every object with
+    recorded traffic. *)
+
+val run_case : ?config:Core.Config.t -> spec:Workload.Spec.t -> case -> outcome
+(** Run [spec] (workload determinism comes from [spec.seed]) under the
+    case's protocol and fault model.
+    @raise Failure on any violated invariant (see above). *)
+
+val default_spec : Workload.Spec.t
+(** A small high-contention workload (few objects, few nodes) sized so a
+    full sweep stays fast: fault handling is exercised by rates, not load. *)
+
+val sweep :
+  ?config:Core.Config.t ->
+  ?spec:Workload.Spec.t ->
+  ?protocols:Dsm.Protocol.t list ->
+  ?rates:(float * float * float) list ->
+  ?fault_seeds:int list ->
+  unit ->
+  outcome list
+(** Cartesian product of protocols × (drop, duplicate, jitter) rates ×
+    fault seeds over one workload. Defaults: the three paper protocols,
+    rates [(0,0,0); (0.05,0.05,25); (0.1,0.1,50); (0.2,0.2,100)], seeds
+    [1; 2]. Raises like {!run_case}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val pp_report : Format.formatter -> outcome list -> unit
+(** Table of the sweep, one row per case. *)

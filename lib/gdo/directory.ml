@@ -115,6 +115,10 @@ let acquire t oid ~family ~node ~mode ?(block = true) () =
   let e = get t oid in
   let wait_or_busy ~upgrade =
     if not block then Busy
+      (* Idempotence under retransmitted requests: a family already in the
+         wait queue is told Queued again without a second entry (and without
+         re-running the deadlock check — its wait is already recorded). *)
+    else if List.exists (fun w -> Txn_id.equal w.wt_family family) e.waiting then Queued
     else
       match would_deadlock t ~family ~on_oid:oid with
       | Some cycle -> Deadlock cycle

@@ -77,7 +77,13 @@ val acquire :
     cycle check), non-blocking ones — used by optimistic pre-acquisition —
     get [Busy] back and leave no trace. Keeping pre-acquisition non-blocking
     preserves the soundness of enqueue-time deadlock detection: every family
-    has at most one blocking wait outstanding. *)
+    has at most one blocking wait outstanding.
+
+    Acquisition is idempotent under retransmission: a blocking request by a
+    family already in the object's wait queue returns [Queued] without
+    enqueueing a second waiter, and a request by a family that already holds
+    the lock in a sufficient mode is re-granted — so a duplicated or
+    retransmitted acquire message never corrupts directory state. *)
 
 val release :
   t ->

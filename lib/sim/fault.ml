@@ -1,0 +1,76 @@
+type window_kind = Pause | Crash
+
+type window = {
+  w_node : int;
+  w_kind : window_kind;
+  w_from_us : float;
+  w_until_us : float;
+}
+
+type config = {
+  seed : int;
+  drop_probability : float;
+  duplicate_probability : float;
+  delay_jitter_us : float;
+  windows : window list;
+}
+
+let none =
+  {
+    seed = 0;
+    drop_probability = 0.0;
+    duplicate_probability = 0.0;
+    delay_jitter_us = 0.0;
+    windows = [];
+  }
+
+let is_active c =
+  c.drop_probability > 0.0
+  || c.duplicate_probability > 0.0
+  || c.delay_jitter_us > 0.0
+  || c.windows <> []
+
+let validate c =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let prob name v = check (v >= 0.0 && v <= 1.0) (name ^ " must be in [0,1]") in
+  let* () = prob "drop_probability" c.drop_probability in
+  let* () = prob "duplicate_probability" c.duplicate_probability in
+  let* () = check (c.delay_jitter_us >= 0.0) "delay_jitter_us must be >= 0" in
+  List.fold_left
+    (fun acc w ->
+      let* () = acc in
+      let* () = check (w.w_node >= 0) "fault window node must be >= 0" in
+      let* () = check (w.w_from_us >= 0.0) "fault window start must be >= 0" in
+      check (w.w_until_us >= w.w_from_us) "fault window must not end before it starts")
+    (Ok ()) c.windows
+
+type event = Drop | Duplicate | Crash_drop | Pause_defer
+
+let event_to_string = function
+  | Drop -> "drop"
+  | Duplicate -> "duplicate"
+  | Crash_drop -> "crash-drop"
+  | Pause_defer -> "pause-defer"
+
+type stats = {
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable crash_drops : int;
+  mutable pause_defers : int;
+}
+
+let zero_stats () = { drops = 0; duplicates = 0; crash_drops = 0; pause_defers = 0 }
+
+let count s = function
+  | Drop -> s.drops <- s.drops + 1
+  | Duplicate -> s.duplicates <- s.duplicates + 1
+  | Crash_drop -> s.crash_drops <- s.crash_drops + 1
+  | Pause_defer -> s.pause_defers <- s.pause_defers + 1
+
+let total_faults s = s.drops + s.duplicates + s.crash_drops + s.pause_defers
+
+let pp_config fmt c =
+  Format.fprintf fmt "drop %.3f, dup %.3f, jitter %.1f us, %d window(s) (seed %d)"
+    c.drop_probability c.duplicate_probability c.delay_jitter_us (List.length c.windows)
+    c.seed

@@ -1,0 +1,77 @@
+(** Link-level fault model for the simulated interconnect.
+
+    The paper's simulation assumes a perfectly reliable switched network;
+    this module parameterises {!Network} with the failure modes a real
+    cluster exhibits, so the protocol layers above can be hardened and
+    chaos-tested:
+
+    - message {e drops} (lossy link),
+    - message {e duplicates} (retransmitting transport, routing flaps),
+    - {e delay jitter} (queueing variance) — bounded extra latency that
+      never violates the per-channel FIFO guarantee,
+    - scheduled per-node {e pause} windows (GC stall, overloaded node:
+      deliveries addressed to the node are deferred to the window's end),
+    - scheduled per-node {e crash} windows (crash-and-restart: deliveries
+      addressed to the node during the window are lost; the node's state
+      survives — see DESIGN.md for what is and is not modelled).
+
+    All randomness is drawn from a dedicated {!Prng} stream seeded from
+    [config.seed], independent of the workload streams, so any run is
+    exactly reproducible from its seeds. Byzantine behaviour (corruption,
+    lying nodes) is out of scope. *)
+
+type window_kind =
+  | Pause  (** deliveries are deferred until the window closes *)
+  | Crash  (** deliveries are dropped while the window is open *)
+
+type window = {
+  w_node : int;  (** affected destination node *)
+  w_kind : window_kind;
+  w_from_us : float;
+  w_until_us : float;  (** half-open window [w_from_us, w_until_us) *)
+}
+
+type config = {
+  seed : int;  (** seed of the fault PRNG stream *)
+  drop_probability : float;  (** chance a remote message is lost, in [0,1] *)
+  duplicate_probability : float;
+      (** chance a remote message is delivered twice, in [0,1] *)
+  delay_jitter_us : float;
+      (** uniform extra latency in [0, delay_jitter_us) per message *)
+  windows : window list;  (** scheduled node pause / crash-restart windows *)
+}
+
+val none : config
+(** All probabilities zero, no windows: {!is_active} is [false]. *)
+
+val is_active : config -> bool
+(** Whether the config can perturb a run at all. An inactive config is
+    guaranteed not to change simulation behaviour: no PRNG draws, no
+    schedule changes, byte-for-byte identical output. *)
+
+val validate : config -> (unit, string) result
+(** Probabilities in [0,1], non-negative jitter, well-formed windows
+    (non-negative node and times, [w_until_us >= w_from_us]). *)
+
+(** What the injector did to a message; reported through the network's
+    [on_fault] hook and tallied in {!stats}. *)
+type event =
+  | Drop  (** lost on the link *)
+  | Duplicate  (** a second copy was scheduled *)
+  | Crash_drop  (** destination was crashed at arrival time *)
+  | Pause_defer  (** delivery deferred past a pause window *)
+
+val event_to_string : event -> string
+
+type stats = {
+  mutable drops : int;
+  mutable duplicates : int;
+  mutable crash_drops : int;
+  mutable pause_defers : int;
+}
+
+val zero_stats : unit -> stats
+val count : stats -> event -> unit
+val total_faults : stats -> int
+
+val pp_config : Format.formatter -> config -> unit

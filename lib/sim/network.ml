@@ -30,12 +30,37 @@ type 'msg t = {
   (* FIFO channels: absolute delivery time of the last message per ordered
      (src, dst) pair; a later send never arrives before it. *)
   last_delivery : float array;
+  (* Fault injection: present only when the config is active, so a run
+     without faults draws nothing from any PRNG and schedules exactly the
+     events the reliable network would. Windows are kept sorted by start
+     time so a pause deferral only ever lands in a later window. *)
+  faults : (Fault.config * Prng.t) option;
+  fault_stats : Fault.stats;
+  on_fault : (event:Fault.event -> src:int -> dst:int -> unit) option;
 }
 
 let local_delivery_cost_us = 0.1
 
-let create ~engine ~node_count ~link ?on_message () =
+let create ~engine ~node_count ~link ?faults ?on_fault ?on_message () =
   if node_count <= 0 then invalid_arg "Network.create: node_count must be positive";
+  let faults =
+    match faults with
+    | Some fc when Fault.is_active fc ->
+        (match Fault.validate fc with
+        | Ok () -> ()
+        | Error msg -> invalid_arg ("Network.create: " ^ msg));
+        let fc =
+          {
+            fc with
+            Fault.windows =
+              List.sort
+                (fun a b -> Float.compare a.Fault.w_from_us b.Fault.w_from_us)
+                fc.Fault.windows;
+          }
+        in
+        Some (fc, Prng.create ~seed:fc.Fault.seed)
+    | Some _ | None -> None
+  in
   {
     engine;
     node_count;
@@ -52,11 +77,16 @@ let create ~engine ~node_count ~link ?on_message () =
       };
     on_message;
     last_delivery = Array.make (node_count * node_count) neg_infinity;
+    faults;
+    fault_stats = Fault.zero_stats ();
+    on_fault;
   }
 
 let node_count t = t.node_count
 let link t = t.link
 let stats t = t.stats
+let fault_stats t = t.fault_stats
+let faults_active t = t.faults <> None
 
 let check_node t node =
   if node < 0 || node >= t.node_count then invalid_arg "Network: node id out of range"
@@ -69,6 +99,58 @@ let deliver t ~src ~dst msg =
   match t.handlers.(dst) with
   | None -> invalid_arg (Printf.sprintf "Network: node %d has no handler" dst)
   | Some h -> h ~src msg
+
+let record_fault t ~event ~src ~dst =
+  Fault.count t.fault_stats event;
+  match t.on_fault with Some f -> f ~event ~src ~dst | None -> ()
+
+(* Route [arrival] through the destination's scheduled windows: pause windows
+   defer it to their end (rescanning only later windows — the list is sorted
+   by start), a crash window swallows the message. *)
+let rec through_windows t ~src ~dst arrival = function
+  | [] -> Some arrival
+  | w :: rest ->
+      if w.Fault.w_node = dst && arrival >= w.Fault.w_from_us && arrival < w.Fault.w_until_us
+      then
+        match w.Fault.w_kind with
+        | Fault.Crash ->
+            record_fault t ~event:Fault.Crash_drop ~src ~dst;
+            None
+        | Fault.Pause ->
+            record_fault t ~event:Fault.Pause_defer ~src ~dst;
+            through_windows t ~src ~dst w.Fault.w_until_us rest
+      else through_windows t ~src ~dst arrival rest
+
+(* Schedule one (possibly perturbed) delivery and keep the channel FIFO: the
+   recorded last-delivery time only moves forward, and every arrival is
+   clamped to it, so jitter and duplicates never reorder a channel. *)
+let schedule_delivery t ~src ~dst ~channel ~arrival msg =
+  let arrival = Float.max arrival t.last_delivery.(channel) in
+  t.last_delivery.(channel) <- arrival;
+  let now = Engine.now t.engine in
+  Engine.schedule t.engine ~delay:(arrival -. now) (fun () -> deliver t ~src ~dst msg)
+
+let inject t ~fc ~prng ~src ~dst ~channel ~base_arrival msg =
+  if fc.Fault.drop_probability > 0.0 && Prng.bernoulli prng fc.Fault.drop_probability then
+    record_fault t ~event:Fault.Drop ~src ~dst
+  else begin
+    let jitter () =
+      if fc.Fault.delay_jitter_us > 0.0 then Prng.float prng fc.Fault.delay_jitter_us
+      else 0.0
+    in
+    (match through_windows t ~src ~dst (base_arrival +. jitter ()) fc.Fault.windows with
+    | Some arrival -> schedule_delivery t ~src ~dst ~channel ~arrival msg
+    | None -> ());
+    if
+      fc.Fault.duplicate_probability > 0.0
+      && Prng.bernoulli prng fc.Fault.duplicate_probability
+    then begin
+      record_fault t ~event:Fault.Duplicate ~src ~dst;
+      match through_windows t ~src ~dst (base_arrival +. jitter ()) fc.Fault.windows with
+      | Some arrival -> schedule_delivery t ~src ~dst ~channel ~arrival msg
+      | None -> ()
+    end
+  end
 
 let send t ~src ~dst ~kind ~bytes ~tag msg =
   check_node t src;
@@ -89,9 +171,8 @@ let send t ~src ~dst ~kind ~bytes ~tag msg =
     (match t.on_message with Some f -> f ~src ~dst ~kind ~bytes ~tag | None -> ());
     let now = Engine.now t.engine in
     let channel = (src * t.node_count) + dst in
-    let arrival =
-      Float.max (now +. transfer_time_us t.link bytes) t.last_delivery.(channel)
-    in
-    t.last_delivery.(channel) <- arrival;
-    Engine.schedule t.engine ~delay:(arrival -. now) (fun () -> deliver t ~src ~dst msg)
+    let base_arrival = now +. transfer_time_us t.link bytes in
+    match t.faults with
+    | None -> schedule_delivery t ~src ~dst ~channel ~arrival:base_arrival msg
+    | Some (fc, prng) -> inject t ~fc ~prng ~src ~dst ~channel ~base_arrival msg
   end

@@ -51,17 +51,35 @@ val create :
   engine:Engine.t ->
   node_count:int ->
   link:link ->
+  ?faults:Fault.config ->
+  ?on_fault:(event:Fault.event -> src:int -> dst:int -> unit) ->
   ?on_message:(src:int -> dst:int -> kind:kind -> bytes:int -> tag:int -> unit) ->
   unit ->
   'msg t
 (** [create ~engine ~node_count ~link ()] builds the interconnect. The
     optional [on_message] hook fires once per remote message sent (at send
     time); the DSM metrics ledger uses it to attribute traffic to objects —
-    [tag] carries the object identifier (or [-1] for untagged traffic). *)
+    [tag] carries the object identifier (or [-1] for untagged traffic).
+
+    [faults] arms the fault injector (see {!Fault}): remote messages may be
+    dropped, duplicated, jittered, deferred past a node pause window or lost
+    to a node crash window, all drawn from a dedicated PRNG seeded from the
+    config so runs stay reproducible. An inactive config
+    ({!Fault.is_active} [= false]) is equivalent to no config at all — the
+    reliable code path runs and no random bits are drawn. [on_fault] fires
+    once per injected fault event (also tallied in {!fault_stats}).
+    @raise Invalid_argument if an active [faults] config fails
+    {!Fault.validate}. *)
 
 val node_count : _ t -> int
 val link : _ t -> link
 val stats : _ t -> stats
+
+val fault_stats : _ t -> Fault.stats
+(** Injected-fault tallies; all zero when no active fault config. *)
+
+val faults_active : _ t -> bool
+(** Whether an active fault config was installed at {!create} time. *)
 
 val set_handler : 'msg t -> node:int -> (src:int -> 'msg -> unit) -> unit
 (** Install the message handler for [node]. Handlers run as plain callbacks
@@ -78,7 +96,10 @@ val send : 'msg t -> src:int -> dst:int -> kind:kind -> bytes:int -> tag:int -> 
     transport provides: a later, smaller message never overtakes an earlier,
     larger one on the same channel. (Without this, a lock re-acquisition
     could overtake the in-flight release it must follow.) Messages between
-    different pairs are independent. *)
+    different pairs are independent. Fault injection preserves the channel
+    FIFO: jittered, deferred and duplicated deliveries are clamped to the
+    channel's latest scheduled arrival, so faults delay or lose messages but
+    never reorder a channel. *)
 
 val local_delivery_cost_us : float
 (** Cost charged for a same-node "message" (a local procedure call). *)

@@ -214,6 +214,25 @@ let test_grant_carries_page_map_copy () =
       Alcotest.(check int) "directory unaffected" 0 versions.(0)
   | _ -> Alcotest.fail "expected grant"
 
+(* A retransmitted blocking acquire must not enqueue the family twice: it is
+   told Queued again, the wait queue stays at one entry, and the eventual
+   release produces exactly one deferred grant. *)
+let test_acquire_idempotent_while_queued () =
+  let d = make () in
+  Alcotest.(check bool) "holder" true
+    (is_granted (acquire d 0 ~family:(fam 1) ~node:0 ~mode:Lock.Write));
+  Alcotest.(check bool) "first request queues" true
+    (is_queued (acquire d 0 ~family:(fam 2) ~node:1 ~mode:Lock.Write));
+  Alcotest.(check bool) "retransmit queues again" true
+    (is_queued (acquire d 0 ~family:(fam 2) ~node:1 ~mode:Lock.Write));
+  Alcotest.(check int) "single wait entry" 1 (Gdo.Directory.waiting_count d (oid 0));
+  let deliveries = Gdo.Directory.release d (oid 0) ~family:(fam 1) ~dirty:[] in
+  Alcotest.(check int) "single deferred grant" 1 (List.length deliveries);
+  Alcotest.(check bool) "granted to waiter" true
+    (match deliveries with
+    | [ { Gdo.Directory.d_family; _ } ] -> Txn_id.equal d_family (fam 2)
+    | _ -> false)
+
 let tests =
   [
     ( "gdo",
@@ -237,5 +256,7 @@ let tests =
         Alcotest.test_case "copyset" `Quick test_copyset;
         Alcotest.test_case "waits-for edges" `Quick test_waits_for_edges;
         Alcotest.test_case "grant copies page map" `Quick test_grant_carries_page_map_copy;
+        Alcotest.test_case "acquire idempotent while queued" `Quick
+          test_acquire_idempotent_while_queued;
       ] );
   ]

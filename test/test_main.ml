@@ -26,4 +26,5 @@ let () =
          Test_properties.tests;
          Test_soak.tests;
          Test_edge_cases.tests;
+         Test_chaos.tests;
        ])

@@ -107,6 +107,143 @@ let test_fifo_small_does_not_overtake_large () =
     [ "small-other"; "big"; "small-same" ]
     (List.rev !got)
 
+(* ---- fault injection ---- *)
+
+let make_faulty ?(seed = 11) ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0.0) ?(windows = []) () =
+  let faults =
+    {
+      Fault.seed;
+      drop_probability = drop;
+      duplicate_probability = dup;
+      delay_jitter_us = jitter;
+      windows;
+    }
+  in
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~node_count:3 ~link:Network.link_100mbps ~faults () in
+  List.iter (fun n -> Network.set_handler net ~node:n (fun ~src:_ _ -> ())) [ 0; 1; 2 ];
+  (engine, net)
+
+let test_drop_all () =
+  let engine, net = make_faulty ~drop:1.0 () in
+  let got = ref 0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> incr got);
+  for _ = 1 to 5 do
+    Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "x"
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "drops counted" 5 (Network.fault_stats net).Fault.drops;
+  (* Sends are still charged at send time: traffic happened, then was lost. *)
+  Alcotest.(check int) "sends still counted" 5 (Network.stats net).Network.messages
+
+let test_duplicate_all () =
+  let engine, net = make_faulty ~dup:1.0 () in
+  let got = ref 0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> incr got);
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "x";
+  Engine.run engine;
+  Alcotest.(check int) "delivered twice" 2 !got;
+  Alcotest.(check int) "duplicates counted" 1 (Network.fault_stats net).Fault.duplicates
+
+let delivery_times ~seed ~jitter n =
+  let engine, net = make_faulty ~seed ~jitter () in
+  let times = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> times := Engine.now engine :: !times);
+  for i = 1 to n do
+    Engine.schedule engine ~delay:(float_of_int i *. 10.0) (fun () ->
+        Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "x")
+  done;
+  Engine.run engine;
+  List.rev !times
+
+let test_jitter_deterministic () =
+  let a = delivery_times ~seed:5 ~jitter:40.0 8 in
+  let b = delivery_times ~seed:5 ~jitter:40.0 8 in
+  Alcotest.(check (list (float 0.0))) "same seed, same schedule" a b;
+  let c = delivery_times ~seed:6 ~jitter:40.0 8 in
+  Alcotest.(check bool) "different seed perturbs" true (a <> c)
+
+let test_jitter_keeps_channel_fifo () =
+  (* Jitter far larger than the inter-send gap: deliveries must still come
+     out in send order on the one channel. *)
+  let engine, net = make_faulty ~seed:3 ~jitter:500.0 () in
+  let got = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ m -> got := m :: !got);
+  List.iteri
+    (fun i m ->
+      Engine.schedule engine ~delay:(float_of_int i) (fun () ->
+          Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 m))
+    [ "1"; "2"; "3"; "4"; "5" ];
+  Engine.run engine;
+  Alcotest.(check (list string)) "fifo under jitter" [ "1"; "2"; "3"; "4"; "5" ]
+    (List.rev !got)
+
+let test_pause_window_defers () =
+  let window = { Fault.w_node = 1; w_kind = Fault.Pause; w_from_us = 0.0; w_until_us = 500.0 } in
+  let engine, net = make_faulty ~windows:[ window ] () in
+  let at = ref (-1.0) in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> at := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "x";
+  Engine.run engine;
+  Alcotest.(check (float 0.001)) "deferred to window end" 500.0 !at;
+  Alcotest.(check int) "defer counted" 1 (Network.fault_stats net).Fault.pause_defers;
+  (* A message arriving after the window is untouched. *)
+  let engine2, net2 = make_faulty ~windows:[ window ] () in
+  let at2 = ref (-1.0) in
+  Network.set_handler net2 ~node:1 (fun ~src:_ _ -> at2 := Engine.now engine2);
+  Engine.schedule engine2 ~delay:1000.0 (fun () ->
+      Network.send net2 ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "x");
+  Engine.run engine2;
+  Alcotest.(check (float 0.001)) "post-window undisturbed" 1028.0 !at2
+
+let test_crash_window_drops () =
+  let window = { Fault.w_node = 1; w_kind = Fault.Crash; w_from_us = 0.0; w_until_us = 500.0 } in
+  let engine, net = make_faulty ~windows:[ window ] () in
+  let got = ref 0 in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> incr got);
+  (* Arrives at 28 us — inside the crash window: lost. *)
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "x";
+  (* Sent at 1000, arrives after the restart: delivered. *)
+  Engine.schedule engine ~delay:1000.0 (fun () ->
+      Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 "y");
+  Engine.run engine;
+  Alcotest.(check int) "only post-restart delivery" 1 !got;
+  Alcotest.(check int) "crash drop counted" 1 (Network.fault_stats net).Fault.crash_drops
+
+let test_inactive_faults_identical () =
+  (* A zero-rate fault config must not perturb anything — same latency as the
+     plain network, injector disarmed. *)
+  let engine, net = make_faulty ~drop:0.0 ~dup:0.0 ~jitter:0.0 () in
+  Alcotest.(check bool) "injector disarmed" false (Network.faults_active net);
+  let at = ref (-1.0) in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> at := Engine.now engine);
+  Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:1250 ~tag:0 "x";
+  Engine.run engine;
+  Alcotest.(check (float 0.001)) "baseline latency" 120.0 !at;
+  Alcotest.(check int) "no faults recorded" 0 (Fault.total_faults (Network.fault_stats net))
+
+let test_fault_validate () =
+  let ok c = Alcotest.(check bool) "valid" true (Result.is_ok (Fault.validate c)) in
+  let bad c = Alcotest.(check bool) "invalid" true (Result.is_error (Fault.validate c)) in
+  ok Fault.none;
+  ok { Fault.none with Fault.drop_probability = 0.2; duplicate_probability = 1.0 };
+  bad { Fault.none with Fault.drop_probability = 1.5 };
+  bad { Fault.none with Fault.duplicate_probability = -0.1 };
+  bad { Fault.none with Fault.delay_jitter_us = -5.0 };
+  bad
+    {
+      Fault.none with
+      Fault.windows =
+        [ { Fault.w_node = 0; w_kind = Fault.Pause; w_from_us = 10.0; w_until_us = 5.0 } ];
+    };
+  bad
+    {
+      Fault.none with
+      Fault.windows =
+        [ { Fault.w_node = -1; w_kind = Fault.Crash; w_from_us = 0.0; w_until_us = 5.0 } ];
+    }
+
 let tests =
   [
     ( "network",
@@ -121,5 +258,16 @@ let tests =
         Alcotest.test_case "bad node" `Quick test_bad_node;
         Alcotest.test_case "fifo between pair" `Quick test_fifo_between_pair;
         Alcotest.test_case "fifo no overtaking" `Quick test_fifo_small_does_not_overtake_large;
+      ] );
+    ( "network faults",
+      [
+        Alcotest.test_case "drop all" `Quick test_drop_all;
+        Alcotest.test_case "duplicate all" `Quick test_duplicate_all;
+        Alcotest.test_case "jitter deterministic" `Quick test_jitter_deterministic;
+        Alcotest.test_case "jitter keeps channel fifo" `Quick test_jitter_keeps_channel_fifo;
+        Alcotest.test_case "pause window defers" `Quick test_pause_window_defers;
+        Alcotest.test_case "crash window drops" `Quick test_crash_window_drops;
+        Alcotest.test_case "inactive config identical" `Quick test_inactive_faults_identical;
+        Alcotest.test_case "fault validate" `Quick test_fault_validate;
       ] );
   ]

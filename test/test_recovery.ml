@@ -125,7 +125,59 @@ let test_mixed_merge_rejected () =
   let undo = Recovery.create Recovery.Undo_logging in
   let shadow = Recovery.create Recovery.Shadow_paging in
   Alcotest.check_raises "mixed" (Invalid_argument "Recovery.merge_into_parent: mixed strategies")
-    (fun () -> Recovery.merge_into_parent ~child:undo ~parent:shadow)
+    (fun () -> Recovery.merge_into_parent ~child:undo ~parent:shadow);
+  (* And the other direction. *)
+  Alcotest.check_raises "mixed reversed"
+    (Invalid_argument "Recovery.merge_into_parent: mixed strategies") (fun () ->
+      Recovery.merge_into_parent ~child:shadow ~parent:undo)
+
+(* Pre-commit merge where the child's dirty pages partly overlap the
+   parent's: on the shared page the parent's (older) pre-image must be the
+   restore point; disjoint child pages are adopted. Verified through an
+   actual page store for both UNDO mechanisms. *)
+let overlap_scenario strategy =
+  let store = Dsm.Page_store.create ~node:0 in
+  Dsm.Page_store.receive store (oid 1) ~page:0 ~version:100;
+  Dsm.Page_store.receive store (oid 1) ~page:1 ~version:200;
+  Dsm.Page_store.receive store (oid 2) ~page:0 ~version:300;
+  let parent = Recovery.create strategy and child = Recovery.create strategy in
+  let write log o page v =
+    let prev = Dsm.Page_store.write store (oid o) ~page ~new_version:v in
+    Recovery.note_write log ~oid:(oid o) ~page ~pre_image:prev
+  in
+  (* Parent touches (1,0) and (1,1); child then re-writes (1,1) — the
+     overlap — and newly writes (2,0). *)
+  write parent 1 0 101;
+  write parent 1 1 201;
+  write child 1 1 202;
+  write child 2 0 301;
+  Recovery.merge_into_parent ~child ~parent;
+  Alcotest.(check bool)
+    (Recovery.strategy_to_string strategy ^ " child emptied")
+    true (Recovery.is_empty child);
+  let dirty =
+    List.sort compare (List.map (fun (o, p) -> (Oid.to_int o, p)) (Recovery.dirty_pages parent))
+  in
+  Alcotest.(check (list (pair int int)))
+    (Recovery.strategy_to_string strategy ^ " merged dirty set")
+    [ (1, 0); (1, 1); (2, 0) ]
+    dirty;
+  List.iter
+    (fun (o, page, version) -> Dsm.Page_store.restore store o ~page ~version)
+    (Recovery.restore_plan parent);
+  ( Dsm.Page_store.version store (oid 1) ~page:0,
+    Dsm.Page_store.version store (oid 1) ~page:1,
+    Dsm.Page_store.version store (oid 2) ~page:0 )
+
+let test_merge_overlapping_dirty_pages () =
+  List.iter
+    (fun strategy ->
+      let p10, p11, p20 = overlap_scenario strategy in
+      let name = Recovery.strategy_to_string strategy in
+      Alcotest.(check int) (name ^ " parent-only page restored") 100 p10;
+      Alcotest.(check int) (name ^ " overlap: parent pre-image wins") 200 p11;
+      Alcotest.(check int) (name ^ " child-only page restored") 300 p20)
+    strategies
 
 (* ---------- End-to-end: runtime under shadow paging ---------- *)
 
@@ -178,6 +230,8 @@ let tests =
         Alcotest.test_case "dirty pages agree" `Quick test_dirty_pages_agree;
         Alcotest.test_case "cost units differ" `Quick test_cost_units_differ;
         Alcotest.test_case "mixed merge rejected" `Quick test_mixed_merge_rejected;
+        Alcotest.test_case "merge overlapping dirty pages" `Quick
+          test_merge_overlapping_dirty_pages;
         Alcotest.test_case "runtime with shadow paging" `Quick test_runtime_with_shadow_paging;
         Alcotest.test_case "strategies equivalent traffic" `Quick
           test_runtime_strategies_equivalent_traffic;
