@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples clean
+.PHONY: all build test bench figures examples chaos lease clean
 
 all: build
 
@@ -15,6 +15,12 @@ bench:
 
 figures:
 	dune exec bin/lotec_sim.exe -- figures
+
+chaos:
+	dune exec bin/lotec_sim.exe -- chaos
+
+lease:
+	dune exec bin/lotec_sim.exe -- lease
 
 examples:
 	dune exec examples/quickstart.exe

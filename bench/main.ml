@@ -47,6 +47,22 @@ let reproduce () =
   Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.protocols ());
   Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.scaling ())
 
+(* The read-lease sweep (leases off vs TTL vs adaptive, all protocols),
+   printed and also written as BENCH_lease.json so the perf trajectory is
+   machine-readable across revisions. *)
+let lease_json_file = "BENCH_lease.json"
+
+let lease_sweep () =
+  Format.printf "==================================================================@.";
+  Format.printf "Read-lease subsystem: home-node lock traffic, leases off vs on@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Lease.sweep () in
+  Format.printf "%a@." Experiments.Lease.pp_report outcomes;
+  let oc = open_out lease_json_file in
+  output_string oc (Experiments.Lease.to_json outcomes);
+  close_out oc;
+  Format.printf "wrote %s@.@." lease_json_file
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing of the simulator itself.                    *)
 
@@ -106,6 +122,17 @@ let tests =
         (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Rc_nested));
       Test.make ~name:"fig2-lotec-chaos"
         (Staged.stage (bench_chaos fig2_spec ~protocol:Dsm.Protocol.Lotec));
+      Test.make ~name:"lease-lotec"
+        (Staged.stage
+           (let spec =
+              { Experiments.Lease.default_spec with Workload.Spec.root_count = 40 }
+            in
+            let wl = Workload.Generator.generate spec ~page_size:4096 in
+            let config =
+              { Core.Config.default with Core.Config.lease = Experiments.Lease.default_policy }
+            in
+            fun () ->
+              ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
     ]
 
 let benchmark () =
@@ -135,4 +162,5 @@ let benchmark () =
 
 let () =
   reproduce ();
+  lease_sweep ();
   benchmark ()

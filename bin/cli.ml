@@ -11,7 +11,8 @@
      sweep       — object count / object size / transaction count sweeps
      throughput  — per-protocol throughput + LOTEC cluster scaling
      trace       — run with protocol-event tracing and print the tail
-     chaos       — fault-rate sweep asserting the protocol invariants *)
+     chaos       — fault-rate sweep asserting the protocol invariants
+     lease       — read-lease policy sweep vs the leases-off baseline *)
 
 open Cmdliner
 
@@ -59,6 +60,44 @@ let recovery_conv =
   let parse s = Result.map_error (fun e -> `Msg e) (Txn.Recovery.strategy_of_string s) in
   let print fmt s = Format.pp_print_string fmt (Txn.Recovery.strategy_to_string s) in
   Arg.conv (parse, print)
+
+(* Read-lease policy (shared by run and lease). *)
+let lease_policy_arg =
+  let doc = "Read-lease policy: off, ttl or adaptive." in
+  Arg.(value & opt string "off" & info [ "lease-policy" ] ~doc)
+
+let lease_ttl_arg =
+  let doc = "Lease TTL in simulated microseconds (with --lease-policy ttl|adaptive)." in
+  Arg.(value & opt (some float) None & info [ "lease-ttl-us" ] ~doc)
+
+let lease_ratio_arg =
+  let doc = "Minimum observed read ratio for adaptive leasing, in [0,1]." in
+  Arg.(value & opt (some float) None & info [ "lease-min-read-ratio" ] ~doc)
+
+let lease_samples_arg =
+  let doc = "Global acquires observed before adaptive leasing may start." in
+  Arg.(value & opt (some int) None & info [ "lease-min-samples" ] ~doc)
+
+(* Build a policy from the flags: the string picks the shape, the optional
+   numeric flags override that shape's parameters. *)
+let lease_policy ~policy ~ttl ~ratio ~samples =
+  match Gdo.Lease.policy_of_string policy with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok p -> (
+      let or_else o d = Option.value o ~default:d in
+      match p with
+      | Gdo.Lease.Off -> Gdo.Lease.Off
+      | Gdo.Lease.Fixed_ttl { ttl_us } ->
+          Gdo.Lease.Fixed_ttl { ttl_us = or_else ttl ttl_us }
+      | Gdo.Lease.Adaptive { ttl_us; min_read_ratio; min_samples } ->
+          Gdo.Lease.Adaptive
+            {
+              ttl_us = or_else ttl ttl_us;
+              min_read_ratio = or_else ratio min_read_ratio;
+              min_samples = or_else samples min_samples;
+            })
 
 (* Interconnect fault injection (shared by run and chaos). *)
 let fault_drop_arg =
@@ -131,7 +170,8 @@ let run_cmd =
     Arg.(value & opt recovery_conv Txn.Recovery.Undo_logging & info [ "recovery" ] ~doc)
   in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
-      recovery drop duplicate jitter fault_seed request_timeout_us max_retransmits =
+      recovery drop duplicate jitter fault_seed request_timeout_us max_retransmits policy ttl
+      ratio samples =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
@@ -149,6 +189,7 @@ let run_cmd =
         faults = fault_config ~drop ~duplicate ~jitter ~fault_seed;
         request_timeout_us;
         max_retransmits;
+        lease = lease_policy ~policy ~ttl ~ratio ~samples;
       }
     in
     let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
@@ -162,7 +203,8 @@ let run_cmd =
       const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ objects_arg
       $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg $ fault_drop_arg
       $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ timeout_arg
-      $ retransmits_arg)
+      $ retransmits_arg $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg
+      $ lease_samples_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
 
@@ -320,6 +362,55 @@ let chaos_cmd =
           invariants (serializability, root accounting, ledger balance) hold.")
     term
 
+let lease_cmd =
+  let fractions_arg =
+    let doc = "Read-only method fraction to sweep (repeatable); default 0.5 0.8 0.95." in
+    Arg.(value & opt_all float [] & info [ "read-fraction" ] ~doc)
+  in
+  let protocols_arg =
+    let doc = "Protocol to sweep (repeatable); default all four." in
+    Arg.(value & opt_all protocol_conv [] & info [ "protocol"; "p" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let action seed roots fractions protocols policy ttl ratio samples json =
+    let spec = apply_overrides Experiments.Lease.default_spec seed roots in
+    let policies =
+      (* Default sweep compares both built-in policies; an explicit
+         --lease-policy narrows it to that one (off is always the baseline). *)
+      match policy with
+      | "off" -> None
+      | p -> Some [ lease_policy ~policy:p ~ttl ~ratio ~samples ]
+    in
+    let read_fractions = if fractions = [] then None else Some fractions in
+    let protocols = if protocols = [] then None else Some protocols in
+    let outcomes =
+      Experiments.Lease.sweep ~spec ?protocols ?read_fractions ?policies ()
+    in
+    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+    Format.printf "%a@." Experiments.Lease.pp_report outcomes;
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Experiments.Lease.to_json outcomes);
+        close_out oc;
+        Format.printf "wrote %s@." file
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ roots_arg $ fractions_arg $ protocols_arg $ lease_policy_arg
+      $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "lease"
+       ~doc:
+         "Sweep read-lease policies x read fractions x protocols and report home-node lock \
+          operations, lease traffic and completion time against the leases-off baseline.")
+    term
+
 let trace_cmd =
   let count_arg =
     let doc = "Number of trailing events to print." in
@@ -359,5 +450,5 @@ let main () =
        (Cmd.group info
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
-            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd;
+            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd;
           ]))

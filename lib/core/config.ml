@@ -26,6 +26,7 @@ type t = {
   faults : Sim.Fault.config option;
   request_timeout_us : float;
   max_retransmits : int;
+  lease : Gdo.Lease.policy;
 }
 
 let default =
@@ -57,6 +58,7 @@ let default =
     faults = None;
     request_timeout_us = 5_000.0;
     max_retransmits = 10;
+    lease = Gdo.Lease.Off;
   }
 
 let validate t =
@@ -89,6 +91,7 @@ let validate t =
   let* () = check (t.trace_capacity >= 0) "trace_capacity must be >= 0" in
   let* () = check (t.request_timeout_us > 0.0) "request_timeout_us must be positive" in
   let* () = check (t.max_retransmits >= 0) "max_retransmits must be >= 0" in
+  let* () = Gdo.Lease.validate_policy t.lease in
   match t.faults with None -> Ok () | Some f -> Sim.Fault.validate f
 
 let pp fmt t =
@@ -106,4 +109,6 @@ let pp fmt t =
       Format.fprintf fmt "@,faults: %a; timeout %.0f us, max retransmits %d"
         Sim.Fault.pp_config f t.request_timeout_us t.max_retransmits
   | Some _ | None -> ());
+  if Gdo.Lease.policy_enabled t.lease then
+    Format.fprintf fmt "@,leases: %a" Gdo.Lease.pp_policy t.lease;
   Format.fprintf fmt "@]"

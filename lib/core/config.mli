@@ -70,6 +70,12 @@ type t = {
       (** retransmissions of one message before the transport gives up (a
           given-up delivery can stall the simulation — with the default 10
           and drop rates <= 0.2 this is a ~1e-8 per-message event) *)
+  lease : Gdo.Lease.policy;
+      (** Read leases: {!Gdo.Lease.Off} (default) reproduces the paper's
+          protocol exactly; a TTL or adaptive policy lets the GDO home grant
+          read leases alongside read grants, so repeat read acquisitions at a
+          leased node complete with zero home-node messages, and write
+          acquisitions first recall outstanding leases (see {!Gdo.Lease}). *)
 }
 
 val default : t

@@ -30,7 +30,11 @@ type msg = Exec of (unit -> unit)
 
 type refusal = Busy | Deadlock of Txn_id.t list
 
-type reply = (Gdo.Directory.grant, refusal) result
+(* A grant reply, with the lease the home attached to it when the lease
+   policy admits one: (expires, epoch). The lease rides inside the grant's
+   control message at no extra byte cost (two scalar fields in an
+   already-sized message). *)
+type reply = (Gdo.Directory.grant * (float * int) option, refusal) result
 
 type t = {
   cfg : Config.t;
@@ -77,6 +81,18 @@ type t = {
   mutable next_mid : int;
   acked : (int, unit) Hashtbl.t;  (* at the sender: mids known delivered *)
   seen : (int, unit) Hashtbl.t;  (* at receivers: mids whose effect already ran *)
+  (* Read-lease subsystem (see Gdo.Lease). All four fields are inert when
+     [lease_enabled] is false — the default — keeping fault-free runs
+     byte-identical to the pre-lease runtime. *)
+  lease_enabled : bool;
+  lease_mgr : Gdo.Lease.t;  (* home-side manager (homes share the process) *)
+  lease_caches : Gdo.Lease.Cache.cache array;  (* node-side, one per node *)
+  (* family -> objects whose read lock is lease-backed (invisible to the
+     directory): released locally, validated at commit and at upgrade. *)
+  lease_reads : unit Oid.Table.t Txn_id.Table.t;
+  (* home-side: write acquisitions parked behind an in-progress lease
+     recall, keyed by object; drained FIFO when the recall clears. *)
+  lease_blocked : (int, (unit -> unit) Queue.t) Hashtbl.t;
 }
 
 let config t = t.cfg
@@ -86,6 +102,8 @@ let metrics t = t.metrics
 let directory t = t.gdo
 let store t ~node = t.stores.(node)
 let trace t = t.trace
+let lease_manager t = t.lease_mgr
+let lease_cache t ~node = t.lease_caches.(node)
 
 let record_trace t ~category fmt =
   match t.trace with
@@ -177,6 +195,12 @@ let create ~config:cfg ~catalog =
       next_mid = 0;
       acked = Hashtbl.create 256;
       seen = Hashtbl.create 256;
+      lease_enabled = Gdo.Lease.policy_enabled cfg.Config.lease;
+      lease_mgr = Gdo.Lease.create cfg.Config.lease;
+      lease_caches =
+        Array.init cfg.Config.node_count (fun _ -> Gdo.Lease.Cache.create ());
+      lease_reads = Txn_id.Table.create 64;
+      lease_blocked = Hashtbl.create 16;
     }
   in
   (* Trivial dispatch: every node executes delivered thunks. *)
@@ -312,7 +336,7 @@ let reply_from_home t ~home ~dst ~oid (iv : reply Sim.Engine.Ivar.t) (r : reply)
   else
     let bytes =
       match r with
-      | Ok g -> grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes)
+      | Ok (g, _) -> grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes)
       | Error _ -> t.cfg.Config.control_msg_bytes
     in
     send_reliable t ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid) deliver
@@ -332,20 +356,184 @@ let replicate_gdo_update t ~home ~oid =
         (fun () -> ())
   done
 
+(* ------------------------------------------------------------------ *)
+(* Read leases (Gdo.Lease): home-side recall machinery and node-side
+   cache handlers. Everything here is dead code when the lease policy is
+   Off.                                                                 *)
+
+(* Run the write acquisitions parked behind an object's recall, in arrival
+   order — the first (the excluded writer) reaches the directory first and
+   is therefore the first granted. *)
+let drain_lease_blocked t ~oid =
+  match Hashtbl.find_opt t.lease_blocked (Oid.to_int oid) with
+  | None -> ()
+  | Some q ->
+      Hashtbl.remove t.lease_blocked (Oid.to_int oid);
+      Queue.iter (fun k -> k ()) q
+
+(* Executed at the GDO home when a Lease_yield arrives. *)
+let process_lease_yield t ~oid ~node =
+  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      Dsm.Metrics.incr_lease_yields t.metrics;
+      match Gdo.Lease.note_yield t.lease_mgr oid ~node with
+      | `Cleared ->
+          record_trace t ~category:"lease" "%a: recall cleared" Oid.pp oid;
+          drain_lease_blocked t ~oid
+      | `Waiting | `Stale -> ())
+
+(* Node-side: surrender a recalled lease. Rides the reliable transport so a
+   yield survives fault injection (a lost yield is backstopped by the home's
+   TTL force-clear timer either way). *)
+let send_lease_yield t ~node ~oid =
+  let home = home_of t oid in
+  record_trace t ~category:"lease" "%a: node %d yields" Oid.pp oid node;
+  let run () = process_lease_yield t ~oid ~node in
+  if home = node then
+    Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us run
+  else
+    send_reliable t ~src:node ~dst:home ~kind:Sim.Network.Control
+      ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) run
+
+(* Executed at a leased node when a Lease_recall arrives. *)
+let handle_lease_recall t ~node ~oid ~epoch ~excluded =
+  match Gdo.Lease.Cache.recall t.lease_caches.(node) oid ~epoch ~excluded with
+  | `Yield -> send_lease_yield t ~node ~oid
+  | `Deferred ->
+      record_trace t ~category:"lease" "%a: node %d defers yield (%d reader(s))" Oid.pp oid
+        node
+        (Gdo.Lease.Cache.reader_count t.lease_caches.(node) oid)
+
+(* Start recalling an object's outstanding leases on behalf of a blocked
+   write by [excluded]. Arms the TTL force-clear timer that guarantees the
+   write is eventually admitted even if yields are lost or a lease-backed
+   reader is entangled in a cross-object deadlock the home cannot see. *)
+let start_lease_recall t ~home ~oid ~excluded =
+  let now = Sim.Engine.now t.engine in
+  match Gdo.Lease.begin_recall t.lease_mgr oid ~now ~excluded with
+  | `Clear -> `Clear
+  | `In_progress -> `Parked
+  | `Recall { Gdo.Lease.ro_nodes; ro_epoch; ro_deadline; ro_token } ->
+      Dsm.Metrics.add_lease_recalls t.metrics (List.length ro_nodes);
+      record_trace t ~category:"lease" "%a: recalling %d lease(s) at epoch %d" Oid.pp oid
+        (List.length ro_nodes) ro_epoch;
+      List.iter
+        (fun node ->
+          let deliver () = handle_lease_recall t ~node ~oid ~epoch:ro_epoch ~excluded in
+          if node = home then
+            Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us deliver
+          else
+            send_reliable t ~src:home ~dst:node ~kind:Sim.Network.Control
+              ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) deliver)
+        ro_nodes;
+      (* The force-clear backstop. A single timer at ro_deadline would keep
+         the engine alive for a whole TTL after the last root finishes (the
+         engine runs until its event queue drains and there is no
+         cancellation), so instead poll with exponential backoff: each poll
+         stands down as soon as the recall token no longer matches — the
+         normal case, yields clear a recall in a couple of RTTs — and only
+         a recall still pending at ro_deadline is force-cleared. *)
+      let rec arm_force_clear ~delay =
+        Sim.Engine.schedule t.engine ~delay (fun () ->
+            if Gdo.Lease.recall_token t.lease_mgr oid = Some ro_token then begin
+              if Sim.Engine.now t.engine >= ro_deadline then begin
+                if Gdo.Lease.force_clear t.lease_mgr oid ~token:ro_token then begin
+                  Dsm.Metrics.incr_lease_expiries t.metrics;
+                  record_trace t ~category:"lease" "%a: recall TTL expired, force-clearing"
+                    Oid.pp oid;
+                  drain_lease_blocked t ~oid
+                end
+              end
+              else
+                let remaining = ro_deadline -. Sim.Engine.now t.engine in
+                arm_force_clear ~delay:(Float.min (2.0 *. delay) (remaining +. 1.0))
+            end)
+      in
+      arm_force_clear ~delay:(Float.min 500.0 (Float.max (ro_deadline -. now) 0.0 +. 1.0));
+      `Parked
+
+(* Home-side, on every grant leaving the directory: attach a lease to read
+   grants the policy admits; bump the object's write epoch on write grants
+   (fencing every earlier lease and the readers admitted under them). *)
+let attach_lease t ~oid ~node (g : Gdo.Directory.grant) =
+  if not t.lease_enabled then None
+  else if Lock.equal g.Gdo.Directory.g_mode Lock.Write then begin
+    Gdo.Lease.note_write_granted t.lease_mgr oid;
+    None
+  end
+  else begin
+    let lease =
+      Gdo.Lease.lease_for_grant t.lease_mgr oid ~node ~now:(Sim.Engine.now t.engine)
+        ~writer_queued:(Gdo.Directory.has_queued_writer t.gdo oid)
+    in
+    (match lease with
+    | Some (_, epoch) ->
+        Dsm.Metrics.incr_lease_grants t.metrics;
+        record_trace t ~category:"lease" "%a: leased to node %d at epoch %d" Oid.pp oid node
+          epoch
+    | None -> ());
+    lease
+  end
+
+(* Directory half of an acquire, shared by the direct path and the
+   continuations parked behind a lease recall. *)
+let process_acquire_core t ~home ~requester ~family ~oid ~mode ~block
+    (iv : reply Sim.Engine.Ivar.t) =
+  match Gdo.Directory.acquire t.gdo oid ~family ~node:requester ~mode ~block () with
+  | Gdo.Directory.Granted g ->
+      let lease = attach_lease t ~oid ~node:requester g in
+      replicate_gdo_update t ~home ~oid;
+      reply_from_home t ~home ~dst:requester ~oid iv (Ok (g, lease))
+  | Gdo.Directory.Queued ->
+      replicate_gdo_update t ~home ~oid;
+      Hashtbl.replace t.pending (Oid.to_int oid, family) iv
+  | Gdo.Directory.Busy -> reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
+  | Gdo.Directory.Deadlock cycle ->
+      reply_from_home t ~home ~dst:requester ~oid iv (Error (Deadlock cycle))
+
+(* Recall-before-write: a write acquisition reaching a home with leases
+   outstanding (or a recall already running) parks until the recall clears.
+   Only the first parked writer's family is excluded from the drain wait —
+   it is the first continuation to reach the directory, so its own
+   lease-backed read (if any) ends up protected by its impending write
+   lock. *)
+let gate_lease_write t ~home ~requester ~family ~oid ~block ~core
+    (iv : reply Sim.Engine.Ivar.t) =
+  let now = Sim.Engine.now t.engine in
+  if
+    Gdo.Lease.recall_in_progress t.lease_mgr oid
+    || Gdo.Lease.outstanding t.lease_mgr oid ~now <> []
+  then
+    if not block then reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
+    else begin
+      let q =
+        match Hashtbl.find_opt t.lease_blocked (Oid.to_int oid) with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace t.lease_blocked (Oid.to_int oid) q;
+            q
+      in
+      Queue.add core q;
+      match start_lease_recall t ~home ~oid ~excluded:(Some family) with
+      | `Clear -> drain_lease_blocked t ~oid  (* every lease expired since the check *)
+      | `Parked -> ()
+    end
+  else core ()
+
 (* Executed at the GDO home when an acquire request arrives. *)
 let process_acquire t ~home ~requester ~family ~oid ~mode ~block (iv : reply Sim.Engine.Ivar.t) =
   Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
       Gdo.Directory.note_cached t.gdo oid ~node:requester;
-      match Gdo.Directory.acquire t.gdo oid ~family ~node:requester ~mode ~block () with
-      | Gdo.Directory.Granted g ->
-          replicate_gdo_update t ~home ~oid;
-          reply_from_home t ~home ~dst:requester ~oid iv (Ok g)
-      | Gdo.Directory.Queued ->
-          replicate_gdo_update t ~home ~oid;
-          Hashtbl.replace t.pending (Oid.to_int oid, family) iv
-      | Gdo.Directory.Busy -> reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
-      | Gdo.Directory.Deadlock cycle ->
-          reply_from_home t ~home ~dst:requester ~oid iv (Error (Deadlock cycle)))
+      let core () = process_acquire_core t ~home ~requester ~family ~oid ~mode ~block iv in
+      if not t.lease_enabled then core ()
+      else begin
+        (match mode with
+        | Lock.Read -> Gdo.Lease.note_read t.lease_mgr oid
+        | Lock.Write -> Gdo.Lease.note_write t.lease_mgr oid);
+        if Lock.equal mode Lock.Write then
+          gate_lease_write t ~home ~requester ~family ~oid ~block ~core iv
+        else core ()
+      end)
 
 let deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
   let oid = d.d_grant.Gdo.Directory.g_oid in
@@ -353,7 +541,8 @@ let deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
   | None -> ()  (* e.g. a test driving the directory directly *)
   | Some iv ->
       Hashtbl.remove t.pending (Oid.to_int oid, d.d_family);
-      reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok d.d_grant)
+      let lease = attach_lease t ~oid ~node:d.d_node d.d_grant in
+      reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok (d.d_grant, lease))
 
 (* Executed at the GDO home when a release arrives. [items] lists the objects
    (with their dirty page info) whose home is this node. *)
@@ -361,6 +550,7 @@ let process_release t ~home ~family items =
   let n_items = List.length items in
   Sim.Engine.schedule t.engine ~delay:(t.cfg.Config.gdo_op_us *. float_of_int n_items)
     (fun () ->
+      Dsm.Metrics.incr_gdo_releases t.metrics;
       List.iter
         (fun (oid, dirty) ->
           let deliveries = Gdo.Directory.release t.gdo oid ~family ~dirty in
@@ -498,6 +688,63 @@ let ensure_pages t ~family ~node ~oid pages =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Node-side lease bookkeeping: which of a family's read locks are
+   lease-backed (the directory never saw them), and their validation at
+   commit/upgrade time.                                                 *)
+
+let family_lease_reads t family =
+  match Txn_id.Table.find_opt t.lease_reads family with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Oid.Table.create 4 in
+      Txn_id.Table.add t.lease_reads family tbl;
+      tbl
+
+let mark_lease_backed t ~family ~oid = Oid.Table.replace (family_lease_reads t family) oid ()
+
+let unmark_lease_backed t ~family ~oid =
+  match Txn_id.Table.find_opt t.lease_reads family with
+  | Some tbl -> Oid.Table.remove tbl oid
+  | None -> ()
+
+let is_lease_backed t ~family ~oid =
+  match Txn_id.Table.find_opt t.lease_reads family with
+  | Some tbl -> Oid.Table.mem tbl oid
+  | None -> false
+
+(* Satisfy a read-mode acquire from the node's lease cache, if it holds a
+   valid lease on the object. *)
+let lease_hit t ~node ~oid ~mode =
+  if t.lease_enabled && Lock.equal mode Lock.Read then
+    Gdo.Lease.Cache.hit t.lease_caches.(node) oid ~now:(Sim.Engine.now t.engine)
+  else None
+
+(* A family's lease-backed read on [oid] ended (commit, abort, or upgrade):
+   drop the reader; if a deferred recall was waiting on it, yield now. *)
+let lease_release t ~node ~family ~oid =
+  match Gdo.Lease.Cache.remove_reader t.lease_caches.(node) oid ~family with
+  | `Yield -> send_lease_yield t ~node ~oid
+  | `Nothing -> ()
+
+(* TTL doom (see Gdo.Lease): lease-backed reads are only as good as the
+   lease backing them. Re-validate every one before the family commits; a
+   reader whose lease expired or was superseded may have read data a writer
+   has since been allowed to overwrite, so the family must abort and
+   retry. *)
+let validate_lease_reads t ~node ~family =
+  (not t.lease_enabled)
+  ||
+  match Txn_id.Table.find_opt t.lease_reads family with
+  | None -> true
+  | Some tbl ->
+      let now = Sim.Engine.now t.engine in
+      Oid.Table.fold
+        (fun oid () ok -> ok && Gdo.Lease.Cache.valid t.lease_caches.(node) oid ~family ~now)
+        tbl true
+
+let drop_lease_reads t family = Txn_id.Table.remove t.lease_reads family
+
+(* ------------------------------------------------------------------ *)
 (* Lock acquisition at method entry (Algorithm 4.1 + global path).     *)
 
 (* Block until a concurrent fiber of the same family (a prefetch) has
@@ -535,7 +782,29 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
       else begin
         Dsm.Metrics.incr_upgrades t.metrics;
         match gdo_acquire t ~node ~family ~oid ~mode:Lock.Write ~block:true with
-        | Ok g ->
+        | Ok (g, _) ->
+            if t.lease_enabled && is_lease_backed t ~family ~oid then begin
+              (* The read being upgraded never reached the directory: this
+                 write grant is fresh, not an upgrade, and the lease that
+                 protected the read must still be valid at grant time —
+                 otherwise another writer was admitted in between (via TTL
+                 force-clear) and the read is doomed. The just-granted
+                 write lock is handed straight back so the directory is not
+                 leaked across the family abort. *)
+              let valid =
+                Gdo.Lease.Cache.valid t.lease_caches.(node) oid ~family
+                  ~now:(Sim.Engine.now t.engine)
+              in
+              if not valid then begin
+                Dsm.Metrics.incr_lease_aborts t.metrics;
+                record_trace t ~category:"lease" "%a: upgrade under dead lease, %a aborts"
+                  Oid.pp oid Txn_id.pp txn;
+                gdo_release t ~node ~family [ (oid, []) ];
+                raise Family_abort
+              end;
+              unmark_lease_backed t ~family ~oid;
+              lease_release t ~node ~family ~oid
+            end;
             Local_locks.upgrade_granted t.locks.(node) oid ~txn;
             set_snapshot t ~family ~oid g;
             await_transfer t ~family ~oid;
@@ -549,10 +818,26 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             raise Family_abort
       end
   | Local_locks.Not_cached -> (
+      match lease_hit t ~node ~oid ~mode with
+      | Some g ->
+          (* Valid local lease: install the cached grant without touching
+             the home — zero messages. The cached page map is current (no
+             write was granted while the lease is valid), so demand fetches
+             through this snapshot behave exactly as under the original
+             grant. *)
+          Dsm.Metrics.incr_lease_hits t.metrics;
+          Local_locks.install_grant t.locks.(node) oid ~txn ~mode;
+          set_snapshot t ~family ~oid g;
+          Gdo.Lease.Cache.add_reader t.lease_caches.(node) oid ~family;
+          mark_lease_backed t ~family ~oid;
+          record_trace t ~category:"lease" "%a: lease hit by %a@%d" Oid.pp oid Txn_id.pp txn
+            node;
+          true
+      | None -> (
       Dsm.Metrics.incr_global_acquisitions t.metrics;
       let had_inflight = Hashtbl.mem t.inflight (Oid.to_int oid, family) in
       match gdo_acquire t ~node ~family ~oid ~mode ~block:(not optimistic) with
-      | Ok g ->
+      | Ok (g, lease) ->
           if had_inflight then
             (* Another fiber of this family raced us and already installed
                the grant; just retry the local path. *)
@@ -568,6 +853,13 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             transfer_on_acquire t ~node ~oid ~grant:g ~predicted;
             Hashtbl.remove t.transfers (Oid.to_int oid, family);
             Sim.Engine.Ivar.fill transfer_iv ();
+            (* Install the piggybacked lease only now, after the grant's
+               page transfer landed: a lease hit must find every page the
+               cached map calls local actually present. *)
+            (match lease with
+            | Some (expires, epoch) ->
+                Gdo.Lease.Cache.install t.lease_caches.(node) oid ~grant:g ~expires ~epoch
+            | None -> ());
             true
           end
       | Error Busy ->
@@ -583,7 +875,7 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             record_trace t ~category:"deadlock" "%a@%d aborts; cycle of %d families" Txn_id.pp
               txn node (List.length cycle);
             raise Family_abort
-          end)
+          end))
 
 (* ------------------------------------------------------------------ *)
 (* Transaction completion (Algorithm 4.3 and root paths).              *)
@@ -622,7 +914,13 @@ let abort_sub_txn t txn =
   let family = Txn_tree.root_of t.tree txn in
   Local_locks.abort t.locks.(node) txn ~to_release:(fun oid ->
       Oid.Table.remove (family_snapshots t family) oid;
-      gdo_release t ~node ~family [ (oid, []) ]);
+      if is_lease_backed t ~family ~oid then begin
+        (* The directory never saw this read lock: release it against the
+           lease cache only. *)
+        unmark_lease_backed t ~family ~oid;
+        lease_release t ~node ~family ~oid
+      end
+      else gdo_release t ~node ~family [ (oid, []) ]);
   Txn_tree.set_status t.tree txn Txn_tree.Aborted;
   record_trace t ~category:"txn" "%a aborts (sub-transaction)" Txn_id.pp txn;
   drop_txn_state t txn
@@ -702,10 +1000,29 @@ let dedup_accesses accesses =
   end) in
   S.elements (S.of_list accesses)
 
+(* Split a family's released objects into lease-backed reads (released
+   against the node's lease cache, no directory traffic) and directory
+   locks (released globally as before). Lease-backed locks are read-only by
+   construction: a write would have upgraded, and upgrading converts the
+   lock to a directory lock. *)
+let split_lease_released t ~node ~family released =
+  if not t.lease_enabled then released
+  else begin
+    let leased, global =
+      List.partition (fun oid -> is_lease_backed t ~family ~oid) released
+    in
+    List.iter
+      (fun oid -> lease_release t ~node ~family ~oid)
+      leased;
+    drop_lease_reads t family;
+    global
+  end
+
 let commit_root t root =
   let node = Txn_tree.node_of t.tree root in
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   let released = Local_locks.root_release t.locks.(node) ~root in
+  let released = split_lease_released t ~node ~family:root released in
   let items = dirty_items t ~node ~root released in
   let push_items =
     List.filter (fun (oid, _) -> Dsm.Protocol.is_eager_push (protocol_for t oid)) items
@@ -731,6 +1048,7 @@ let abort_root t root =
   undo_txn t root;
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   let released = Local_locks.root_release t.locks.(node) ~root in
+  let released = split_lease_released t ~node ~family:root released in
   gdo_release t ~node ~family:root (List.map (fun oid -> (oid, [])) released);
   Txn_tree.set_status t.tree root Txn_tree.Aborted;
   Txn_id.Table.remove t.snapshots root;
@@ -907,7 +1225,17 @@ let submit t ~at ~node ~oid ~meth ~seed =
             let ok =
               try
                 run_body t ~prng ~txn:root ~oid ~cm;
-                `Committed
+                (* TTL doom: a lease-backed read whose lease has expired or
+                   been superseded is no longer protected against writers —
+                   the family must retry rather than commit it. *)
+                if validate_lease_reads t ~node ~family:root then `Committed
+                else begin
+                  Dsm.Metrics.incr_lease_aborts t.metrics;
+                  record_trace t ~category:"lease" "root %a fails lease validation, retrying"
+                    Txn_id.pp root;
+                  abort_root t root;
+                  `Retry
+                end
               with
               | Family_abort ->
                   abort_root t root;

@@ -56,6 +56,14 @@ val store : t -> node:int -> Dsm.Page_store.t
 val trace : t -> Sim.Trace.t option
 (** The protocol-event trace, when [Config.trace_capacity > 0]. *)
 
+val lease_manager : t -> Gdo.Lease.t
+(** The home-side lease manager (shared by all homes in-process). Inert —
+    every operation a no-op — unless [Config.lease] enables a policy. *)
+
+val lease_cache : t -> node:int -> Gdo.Lease.Cache.cache
+(** [node]'s local lease cache (see {!Gdo.Lease.Cache}); for tests and
+    diagnostics. *)
+
 val submit : t -> at:float -> node:int -> oid:Oid.t -> meth:string -> seed:int -> unit
 (** Schedule a root invocation of [meth] on [oid] at node [node] and
     simulated time [at]. [seed] makes the root's private random stream

@@ -25,6 +25,13 @@ type totals = {
   duplicates : int;
   retransmits : int;
   timeouts : int;
+  gdo_releases : int;
+  lease_grants : int;
+  lease_hits : int;
+  lease_recalls : int;
+  lease_yields : int;
+  lease_expiries : int;
+  lease_aborts : int;
 }
 
 type t = {
@@ -42,6 +49,13 @@ type t = {
   mutable duplicates : int;
   mutable retransmits : int;
   mutable timeouts : int;
+  mutable gdo_releases : int;
+  mutable lease_grants : int;
+  mutable lease_hits : int;
+  mutable lease_recalls : int;
+  mutable lease_yields : int;
+  mutable lease_expiries : int;
+  mutable lease_aborts : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
 }
@@ -66,6 +80,13 @@ let create () =
     duplicates = 0;
     retransmits = 0;
     timeouts = 0;
+    gdo_releases = 0;
+    lease_grants = 0;
+    lease_hits = 0;
+    lease_recalls = 0;
+    lease_yields = 0;
+    lease_expiries = 0;
+    lease_aborts = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
   }
@@ -124,6 +145,19 @@ let incr_drops t = t.drops <- t.drops + 1
 let incr_duplicates t = t.duplicates <- t.duplicates + 1
 let incr_retransmits t = t.retransmits <- t.retransmits + 1
 let incr_timeouts t = t.timeouts <- t.timeouts + 1
+let incr_gdo_releases t = t.gdo_releases <- t.gdo_releases + 1
+let incr_lease_grants t = t.lease_grants <- t.lease_grants + 1
+let incr_lease_hits t = t.lease_hits <- t.lease_hits + 1
+let add_lease_recalls t n = t.lease_recalls <- t.lease_recalls + n
+let incr_lease_yields t = t.lease_yields <- t.lease_yields + 1
+let incr_lease_expiries t = t.lease_expiries <- t.lease_expiries + 1
+let incr_lease_aborts t = t.lease_aborts <- t.lease_aborts + 1
+
+(* Home-node lock-protocol operations: every request the GDO home processes
+   (acquires, upgrades, release batches) plus lease recall round trips. The
+   lease experiment's headline is the reduction of this count. *)
+let home_lock_ops t =
+  t.global_acquisitions + t.upgrades + t.gdo_releases + t.lease_recalls + t.lease_yields
 
 let totals t =
   let demand =
@@ -144,6 +178,13 @@ let totals t =
     duplicates = t.duplicates;
     retransmits = t.retransmits;
     timeouts = t.timeouts;
+    gdo_releases = t.gdo_releases;
+    lease_grants = t.lease_grants;
+    lease_hits = t.lease_hits;
+    lease_recalls = t.lease_recalls;
+    lease_yields = t.lease_yields;
+    lease_expiries = t.lease_expiries;
+    lease_aborts = t.lease_aborts;
   }
 
 let per_object t oid =
@@ -209,5 +250,11 @@ let pp_summary fmt t =
   if tt.drops + tt.duplicates + tt.retransmits + tt.timeouts > 0 then
     Format.fprintf fmt "faults: %d drops, %d duplicates, %d retransmits, %d timeouts@,"
       tt.drops tt.duplicates tt.retransmits tt.timeouts;
+  (* Likewise the lease line: absent unless the lease subsystem did work. *)
+  if tt.lease_grants + tt.lease_hits + tt.lease_recalls + tt.lease_aborts > 0 then
+    Format.fprintf fmt
+      "leases: %d grants, %d hits, %d recalls, %d yields, %d expiries, %d aborts@,"
+      tt.lease_grants tt.lease_hits tt.lease_recalls tt.lease_yields tt.lease_expiries
+      tt.lease_aborts;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us

@@ -57,6 +57,26 @@ val incr_duplicates : t -> unit
 val incr_retransmits : t -> unit
 val incr_timeouts : t -> unit
 
+(* Lease-subsystem counters (see {!Gdo.Lease}): leases granted by homes,
+   read acquisitions satisfied locally by a valid lease (zero home-node
+   messages), recall messages sent, yields received, recalls resolved by TTL
+   expiry instead of yields, and families aborted by commit/upgrade-time
+   lease validation. [incr_gdo_releases] counts release batches the home
+   processes — together with acquisitions and recall traffic it makes up
+   {!home_lock_ops}. All zero when the lease policy is [Off]. *)
+val incr_gdo_releases : t -> unit
+val incr_lease_grants : t -> unit
+val incr_lease_hits : t -> unit
+val add_lease_recalls : t -> int -> unit
+val incr_lease_yields : t -> unit
+val incr_lease_expiries : t -> unit
+val incr_lease_aborts : t -> unit
+
+val home_lock_ops : t -> int
+(** Lock-protocol operations processed by GDO homes: global acquisitions +
+    upgrades + release batches + recall/yield messages. The lease
+    experiment's headline metric. *)
+
 type totals = {
   roots_committed : int;
   roots_aborted : int;
@@ -72,6 +92,13 @@ type totals = {
   duplicates : int;
   retransmits : int;
   timeouts : int;
+  gdo_releases : int;
+  lease_grants : int;
+  lease_hits : int;
+  lease_recalls : int;
+  lease_yields : int;
+  lease_expiries : int;
+  lease_aborts : int;
 }
 
 val totals : t -> totals

@@ -225,6 +225,11 @@ let read_count t oid =
 
 let waiting_count t oid = List.length (get t oid).waiting
 
+let has_queued_writer t oid =
+  List.exists
+    (fun w -> w.wt_upgrade || Lock.equal w.wt_mode Lock.Write)
+    (get t oid).waiting
+
 let page_map t oid =
   let e = get t oid in
   (Array.copy e.page_nodes, Array.copy e.page_versions)

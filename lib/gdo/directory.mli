@@ -101,6 +101,11 @@ val holders : t -> Objmodel.Oid.t -> holder list
 val read_count : t -> Objmodel.Oid.t -> int
 val waiting_count : t -> Objmodel.Oid.t -> int
 
+val has_queued_writer : t -> Objmodel.Oid.t -> bool
+(** Is any waiter a writer (or a pending upgrade)? The lease layer refuses
+    to grant new leases while one is queued — they would be recalled before
+    the reader could profit. *)
+
 val page_map : t -> Objmodel.Oid.t -> int array * int array
 (** Copy of (page_nodes, page_versions). *)
 

@@ -59,6 +59,38 @@ let test_transfer_lotec () =
   Alcotest.(check (list int)) "duplicate prediction ok" [ 1; 4 ]
     (ts Dsm.Protocol.Lotec [ 4; 1; 1; 3 ])
 
+let test_transfer_lotec_empty_prediction () =
+  (* LOTEC with an empty prediction fetches nothing at acquisition even
+     when every remote page is stale — everything is left to demand
+     fetches. The prediction, not staleness, drives the eager set. *)
+  let page_nodes = [| 1; 2; 3; 1 |] in
+  let page_versions = [| 5; 5; 5; 5 |] in
+  let local_version _ = -1 in
+  Alcotest.(check (list int)) "all stale, none predicted" []
+    (Dsm.Protocol.transfer_set Dsm.Protocol.Lotec ~page_count:4 ~page_nodes ~page_versions
+       ~local_version ~node:0 ~predicted:[]);
+  (* Out-of-range prediction entries select nothing. *)
+  Alcotest.(check (list int)) "prediction beyond object" []
+    (Dsm.Protocol.transfer_set Dsm.Protocol.Lotec ~page_count:4 ~page_nodes ~page_versions
+       ~local_version ~node:0 ~predicted:[ 7; 9 ])
+
+let test_transfer_all_local () =
+  (* Every page's newest copy already resides at the acquiring node: no
+     protocol has anything to fetch (there is nowhere to fetch from),
+     predictions notwithstanding. *)
+  let page_nodes = [| 0; 0; 0; 0 |] in
+  let page_versions = [| 3; 1; 4; 2 |] in
+  let locals = [| 3; 1; 4; 2 |] in
+  let local_version p = locals.(p) in
+  List.iter
+    (fun proto ->
+      Alcotest.(check (list int))
+        (Dsm.Protocol.to_string proto ^ ": all pages local")
+        []
+        (Dsm.Protocol.transfer_set proto ~page_count:4 ~page_nodes ~page_versions
+           ~local_version ~node:0 ~predicted:[ 0; 1; 2; 3 ]))
+    Dsm.Protocol.all
+
 let test_transfer_subset_chain () =
   (* Structural property on the scenario: LOTEC <= OTEC <= COTEC. *)
   let ts = scenario () in
@@ -227,6 +259,9 @@ let tests =
         Alcotest.test_case "transfer cotec" `Quick test_transfer_cotec;
         Alcotest.test_case "transfer otec" `Quick test_transfer_otec;
         Alcotest.test_case "transfer lotec" `Quick test_transfer_lotec;
+        Alcotest.test_case "transfer lotec empty prediction" `Quick
+          test_transfer_lotec_empty_prediction;
+        Alcotest.test_case "transfer all pages local" `Quick test_transfer_all_local;
         Alcotest.test_case "transfer subset chain" `Quick test_transfer_subset_chain;
         QCheck_alcotest.to_alcotest qcheck_transfer_subsets;
         Alcotest.test_case "store basics" `Quick test_store_basics;

@@ -27,4 +27,5 @@ let () =
          Test_soak.tests;
          Test_edge_cases.tests;
          Test_chaos.tests;
+         Test_lease.tests;
        ])
