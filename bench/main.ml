@@ -63,6 +63,23 @@ let lease_sweep () =
   close_out oc;
   Format.printf "wrote %s@.@." lease_json_file
 
+(* Per-message-type traffic breakdown (COTEC vs OTEC vs LOTEC on the
+   default scenario), printed and written as BENCH_trace.json: the
+   machine-readable record of the messages-vs-bytes tradeoff per wire
+   message type (see OBSERVABILITY.md). *)
+let trace_json_file = "BENCH_trace.json"
+
+let msg_breakdown () =
+  Format.printf "==================================================================@.";
+  Format.printf "Wire-message breakdown: messages vs bytes per message type@.";
+  Format.printf "==================================================================@.@.";
+  let rows = Experiments.Msg_breakdown.run () in
+  Format.printf "%a@." Experiments.Msg_breakdown.pp_report rows;
+  let oc = open_out trace_json_file in
+  output_string oc (Experiments.Msg_breakdown.to_json rows);
+  close_out oc;
+  Format.printf "wrote %s@.@." trace_json_file
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing of the simulator itself.                    *)
 
@@ -163,4 +180,5 @@ let benchmark () =
 let () =
   reproduce ();
   lease_sweep ();
+  msg_breakdown ();
   benchmark ()

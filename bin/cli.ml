@@ -144,6 +144,28 @@ let fault_config ~drop ~duplicate ~jitter ~fault_seed =
         delay_jitter_us = jitter;
       }
 
+(* Shared by run (via the --trace- flags) and the trace subcommand. *)
+let write_chrome_trace ~node_count tr file =
+  let json = Dsm.Trace_export.to_chrome ~node_count (Sim.Trace.events tr) in
+  (match Dsm.Trace_export.validate_json json with
+  | Ok () -> ()
+  | Error e ->
+      Format.eprintf "internal error: chrome export is not valid JSON: %s@." e;
+      exit 1);
+  let oc = open_out file in
+  output_string oc json;
+  close_out oc;
+  Format.printf "wrote %s (%d events, load in Perfetto or chrome://tracing)@." file
+    (Sim.Trace.length tr)
+
+let print_trace_tail tr n =
+  if Sim.Trace.dropped tr > 0 then
+    Format.printf "(%d early events dropped by the ring)@." (Sim.Trace.dropped tr);
+  Format.printf "last %d event(s):@." (min n (Sim.Trace.length tr));
+  List.iter
+    (fun e -> Format.printf "%a@." (Sim.Trace.pp_entry Dsm.Event.pp) e)
+    (Sim.Trace.latest tr n)
+
 let run_cmd =
   let objects_arg =
     let doc = "Override the number of shared objects." in
@@ -169,9 +191,21 @@ let run_cmd =
     let doc = "Local UNDO mechanism: undo or shadow." in
     Arg.(value & opt recovery_conv Txn.Recovery.Undo_logging & info [ "recovery" ] ~doc)
   in
+  let trace_capacity_arg =
+    let doc = "Retain the last $(docv) protocol events (0 disables tracing)." in
+    Arg.(value & opt int 0 & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  in
+  let trace_tail_arg =
+    let doc = "Print the last $(docv) traced events (needs --trace-capacity)." in
+    Arg.(value & opt int 0 & info [ "trace-tail" ] ~docv:"N" ~doc)
+  in
+  let trace_chrome_arg =
+    let doc = "Write the trace as Chrome trace-event JSON to $(docv) (needs --trace-capacity)." in
+    Arg.(value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE" ~doc)
+  in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
       recovery drop duplicate jitter fault_seed request_timeout_us max_retransmits policy ttl
-      ratio samples =
+      ratio samples trace_capacity trace_tail trace_chrome =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
@@ -190,13 +224,26 @@ let run_cmd =
         request_timeout_us;
         max_retransmits;
         lease = lease_policy ~policy ~ttl ~ratio ~samples;
+        trace_capacity;
       }
     in
     let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
     Format.printf "workload: %a@.@." Workload.Spec.pp spec;
     let run = Experiments.Runner.execute ~config ~protocol wl in
     Format.printf "== %a ==@.%a@." Dsm.Protocol.pp protocol Dsm.Metrics.pp_summary
-      (Experiments.Runner.metrics run)
+      (Experiments.Runner.metrics run);
+    match Core.Runtime.trace run.Experiments.Runner.runtime with
+    | None ->
+        if trace_tail > 0 || trace_chrome <> None then
+          prerr_endline "pass --trace-capacity N to enable tracing"
+    | Some tr ->
+        if trace_tail > 0 then begin
+          Format.printf "@.";
+          print_trace_tail tr trace_tail
+        end;
+        Option.iter
+          (write_chrome_trace ~node_count:config.Core.Config.node_count tr)
+          trace_chrome
   in
   let term =
     Term.(
@@ -204,7 +251,7 @@ let run_cmd =
       $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg $ fault_drop_arg
       $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ timeout_arg
       $ retransmits_arg $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg
-      $ lease_samples_arg)
+      $ lease_samples_arg $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
 
@@ -414,32 +461,59 @@ let lease_cmd =
 let trace_cmd =
   let count_arg =
     let doc = "Number of trailing events to print." in
-    Arg.(value & opt int 40 & info [ "n"; "events" ] ~doc)
+    Arg.(value & opt int 40 & info [ "n"; "events"; "tail" ] ~doc)
   in
-  let action spec protocol seed roots n =
+  let chrome_arg =
+    let doc =
+      "Write the full trace as Chrome trace-event JSON to $(docv), one track per simulated \
+       node (load in Perfetto or chrome://tracing)."
+    in
+    Arg.(value & opt (some string) None & info [ "chrome" ] ~docv:"FILE" ~doc)
+  in
+  let txn_arg =
+    let doc = "Print the timeline of transaction family $(docv) instead of the event tail." in
+    Arg.(value & opt (some int) None & info [ "txn" ] ~docv:"ID" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Retain the last $(docv) protocol events." in
+    Arg.(value & opt int 100_000 & info [ "trace-capacity" ] ~docv:"N" ~doc)
+  in
+  let action spec protocol seed roots n chrome txn capacity =
     let spec = apply_overrides spec seed roots in
-    let config = { Core.Config.default with Core.Config.trace_capacity = 100_000 } in
+    let config = { Core.Config.default with Core.Config.trace_capacity = capacity } in
     let wl =
       Workload.Generator.generate spec ~page_size:config.Core.Config.page_size
     in
     let run = Experiments.Runner.execute ~config ~protocol wl in
+    let metrics = Experiments.Runner.metrics run in
     match Core.Runtime.trace run.Experiments.Runner.runtime with
     | None -> prerr_endline "tracing was not enabled"
     | Some tr ->
-        Format.printf "categories:@.";
+        Format.printf "event counts:@.";
         List.iter
           (fun (c, k) -> Format.printf "  %-14s %d@." c k)
-          (Sim.Trace.categories tr);
-        if Sim.Trace.dropped tr > 0 then
-          Format.printf "(%d early events dropped by the ring)@." (Sim.Trace.dropped tr);
-        Format.printf "@.last %d events:@." n;
-        List.iter (fun e -> Format.printf "%a@." Sim.Trace.pp_event e) (Sim.Trace.latest tr n)
+          (Sim.Trace.counts tr ~label:Dsm.Event.category);
+        Format.printf "@.%a@." Dsm.Metrics.pp_wire_breakdown metrics;
+        Format.printf "@.%a@." Dsm.Metrics.pp_latencies metrics;
+        Format.printf "@.";
+        (match txn with
+        | Some id ->
+            print_string
+              (Dsm.Trace_export.timeline ~family:(Txn.Txn_id.of_int id) (Sim.Trace.events tr))
+        | None -> print_trace_tail tr n);
+        Option.iter (write_chrome_trace ~node_count:config.Core.Config.node_count tr) chrome
   in
   let term =
-    Term.(const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ count_arg)
+    Term.(
+      const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ count_arg
+      $ chrome_arg $ txn_arg $ capacity_arg)
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Run a scenario with protocol-event tracing and print the tail.")
+    (Cmd.info "trace"
+       ~doc:
+         "Run a scenario with typed protocol-event tracing; print per-category counts, the \
+          per-message-type wire breakdown, latency percentiles and the event tail (or one \
+          family's timeline), optionally exporting Chrome trace JSON.")
     term
 
 let main () =

@@ -78,7 +78,9 @@ let () =
   (match Core.Runtime.trace rt with
   | Some tr ->
       Format.printf "@.trace tail:@.";
-      List.iter (fun e -> Format.printf "%a@." Sim.Trace.pp_event e) (Sim.Trace.latest tr 6)
+      List.iter
+        (fun e -> Format.printf "%a@." (Sim.Trace.pp_entry Dsm.Event.pp) e)
+        (Sim.Trace.latest tr 6)
   | None -> ());
   (* The rejected family's writes were rolled back: Ping (which only bounce
      wrote) is back at version 0; Pong carries relay's committed poke. *)

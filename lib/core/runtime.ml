@@ -70,7 +70,7 @@ type t = {
   mutable results : root_result list;
   mutable outstanding : int;
   mutable ran : bool;
-  trace : Sim.Trace.t option;
+  trace : Dsm.Event.t Sim.Trace.t option;
   cpus : Sim.Engine.Semaphore.t array option;  (* one CPU per node when cpu_limited *)
   (* Reliable transport over the faulty interconnect (active only when the
      config carries an active fault model): every remote protocol message is
@@ -93,6 +93,9 @@ type t = {
   (* home-side: write acquisitions parked behind an in-progress lease
      recall, keyed by object; drained FIFO when the recall clears. *)
   lease_blocked : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  (* object -> simulated time its in-progress recall was issued; feeds the
+     recall-to-clear latency histogram. *)
+  recall_started : (int, float) Hashtbl.t;
 }
 
 let config t = t.cfg
@@ -105,10 +108,12 @@ let trace t = t.trace
 let lease_manager t = t.lease_mgr
 let lease_cache t ~node = t.lease_caches.(node)
 
-let record_trace t ~category fmt =
+(* The thunk keeps event construction off the tracing-off path entirely:
+   with no ring configured, no allocation or formatting happens at all. *)
+let record_event t ev =
   match t.trace with
-  | None -> Format.ikfprintf ignore Format.str_formatter fmt
-  | Some tr -> Sim.Trace.recordf tr ~time:(Sim.Engine.now t.engine) ~category fmt
+  | None -> ()
+  | Some tr -> Sim.Trace.record tr ~time:(Sim.Engine.now t.engine) (ev ())
 
 (* Statement execution holds the node's CPU when the CPU-limited model is
    on; waits for locks, pages and messages never do. *)
@@ -152,8 +157,8 @@ let create ~config:cfg ~catalog =
     match trace with
     | None -> ()
     | Some tr ->
-        Sim.Trace.recordf tr ~time:(Sim.Engine.now engine) ~category:"fault" "%s %d->%d"
-          (Sim.Fault.event_to_string event) src dst
+        Sim.Trace.record tr ~time:(Sim.Engine.now engine)
+          (Dsm.Event.Fault { fault = event; src; dst })
   in
   let net =
     Sim.Network.create ~engine ~node_count:cfg.Config.node_count ~link:cfg.Config.link
@@ -201,6 +206,7 @@ let create ~config:cfg ~catalog =
         Array.init cfg.Config.node_count (fun _ -> Gdo.Lease.Cache.create ());
       lease_reads = Txn_id.Table.create 64;
       lease_blocked = Hashtbl.create 16;
+      recall_started = Hashtbl.create 16;
     }
   in
   (* Trivial dispatch: every node executes delivered thunks. *)
@@ -231,7 +237,11 @@ let protocol_for t oid =
       | Some p -> p
       | None -> t.cfg.Config.protocol)
 
-let send_exec t ~src ~dst ~kind ~bytes ~tag f =
+(* Same-node sends bypass the network's [on_message] hook, so they are
+   excluded here too — the wire ledger must reconcile exactly with the
+   per-object ledger that hook feeds. *)
+let send_exec t ~mtype ~src ~dst ~kind ~bytes ~tag f =
+  if src <> dst then Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
   Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
 
 let tag_of oid = Oid.to_int oid
@@ -244,13 +254,13 @@ let tag_of oid = Oid.to_int oid
    The sender retransmits on an exponential-backoff timer until acked or out
    of attempts. Without an active fault model this is exactly [send_exec]:
    no acks, no timers, no accounting difference. *)
-let send_reliable t ~src ~dst ~kind ~bytes ~tag f =
-  if (not t.reliable) || src = dst then send_exec t ~src ~dst ~kind ~bytes ~tag f
+let send_reliable t ~mtype ~src ~dst ~kind ~bytes ~tag f =
+  if (not t.reliable) || src = dst then send_exec t ~mtype ~src ~dst ~kind ~bytes ~tag f
   else begin
     t.next_mid <- t.next_mid + 1;
     let mid = t.next_mid in
     let deliver () =
-      send_exec t ~src:dst ~dst:src ~kind:Sim.Network.Control
+      send_exec t ~mtype:Dsm.Wire.Ack ~src:dst ~dst:src ~kind:Sim.Network.Control
         ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
         (fun () -> Hashtbl.replace t.acked mid ());
       if not (Hashtbl.mem t.seen mid) then begin
@@ -258,15 +268,22 @@ let send_reliable t ~src ~dst ~kind ~bytes ~tag f =
         f ()
       end
     in
-    let transmit () = Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec deliver) in
+    (* Retransmitted copies are charged under the original message type, one
+       ledger entry per transmission — matching [on_message], which fires on
+       every copy put on the wire. *)
+    let transmit () =
+      Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
+      Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec deliver)
+    in
     let rec arm attempt timeout =
       Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
           if not (Hashtbl.mem t.acked mid) then begin
             Dsm.Metrics.incr_timeouts t.metrics;
             if attempt < t.cfg.Config.max_retransmits then begin
               Dsm.Metrics.incr_retransmits t.metrics;
-              record_trace t ~category:"retransmit" "msg %d: %d->%d attempt %d" mid src dst
-                (attempt + 1);
+              record_event t (fun () ->
+                  Dsm.Event.Retransmit
+                    { mid; src; dst; attempt = attempt + 1; abandoned = false });
               transmit ();
               arm (attempt + 1) (timeout *. 2.0)
             end
@@ -274,7 +291,8 @@ let send_reliable t ~src ~dst ~kind ~bytes ~tag f =
               (* Out of attempts; anyone blocked on this message will stall
                  the simulation. Astronomically unlikely at the drop rates
                  the chaos harness sweeps — see Config.max_retransmits. *)
-              record_trace t ~category:"retransmit" "msg %d: %d->%d abandoned" mid src dst
+              record_event t (fun () ->
+                  Dsm.Event.Retransmit { mid; src; dst; attempt; abandoned = true })
           end)
     in
     transmit ();
@@ -334,12 +352,14 @@ let reply_from_home t ~home ~dst ~oid (iv : reply Sim.Engine.Ivar.t) (r : reply)
   in
   if home = dst then Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us deliver
   else
-    let bytes =
+    let mtype, bytes =
       match r with
-      | Ok (g, _) -> grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes)
-      | Error _ -> t.cfg.Config.control_msg_bytes
+      | Ok (g, _) ->
+          (Dsm.Wire.Grant, grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes))
+      | Error _ -> (Dsm.Wire.Refusal, t.cfg.Config.control_msg_bytes)
     in
-    send_reliable t ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid) deliver
+    send_reliable t ~mtype ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid)
+      deliver
 
 (* Ship a directory mutation to the partition's replicas (paper §4.1: the
    GDO is "partitioned and replicated"). Asynchronous and fire-and-forget:
@@ -351,7 +371,7 @@ let replicate_gdo_update t ~home ~oid =
   for i = 1 to t.cfg.Config.gdo_replicas do
     let replica = (home + i) mod n in
     if replica <> home then
-      send_exec t ~src:home ~dst:replica ~kind:Sim.Network.Control
+      send_exec t ~mtype:Dsm.Wire.Gdo_replica ~src:home ~dst:replica ~kind:Sim.Network.Control
         ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
         (fun () -> ())
   done
@@ -372,12 +392,23 @@ let drain_lease_blocked t ~oid =
       Queue.iter (fun k -> k ()) q
 
 (* Executed at the GDO home when a Lease_yield arrives. *)
+(* The recall latency span closes here (last yield) or at the TTL
+   force-clear — whichever resolves the recall. *)
+let note_recall_resolved t ~oid =
+  match Hashtbl.find_opt t.recall_started (Oid.to_int oid) with
+  | None -> ()
+  | Some t0 ->
+      Hashtbl.remove t.recall_started (Oid.to_int oid);
+      Dsm.Metrics.record_recall_latency_us t.metrics (Sim.Engine.now t.engine -. t0)
+
 let process_lease_yield t ~oid ~node =
   Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
       Dsm.Metrics.incr_lease_yields t.metrics;
       match Gdo.Lease.note_yield t.lease_mgr oid ~node with
       | `Cleared ->
-          record_trace t ~category:"lease" "%a: recall cleared" Oid.pp oid;
+          record_event t (fun () ->
+              Dsm.Event.Lease_recall_cleared { oid; node = home_of t oid });
+          note_recall_resolved t ~oid;
           drain_lease_blocked t ~oid
       | `Waiting | `Stale -> ())
 
@@ -386,12 +417,12 @@ let process_lease_yield t ~oid ~node =
    TTL force-clear timer either way). *)
 let send_lease_yield t ~node ~oid =
   let home = home_of t oid in
-  record_trace t ~category:"lease" "%a: node %d yields" Oid.pp oid node;
+  record_event t (fun () -> Dsm.Event.Lease_yield { oid; node });
   let run () = process_lease_yield t ~oid ~node in
   if home = node then
     Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us run
   else
-    send_reliable t ~src:node ~dst:home ~kind:Sim.Network.Control
+    send_reliable t ~mtype:Dsm.Wire.Lease_yield ~src:node ~dst:home ~kind:Sim.Network.Control
       ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) run
 
 (* Executed at a leased node when a Lease_recall arrives. *)
@@ -399,9 +430,9 @@ let handle_lease_recall t ~node ~oid ~epoch ~excluded =
   match Gdo.Lease.Cache.recall t.lease_caches.(node) oid ~epoch ~excluded with
   | `Yield -> send_lease_yield t ~node ~oid
   | `Deferred ->
-      record_trace t ~category:"lease" "%a: node %d defers yield (%d reader(s))" Oid.pp oid
-        node
-        (Gdo.Lease.Cache.reader_count t.lease_caches.(node) oid)
+      record_event t (fun () ->
+          Dsm.Event.Lease_deferred
+            { oid; node; readers = Gdo.Lease.Cache.reader_count t.lease_caches.(node) oid })
 
 (* Start recalling an object's outstanding leases on behalf of a blocked
    write by [excluded]. Arms the TTL force-clear timer that guarantees the
@@ -414,16 +445,19 @@ let start_lease_recall t ~home ~oid ~excluded =
   | `In_progress -> `Parked
   | `Recall { Gdo.Lease.ro_nodes; ro_epoch; ro_deadline; ro_token } ->
       Dsm.Metrics.add_lease_recalls t.metrics (List.length ro_nodes);
-      record_trace t ~category:"lease" "%a: recalling %d lease(s) at epoch %d" Oid.pp oid
-        (List.length ro_nodes) ro_epoch;
+      record_event t (fun () ->
+          Dsm.Event.Lease_recall
+            { oid; node = home; nodes = List.length ro_nodes; epoch = ro_epoch });
+      Hashtbl.replace t.recall_started (Oid.to_int oid) now;
       List.iter
         (fun node ->
           let deliver () = handle_lease_recall t ~node ~oid ~epoch:ro_epoch ~excluded in
           if node = home then
             Sim.Engine.schedule t.engine ~delay:Sim.Network.local_delivery_cost_us deliver
           else
-            send_reliable t ~src:home ~dst:node ~kind:Sim.Network.Control
-              ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) deliver)
+            send_reliable t ~mtype:Dsm.Wire.Lease_recall ~src:home ~dst:node
+              ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes
+              ~tag:(tag_of oid) deliver)
         ro_nodes;
       (* The force-clear backstop. A single timer at ro_deadline would keep
          the engine alive for a whole TTL after the last root finishes (the
@@ -438,8 +472,8 @@ let start_lease_recall t ~home ~oid ~excluded =
               if Sim.Engine.now t.engine >= ro_deadline then begin
                 if Gdo.Lease.force_clear t.lease_mgr oid ~token:ro_token then begin
                   Dsm.Metrics.incr_lease_expiries t.metrics;
-                  record_trace t ~category:"lease" "%a: recall TTL expired, force-clearing"
-                    Oid.pp oid;
+                  record_event t (fun () -> Dsm.Event.Lease_expired { oid; node = home });
+                  note_recall_resolved t ~oid;
                   drain_lease_blocked t ~oid
                 end
               end
@@ -468,8 +502,7 @@ let attach_lease t ~oid ~node (g : Gdo.Directory.grant) =
     (match lease with
     | Some (_, epoch) ->
         Dsm.Metrics.incr_lease_grants t.metrics;
-        record_trace t ~category:"lease" "%a: leased to node %d at epoch %d" Oid.pp oid node
-          epoch
+        record_event t (fun () -> Dsm.Event.Lease_granted { oid; node; epoch })
     | None -> ());
     lease
   end
@@ -570,8 +603,9 @@ let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
       let start () = process_acquire t ~home ~requester:node ~family ~oid ~mode ~block iv in
       if home = node then start ()
       else
-        send_reliable t ~src:node ~dst:home ~kind:Sim.Network.Control
-          ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) start;
+        send_reliable t ~mtype:Dsm.Wire.Acquire_request ~src:node ~dst:home
+          ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
+          start;
       let r = Sim.Engine.Ivar.read iv in
       Hashtbl.remove t.inflight key;
       r
@@ -595,7 +629,8 @@ let gdo_release t ~node ~family items =
           t.cfg.Config.control_msg_bytes
           + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
         in
-        send_reliable t ~src:node ~dst:home ~kind:Sim.Network.Control ~bytes ~tag:(-1) run)
+        send_reliable t ~mtype:Dsm.Wire.Release ~src:node ~dst:home ~kind:Sim.Network.Control
+          ~bytes ~tag:(-1) run)
     by_home
 
 (* ------------------------------------------------------------------ *)
@@ -638,11 +673,11 @@ let fetch_groups t ~node ~oid groups =
                   copies;
                 Sim.Engine.Ivar.fill iv ()
               in
-              send_reliable t ~src ~dst:node ~kind:Sim.Network.Data ~bytes:reply_bytes
-                ~tag:(tag_of oid) install)
+              send_reliable t ~mtype:Dsm.Wire.Page_reply ~src ~dst:node ~kind:Sim.Network.Data
+                ~bytes:reply_bytes ~tag:(tag_of oid) install)
         in
-        send_reliable t ~src:node ~dst:src ~kind:Sim.Network.Control ~bytes:req_bytes
-          ~tag:(tag_of oid) serve;
+        send_reliable t ~mtype:Dsm.Wire.Page_request ~src:node ~dst:src
+          ~kind:Sim.Network.Control ~bytes:req_bytes ~tag:(tag_of oid) serve;
         iv)
       groups
   in
@@ -658,8 +693,11 @@ let transfer_on_acquire t ~node ~oid ~(grant : Gdo.Directory.grant) ~predicted =
       ~page_versions:grant.Gdo.Directory.g_page_versions ~local_version ~node ~predicted
   in
   if set <> [] then begin
-    record_trace t ~category:"transfer" "%a: %d page(s) to node %d" Oid.pp oid
-      (List.length set) node;
+    record_event t (fun () ->
+        let n = List.length set in
+        Dsm.Event.Transfer
+          { oid; node; pages = n;
+            bytes = n * (t.cfg.Config.page_size + t.cfg.Config.page_header_bytes) });
     fetch_groups t ~node ~oid (group_by_source ~node ~oid grant set)
   end
 
@@ -682,8 +720,11 @@ let ensure_pages t ~family ~node ~oid pages =
         (Format.asprintf "protocol invariant violated: %a stale under %a" Oid.pp oid
            Dsm.Protocol.pp protocol);
     Dsm.Metrics.record_demand_fetch t.metrics ~oid;
-    record_trace t ~category:"demand-fetch" "%a: %d stale page(s) at node %d" Oid.pp oid
-      (List.length stale) node;
+    record_event t (fun () ->
+        let n = List.length stale in
+        Dsm.Event.Demand_fetch
+          { oid; node; pages = n;
+            bytes = n * (t.cfg.Config.page_size + t.cfg.Config.page_header_bytes) });
     fetch_groups t ~node ~oid (group_by_source ~node ~oid g stale)
   end
 
@@ -781,6 +822,8 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
       if optimistic then true  (* already held for Read: good enough to keep *)
       else begin
         Dsm.Metrics.incr_upgrades t.metrics;
+        record_event t (fun () -> Dsm.Event.Upgrade { oid; family = txn; node });
+        let t0 = Sim.Engine.now t.engine in
         match gdo_acquire t ~node ~family ~oid ~mode:Lock.Write ~block:true with
         | Ok (g, _) ->
             if t.lease_enabled && is_lease_backed t ~family ~oid then begin
@@ -797,8 +840,8 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
               in
               if not valid then begin
                 Dsm.Metrics.incr_lease_aborts t.metrics;
-                record_trace t ~category:"lease" "%a: upgrade under dead lease, %a aborts"
-                  Oid.pp oid Txn_id.pp txn;
+                record_event t (fun () ->
+                    Dsm.Event.Lease_abort { family = txn; node; oid = Some oid });
                 gdo_release t ~node ~family [ (oid, []) ];
                 raise Family_abort
               end;
@@ -806,6 +849,7 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
               lease_release t ~node ~family ~oid
             end;
             Local_locks.upgrade_granted t.locks.(node) oid ~txn;
+            Dsm.Metrics.record_acquire_latency_us t.metrics (Sim.Engine.now t.engine -. t0);
             set_snapshot t ~family ~oid g;
             await_transfer t ~family ~oid;
             true
@@ -830,12 +874,14 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
           set_snapshot t ~family ~oid g;
           Gdo.Lease.Cache.add_reader t.lease_caches.(node) oid ~family;
           mark_lease_backed t ~family ~oid;
-          record_trace t ~category:"lease" "%a: lease hit by %a@%d" Oid.pp oid Txn_id.pp txn
-            node;
+          record_event t (fun () -> Dsm.Event.Lease_hit { oid; family = txn; node });
           true
       | None -> (
       Dsm.Metrics.incr_global_acquisitions t.metrics;
       let had_inflight = Hashtbl.mem t.inflight (Oid.to_int oid, family) in
+      if not had_inflight then
+        record_event t (fun () -> Dsm.Event.Lock_request { oid; family = txn; node; mode });
+      let t0 = Sim.Engine.now t.engine in
       match gdo_acquire t ~node ~family ~oid ~mode ~block:(not optimistic) with
       | Ok (g, lease) ->
           if had_inflight then
@@ -844,10 +890,10 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             acquire_object t ~txn ~oid ~mode ~predicted ~optimistic
           else begin
             Local_locks.install_grant t.locks.(node) oid ~txn ~mode;
+            Dsm.Metrics.record_acquire_latency_us t.metrics (Sim.Engine.now t.engine -. t0);
             set_snapshot t ~family ~oid g;
             Dsm.Metrics.record_acquisition t.metrics ~oid;
-            record_trace t ~category:"lock" "%a granted %a to %a@%d" Oid.pp oid Lock.pp mode
-              Txn_id.pp txn node;
+            record_event t (fun () -> Dsm.Event.Lock_grant { oid; family = txn; node; mode });
             let transfer_iv = Sim.Engine.Ivar.create () in
             Hashtbl.replace t.transfers (Oid.to_int oid, family) transfer_iv;
             transfer_on_acquire t ~node ~oid ~grant:g ~predicted;
@@ -863,17 +909,21 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             true
           end
       | Error Busy ->
+          record_event t (fun () ->
+              Dsm.Event.Lock_refused { oid; family = txn; node; busy = true });
           if optimistic then false  (* optimistic refusal: leave it to the child *)
           else
             (* A shared in-flight prefetch reply; retry as a blocking
                request of our own. *)
             acquire_object t ~txn ~oid ~mode ~predicted ~optimistic
       | Error (Deadlock cycle) ->
+          record_event t (fun () ->
+              Dsm.Event.Lock_refused { oid; family = txn; node; busy = false });
           if optimistic then false
           else begin
             Dsm.Metrics.incr_deadlock_aborts t.metrics;
-            record_trace t ~category:"deadlock" "%a@%d aborts; cycle of %d families" Txn_id.pp
-              txn node (List.length cycle);
+            record_event t (fun () ->
+                Dsm.Event.Deadlock_abort { family = txn; node; cycle = List.length cycle });
             raise Family_abort
           end))
 
@@ -895,7 +945,7 @@ let precommit_txn t txn =
   let wl = write_log t txn and pwl = write_log t parent in
   pwl := !wl @ !pwl;
   Txn_tree.set_status t.tree txn Txn_tree.Precommitted;
-  record_trace t ~category:"txn" "%a pre-commits into %a" Txn_id.pp txn Txn_id.pp parent;
+  record_event t (fun () -> Dsm.Event.Precommit { txn; parent; node });
   drop_txn_state t txn
 
 let undo_txn t txn =
@@ -922,7 +972,7 @@ let abort_sub_txn t txn =
       end
       else gdo_release t ~node ~family [ (oid, []) ]);
   Txn_tree.set_status t.tree txn Txn_tree.Aborted;
-  record_trace t ~category:"txn" "%a aborts (sub-transaction)" Txn_id.pp txn;
+  record_event t (fun () -> Dsm.Event.Sub_abort { txn; node });
   drop_txn_state t txn
 
 (* Dirty info for the family's release: for every page its undo log touched,
@@ -976,8 +1026,8 @@ let eager_push t ~node items =
               (* One multicast message: charged once, delivered everywhere.
                  The extra recipients are installed off-network, so only the
                  charged copy is exposed to fault injection. *)
-              send_reliable t ~src:node ~dst:first ~kind:Sim.Network.Data ~bytes
-                ~tag:(tag_of oid) (install first);
+              send_reliable t ~mtype:Dsm.Wire.Eager_push ~src:node ~dst:first
+                ~kind:Sim.Network.Data ~bytes ~tag:(tag_of oid) (install first);
               let delay = Sim.Network.transfer_time_us (Sim.Network.link t.net) bytes in
               List.iter
                 (fun dest -> Sim.Engine.schedule t.engine ~delay (fun () -> install dest ()))
@@ -985,8 +1035,8 @@ let eager_push t ~node items =
           | _ ->
               List.iter
                 (fun dest ->
-                  send_reliable t ~src:node ~dst:dest ~kind:Sim.Network.Data ~bytes
-                    ~tag:(tag_of oid) (install dest))
+                  send_reliable t ~mtype:Dsm.Wire.Eager_push ~src:node ~dst:dest
+                    ~kind:Sim.Network.Data ~bytes ~tag:(tag_of oid) (install dest))
                 dests
         end
       end)
@@ -1037,8 +1087,8 @@ let commit_root t root =
     }
     :: t.history;
   Txn_tree.set_status t.tree root Txn_tree.Committed;
-  record_trace t ~category:"commit" "root %a commits, releasing %d object(s)" Txn_id.pp root
-    (List.length released);
+  record_event t (fun () ->
+      Dsm.Event.Root_commit { family = root; node; released = List.length released });
   Txn_id.Table.remove t.snapshots root;
   drop_txn_state t root;
   Dsm.Metrics.incr_roots_committed t.metrics
@@ -1051,6 +1101,7 @@ let abort_root t root =
   let released = split_lease_released t ~node ~family:root released in
   gdo_release t ~node ~family:root (List.map (fun oid -> (oid, [])) released);
   Txn_tree.set_status t.tree root Txn_tree.Aborted;
+  record_event t (fun () -> Dsm.Event.Root_abort { family = root; node });
   Txn_id.Table.remove t.snapshots root;
   drop_txn_state t root
 
@@ -1222,6 +1273,8 @@ let submit t ~at ~node ~oid ~meth ~seed =
           let rec attempt k =
             let root = Txn_tree.create_root t.tree ~node in
             init_txn_state t root;
+            record_event t (fun () ->
+                Dsm.Event.Root_begin { family = root; node; oid; attempt = k + 1 });
             let ok =
               try
                 run_body t ~prng ~txn:root ~oid ~cm;
@@ -1231,8 +1284,8 @@ let submit t ~at ~node ~oid ~meth ~seed =
                 if validate_lease_reads t ~node ~family:root then `Committed
                 else begin
                   Dsm.Metrics.incr_lease_aborts t.metrics;
-                  record_trace t ~category:"lease" "root %a fails lease validation, retrying"
-                    Txn_id.pp root;
+                  record_event t (fun () ->
+                      Dsm.Event.Lease_abort { family = root; node; oid = None });
                   abort_root t root;
                   `Retry
                 end
@@ -1241,14 +1294,16 @@ let submit t ~at ~node ~oid ~meth ~seed =
                   abort_root t root;
                   `Retry
               | Recursion_rejected target ->
-                  record_trace t ~category:"recursion" "root %a rejected: revisits %a"
-                    Txn_id.pp root Oid.pp target;
+                  record_event t (fun () ->
+                      Dsm.Event.Recursion_reject { family = root; oid = target });
                   abort_root t root;
                   `Fatal
             in
             match ok with
             | `Committed ->
                 commit_root t root;
+                Dsm.Metrics.record_commit_latency_us t.metrics
+                  (Sim.Engine.now t.engine -. submitted_at);
                 (k + 1, Committed)
             | `Fatal ->
                 Dsm.Metrics.incr_roots_aborted t.metrics;

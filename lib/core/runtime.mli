@@ -53,8 +53,10 @@ val metrics : t -> Dsm.Metrics.t
 val directory : t -> Gdo.Directory.t
 val store : t -> node:int -> Dsm.Page_store.t
 
-val trace : t -> Sim.Trace.t option
-(** The protocol-event trace, when [Config.trace_capacity > 0]. *)
+val trace : t -> Dsm.Event.t Sim.Trace.t option
+(** The typed protocol-event trace, when [Config.trace_capacity > 0]. Feed
+    its entries to {!Dsm.Trace_export} for the per-transaction timeline or
+    the Chrome trace-event JSON export. *)
 
 val lease_manager : t -> Gdo.Lease.t
 (** The home-side lease manager (shared by all homes in-process). Inert —

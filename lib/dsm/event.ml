@@ -1,0 +1,170 @@
+open Objmodel
+open Txn
+
+type t =
+  | Lock_request of { oid : Oid.t; family : Txn_id.t; node : int; mode : Lock.mode }
+  | Lock_grant of { oid : Oid.t; family : Txn_id.t; node : int; mode : Lock.mode }
+  | Lock_refused of { oid : Oid.t; family : Txn_id.t; node : int; busy : bool }
+  | Upgrade of { oid : Oid.t; family : Txn_id.t; node : int }
+  | Deadlock_abort of { family : Txn_id.t; node : int; cycle : int }
+  | Lease_granted of { oid : Oid.t; node : int; epoch : int }
+  | Lease_hit of { oid : Oid.t; family : Txn_id.t; node : int }
+  | Lease_recall of { oid : Oid.t; node : int; nodes : int; epoch : int }
+  | Lease_deferred of { oid : Oid.t; node : int; readers : int }
+  | Lease_yield of { oid : Oid.t; node : int }
+  | Lease_recall_cleared of { oid : Oid.t; node : int }
+  | Lease_expired of { oid : Oid.t; node : int }
+  | Lease_abort of { family : Txn_id.t; node : int; oid : Oid.t option }
+  | Transfer of { oid : Oid.t; node : int; pages : int; bytes : int }
+  | Demand_fetch of { oid : Oid.t; node : int; pages : int; bytes : int }
+  | Root_begin of { family : Txn_id.t; node : int; oid : Oid.t; attempt : int }
+  | Root_commit of { family : Txn_id.t; node : int; released : int }
+  | Root_abort of { family : Txn_id.t; node : int }
+  | Precommit of { txn : Txn_id.t; parent : Txn_id.t; node : int }
+  | Sub_abort of { txn : Txn_id.t; node : int }
+  | Recursion_reject of { family : Txn_id.t; oid : Oid.t }
+  | Retransmit of { mid : int; src : int; dst : int; attempt : int; abandoned : bool }
+  | Fault of { fault : Sim.Fault.event; src : int; dst : int }
+
+let category = function
+  | Lock_request _ | Lock_grant _ | Lock_refused _ | Upgrade _ -> "lock"
+  | Deadlock_abort _ -> "deadlock"
+  | Lease_granted _ | Lease_hit _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
+  | Lease_recall_cleared _ | Lease_expired _ | Lease_abort _ ->
+      "lease"
+  | Transfer _ -> "transfer"
+  | Demand_fetch _ -> "demand-fetch"
+  | Root_begin _ | Root_abort _ | Precommit _ | Sub_abort _ -> "txn"
+  | Root_commit _ -> "commit"
+  | Recursion_reject _ -> "recursion"
+  | Retransmit _ -> "retransmit"
+  | Fault _ -> "fault"
+
+let family = function
+  | Lock_request { family; _ }
+  | Lock_grant { family; _ }
+  | Lock_refused { family; _ }
+  | Upgrade { family; _ }
+  | Deadlock_abort { family; _ }
+  | Lease_hit { family; _ }
+  | Lease_abort { family; _ }
+  | Root_begin { family; _ }
+  | Root_commit { family; _ }
+  | Root_abort { family; _ }
+  | Recursion_reject { family; _ } ->
+      Some family
+  | Precommit { txn; _ } | Sub_abort { txn; _ } -> Some txn
+  | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
+  | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
+  | Fault _ ->
+      None
+
+let oid = function
+  | Lock_request { oid; _ }
+  | Lock_grant { oid; _ }
+  | Lock_refused { oid; _ }
+  | Upgrade { oid; _ }
+  | Lease_granted { oid; _ }
+  | Lease_hit { oid; _ }
+  | Lease_recall { oid; _ }
+  | Lease_deferred { oid; _ }
+  | Lease_yield { oid; _ }
+  | Lease_recall_cleared { oid; _ }
+  | Lease_expired { oid; _ }
+  | Transfer { oid; _ }
+  | Demand_fetch { oid; _ }
+  | Root_begin { oid; _ }
+  | Recursion_reject { oid; _ } ->
+      Some oid
+  | Lease_abort { oid; _ } -> oid
+  | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
+  | Retransmit _ | Fault _ ->
+      None
+
+let node = function
+  | Lock_request { node; _ }
+  | Lock_grant { node; _ }
+  | Lock_refused { node; _ }
+  | Upgrade { node; _ }
+  | Deadlock_abort { node; _ }
+  | Lease_granted { node; _ }
+  | Lease_hit { node; _ }
+  | Lease_recall { node; _ }
+  | Lease_deferred { node; _ }
+  | Lease_yield { node; _ }
+  | Lease_recall_cleared { node; _ }
+  | Lease_expired { node; _ }
+  | Lease_abort { node; _ }
+  | Transfer { node; _ }
+  | Demand_fetch { node; _ }
+  | Root_begin { node; _ }
+  | Root_commit { node; _ }
+  | Root_abort { node; _ }
+  | Precommit { node; _ }
+  | Sub_abort { node; _ } ->
+      node
+  | Recursion_reject _ -> 0
+  | Retransmit { src; _ } | Fault { src; _ } -> src
+
+let pp fmt ev =
+  let cat = category ev in
+  match ev with
+  | Lock_request { oid; family; node; mode } ->
+      Format.fprintf fmt "%s: %a requested %a by %a@%d" cat Oid.pp oid Lock.pp mode Txn_id.pp
+        family node
+  | Lock_grant { oid; family; node; mode } ->
+      Format.fprintf fmt "%s: %a granted %a to %a@%d" cat Oid.pp oid Lock.pp mode Txn_id.pp
+        family node
+  | Lock_refused { oid; family; node; busy } ->
+      Format.fprintf fmt "%s: %a refused to %a@%d (%s)" cat Oid.pp oid Txn_id.pp family node
+        (if busy then "busy" else "deadlock")
+  | Upgrade { oid; family; node } ->
+      Format.fprintf fmt "%s: %a upgrade to W by %a@%d" cat Oid.pp oid Txn_id.pp family node
+  | Deadlock_abort { family; node; cycle } ->
+      Format.fprintf fmt "%s: %a@%d aborts; cycle of %d families" cat Txn_id.pp family node
+        cycle
+  | Lease_granted { oid; node; epoch } ->
+      Format.fprintf fmt "%s: %a leased to node %d at epoch %d" cat Oid.pp oid node epoch
+  | Lease_hit { oid; family; node } ->
+      Format.fprintf fmt "%s: %a lease hit by %a@%d" cat Oid.pp oid Txn_id.pp family node
+  | Lease_recall { oid; nodes; epoch; _ } ->
+      Format.fprintf fmt "%s: %a recalling %d lease(s) at epoch %d" cat Oid.pp oid nodes epoch
+  | Lease_deferred { oid; node; readers } ->
+      Format.fprintf fmt "%s: %a node %d defers yield (%d reader(s))" cat Oid.pp oid node
+        readers
+  | Lease_yield { oid; node } ->
+      Format.fprintf fmt "%s: %a node %d yields" cat Oid.pp oid node
+  | Lease_recall_cleared { oid; _ } ->
+      Format.fprintf fmt "%s: %a recall cleared" cat Oid.pp oid
+  | Lease_expired { oid; _ } ->
+      Format.fprintf fmt "%s: %a recall TTL expired, force-clearing" cat Oid.pp oid
+  | Lease_abort { family; oid; _ } -> (
+      match oid with
+      | Some o ->
+          Format.fprintf fmt "%s: %a upgrade under dead lease, %a aborts" cat Oid.pp o
+            Txn_id.pp family
+      | None -> Format.fprintf fmt "%s: root %a fails lease validation" cat Txn_id.pp family)
+  | Transfer { oid; node; pages; bytes } ->
+      Format.fprintf fmt "%s: %a %d page(s) (%d B) to node %d" cat Oid.pp oid pages bytes node
+  | Demand_fetch { oid; node; pages; bytes } ->
+      Format.fprintf fmt "%s: %a %d stale page(s) (%d B) at node %d" cat Oid.pp oid pages
+        bytes node
+  | Root_begin { family; node; oid; attempt } ->
+      Format.fprintf fmt "%s: root %a begins on %a@%d (attempt %d)" cat Txn_id.pp family
+        Oid.pp oid node attempt
+  | Root_commit { family; released; _ } ->
+      Format.fprintf fmt "%s: root %a commits, releasing %d object(s)" cat Txn_id.pp family
+        released
+  | Root_abort { family; node } ->
+      Format.fprintf fmt "%s: root %a@%d aborts" cat Txn_id.pp family node
+  | Precommit { txn; parent; _ } ->
+      Format.fprintf fmt "%s: %a pre-commits into %a" cat Txn_id.pp txn Txn_id.pp parent
+  | Sub_abort { txn; _ } ->
+      Format.fprintf fmt "%s: %a aborts (sub-transaction)" cat Txn_id.pp txn
+  | Recursion_reject { family; oid } ->
+      Format.fprintf fmt "%s: root %a rejected: revisits %a" cat Txn_id.pp family Oid.pp oid
+  | Retransmit { mid; src; dst; attempt; abandoned } ->
+      if abandoned then Format.fprintf fmt "%s: msg %d: %d->%d abandoned" cat mid src dst
+      else Format.fprintf fmt "%s: msg %d: %d->%d attempt %d" cat mid src dst attempt
+  | Fault { fault; src; dst } ->
+      Format.fprintf fmt "%s: %s %d->%d" cat (Sim.Fault.event_to_string fault) src dst

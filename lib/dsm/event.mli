@@ -1,0 +1,91 @@
+(** Typed protocol events for the observability layer.
+
+    The runtime records one of these (timestamped, into an
+    [Event.t Sim.Trace.t] ring) at every protocol-level occurrence: lock
+    request/grant/refusal, lease traffic, page transfers, transaction
+    lifecycle, transport retransmissions and injected faults. Unlike the
+    earlier stringly-typed trace, every event carries its transaction
+    {e family}, object, node and byte payload as typed fields, so exporters
+    can group, filter and pair them: {!Trace_export} renders a
+    per-transaction timeline and Chrome trace-event JSON (one track per
+    simulated node, request→grant and recall→clear spans paired by key).
+
+    Events are {e descriptive} only: recording is gated on the configured
+    trace and never alters simulation behaviour (tracing-off runs are
+    byte-identical — golden-tested). Quantitative accounting lives in
+    {!Metrics}; the taxonomy and its mapping to wire messages and metrics
+    counters is documented in OBSERVABILITY.md. *)
+
+open Objmodel
+open Txn
+
+type t =
+  (* Locking (Algorithms 4.1/4.2). *)
+  | Lock_request of { oid : Oid.t; family : Txn_id.t; node : int; mode : Lock.mode }
+      (** a global acquire left [node] for the object's home *)
+  | Lock_grant of { oid : Oid.t; family : Txn_id.t; node : int; mode : Lock.mode }
+      (** the grant was installed at the requesting site *)
+  | Lock_refused of { oid : Oid.t; family : Txn_id.t; node : int; busy : bool }
+      (** the home refused: [busy] for a non-blocking refusal, otherwise the
+          request would have closed a waits-for cycle *)
+  | Upgrade of { oid : Oid.t; family : Txn_id.t; node : int }
+      (** a Read→Write upgrade went global *)
+  | Deadlock_abort of { family : Txn_id.t; node : int; cycle : int }
+      (** the family aborts as a deadlock victim ([cycle] families in the cycle) *)
+  (* Read leases (see [Gdo.Lease]). *)
+  | Lease_granted of { oid : Oid.t; node : int; epoch : int }
+  | Lease_hit of { oid : Oid.t; family : Txn_id.t; node : int }
+      (** a read acquire was satisfied from the node's lease cache: zero messages *)
+  | Lease_recall of { oid : Oid.t; node : int; nodes : int; epoch : int }
+      (** the home ([node]) started recalling [nodes] outstanding leases *)
+  | Lease_deferred of { oid : Oid.t; node : int; readers : int }
+      (** a leased node defers its yield behind running lease-backed readers *)
+  | Lease_yield of { oid : Oid.t; node : int }
+  | Lease_recall_cleared of { oid : Oid.t; node : int }
+      (** every awaited yield arrived; parked writes drain ([node] = home) *)
+  | Lease_expired of { oid : Oid.t; node : int }
+      (** the recall's TTL deadline force-cleared it ([node] = home) *)
+  | Lease_abort of { family : Txn_id.t; node : int; oid : Oid.t option }
+      (** lease validation failed: at upgrade time (with the object) or at
+          root commit (validation over all lease-backed reads) *)
+  (* Page movement (Algorithm 4.5). *)
+  | Transfer of { oid : Oid.t; node : int; pages : int; bytes : int }
+      (** acquisition-time page transfer to [node] *)
+  | Demand_fetch of { oid : Oid.t; node : int; pages : int; bytes : int }
+      (** stale pages pulled lazily at access time (LOTEC / RC-nested cold pages) *)
+  (* Transaction lifecycle. *)
+  | Root_begin of { family : Txn_id.t; node : int; oid : Oid.t; attempt : int }
+  | Root_commit of { family : Txn_id.t; node : int; released : int }
+  | Root_abort of { family : Txn_id.t; node : int }
+      (** the attempt aborted (deadlock victim, failed lease validation, or
+          out of retries); the driver may retry the family *)
+  | Precommit of { txn : Txn_id.t; parent : Txn_id.t; node : int }
+  | Sub_abort of { txn : Txn_id.t; node : int }
+  | Recursion_reject of { family : Txn_id.t; oid : Oid.t }
+  (* Transport and faults. *)
+  | Retransmit of { mid : int; src : int; dst : int; attempt : int; abandoned : bool }
+      (** the reliable transport retransmitted message [mid] ([abandoned]
+          when it instead ran out of attempts) *)
+  | Fault of { fault : Sim.Fault.event; src : int; dst : int }
+      (** the injector perturbed a message *)
+
+val category : t -> string
+(** Coarse grouping for tallies and filtering: ["lock"], ["lease"],
+    ["transfer"], ["demand-fetch"], ["txn"], ["commit"], ["deadlock"],
+    ["retransmit"], ["fault"] or ["recursion"]. *)
+
+val family : t -> Txn_id.t option
+(** The transaction family the event belongs to, when it has one (lease
+    grants, recalls and transport/fault events do not). *)
+
+val oid : t -> Oid.t option
+(** The object the event concerns, when it has one. *)
+
+val node : t -> int
+(** The node the event is attributed to (its track in the Chrome export):
+    the requesting/executing site, or the home for home-side lease events,
+    or the sender for transport/fault events. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["lock: o3 granted R to T17@2"] — category prefix plus detail, matching
+    the timeline rendering of the [trace] CLI. *)

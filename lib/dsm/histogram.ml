@@ -1,0 +1,90 @@
+(* HdrHistogram-style bucketing: exact unit buckets below [linear_limit]
+   (2^sub_bits), then 2^(sub_bits-1) linear sub-buckets per power-of-two
+   range, so any value v is represented with error < v / 2^(sub_bits-1). *)
+
+let sub_bits = 6
+let linear_limit = 1 lsl sub_bits (* 64 *)
+let half = 1 lsl (sub_bits - 1) (* 32 sub-buckets per magnitude *)
+
+(* OCaml ints are 63-bit: magnitudes sub_bits .. 62 after the linear region. *)
+let bucket_count = linear_limit + ((63 - sub_bits) * half)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+let create () =
+  { buckets = Array.make bucket_count 0; count = 0; sum = 0.0; min_v = infinity; max_v = 0.0 }
+
+let index_of n =
+  if n < linear_limit then n
+  else begin
+    (* k = floor(log2 n) >= sub_bits *)
+    let k = ref sub_bits in
+    while n lsr (!k + 1) > 0 do
+      incr k
+    done;
+    let k = !k in
+    let sub = (n - (1 lsl k)) lsr (k - sub_bits + 1) in
+    linear_limit + ((k - sub_bits) * half) + sub
+  end
+
+(* Representative value of a bucket: exact in the linear region, midpoint of
+   the sub-bucket's range above it. *)
+let value_of i =
+  if i < linear_limit then float_of_int i
+  else begin
+    let k = sub_bits + ((i - linear_limit) / half) in
+    let sub = (i - linear_limit) mod half in
+    let width = 1 lsl (k - sub_bits + 1) in
+    let lower = (1 lsl k) + (sub * width) in
+    float_of_int lower +. (float_of_int (width - 1) /. 2.0)
+  end
+
+let record t v =
+  let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+  let n = int_of_float (Float.round v) in
+  let i = index_of n in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let min_value t = if t.count = 0 then 0.0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0,100]";
+  if t.count = 0 then 0.0
+  else if p = 0.0 then min_value t
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (p /. 100.0 *. float_of_int t.count))) in
+    let acc = ref 0 and result = ref (max_value t) and found = ref false in
+    (try
+       Array.iteri
+         (fun i c ->
+           if c > 0 then begin
+             acc := !acc + c;
+             if (not !found) && !acc >= rank then begin
+               result := value_of i;
+               found := true;
+               raise Exit
+             end
+           end)
+         t.buckets
+     with Exit -> ());
+    !result
+  end
+
+let pp fmt t =
+  if t.count = 0 then Format.pp_print_string fmt "(empty)"
+  else
+    Format.fprintf fmt "p50=%.1fus p90=%.1fus p99=%.1fus max=%.1fus (n=%d)"
+      (percentile t 50.0) (percentile t 90.0) (percentile t 99.0) (max_value t) t.count

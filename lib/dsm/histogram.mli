@@ -1,0 +1,50 @@
+(** HDR-style latency histogram with bounded relative error.
+
+    Values (simulated microseconds, non-negative) are recorded into
+    logarithmic buckets with linear sub-buckets, in the manner of
+    HdrHistogram: values below {!linear_limit} land in exact unit-width
+    buckets; above it, each power-of-two range is split into 32 equal
+    sub-buckets, bounding the relative quantization error of any reported
+    quantile by 1/32 (≈ 3.2%). Recording is O(1) with no allocation;
+    memory is a few KiB per histogram regardless of the value range.
+
+    The metrics ledger keeps one histogram per tracked latency (lock
+    acquire, root commit, lease recall-to-yield — see {!Metrics}); the
+    [trace] CLI and the bench harness report p50/p90/p99 from them. *)
+
+type t
+
+val create : unit -> t
+(** Empty histogram; a few KB of fixed memory regardless of value range. *)
+
+val linear_limit : int
+(** Values strictly below this (64) are recorded exactly; above it they are
+    subject to the 1/32 relative quantization error. *)
+
+val record : t -> float -> unit
+(** Record one value, in microseconds. Negative values clamp to 0;
+    fractional values round to the nearest integer microsecond. *)
+
+val count : t -> int
+(** Number of recorded values. *)
+
+val min_value : t -> float
+(** Smallest recorded value, exact; 0 on an empty histogram. *)
+
+val max_value : t -> float
+(** Largest recorded value, exact; 0 on an empty histogram. *)
+
+val mean : t -> float
+(** Exact arithmetic mean of recorded values; 0 on an empty histogram. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [0, 100]: nearest-rank quantile over the
+    recorded distribution, reported as the representative value of the
+    bucket containing that rank (exact below {!linear_limit}, bucket
+    midpoint above — within the 1/32 error bound). [percentile t 0] is
+    {!min_value}; 0 on an empty histogram.
+    @raise Invalid_argument if [p] is outside [0, 100]. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["p50=... p90=... p99=... max=... (n=...)"], times in microseconds;
+    ["(empty)"] when nothing was recorded. *)

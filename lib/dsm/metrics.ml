@@ -58,6 +58,15 @@ type t = {
   mutable lease_aborts : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
+  (* Per-message-type ledger, indexed by Wire.index; reconciles exactly with
+     the per-object message/byte totals (every remote send is recorded in
+     both, retransmitted copies included). *)
+  wire_counts : int array;
+  wire_bytes : int array;
+  (* Latency histograms (HDR-style, see Histogram). *)
+  acquire_latency : Histogram.t;
+  commit_latency : Histogram.t;
+  recall_latency : Histogram.t;
 }
 
 let bucket_bounds = [| 128; 256; 512; 1024; 2048; 4096; 8192; max_int |]
@@ -89,6 +98,11 @@ let create () =
     lease_aborts = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
+    wire_counts = Array.make Wire.count 0;
+    wire_bytes = Array.make Wire.count 0;
+    acquire_latency = Histogram.create ();
+    commit_latency = Histogram.create ();
+    recall_latency = Histogram.create ();
   }
 
 let zero () =
@@ -123,6 +137,25 @@ let record_message t ~oid ~kind ~bytes =
   | Data ->
       e.data_messages <- e.data_messages + 1;
       e.data_bytes <- e.data_bytes + bytes
+
+let record_wire t ~mtype ~bytes =
+  let i = Wire.index mtype in
+  t.wire_counts.(i) <- t.wire_counts.(i) + 1;
+  t.wire_bytes.(i) <- t.wire_bytes.(i) + bytes
+
+let wire_breakdown t =
+  List.map (fun w -> (w, t.wire_counts.(Wire.index w), t.wire_bytes.(Wire.index w))) Wire.all
+
+let wire_messages_total t = Array.fold_left ( + ) 0 t.wire_counts
+let wire_bytes_total t = Array.fold_left ( + ) 0 t.wire_bytes
+
+let acquire_latency t = t.acquire_latency
+let commit_latency t = t.commit_latency
+let recall_latency t = t.recall_latency
+
+let record_acquire_latency_us t v = Histogram.record t.acquire_latency v
+let record_commit_latency_us t v = Histogram.record t.commit_latency v
+let record_recall_latency_us t v = Histogram.record t.recall_latency v
 
 let record_demand_fetch t ~oid =
   let e = entry t oid in
@@ -258,3 +291,20 @@ let pp_summary fmt t =
       tt.lease_aborts;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us
+
+let pp_wire_breakdown fmt t =
+  Format.fprintf fmt "@[<v>%-16s %10s %12s %10s@," "message type" "messages" "bytes" "b/msg";
+  List.iter
+    (fun (w, msgs, bytes) ->
+      if msgs > 0 then
+        Format.fprintf fmt "%-16s %10d %12d %10.1f@," (Wire.to_string w) msgs bytes
+          (float_of_int bytes /. float_of_int msgs))
+    (wire_breakdown t);
+  Format.fprintf fmt "%-16s %10d %12d@]" "total" (wire_messages_total t) (wire_bytes_total t)
+
+let pp_latencies fmt t =
+  Format.fprintf fmt "@[<v>acquire latency: %a@,commit latency:  %a" Histogram.pp
+    t.acquire_latency Histogram.pp t.commit_latency;
+  if Histogram.count t.recall_latency > 0 then
+    Format.fprintf fmt "@,recall-to-clear: %a" Histogram.pp t.recall_latency;
+  Format.fprintf fmt "@]"

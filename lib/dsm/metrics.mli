@@ -23,6 +23,7 @@ type per_object = {
 type t
 
 val create : unit -> t
+(** Fresh ledger: every counter zero, every histogram empty. *)
 
 val record_message :
   t -> oid:Objmodel.Oid.t -> kind:Sim.Network.kind -> bytes:int -> unit
@@ -37,7 +38,52 @@ val untagged : Objmodel.Oid.t
 val record_demand_fetch : t -> oid:Objmodel.Oid.t -> unit
 val record_acquisition : t -> oid:Objmodel.Oid.t -> unit
 
-(* System-wide counters. *)
+(** {1 Per-message-type wire ledger}
+
+    The runtime records every remote protocol message under its
+    {!Wire.t} type at send time, retransmitted copies included (under the
+    original type), in parallel with the per-object ledger fed by the
+    network hook. The two reconcile exactly: {!wire_messages_total} equals
+    {!total_messages} and {!wire_bytes_total} equals {!total_bytes} — the
+    invariant is test-enforced. This is the breakdown that makes the
+    paper's messages-vs-bytes tradeoff visible per message type (see
+    OBSERVABILITY.md). *)
+
+val record_wire : t -> mtype:Wire.t -> bytes:int -> unit
+
+val wire_breakdown : t -> (Wire.t * int * int) list
+(** [(type, messages, bytes)] for every catalog type, in {!Wire.all}
+    order, zero rows included. *)
+
+val wire_messages_total : t -> int
+val wire_bytes_total : t -> int
+
+val pp_wire_breakdown : Format.formatter -> t -> unit
+(** Table of the non-zero rows of {!wire_breakdown} plus a total line. *)
+
+(** {1 Latency histograms}
+
+    HDR-style distributions (see {!Histogram}) recorded by the runtime:
+
+    - {e acquire}: global lock acquisition, from the request leaving the
+      fiber to the grant being installed (granted acquires only);
+    - {e commit}: submission to root commit, committed roots only —
+      retries and their backoff included;
+    - {e recall}: lease recall-to-clear, from the home issuing the recall
+      to the last yield arriving (or the TTL force-clear). *)
+
+val acquire_latency : t -> Histogram.t
+val commit_latency : t -> Histogram.t
+val recall_latency : t -> Histogram.t
+val record_acquire_latency_us : t -> float -> unit
+val record_commit_latency_us : t -> float -> unit
+val record_recall_latency_us : t -> float -> unit
+
+val pp_latencies : Format.formatter -> t -> unit
+(** p50/p90/p99/max lines for the three histograms (recall only when
+    non-empty). *)
+
+(** {1 System-wide counters} *)
 val incr_roots_committed : t -> unit
 val incr_roots_aborted : t -> unit
 val incr_deadlock_aborts : t -> unit
@@ -48,16 +94,20 @@ val incr_global_acquisitions : t -> unit
 val incr_upgrades : t -> unit
 val incr_eager_pushes : t -> unit
 
-(* Fault-injection counters (see {!Sim.Fault} and the runtime's reliable
-   transport): network-level drops (including crash-window losses) and
-   duplicates, and transport-level retransmissions and retransmit-timer
-   expiries. All zero on a fault-free run. *)
+(** {1 Fault-injection counters}
+
+    See [Sim.Fault] and the runtime's reliable transport: network-level
+    drops (including crash-window losses) and duplicates, and
+    transport-level retransmissions and retransmit-timer expiries. All zero
+    on a fault-free run. *)
 val incr_drops : t -> unit
 val incr_duplicates : t -> unit
 val incr_retransmits : t -> unit
 val incr_timeouts : t -> unit
 
-(* Lease-subsystem counters (see {!Gdo.Lease}): leases granted by homes,
+(** {1 Lease-subsystem counters}
+
+    See [Gdo.Lease]: leases granted by homes,
    read acquisitions satisfied locally by a valid lease (zero home-node
    messages), recall messages sent, yields received, recalls resolved by TTL
    expiry instead of yields, and families aborted by commit/upgrade-time

@@ -12,8 +12,10 @@ val absent : int
     including the initial 0, is greater. *)
 
 val create : node:int -> t
+(** Empty store for the given node; every page starts {!absent}. *)
 
 val node : t -> int
+(** The node this store belongs to (as passed to {!create}). *)
 
 val version : t -> Objmodel.Oid.t -> page:int -> int
 (** Cached version, or {!absent}. *)
@@ -31,6 +33,7 @@ val restore : t -> Objmodel.Oid.t -> page:int -> version:int -> unit
     [version = absent]). *)
 
 val is_current : t -> Objmodel.Oid.t -> page:int -> newest:int -> bool
+(** Whether the cached version equals [newest] (the GDO page-map entry). *)
 
 val cached_pages : t -> Objmodel.Oid.t -> (int * int) list
 (** (page, version) pairs cached for the object, ascending by page. *)

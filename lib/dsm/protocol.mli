@@ -18,9 +18,17 @@
 type t = Cotec | Otec | Lotec | Rc_nested
 
 val all : t list
+(** Every protocol, in declaration order (the order experiment tables use). *)
+
 val to_string : t -> string
+(** Lower-case CLI spelling, e.g. ["rc-nested"]; inverse of {!of_string}. *)
+
 val of_string : string -> (t, string) result
+(** Parse a CLI spelling, case-insensitive; [Error] names the valid set. *)
+
 val pp : Format.formatter -> t -> unit
+(** Upper-case display name as the paper writes it, e.g. ["LOTEC"]. *)
+
 val equal : t -> t -> bool
 
 val is_eager_push : t -> bool

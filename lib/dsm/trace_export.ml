@@ -1,0 +1,298 @@
+open Objmodel
+open Txn
+
+(* ------------------------------------------------------------------ *)
+(* Per-transaction timeline.                                           *)
+
+let timeline ~family entries =
+  let mine =
+    List.filter
+      (fun (e : Event.t Sim.Trace.entry) ->
+        match Event.family e.Sim.Trace.data with
+        | Some f -> Txn_id.equal f family
+        | None -> false)
+      entries
+  in
+  match mine with
+  | [] -> Format.asprintf "no retained events for family %a" Txn_id.pp family
+  | first :: _ ->
+      let t0 = first.Sim.Trace.time in
+      let buf = Buffer.create 256 in
+      let fmt = Format.formatter_of_buffer buf in
+      Format.fprintf fmt "family %a: %d event(s)@." Txn_id.pp family (List.length mine);
+      List.iter
+        (fun (e : Event.t Sim.Trace.entry) ->
+          Format.fprintf fmt "[%10.1fus] (+%.1f) %a@." e.Sim.Trace.time
+            (e.Sim.Trace.time -. t0) Event.pp e.Sim.Trace.data)
+        mine;
+      Format.pp_print_flush fmt ();
+      Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON.                                            *)
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Span pairing: an opening event registers under a key; the matching close
+   emits one complete ("X") slice on the opener's track. *)
+type span_key = Lock_span of int * int | Recall_span of int | Root_span of int
+
+let span_open ev =
+  match (ev : Event.t) with
+  | Lock_request { oid; family; _ } ->
+      Some (Lock_span (Oid.to_int oid, Txn_id.to_int family))
+  | Lease_recall { oid; _ } -> Some (Recall_span (Oid.to_int oid))
+  | Root_begin { family; _ } -> Some (Root_span (Txn_id.to_int family))
+  | _ -> None
+
+let span_close ev =
+  match (ev : Event.t) with
+  | Lock_grant { oid; family; _ } | Lock_refused { oid; family; _ } ->
+      Some (Lock_span (Oid.to_int oid, Txn_id.to_int family))
+  | Lease_recall_cleared { oid; _ } | Lease_expired { oid; _ } ->
+      Some (Recall_span (Oid.to_int oid))
+  | Root_commit { family; _ } | Root_abort { family; _ } ->
+      Some (Root_span (Txn_id.to_int family))
+  | _ -> None
+
+let span_name = function
+  | Lock_span (oid, family) -> Printf.sprintf "acquire o%d (T%d)" oid family
+  | Recall_span oid -> Printf.sprintf "recall o%d" oid
+  | Root_span family -> Printf.sprintf "root T%d" family
+
+let event_args ev =
+  let fields = ref [] in
+  let add k v = fields := (k, v) :: !fields in
+  (match Event.oid ev with Some o -> add "oid" (Printf.sprintf "\"o%d\"" (Oid.to_int o)) | None -> ());
+  (match Event.family ev with
+  | Some f -> add "family" (Printf.sprintf "\"T%d\"" (Txn_id.to_int f))
+  | None -> ());
+  (match (ev : Event.t) with
+  | Transfer { pages; bytes; _ } | Demand_fetch { pages; bytes; _ } ->
+      add "pages" (string_of_int pages);
+      add "bytes" (string_of_int bytes)
+  | Retransmit { mid; attempt; _ } ->
+      add "mid" (string_of_int mid);
+      add "attempt" (string_of_int attempt)
+  | Lease_granted { epoch; _ } | Lease_recall { epoch; _ } -> add "epoch" (string_of_int epoch)
+  | Root_begin { attempt; _ } -> add "attempt" (string_of_int attempt)
+  | _ -> ());
+  match !fields with
+  | [] -> "{}"
+  | fs ->
+      "{"
+      ^ String.concat ", " (List.rev_map (fun (k, v) -> Printf.sprintf "\"%s\": %s" k v) fs)
+      ^ "}"
+
+let instant_json ~time ev =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", \"ts\": %.3f, \"pid\": 0, \"tid\": \
+     %d, \"s\": \"t\", \"args\": %s}"
+    (escape_json (Format.asprintf "%a" Event.pp ev))
+    (escape_json (Event.category ev))
+    time (Event.node ev) (event_args ev)
+
+let slice_json ~ts ~dur ~tid ~name ~cat ~args =
+  Printf.sprintf
+    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", \"ts\": %.3f, \"dur\": %.3f, \
+     \"pid\": 0, \"tid\": %d, \"args\": %s}"
+    (escape_json name) (escape_json cat) ts (max dur 0.0) tid args
+
+let to_chrome ~node_count entries =
+  let out = ref [] in
+  let emit j = out := j :: !out in
+  emit
+    "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"args\": {\"name\": \
+     \"lotec_sim\"}}";
+  for n = 0 to node_count - 1 do
+    emit
+      (Printf.sprintf
+         "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": %d, \"args\": \
+          {\"name\": \"node %d\"}}"
+         n n)
+  done;
+  let open_spans = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t Sim.Trace.entry) ->
+      let ev = e.Sim.Trace.data and time = e.Sim.Trace.time in
+      match span_close ev with
+      | Some key when Hashtbl.mem open_spans key ->
+          let t0, opener = Hashtbl.find open_spans key in
+          Hashtbl.remove open_spans key;
+          emit
+            (slice_json ~ts:t0 ~dur:(time -. t0) ~tid:(Event.node opener)
+               ~name:(span_name key) ~cat:(Event.category opener) ~args:(event_args ev))
+      | _ -> (
+          match span_open ev with
+          | Some key ->
+              (* A reopened key (e.g. a retried acquire whose first grant the
+                 ring evicted) degrades the stale opener to an instant. *)
+              (match Hashtbl.find_opt open_spans key with
+              | Some (t0, opener) -> emit (instant_json ~time:t0 opener)
+              | None -> ());
+              Hashtbl.replace open_spans key (time, ev)
+          | None -> emit (instant_json ~time ev)))
+    entries;
+  (* Opens never closed (in flight at run end, or the close was evicted). *)
+  Hashtbl.iter (fun _ (t0, opener) -> emit (instant_json ~time:t0 opener)) open_spans;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  let rec add = function
+    | [] -> ()
+    | [ j ] -> Buffer.add_string buf j
+    | j :: rest ->
+        Buffer.add_string buf j;
+        Buffer.add_string buf ",\n";
+        add rest
+  in
+  add (List.rev !out);
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON well-formedness checker (no external deps).            *)
+
+exception Bad of int * string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal w =
+    String.iter (fun c -> expect c) w
+  in
+  let parse_string () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+              advance ();
+              go ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done;
+              go ()
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some _ ->
+          advance ();
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    (match peek () with Some '-' -> advance () | _ -> ());
+    let digits () =
+      let seen = ref false in
+      let rec go () =
+        match peek () with
+        | Some '0' .. '9' ->
+            seen := true;
+            advance ();
+            go ()
+        | _ -> ()
+      in
+      go ();
+      if not !seen then fail "expected digit"
+    in
+    digits ();
+    (match peek () with
+    | Some '.' ->
+        advance ();
+        digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else
+          let rec members () =
+            skip_ws ();
+            parse_string ();
+            skip_ws ();
+            expect ':';
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ()
+            | Some '}' -> advance ()
+            | _ -> fail "expected ',' or '}'"
+          in
+          members ()
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else
+          let rec elements () =
+            parse_value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements ()
+            | Some ']' -> advance ()
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements ()
+    | Some '"' -> parse_string ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected %C" c)
+  in
+  try
+    parse_value ();
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos) else Ok ()
+  with Bad (p, msg) -> Error (Printf.sprintf "invalid JSON at offset %d: %s" p msg)

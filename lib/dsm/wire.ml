@@ -1,0 +1,54 @@
+type t =
+  | Acquire_request
+  | Grant
+  | Refusal
+  | Release
+  | Gdo_replica
+  | Page_request
+  | Page_reply
+  | Eager_push
+  | Lease_recall
+  | Lease_yield
+  | Ack
+
+let all =
+  [
+    Acquire_request; Grant; Refusal; Release; Gdo_replica; Page_request; Page_reply;
+    Eager_push; Lease_recall; Lease_yield; Ack;
+  ]
+
+let count = List.length all
+
+let index = function
+  | Acquire_request -> 0
+  | Grant -> 1
+  | Refusal -> 2
+  | Release -> 3
+  | Gdo_replica -> 4
+  | Page_request -> 5
+  | Page_reply -> 6
+  | Eager_push -> 7
+  | Lease_recall -> 8
+  | Lease_yield -> 9
+  | Ack -> 10
+
+let to_string = function
+  | Acquire_request -> "acquire-request"
+  | Grant -> "grant"
+  | Refusal -> "refusal"
+  | Release -> "release"
+  | Gdo_replica -> "gdo-replica"
+  | Page_request -> "page-request"
+  | Page_reply -> "page-reply"
+  | Eager_push -> "eager-push"
+  | Lease_recall -> "lease-recall"
+  | Lease_yield -> "lease-yield"
+  | Ack -> "ack"
+
+let kind = function
+  | Page_reply | Eager_push -> Sim.Network.Data
+  | Acquire_request | Grant | Refusal | Release | Gdo_replica | Page_request
+  | Lease_recall | Lease_yield | Ack ->
+      Sim.Network.Control
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

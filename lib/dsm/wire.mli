@@ -1,0 +1,60 @@
+(** The wire-message catalog: every message type the runtime puts on the
+    simulated interconnect.
+
+    LOTEC's headline result is a tradeoff — fewer consistency {e bytes} at
+    the cost of more small {e messages} — so the protocol is sensitive to
+    per-message software overhead (paper §5). Aggregate byte counters cannot
+    show where those messages come from; this enumeration lets the metrics
+    ledger attribute every remote message to the protocol operation that
+    sent it (see {!Metrics.record_wire} and the wire-catalog table in
+    PROTOCOL.md).
+
+    The catalog is exhaustive: every remote send in [Core.Runtime] carries
+    exactly one of these types, so the per-type counts and bytes reconcile
+    exactly with the aggregate message/byte totals of {!Metrics}.
+    Retransmitted copies of a message (reliable transport under fault
+    injection) are recorded under the {e original} message's type — a
+    retransmitted grant is still a grant on the wire — while the
+    transport-level acknowledgements they solicit are {!Ack}s. *)
+
+type t =
+  | Acquire_request  (** site → home: global lock acquisition (Algorithm 4.2) *)
+  | Grant
+      (** home → site: lock grant carrying the holder list and page map
+          (sized [control_msg_bytes + pages × page_map_entry_bytes]), with a
+          read lease piggybacked when the lease policy admits one *)
+  | Refusal  (** home → site: [Busy] or [Deadlock] reply to an acquire *)
+  | Release
+      (** site → home: root-release batch with per-object dirty page info
+          (Algorithm 4.4) *)
+  | Gdo_replica
+      (** home → replica: asynchronous directory-mutation update (paper
+          §4.1, "partitioned and replicated") *)
+  | Page_request  (** acquiring site → holder: pages to transfer (Algorithm 4.5) *)
+  | Page_reply
+      (** holder → acquiring site: page payload, the only {e large} message
+          besides {!Eager_push} *)
+  | Eager_push  (** RC-nested: dirty pages pushed to the copyset at root release *)
+  | Lease_recall  (** home → leased node: surrender the read lease (see [Gdo.Lease]) *)
+  | Lease_yield  (** leased node → home: every lease-backed reader has drained *)
+  | Ack  (** transport-level acknowledgement of the reliable transport *)
+
+val all : t list
+(** Every message type, in declaration order. *)
+
+val count : int
+(** [List.length all]. *)
+
+val index : t -> int
+(** Dense index in [0, count): position in {!all}; for array-backed
+    per-type counters. *)
+
+val to_string : t -> string
+(** Stable lower-case name, e.g. ["acquire-request"]. *)
+
+val kind : t -> Sim.Network.kind
+(** The network-layer classification this message type is sent under:
+    [Data] for {!Page_reply} and {!Eager_push}, [Control] for everything
+    else. *)
+
+val pp : Format.formatter -> t -> unit

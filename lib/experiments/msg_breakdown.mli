@@ -1,0 +1,33 @@
+(** Per-message-type traffic breakdown across protocols.
+
+    Runs one workload under each protocol and tabulates, per protocol, the
+    {!Dsm.Metrics.wire_breakdown}: how many messages of each wire type were
+    sent and how many bytes they carried. This is the observability layer's
+    view of the paper's central tradeoff — LOTEC "sends many more messages
+    (albeit small ones)" than OTEC while moving fewer consistency bytes —
+    broken down by which message types the difference comes from (see
+    OBSERVABILITY.md for the worked example). *)
+
+type row = {
+  protocol : Dsm.Protocol.t;
+  breakdown : (Dsm.Wire.t * int * int) list;
+      (** (type, messages, bytes) per {!Dsm.Wire.all} entry, zero rows
+          included *)
+  messages : int;  (** total remote messages; equals the breakdown sum *)
+  bytes : int;  (** total remote bytes; equals the breakdown sum *)
+  completion_us : float;
+}
+
+val run :
+  ?spec:Workload.Spec.t -> ?protocols:Dsm.Protocol.t list -> unit -> row list
+(** One fresh runtime per protocol over the same generated workload.
+    Defaults: the medium-high scenario under COTEC, OTEC and LOTEC. *)
+
+val pp_report : Format.formatter -> row list -> unit
+(** Side-by-side table: one line per wire type that any protocol used, one
+    message and byte column pair per protocol, plus total lines. *)
+
+val to_json : row list -> string
+(** JSON array with one object per protocol carrying the per-type counts and
+    bytes plus totals and completion time; machine-readable counterpart of
+    {!pp_report} (written to BENCH_trace.json by the bench harness). *)

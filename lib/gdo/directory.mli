@@ -24,8 +24,11 @@ open Txn
     RC-nested extension uses to push updates eagerly. *)
 
 type lock_state = Free | Held_read | Held_write
+(** Figure 1's LockState. "Retained" is intra-family state and lives in the
+    per-site table ([Txn.Local_locks]); the GDO sees a family-held lock. *)
 
 type holder = { family : Txn_id.t; node : int }
+(** Figure 1's HolderPtr entry: a family executes at one site. *)
 
 (** Payload of a successful (or queued-then-delivered) grant: what the GDO
     sends to the acquiring site — the holder list and the object's page
@@ -52,6 +55,7 @@ type delivery = { d_family : Txn_id.t; d_node : int; d_grant : grant }
 type t
 
 val create : unit -> t
+(** Empty directory: no objects, no waits-for edges. *)
 
 val register_object : t -> Objmodel.Oid.t -> pages:int -> initial_node:int -> unit
 (** Add an entry; all pages start at version 0 on [initial_node].
@@ -97,9 +101,16 @@ val release :
     Releasing a lock the family does not hold is a no-op returning []. *)
 
 val lock_state : t -> Objmodel.Oid.t -> lock_state
+(** The entry's current LockState. *)
+
 val holders : t -> Objmodel.Oid.t -> holder list
+(** Current holders; empty iff {!lock_state} is [Free]. *)
+
 val read_count : t -> Objmodel.Oid.t -> int
+(** Figure 1's ReadCount: number of holders when held for read, else 0. *)
+
 val waiting_count : t -> Objmodel.Oid.t -> int
+(** Length of the NonHoldersPtr FIFO. *)
 
 val has_queued_writer : t -> Objmodel.Oid.t -> bool
 (** Is any waiter a writer (or a pending upgrade)? The lease layer refuses
@@ -116,6 +127,7 @@ val copyset : t -> Objmodel.Oid.t -> int list
 (** Nodes caching the object, ascending. *)
 
 val object_count : t -> int
+(** Number of registered objects. *)
 
 val waits_for_edges : t -> (Txn_id.t * Txn_id.t) list
 (** Current waits-for edges (waiting family, holding family); for tests and

@@ -56,20 +56,28 @@ type policy =
           write-heavy objects never pay the recall latency *)
 
 val policy_enabled : policy -> bool
+(** False only for {!Off}. *)
+
 val validate_policy : policy -> (unit, string) result
+(** Reject non-positive TTLs, ratios outside [0,1], negative sample counts. *)
+
 val policy_of_string : string -> (policy, string) result
+(** Parse "off", "ttl" or "adaptive" (with default parameters); [Error]
+    names the valid set. *)
 
 val policy_to_string : policy -> string
 (** Inverse of {!policy_of_string} for the default shapes ("off", "ttl",
     "adaptive"); parameters are not round-tripped. *)
 
 val pp_policy : Format.formatter -> policy -> unit
+(** Display form including parameters, e.g. ["ttl(20000us)"]. *)
 
 (** {1 Home side} *)
 
 type t
 
 val create : policy -> t
+(** Home-side lease manager with no outstanding leases. *)
 
 val enabled : t -> bool
 (** False for {!Off}: every other operation is then a cheap no-op. *)
@@ -92,6 +100,7 @@ val outstanding : t -> Objmodel.Oid.t -> now:float -> int list
 (** Nodes holding an unexpired lease (expired entries are pruned). *)
 
 val recall_in_progress : t -> Objmodel.Oid.t -> bool
+(** Whether a {!begin_recall} on the object has not yet cleared. *)
 
 type recall_order = {
   ro_nodes : int list;  (** leased nodes to send [Lease_recall] to *)
@@ -135,6 +144,7 @@ val note_write_granted : t -> Objmodel.Oid.t -> unit
     admitted under them) are permanently superseded. *)
 
 val epoch : t -> Objmodel.Oid.t -> int
+(** The object's current lease epoch (starts at 0, bumped per write grant). *)
 
 (** {1 Node side} *)
 

@@ -1,8 +1,8 @@
-type event = { time : float; category : string; detail : string }
+type 'a entry = { time : float; data : 'a }
 
-type t = {
+type 'a t = {
   capacity : int;
-  ring : event option array;
+  ring : 'a entry option array;
   mutable next : int;  (* slot for the next write *)
   mutable total : int;
 }
@@ -11,13 +11,10 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
   { capacity; ring = Array.make capacity None; next = 0; total = 0 }
 
-let record t ~time ~category ~detail =
-  t.ring.(t.next) <- Some { time; category; detail };
+let record t ~time data =
+  t.ring.(t.next) <- Some { time; data };
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1
-
-let recordf t ~time ~category fmt =
-  Format.kasprintf (fun detail -> record t ~time ~category ~detail) fmt
 
 let length t = min t.total t.capacity
 
@@ -43,14 +40,15 @@ let clear t =
   t.next <- 0;
   t.total <- 0
 
-let categories t =
+let counts t ~label =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun e ->
-      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl e.category) in
-      Hashtbl.replace tbl e.category (cur + 1))
+      let l = label e.data in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl l) in
+      Hashtbl.replace tbl l (cur + 1))
     (events t);
   Hashtbl.fold (fun c n acc -> (c, n) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let pp_event fmt e = Format.fprintf fmt "[%10.1fus] %s: %s" e.time e.category e.detail
+let pp_entry pp_data fmt e = Format.fprintf fmt "[%10.1fus] %a" e.time pp_data e.data

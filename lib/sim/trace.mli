@@ -1,46 +1,48 @@
 (** Bounded in-memory event tracing.
 
-    A ring buffer of timestamped, categorised events. The runtime records
-    protocol-level events (lock grants, transfers, commits, aborts) into a
-    trace when one is configured; the CLI's [trace] command prints the tail
-    of a run's timeline. Bounded capacity keeps long simulations from
-    accumulating unbounded state — the oldest events are dropped and
-    counted. *)
+    A ring buffer of timestamped entries, polymorphic in the event payload:
+    the simulation layer provides the ring mechanics, the layers above
+    provide the event type (the runtime records typed {e protocol} events —
+    see [Dsm.Event] — and the CLI's [trace] command renders the tail of a
+    run's timeline from them). Bounded capacity keeps long simulations from
+    accumulating unbounded state — the oldest entries are overwritten and
+    counted as dropped. *)
 
-type event = { time : float; category : string; detail : string }
+type 'a entry = { time : float; data : 'a }
+(** One recorded event: simulated timestamp (microseconds) plus payload. *)
 
-type t
+type 'a t
 
-val create : capacity:int -> t
+val create : capacity:int -> 'a t
 (** @raise Invalid_argument if [capacity <= 0]. *)
 
-val record : t -> time:float -> category:string -> detail:string -> unit
+val record : 'a t -> time:float -> 'a -> unit
+(** Append an entry, overwriting the oldest once the ring is full. The
+    payload is taken as-is; callers that build payloads lazily should guard
+    on the trace's presence themselves (see [Core.Runtime]'s
+    [record_event]). *)
 
-val recordf :
-  t -> time:float -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant; the detail string is only built if the trace has
-    capacity (it always does — the ring overwrites — so this is purely a
-    convenience). *)
+val events : 'a t -> 'a entry list
+(** Retained entries, oldest first. *)
 
-val events : t -> event list
-(** Retained events, oldest first. *)
+val latest : 'a t -> int -> 'a entry list
+(** The last [n] entries, oldest first. *)
 
-val latest : t -> int -> event list
-(** The last [n] events, oldest first. *)
+val length : 'a t -> int
+(** Entries currently retained (≤ capacity). *)
 
-val length : t -> int
-(** Events currently retained (≤ capacity). *)
+val dropped : 'a t -> int
+(** Entries evicted by the ring so far. *)
 
-val dropped : t -> int
-(** Events evicted by the ring so far. *)
+val total : 'a t -> int
+(** Entries ever recorded. *)
 
-val total : t -> int
-(** Events ever recorded. *)
+val clear : 'a t -> unit
 
-val clear : t -> unit
+val counts : 'a t -> label:('a -> string) -> (string * int) list
+(** Retained entry counts grouped by [label], sorted by label. *)
 
-val categories : t -> (string * int) list
-(** Retained event counts per category, sorted by name. *)
-
-val pp_event : Format.formatter -> event -> unit
-(** ["[   123.4us] lock: ..."]. *)
+val pp_entry :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a entry -> unit
+(** [pp_entry pp_data fmt e] prints ["[   123.4us] <data>"] with [pp_data]
+    rendering the payload. *)

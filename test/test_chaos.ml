@@ -93,11 +93,12 @@ let test_faulty_run_deterministic () =
   let m2, ev2 = run_traced config Dsm.Protocol.Lotec in
   Alcotest.(check int) "same event count" (List.length ev1) (List.length ev2);
   List.iter2
-    (fun (a : Sim.Trace.event) (b : Sim.Trace.event) ->
+    (fun (a : Dsm.Event.t Sim.Trace.entry) (b : Dsm.Event.t Sim.Trace.entry) ->
       if a <> b then
-        Alcotest.failf "trace diverged: [%f] %s %s vs [%f] %s %s" a.Sim.Trace.time
-          a.Sim.Trace.category a.Sim.Trace.detail b.Sim.Trace.time b.Sim.Trace.category
-          b.Sim.Trace.detail)
+        Alcotest.failf "trace diverged: [%f] %s vs [%f] %s" a.Sim.Trace.time
+          (Format.asprintf "%a" Dsm.Event.pp a.Sim.Trace.data)
+          b.Sim.Trace.time
+          (Format.asprintf "%a" Dsm.Event.pp b.Sim.Trace.data))
     ev1 ev2;
   Alcotest.(check int) "same traffic" (Dsm.Metrics.total_messages m1)
     (Dsm.Metrics.total_messages m2);

@@ -41,12 +41,12 @@ let test_wait_zero () =
 let test_trace_capacity_one () =
   let tr = Trace.create ~capacity:1 in
   for i = 1 to 4 do
-    Trace.record tr ~time:(float_of_int i) ~category:"c" ~detail:(string_of_int i)
+    Trace.record tr ~time:(float_of_int i) (string_of_int i)
   done;
   Alcotest.(check int) "one retained" 1 (Trace.length tr);
   Alcotest.(check int) "three dropped" 3 (Trace.dropped tr);
   Alcotest.(check (list string)) "keeps the newest" [ "4" ]
-    (List.map (fun e -> e.Trace.detail) (Trace.events tr))
+    (List.map (fun e -> e.Trace.data) (Trace.events tr))
 
 (* ---------- Layout ---------- *)
 

@@ -28,4 +28,5 @@ let () =
          Test_edge_cases.tests;
          Test_chaos.tests;
          Test_lease.tests;
+         Test_observability.tests;
        ])

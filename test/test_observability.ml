@@ -1,0 +1,312 @@
+(* Tests for the structured observability layer: HDR histogram bucketing
+   and percentiles, the per-message-type wire ledger's exact reconciliation
+   with the network's per-object ledger, the Chrome trace export's JSON
+   well-formedness, and the guarantee that tracing never perturbs the
+   simulation. *)
+
+open Dsm
+
+(* ---------- Histogram ---------- *)
+
+let test_histogram_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check string) "pp" "(empty)" (Format.asprintf "%a" Histogram.pp h);
+  Alcotest.(check (float 0.0)) "percentile of empty" 0.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "min of empty" 0.0 (Histogram.min_value h)
+
+let test_histogram_exact_small () =
+  (* Values below 64 land in exact unit buckets: nearest-rank percentiles
+     are exact, not approximate. *)
+  let h = Histogram.create () in
+  List.iter (fun v -> Histogram.record h (float_of_int v)) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Alcotest.(check (float 0.0)) "p50" 5.0 (Histogram.percentile h 50.0);
+  Alcotest.(check (float 0.0)) "p90" 9.0 (Histogram.percentile h 90.0);
+  Alcotest.(check (float 0.0)) "p99" 10.0 (Histogram.percentile h 99.0);
+  Alcotest.(check (float 0.0)) "p100" 10.0 (Histogram.percentile h 100.0);
+  Alcotest.(check (float 0.0)) "p0 is min" 1.0 (Histogram.percentile h 0.0);
+  Alcotest.(check (float 0.0)) "min" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.0)) "max" 10.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 5.5 (Histogram.mean h)
+
+let test_histogram_relative_error () =
+  (* Above the linear region a bucket spans at most 1/32 of its value:
+     reported percentiles stay within ~3.2% of the recorded value. *)
+  List.iter
+    (fun v ->
+      let h = Histogram.create () in
+      Histogram.record h v;
+      let p = Histogram.percentile h 100.0 in
+      let err = Float.abs (p -. v) /. v in
+      if err > 1.0 /. 32.0 then
+        Alcotest.failf "value %g reported as %g: relative error %.4f > 1/32" v p err)
+    [ 64.0; 100.0; 1000.0; 12345.0; 1.0e6; 3.14159e8 ]
+
+let test_histogram_negative_and_rounding () =
+  let h = Histogram.create () in
+  Histogram.record h (-5.0);
+  (* clamped to 0 *)
+  Histogram.record h 2.6;
+  (* rounded to 3 *)
+  Alcotest.(check int) "count" 2 (Histogram.count h);
+  Alcotest.(check (float 0.0)) "min clamped" 0.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.5)) "max near input" 2.6 (Histogram.max_value h)
+
+let test_histogram_percentile_domain () =
+  let h = Histogram.create () in
+  Histogram.record h 1.0;
+  List.iter
+    (fun p ->
+      Alcotest.check_raises
+        (Printf.sprintf "p=%g rejected" p)
+        (Invalid_argument "Histogram.percentile: p outside [0,100]")
+        (fun () -> ignore (Histogram.percentile h p)))
+    [ -1.0; 100.5 ]
+
+let prop_percentiles_monotone =
+  QCheck2.Test.make ~name:"histogram percentiles are monotone and bounded" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 200) (float_range 0.0 1.0e7))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let p50 = Histogram.percentile h 50.0
+      and p90 = Histogram.percentile h 90.0
+      and p99 = Histogram.percentile h 99.0 in
+      let lo = Histogram.min_value h
+      and hi = Histogram.max_value h in
+      (* Bucket midpoints can sit up to half a bucket width (~1/64 relative,
+         plus rounding) outside the recorded extremes. *)
+      let slack v = (v /. 32.0) +. 1.0 in
+      p50 <= p90 && p90 <= p99
+      && p50 >= lo -. slack lo
+      && p99 <= hi +. slack hi)
+
+(* ---------- Wire ledger reconciliation ---------- *)
+
+let medium_high_small roots =
+  { Workload.Scenarios.medium_high with Workload.Spec.root_count = roots; seed = 42 }
+
+let run_with ?config protocol spec =
+  let config = Option.value config ~default:Core.Config.default in
+  let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  Experiments.Runner.metrics (Experiments.Runner.execute ~config ~protocol wl)
+
+let check_reconciles m =
+  Alcotest.(check int) "wire messages = network messages" (Dsm.Metrics.total_messages m)
+    (Dsm.Metrics.wire_messages_total m);
+  Alcotest.(check int) "wire bytes = network bytes" (Dsm.Metrics.total_bytes m)
+    (Dsm.Metrics.wire_bytes_total m)
+
+let test_wire_reconciles_fault_free () =
+  List.iter
+    (fun protocol -> check_reconciles (run_with protocol (medium_high_small 40)))
+    [ Dsm.Protocol.Cotec; Dsm.Protocol.Otec; Dsm.Protocol.Lotec; Dsm.Protocol.Rc_nested ]
+
+let test_wire_reconciles_under_faults () =
+  (* Retransmitted copies and transport acks must land in the ledger exactly
+     as the network hook counts them. *)
+  let faults =
+    {
+      Sim.Fault.none with
+      Sim.Fault.seed = 7;
+      drop_probability = 0.08;
+      duplicate_probability = 0.05;
+      delay_jitter_us = 40.0;
+    }
+  in
+  let config = { Core.Config.default with Core.Config.faults = Some faults } in
+  let m = run_with ~config Dsm.Protocol.Lotec (medium_high_small 30) in
+  let totals = Dsm.Metrics.totals m in
+  Alcotest.(check bool) "faults actually fired" true
+    (totals.Dsm.Metrics.drops > 0 || totals.Dsm.Metrics.duplicates > 0);
+  Alcotest.(check bool) "retransmissions happened" true (totals.Dsm.Metrics.retransmits > 0);
+  let acks =
+    match List.find_opt (fun (w, _, _) -> w = Wire.Ack) (Dsm.Metrics.wire_breakdown m) with
+    | Some (_, n, _) -> n
+    | None -> 0
+  in
+  Alcotest.(check bool) "acks recorded under faults" true (acks > 0);
+  check_reconciles m
+
+let test_wire_breakdown_rows () =
+  let m = run_with Dsm.Protocol.Lotec (medium_high_small 40) in
+  let b = Dsm.Metrics.wire_breakdown m in
+  Alcotest.(check int) "one row per catalog type" Wire.count (List.length b);
+  let find w =
+    match List.find_opt (fun (w', _, _) -> w' = w) b with
+    | Some (_, n, by) -> (n, by)
+    | None -> Alcotest.failf "missing row %s" (Wire.to_string w)
+  in
+  let acq, _ = find Wire.Acquire_request in
+  let grants, _ = find Wire.Grant in
+  let preq, _ = find Wire.Page_request in
+  let prep, prep_bytes = find Wire.Page_reply in
+  Alcotest.(check bool) "acquires flowed" true (acq > 0);
+  Alcotest.(check bool) "grants flowed" true (grants > 0);
+  Alcotest.(check int) "page replies answer page requests" preq prep;
+  Alcotest.(check bool) "page replies carry the data" true
+    (prep_bytes > Dsm.Metrics.total_bytes m / 2);
+  let acks, _ = find Wire.Ack in
+  Alcotest.(check int) "no acks on the reliable network" 0 acks
+
+(* The paper's headline tradeoff, per message type: on the default workload
+   LOTEC sends more messages than OTEC but moves fewer consistency bytes
+   (lazy fetch pulls only the pages methods touch). *)
+let test_lotec_vs_otec_tradeoff () =
+  match Experiments.Msg_breakdown.run ~protocols:[ Dsm.Protocol.Otec; Dsm.Protocol.Lotec ] ()
+  with
+  | [ otec; lotec ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lotec sends more messages (%d vs %d)" lotec.Experiments.Msg_breakdown.messages
+           otec.Experiments.Msg_breakdown.messages)
+        true
+        (lotec.Experiments.Msg_breakdown.messages > otec.Experiments.Msg_breakdown.messages);
+      Alcotest.(check bool)
+        (Printf.sprintf "lotec moves fewer bytes (%d vs %d)" lotec.Experiments.Msg_breakdown.bytes
+           otec.Experiments.Msg_breakdown.bytes)
+        true (lotec.Experiments.Msg_breakdown.bytes < otec.Experiments.Msg_breakdown.bytes)
+  | _ -> Alcotest.fail "two rows expected"
+
+(* ---------- Tracing is observation only ---------- *)
+
+let summary m = Format.asprintf "%a" Dsm.Metrics.pp_summary m
+
+let test_tracing_off_is_byte_identical () =
+  (* A traced run and an untraced run of the same workload must agree on
+     every observable metric — tracing is pure observation. The summary
+     comparison is byte-level: any drift in counters, traffic or completion
+     time fails. *)
+  let spec = medium_high_small 40 in
+  let traced =
+    run_with
+      ~config:{ Core.Config.default with Core.Config.trace_capacity = 100_000 }
+      Dsm.Protocol.Lotec spec
+  in
+  let untraced = run_with Dsm.Protocol.Lotec spec in
+  Alcotest.(check string) "summaries byte-identical" (summary untraced) (summary traced);
+  Alcotest.(check (float 0.0)) "same completion time"
+    (Dsm.Metrics.completion_time_us untraced)
+    (Dsm.Metrics.completion_time_us traced)
+
+(* ---------- Exporters ---------- *)
+
+let traced_run spec =
+  let config = { Core.Config.default with Core.Config.trace_capacity = 100_000 } in
+  let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
+  let run = Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl in
+  match Core.Runtime.trace run.Experiments.Runner.runtime with
+  | Some tr -> (run, tr)
+  | None -> Alcotest.fail "trace expected"
+
+let test_chrome_export_well_formed () =
+  let run, tr = traced_run (medium_high_small 30) in
+  let node_count =
+    (Core.Runtime.config run.Experiments.Runner.runtime).Core.Config.node_count
+  in
+  let json = Trace_export.to_chrome ~node_count (Sim.Trace.events tr) in
+  (match Trace_export.validate_json json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid chrome JSON: %s" e);
+  (* Structural spot checks: slices were paired and every node got a track. *)
+  let contains needle =
+    let nl = String.length needle and l = String.length json in
+    let rec go i = i + nl <= l && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has duration slices" true (contains "\"ph\": \"X\"");
+  Alcotest.(check bool) "has metadata" true (contains "\"process_name\"");
+  for n = 0 to node_count - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "track for node %d" n)
+      true
+      (contains (Printf.sprintf "\"name\": \"node %d\"" n))
+  done
+
+let test_validate_json_rejects_garbage () =
+  List.iter
+    (fun (name, s) ->
+      match Trace_export.validate_json s with
+      | Ok () -> Alcotest.failf "%s accepted" name
+      | Error _ -> ())
+    [
+      ("unterminated object", "{\"a\": 1");
+      ("trailing garbage", "{} x");
+      ("bare word", "nope");
+      ("bad escape", "\"\\q\"");
+      ("unquoted key", "{a: 1}");
+      ("truncated number", "1.");
+    ];
+  List.iter
+    (fun (name, s) ->
+      match Trace_export.validate_json s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s rejected: %s" name e)
+    [
+      ("empty object", "{}");
+      ("nested", "{\"a\": [1, 2.5e-3, true, null, \"s\\u00e9\"]}");
+      ("number", "-12.5e2");
+    ]
+
+let test_timeline_filters_by_family () =
+  let _, tr = traced_run (medium_high_small 20) in
+  (* Find a family that committed. *)
+  let family =
+    let rec first = function
+      | [] -> Alcotest.fail "no commit event retained"
+      | e :: rest -> (
+          match e.Sim.Trace.data with
+          | Event.Root_commit { family; _ } -> family
+          | _ -> first rest)
+    in
+    first (Sim.Trace.events tr)
+  in
+  let out = Trace_export.timeline ~family (Sim.Trace.events tr) in
+  let fam = Format.asprintf "%a" Txn.Txn_id.pp family in
+  Alcotest.(check bool) "mentions the family" true
+    (String.length out > 0
+    &&
+    let nl = String.length fam and l = String.length out in
+    let rec go i = i + nl <= l && (String.sub out i nl = fam || go (i + 1)) in
+    go 0);
+  (* An unknown family gets the explanatory one-liner, not an exception. *)
+  let missing = Trace_export.timeline ~family:(Txn.Txn_id.of_int 999_999) (Sim.Trace.events tr) in
+  Alcotest.(check bool) "unknown family explained" true
+    (String.length missing > 0 && not (String.contains missing '['))
+
+let test_latencies_recorded () =
+  let spec = medium_high_small 30 in
+  let m = run_with Dsm.Protocol.Lotec spec in
+  Alcotest.(check bool) "acquire latencies" true (Histogram.count (Dsm.Metrics.acquire_latency m) > 0);
+  let commits = (Dsm.Metrics.totals m).Dsm.Metrics.roots_committed in
+  Alcotest.(check int) "one commit latency per committed root" commits
+    (Histogram.count (Dsm.Metrics.commit_latency m));
+  Alcotest.(check int) "no recalls without leases" 0
+    (Histogram.count (Dsm.Metrics.recall_latency m));
+  Alcotest.(check bool) "acquire p50 <= p99" true
+    (Histogram.percentile (Dsm.Metrics.acquire_latency m) 50.0
+    <= Histogram.percentile (Dsm.Metrics.acquire_latency m) 99.0)
+
+let tests =
+  [
+    ( "observability",
+      [
+        Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+        Alcotest.test_case "histogram exact small values" `Quick test_histogram_exact_small;
+        Alcotest.test_case "histogram relative error" `Quick test_histogram_relative_error;
+        Alcotest.test_case "histogram clamp and round" `Quick
+          test_histogram_negative_and_rounding;
+        Alcotest.test_case "histogram percentile domain" `Quick test_histogram_percentile_domain;
+        QCheck_alcotest.to_alcotest prop_percentiles_monotone;
+        Alcotest.test_case "wire ledger reconciles" `Quick test_wire_reconciles_fault_free;
+        Alcotest.test_case "wire ledger reconciles under faults" `Quick
+          test_wire_reconciles_under_faults;
+        Alcotest.test_case "wire breakdown rows" `Quick test_wire_breakdown_rows;
+        Alcotest.test_case "lotec vs otec tradeoff" `Slow test_lotec_vs_otec_tradeoff;
+        Alcotest.test_case "tracing off is byte-identical" `Quick
+          test_tracing_off_is_byte_identical;
+        Alcotest.test_case "chrome export well-formed" `Quick test_chrome_export_well_formed;
+        Alcotest.test_case "json validator" `Quick test_validate_json_rejects_garbage;
+        Alcotest.test_case "timeline filters by family" `Quick test_timeline_filters_by_family;
+        Alcotest.test_case "latency histograms recorded" `Quick test_latencies_recorded;
+      ] );
+  ]

@@ -418,7 +418,9 @@ let test_trace_sequence_for_simple_run () =
   match Core.Runtime.trace rt with
   | None -> Alcotest.fail "trace expected"
   | Some tr ->
-      let cats = List.map (fun e -> e.Sim.Trace.category) (Sim.Trace.events tr) in
+      let cats =
+        List.map (fun e -> Dsm.Event.category e.Sim.Trace.data) (Sim.Trace.events tr)
+      in
       (* lock grant, then transfer, then commit — in that order. *)
       let index c =
         let rec find i = function

@@ -7,55 +7,52 @@ open Sim
 
 let test_trace_basic () =
   let tr = Trace.create ~capacity:10 in
-  Trace.record tr ~time:1.0 ~category:"a" ~detail:"one";
-  Trace.record tr ~time:2.0 ~category:"b" ~detail:"two";
+  Trace.record tr ~time:1.0 "one";
+  Trace.record tr ~time:2.0 "two";
   Alcotest.(check int) "length" 2 (Trace.length tr);
   Alcotest.(check int) "total" 2 (Trace.total tr);
   Alcotest.(check int) "dropped" 0 (Trace.dropped tr);
   match Trace.events tr with
   | [ e1; e2 ] ->
-      Alcotest.(check string) "order" "one" e1.Trace.detail;
-      Alcotest.(check string) "order2" "two" e2.Trace.detail
+      Alcotest.(check string) "order" "one" e1.Trace.data;
+      Alcotest.(check string) "order2" "two" e2.Trace.data
   | _ -> Alcotest.fail "two events"
 
 let test_trace_ring_eviction () =
   let tr = Trace.create ~capacity:3 in
   for i = 1 to 5 do
-    Trace.record tr ~time:(float_of_int i) ~category:"c" ~detail:(string_of_int i)
+    Trace.record tr ~time:(float_of_int i) (string_of_int i)
   done;
   Alcotest.(check int) "capped" 3 (Trace.length tr);
   Alcotest.(check int) "dropped" 2 (Trace.dropped tr);
   Alcotest.(check (list string)) "oldest evicted" [ "3"; "4"; "5" ]
-    (List.map (fun e -> e.Trace.detail) (Trace.events tr))
+    (List.map (fun e -> e.Trace.data) (Trace.events tr))
 
 let test_trace_latest () =
   let tr = Trace.create ~capacity:10 in
   for i = 1 to 6 do
-    Trace.record tr ~time:(float_of_int i) ~category:"c" ~detail:(string_of_int i)
+    Trace.record tr ~time:(float_of_int i) (string_of_int i)
   done;
   Alcotest.(check (list string)) "last two" [ "5"; "6" ]
-    (List.map (fun e -> e.Trace.detail) (Trace.latest tr 2));
+    (List.map (fun e -> e.Trace.data) (Trace.latest tr 2));
   Alcotest.(check int) "latest more than length" 6 (List.length (Trace.latest tr 100))
 
-let test_trace_recordf_and_pp () =
+let test_trace_pp_entry_and_clear () =
   let tr = Trace.create ~capacity:4 in
-  Trace.recordf tr ~time:12.5 ~category:"lock" "object %d to %s" 3 "T1";
+  Trace.record tr ~time:12.5 "lock: object 3 to T1";
   (match Trace.events tr with
   | [ e ] ->
-      Alcotest.(check string) "formatted" "object 3 to T1" e.Trace.detail;
       Alcotest.(check string) "pp" "[      12.5us] lock: object 3 to T1"
-        (Format.asprintf "%a" Trace.pp_event e)
+        (Format.asprintf "%a" (Trace.pp_entry Format.pp_print_string) e)
   | _ -> Alcotest.fail "one event");
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.length tr)
 
-let test_trace_categories () =
+let test_trace_counts () =
   let tr = Trace.create ~capacity:10 in
-  List.iter
-    (fun c -> Trace.record tr ~time:0.0 ~category:c ~detail:"")
-    [ "b"; "a"; "b"; "b" ];
+  List.iter (fun c -> Trace.record tr ~time:0.0 c) [ "b"; "a"; "b"; "b" ];
   Alcotest.(check (list (pair string int))) "counts" [ ("a", 1); ("b", 3) ]
-    (Trace.categories tr)
+    (Trace.counts tr ~label:Fun.id)
 
 let test_trace_bad_capacity () =
   Alcotest.check_raises "zero" (Invalid_argument "Trace.create: capacity must be positive")
@@ -133,7 +130,7 @@ let test_runtime_tracing () =
   match Core.Runtime.trace run.Experiments.Runner.runtime with
   | None -> Alcotest.fail "trace expected"
   | Some tr ->
-      let cats = List.map fst (Sim.Trace.categories tr) in
+      let cats = List.map fst (Sim.Trace.counts tr ~label:Dsm.Event.category) in
       Alcotest.(check bool) "has commits" true (List.mem "commit" cats);
       Alcotest.(check bool) "has locks" true (List.mem "lock" cats);
       Alcotest.(check bool) "has transfers" true (List.mem "transfer" cats);
@@ -167,8 +164,8 @@ let tests =
         Alcotest.test_case "basic" `Quick test_trace_basic;
         Alcotest.test_case "ring eviction" `Quick test_trace_ring_eviction;
         Alcotest.test_case "latest" `Quick test_trace_latest;
-        Alcotest.test_case "recordf and pp" `Quick test_trace_recordf_and_pp;
-        Alcotest.test_case "categories" `Quick test_trace_categories;
+        Alcotest.test_case "pp entry and clear" `Quick test_trace_pp_entry_and_clear;
+        Alcotest.test_case "counts" `Quick test_trace_counts;
         Alcotest.test_case "bad capacity" `Quick test_trace_bad_capacity;
         Alcotest.test_case "semaphore mutual exclusion" `Quick test_semaphore_mutual_exclusion;
         Alcotest.test_case "semaphore counting" `Quick test_semaphore_counting;
