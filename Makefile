@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos lease doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos lease doc clean
 
 all: build
 
@@ -18,6 +18,12 @@ figures:
 
 chaos:
 	dune exec bin/lotec_sim.exe -- chaos
+
+# Crash-recovery sweep: fail-stop crash windows x protocols x GDO replica
+# counts; asserts every root commits or permanently aborts, the wire ledger
+# reconciles exactly and the run never stalls.
+crash-chaos:
+	dune exec bin/lotec_sim.exe -- chaos --crash
 
 lease:
 	dune exec bin/lotec_sim.exe -- lease

@@ -80,6 +80,22 @@ let msg_breakdown () =
   close_out oc;
   Format.printf "wrote %s@.@." trace_json_file
 
+(* The crash-recovery sweep (crash windows x protocols x replica counts),
+   printed and written as BENCH_crash.json: recovery latency percentiles
+   and aborted-vs-recovered counts, machine-readable across revisions. *)
+let crash_json_file = "BENCH_crash.json"
+
+let crash_chaos () =
+  Format.printf "==================================================================@.";
+  Format.printf "Crash recovery: fail-stop windows, reclamation, GDO failover@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Chaos.crash_sweep () in
+  Format.printf "%a@." Experiments.Chaos.pp_crash_report outcomes;
+  let oc = open_out crash_json_file in
+  output_string oc (Experiments.Chaos.crash_to_json outcomes);
+  close_out oc;
+  Format.printf "wrote %s@.@." crash_json_file
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing of the simulator itself.                    *)
 
@@ -139,6 +155,19 @@ let tests =
         (Staged.stage (bench_scenario fig2_spec ~protocol:Dsm.Protocol.Rc_nested));
       Test.make ~name:"fig2-lotec-chaos"
         (Staged.stage (bench_chaos fig2_spec ~protocol:Dsm.Protocol.Lotec));
+      Test.make ~name:"crash-lotec"
+        (Staged.stage
+           (let spec = Experiments.Chaos.default_spec in
+            let case =
+              {
+                Experiments.Chaos.cc_protocol = Dsm.Protocol.Lotec;
+                cc_windows = [ (2, 3_000.0, 9_000.0) ];
+                cc_gdo_replicas = 1;
+                cc_drop = 0.0;
+                cc_fault_seed = 1;
+              }
+            in
+            fun () -> ignore (Experiments.Chaos.run_crash_case ~spec case)));
       Test.make ~name:"lease-lotec"
         (Staged.stage
            (let spec =
@@ -181,4 +210,5 @@ let () =
   reproduce ();
   lease_sweep ();
   msg_breakdown ();
+  crash_chaos ();
   benchmark ()

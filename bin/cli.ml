@@ -130,18 +130,60 @@ let retransmits_arg =
     & opt int Core.Config.default.Core.Config.max_retransmits
     & info [ "max-retransmits" ] ~doc)
 
-let fault_config ~drop ~duplicate ~jitter ~fault_seed =
-  if drop = 0.0 && duplicate = 0.0 && jitter = 0.0 then None
+(* Crash windows: "NODE:FROM_US:UNTIL_US" (shared by run and chaos). *)
+let crash_window_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ n; f; u ] -> (
+        try Ok (int_of_string n, float_of_string f, float_of_string u)
+        with Failure _ -> Error (`Msg ("bad crash window " ^ s)))
+    | _ -> Error (`Msg ("expected NODE:FROM_US:UNTIL_US, got " ^ s))
+  in
+  let print fmt (n, f, u) = Format.fprintf fmt "%d:%g:%g" n f u in
+  Arg.conv (parse, print)
+
+let crash_windows_arg =
+  let doc =
+    "Fail-stop crash-restart window as NODE:FROM_US:UNTIL_US (repeatable). The node loses \
+     its volatile state at FROM_US and rejoins with a fresh incarnation at UNTIL_US."
+  in
+  Arg.(value & opt_all crash_window_conv [] & info [ "crash-window" ] ~docv:"N:F:U" ~doc)
+
+let gdo_replicas_arg =
+  let doc =
+    "GDO replication factor: with crash windows, a crashed home's partition fails over to \
+     its first live ring successor; 0 leaves it unavailable until the restart."
+  in
+  Arg.(
+    value
+    & opt int Core.Config.default.Core.Config.gdo_replicas
+    & info [ "gdo-replicas" ] ~doc)
+
+let dump_directory_arg =
+  let doc = "Print the GDO dump (non-free entries) after the run, and on a stall." in
+  Arg.(value & flag & info [ "dump-directory" ] ~doc)
+
+let fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows =
+  if drop = 0.0 && duplicate = 0.0 && jitter = 0.0 && crash_windows = [] then None
   else
     (* Any non-default value gets a config, even an out-of-range one, so it
        reaches Config.validate instead of being silently ignored. *)
     Some
       {
-        Sim.Fault.none with
         Sim.Fault.seed = fault_seed;
         drop_probability = drop;
         duplicate_probability = duplicate;
         delay_jitter_us = jitter;
+        windows =
+          List.map
+            (fun (n, f, u) ->
+              {
+                Sim.Fault.w_node = n;
+                w_kind = Sim.Fault.Crash;
+                w_from_us = f;
+                w_until_us = u;
+              })
+            crash_windows;
       }
 
 (* Shared by run (via the --trace- flags) and the trace subcommand. *)
@@ -204,8 +246,9 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "trace-chrome" ] ~docv:"FILE" ~doc)
   in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
-      recovery drop duplicate jitter fault_seed request_timeout_us max_retransmits policy ttl
-      ratio samples trace_capacity trace_tail trace_chrome =
+      recovery drop duplicate jitter fault_seed crash_windows gdo_replicas dump_directory
+      request_timeout_us max_retransmits policy ttl ratio samples trace_capacity trace_tail
+      trace_chrome =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
@@ -220,7 +263,8 @@ let run_cmd =
         prefetch;
         cpu_limited;
         recovery;
-        faults = fault_config ~drop ~duplicate ~jitter ~fault_seed;
+        faults = fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows;
+        gdo_replicas;
         request_timeout_us;
         max_retransmits;
         lease = lease_policy ~policy ~ttl ~ratio ~samples;
@@ -229,9 +273,15 @@ let run_cmd =
     in
     let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
     Format.printf "workload: %a@.@." Workload.Spec.pp spec;
-    let run = Experiments.Runner.execute ~config ~protocol wl in
+    let dump_gdo rt =
+      print_string "-- directory (non-free entries) --\n";
+      print_string (Gdo.Directory.dump (Core.Runtime.directory rt))
+    in
+    let on_stall = if dump_directory then Some dump_gdo else None in
+    let run = Experiments.Runner.execute ~config ?on_stall ~protocol wl in
     Format.printf "== %a ==@.%a@." Dsm.Protocol.pp protocol Dsm.Metrics.pp_summary
       (Experiments.Runner.metrics run);
+    if dump_directory then dump_gdo run.Experiments.Runner.runtime;
     match Core.Runtime.trace run.Experiments.Runner.runtime with
     | None ->
         if trace_tail > 0 || trace_chrome <> None then
@@ -249,9 +299,10 @@ let run_cmd =
     Term.(
       const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ objects_arg
       $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg $ fault_drop_arg
-      $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ timeout_arg
-      $ retransmits_arg $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg
-      $ lease_samples_arg $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg)
+      $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ crash_windows_arg
+      $ gdo_replicas_arg $ dump_directory_arg $ timeout_arg $ retransmits_arg
+      $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg
+      $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
 
@@ -384,29 +435,56 @@ let chaos_cmd =
     let doc = "Fault-injector seed (repeatable)." in
     Arg.(value & opt_all int [] & info [ "fault-seed" ] ~doc)
   in
-  let action seed roots rates seeds request_timeout_us max_retransmits =
+  let crash_arg =
+    let doc =
+      "Run the crash-recovery sweep (default crash windows, replicas 0 and 1) instead of \
+       the fault-rate sweep; --crash-window overrides the windows."
+    in
+    Arg.(value & flag & info [ "crash" ] ~doc)
+  in
+  let action seed roots rates seeds crash crash_windows gdo_replicas dump_directory
+      request_timeout_us max_retransmits =
     let spec =
       apply_overrides Experiments.Chaos.default_spec seed roots
     in
-    let config =
-      { Core.Config.default with Core.Config.request_timeout_us; max_retransmits }
-    in
-    let rates = if rates = [] then None else Some rates in
-    let fault_seeds = if seeds = [] then None else Some seeds in
-    let outcomes = Experiments.Chaos.sweep ~config ~spec ?rates ?fault_seeds () in
-    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
-    Format.printf "%a@." Experiments.Chaos.pp_report outcomes
+    if crash || crash_windows <> [] then begin
+      (* Crash-recovery mode: crash windows x protocols x replica counts,
+         asserting the recovery invariants (every root commits or
+         permanently aborts, exact wire-ledger reconciliation, no stall). *)
+      let windows = if crash_windows = [] then None else Some [ crash_windows ] in
+      let replicas = if crash_windows = [] then None else Some [ gdo_replicas ] in
+      let fault_seeds = if seeds = [] then None else Some seeds in
+      let outcomes =
+        Experiments.Chaos.crash_sweep ~spec ?windows ?replicas ?fault_seeds
+          ~dump_stalls:dump_directory ()
+      in
+      Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+      Format.printf "%a@." Experiments.Chaos.pp_crash_report outcomes
+    end
+    else begin
+      let config =
+        { Core.Config.default with Core.Config.request_timeout_us; max_retransmits }
+      in
+      let rates = if rates = [] then None else Some rates in
+      let fault_seeds = if seeds = [] then None else Some seeds in
+      let outcomes = Experiments.Chaos.sweep ~config ~spec ?rates ?fault_seeds () in
+      Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+      Format.printf "%a@." Experiments.Chaos.pp_report outcomes
+    end
   in
   let term =
     Term.(
-      const action $ seed_arg $ roots_arg $ rates_arg $ seeds_arg $ timeout_arg
+      const action $ seed_arg $ roots_arg $ rates_arg $ seeds_arg $ crash_arg
+      $ crash_windows_arg $ gdo_replicas_arg $ dump_directory_arg $ timeout_arg
       $ retransmits_arg)
   in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Sweep interconnect fault rates x seeds x protocols and assert the protocol \
-          invariants (serializability, root accounting, ledger balance) hold.")
+          invariants (serializability, root accounting, ledger balance) hold; with --crash \
+          or --crash-window, sweep fail-stop crash-restart windows through the recovery \
+          subsystem instead.")
     term
 
 let lease_cmd =

@@ -26,6 +26,8 @@ type t = {
   faults : Sim.Fault.config option;
   request_timeout_us : float;
   max_retransmits : int;
+  heartbeat_interval_us : float;
+  suspect_timeout_us : float;
   lease : Gdo.Lease.policy;
 }
 
@@ -58,6 +60,8 @@ let default =
     faults = None;
     request_timeout_us = 5_000.0;
     max_retransmits = 10;
+    heartbeat_interval_us = 1_000.0;
+    suspect_timeout_us = 4_000.0;
     lease = Gdo.Lease.Off;
   }
 
@@ -91,6 +95,12 @@ let validate t =
   let* () = check (t.trace_capacity >= 0) "trace_capacity must be >= 0" in
   let* () = check (t.request_timeout_us > 0.0) "request_timeout_us must be positive" in
   let* () = check (t.max_retransmits >= 0) "max_retransmits must be >= 0" in
+  let* () = check (t.heartbeat_interval_us > 0.0) "heartbeat_interval_us must be positive" in
+  let* () =
+    check
+      (t.suspect_timeout_us >= t.heartbeat_interval_us)
+      "suspect_timeout_us must be >= heartbeat_interval_us"
+  in
   let* () = Gdo.Lease.validate_policy t.lease in
   match t.faults with None -> Ok () | Some f -> Sim.Fault.validate f
 
@@ -107,7 +117,10 @@ let pp fmt t =
   (match t.faults with
   | Some f when Sim.Fault.is_active f ->
       Format.fprintf fmt "@,faults: %a; timeout %.0f us, max retransmits %d"
-        Sim.Fault.pp_config f t.request_timeout_us t.max_retransmits
+        Sim.Fault.pp_config f t.request_timeout_us t.max_retransmits;
+      if Sim.Fault.has_crash_windows f then
+        Format.fprintf fmt "@,failure detection: heartbeat %.0f us, suspect after %.0f us"
+          t.heartbeat_interval_us t.suspect_timeout_us
   | Some _ | None -> ());
   if Gdo.Lease.policy_enabled t.lease then
     Format.fprintf fmt "@,leases: %a" Gdo.Lease.pp_policy t.lease;

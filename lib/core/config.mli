@@ -22,9 +22,14 @@ type t = {
       (** The paper's GDO is "partitioned and replicated ... to ensure
           efficiency and reliability". Each directory mutation (lock grant,
           queue change, release) is shipped asynchronously to this many
-          replica sites; 0 (default) disables replication. Only the traffic
-          cost is modelled — no failures are injected, so failover logic
-          would be dead code (recovery mechanisms are §6 future work). *)
+          replica sites; 0 (default) disables replication. With crash
+          windows configured the replication is {e live}: when a home
+          crashes and is declared dead, its first surviving ring successor
+          — a replica — takes over the partition, reconfirms holders,
+          evicts the dead node's families, and serves re-routed requests
+          until the home rejoins (see DESIGN.md, "Failure model &
+          recovery"). With [gdo_replicas = 0] the partition is simply
+          unavailable until the restart. *)
   (* Local costs. *)
   local_lock_op_us : float;
   gdo_op_us : float;  (** directory processing per lock operation *)
@@ -67,9 +72,19 @@ type t = {
           after every retransmission (exponential backoff). Only used when
           [faults] is active. *)
   max_retransmits : int;
-      (** retransmissions of one message before the transport gives up (a
-          given-up delivery can stall the simulation — with the default 10
-          and drop rates <= 0.2 this is a ~1e-8 per-message event) *)
+      (** retransmissions of one message before the transport gives up.
+          A give-up is counted ({!Dsm.Metrics}), reported to the sender's
+          failure detector as a suspect hint, and surfaced to the blocked
+          operation (which aborts its family and retries) — it never
+          stalls the simulation. With the default 10 and drop rates
+          <= 0.2 a give-up is a ~1e-8 per-message event; crash-window
+          tests lower it to exercise the recovery path. *)
+  heartbeat_interval_us : float;
+      (** period of the liveness heartbeats every node broadcasts while
+          crash windows are configured (crash-free runs send none) *)
+  suspect_timeout_us : float;
+      (** silence after which a peer becomes a suspect
+          ([Sim.Failure_detector]); must be >= the heartbeat interval *)
   lease : Gdo.Lease.policy;
       (** Read leases: {!Gdo.Lease.Off} (default) reproduces the paper's
           protocol exactly; a TTL or adaptive policy lets the GDO home grant

@@ -12,6 +12,15 @@ exception Recursion_rejected of Oid.t
    check: the invocation chain revisited the object. Deterministic, so the
    root driver gives up immediately instead of retrying. *)
 
+exception Crashed_abort
+(* Raised inside a family's fiber when its executing node crashed under it.
+   Unlike Family_abort, the unwinding performs no undo (the crash wipe
+   already restored the node's pages to their durable versions; undoing
+   would resurrect uncommitted data) and sends no global releases (the
+   node cannot send; the family's directory residue is reclaimed when the
+   node is declared dead). The root driver waits for the node to rejoin,
+   then retries the family under a fresh identity. *)
+
 type root_outcome = Committed | Gave_up
 
 type root_result = {
@@ -28,13 +37,31 @@ type root_result = {
    is delivered; all byte/kind/tag accounting happens at send time. *)
 type msg = Exec of (unit -> unit)
 
-type refusal = Busy | Deadlock of Txn_id.t list
+type refusal =
+  | Busy
+  | Deadlock of Txn_id.t list
+  | Crashed
+      (* The operation was disrupted by a crash: the home (or requester)
+         crashed under it, or the reliable transport exhausted its
+         retransmit budget. The requester aborts the family and retries;
+         a doomed requester unwinds with Crashed_abort instead. *)
 
 (* A grant reply, with the lease the home attached to it when the lease
    policy admits one: (expires, epoch). The lease rides inside the grant's
    control message at no extra byte cost (two scalar fields in an
    already-sized message). *)
 type reply = (Gdo.Directory.grant * (float * int) option, refusal) result
+
+(* One outstanding page fetch (one source-node group of a fetch_groups
+   call), registered so crash handling can fail it instead of letting the
+   fetching fiber block forever: a crash of the source node, of the
+   fetching node, or a transport give-up on either leg fills [fw_iv]. *)
+type fetch_wait = {
+  fw_iv : unit Sim.Engine.Ivar.t;
+  fw_family : Txn_id.t;
+  fw_src : int;
+  mutable fw_failed : bool;
+}
 
 type t = {
   cfg : Config.t;
@@ -96,6 +123,33 @@ type t = {
   (* object -> simulated time its in-progress recall was issued; feeds the
      recall-to-clear latency histogram. *)
   recall_started : (int, float) Hashtbl.t;
+  (* Crash-recovery subsystem. Everything below is inert when
+     [crash_enabled] is false — no crash windows configured — keeping
+     crash-free runs byte-identical to the pre-recovery runtime. *)
+  crash_enabled : bool;
+  crashed : bool array;  (* node -> currently inside a crash window *)
+  incarnation : int array;  (* bumped at every rejoin; fences stragglers *)
+  (* Root families whose executing node crashed under them: their fibers
+     unwind with Crashed_abort at the next choke point and their directory
+     residue is reclaimed at dead declaration. Never cleared — family ids
+     are never reused, so doom is a permanent fence against stragglers. *)
+  doomed : unit Txn_id.Table.t;
+  (* Root families currently executing an attempt (registered at attempt
+     start, dropped at attempt end): the set a crash entry dooms. *)
+  live_roots : unit Txn_id.Table.t;
+  (* (node, incarnation) pairs already declared dead, so one incarnation
+     is declared (and reclaimed) at most once across all observers. *)
+  declared_dead : (int * int, unit) Hashtbl.t;
+  (* (observer, node, incarnation) suspicions already recorded, to trace
+     each suspicion once rather than once per heartbeat tick. *)
+  suspected_seen : (int * int * int, unit) Hashtbl.t;
+  detectors : Sim.Failure_detector.t array;  (* one observer per node *)
+  (* Partition home -> node currently serving it. Identity while the home
+     is up; with [gdo_replicas > 0] a crashed home's partition is served
+     by its first live ring successor until the rejoin. *)
+  acting_home : int array;
+  rejoin : unit Sim.Engine.Ivar.t option array;  (* filled at window end *)
+  mutable fetch_waits : fetch_wait list;
 }
 
 let config t = t.cfg
@@ -124,7 +178,21 @@ let exec_statement t ~node =
       Sim.Engine.Semaphore.with_permit cpus.(node) (fun () ->
           Sim.Engine.wait t.cfg.Config.statement_us)
 
-let home_of t oid = Oid.to_int oid mod t.cfg.Config.node_count
+(* An object's partition is fixed (oid mod node_count); the node serving
+   it is the partition's acting home — the home itself except while it is
+   crashed and a replica has taken over (see recompute_acting_homes). *)
+let home_of t oid =
+  let p = Oid.to_int oid mod t.cfg.Config.node_count in
+  if t.crash_enabled then t.acting_home.(p) else p
+
+let is_doomed t family = t.crash_enabled && Txn_id.Table.mem t.doomed family
+
+(* Choke-point check: a fiber of a doomed family must stop mutating state
+   (its node's stores and caches were wiped from under it) and must not
+   start new blocking operations (its sends are suppressed). Called at
+   method-statement boundaries and before page fetches. *)
+let check_crashed t ~txn_root =
+  if is_doomed t txn_root then raise Crashed_abort
 
 let create ~config:cfg ~catalog =
   (match Config.validate cfg with
@@ -207,6 +275,27 @@ let create ~config:cfg ~catalog =
       lease_reads = Txn_id.Table.create 64;
       lease_blocked = Hashtbl.create 16;
       recall_started = Hashtbl.create 16;
+      crash_enabled =
+        (match cfg.Config.faults with
+        | Some f -> Sim.Fault.has_crash_windows f
+        | None -> false);
+      crashed = Array.make cfg.Config.node_count false;
+      incarnation = Array.make cfg.Config.node_count 0;
+      doomed = Txn_id.Table.create 16;
+      live_roots = Txn_id.Table.create 16;
+      declared_dead = Hashtbl.create 8;
+      suspected_seen = Hashtbl.create 16;
+      detectors =
+        Array.init cfg.Config.node_count (fun i ->
+            let d =
+              Sim.Failure_detector.create ~node_count:cfg.Config.node_count
+                ~timeout_us:cfg.Config.suspect_timeout_us
+            in
+            Sim.Failure_detector.set_self d i;
+            d);
+      acting_home = Array.init cfg.Config.node_count (fun i -> i);
+      rejoin = Array.make cfg.Config.node_count None;
+      fetch_waits = [];
     }
   in
   (* Trivial dispatch: every node executes delivered thunks. *)
@@ -239,10 +328,14 @@ let protocol_for t oid =
 
 (* Same-node sends bypass the network's [on_message] hook, so they are
    excluded here too — the wire ledger must reconcile exactly with the
-   per-object ledger that hook feeds. *)
+   per-object ledger that hook feeds. A crashed node sends nothing: the
+   suppression sits before both accounting hooks, so the two ledgers stay
+   reconciled. *)
 let send_exec t ~mtype ~src ~dst ~kind ~bytes ~tag f =
-  if src <> dst then Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
-  Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
+  if not (t.crash_enabled && t.crashed.(src)) then begin
+    if src <> dst then Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
+    Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
+  end
 
 let tag_of oid = Oid.to_int oid
 
@@ -253,12 +346,19 @@ let tag_of oid = Oid.to_int oid
    receiver's [seen] table absorbs injected duplicates and retransmissions.
    The sender retransmits on an exponential-backoff timer until acked or out
    of attempts. Without an active fault model this is exactly [send_exec]:
-   no acks, no timers, no accounting difference. *)
-let send_reliable t ~mtype ~src ~dst ~kind ~bytes ~tag f =
+   no acks, no timers, no accounting difference.
+
+   [on_abandon] runs when the transport stops trying before the message
+   was acknowledged: the retransmit budget ran out (a counted give-up,
+   reported to the sender's failure detector as a suspect hint), or the
+   sender crashed and its unacked transport state was discarded. Callers
+   use it to fail the blocked operation instead of stalling the engine. *)
+let send_reliable ?(on_abandon = fun () -> ()) t ~mtype ~src ~dst ~kind ~bytes ~tag f =
   if (not t.reliable) || src = dst then send_exec t ~mtype ~src ~dst ~kind ~bytes ~tag f
   else begin
     t.next_mid <- t.next_mid + 1;
     let mid = t.next_mid in
+    let inc0 = if t.crash_enabled then t.incarnation.(src) else 0 in
     let deliver () =
       send_exec t ~mtype:Dsm.Wire.Ack ~src:dst ~dst:src ~kind:Sim.Network.Control
         ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
@@ -278,21 +378,34 @@ let send_reliable t ~mtype ~src ~dst ~kind ~bytes ~tag f =
     let rec arm attempt timeout =
       Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
           if not (Hashtbl.mem t.acked mid) then begin
-            Dsm.Metrics.incr_timeouts t.metrics;
-            if attempt < t.cfg.Config.max_retransmits then begin
-              Dsm.Metrics.incr_retransmits t.metrics;
-              record_event t (fun () ->
-                  Dsm.Event.Retransmit
-                    { mid; src; dst; attempt = attempt + 1; abandoned = false });
-              transmit ();
-              arm (attempt + 1) (timeout *. 2.0)
+            if t.crash_enabled && (t.crashed.(src) || t.incarnation.(src) <> inc0) then
+              (* The sender crashed since this message was sent: its unacked
+                 transport state is gone. Fail the blocked operation quietly
+                 (its family is doomed anyway) — no timeout accounting for a
+                 timer that no longer exists. *)
+              on_abandon ()
+            else begin
+              Dsm.Metrics.incr_timeouts t.metrics;
+              if attempt < t.cfg.Config.max_retransmits then begin
+                Dsm.Metrics.incr_retransmits t.metrics;
+                record_event t (fun () ->
+                    Dsm.Event.Retransmit
+                      { mid; src; dst; attempt = attempt + 1; abandoned = false });
+                transmit ();
+                arm (attempt + 1) (timeout *. 2.0)
+              end
+              else begin
+                (* Give up: count it, hint the sender's failure detector
+                   (exhausting the budget is strong evidence the peer is
+                   unreachable), and fail the blocked operation — the engine
+                   never hangs on an abandoned message. *)
+                Dsm.Metrics.incr_give_ups t.metrics;
+                Sim.Failure_detector.hint t.detectors.(src) ~node:dst;
+                record_event t (fun () ->
+                    Dsm.Event.Retransmit { mid; src; dst; attempt; abandoned = true });
+                on_abandon ()
+              end
             end
-            else
-              (* Out of attempts; anyone blocked on this message will stall
-                 the simulation. Astronomically unlikely at the drop rates
-                 the chaos harness sweeps — see Config.max_retransmits. *)
-              record_event t (fun () ->
-                  Dsm.Event.Retransmit { mid; src; dst; attempt; abandoned = true })
           end)
     in
     transmit ();
@@ -358,8 +471,15 @@ let reply_from_home t ~home ~dst ~oid (iv : reply Sim.Engine.Ivar.t) (r : reply)
           (Dsm.Wire.Grant, grant_bytes t (Array.length g.Gdo.Directory.g_page_nodes))
       | Error _ -> (Dsm.Wire.Refusal, t.cfg.Config.control_msg_bytes)
     in
-    send_reliable t ~mtype ~src:home ~dst ~kind:Sim.Network.Control ~bytes ~tag:(tag_of oid)
-      deliver
+    (* An abandoned reply unblocks the requester with a Crashed refusal:
+       the family aborts, defensively releases the (possibly granted) lock
+       and retries — rather than waiting forever on a reply that will
+       never land. *)
+    let on_abandon () =
+      if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed)
+    in
+    send_reliable ~on_abandon t ~mtype ~src:home ~dst ~kind:Sim.Network.Control ~bytes
+      ~tag:(tag_of oid) deliver
 
 (* Ship a directory mutation to the partition's replicas (paper §4.1: the
    GDO is "partitioned and replicated"). Asynchronous and fire-and-forget:
@@ -553,43 +673,107 @@ let gate_lease_write t ~home ~requester ~family ~oid ~block ~core
     end
   else core ()
 
+(* A family id whose attempt already ended: a request carrying it is a
+   pre-crash (or pre-give-up) straggler — family ids are never reused, so
+   Aborted is a permanent fence. Only reachable under the reliable
+   transport; on the perfect network no message outlives its family. *)
+let family_defunct t family =
+  t.reliable && Txn_tree.status t.tree family = Txn_tree.Aborted
+
 (* Executed at the GDO home when an acquire request arrives. *)
 let process_acquire t ~home ~requester ~family ~oid ~mode ~block (iv : reply Sim.Engine.Ivar.t) =
   Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
-      Gdo.Directory.note_cached t.gdo oid ~node:requester;
-      let core () = process_acquire_core t ~home ~requester ~family ~oid ~mode ~block iv in
-      if not t.lease_enabled then core ()
+      (* A home that crashed between delivery and processing mutates
+         nothing (its requesters were unblocked by the crash sweep); a
+         request from a defunct family is fenced — nobody is waiting on
+         its reply, and granting it would leak the lock forever. *)
+      if t.crash_enabled && t.crashed.(home) then ()
+      else if family_defunct t family then ()
       else begin
-        (match mode with
-        | Lock.Read -> Gdo.Lease.note_read t.lease_mgr oid
-        | Lock.Write -> Gdo.Lease.note_write t.lease_mgr oid);
-        if Lock.equal mode Lock.Write then
-          gate_lease_write t ~home ~requester ~family ~oid ~block ~core iv
-        else core ()
+        Gdo.Directory.note_cached t.gdo oid ~node:requester;
+        let core () = process_acquire_core t ~home ~requester ~family ~oid ~mode ~block iv in
+        if not t.lease_enabled then core ()
+        else begin
+          (match mode with
+          | Lock.Read -> Gdo.Lease.note_read t.lease_mgr oid
+          | Lock.Write -> Gdo.Lease.note_write t.lease_mgr oid);
+          if Lock.equal mode Lock.Write then
+            gate_lease_write t ~home ~requester ~family ~oid ~block ~core iv
+          else core ()
+        end
       end)
 
-let deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
+let rec deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
   let oid = d.d_grant.Gdo.Directory.g_oid in
   match Hashtbl.find_opt t.pending (Oid.to_int oid, d.d_family) with
   | None -> ()  (* e.g. a test driving the directory directly *)
   | Some iv ->
       Hashtbl.remove t.pending (Oid.to_int oid, d.d_family);
-      let lease = attach_lease t ~oid ~node:d.d_node d.d_grant in
-      reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok (d.d_grant, lease))
+      if family_defunct t d.d_family then begin
+        (* The queued family aborted while waiting (transport give-up or
+           crash unblocked it): hand the just-granted lock straight back
+           instead of delivering it to a corpse. *)
+        let deliveries = Gdo.Directory.release t.gdo oid ~family:d.d_family ~dirty:[] in
+        List.iter (deliver_deferred_grant t ~home) deliveries
+      end
+      else begin
+        let lease = attach_lease t ~oid ~node:d.d_node d.d_grant in
+        reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok (d.d_grant, lease))
+      end
 
 (* Executed at the GDO home when a release arrives. [items] lists the objects
-   (with their dirty page info) whose home is this node. *)
-let process_release t ~home ~family items =
+   (with their dirty page info) whose home is this node; [from] is the
+   releasing node, kept for the crash re-dispatch. *)
+let rec process_release t ~home ~from ~family items =
   let n_items = List.length items in
   Sim.Engine.schedule t.engine ~delay:(t.cfg.Config.gdo_op_us *. float_of_int n_items)
     (fun () ->
-      Dsm.Metrics.incr_gdo_releases t.metrics;
-      List.iter
-        (fun (oid, dirty) ->
-          let deliveries = Gdo.Directory.release t.gdo oid ~family ~dirty in
-          replicate_gdo_update t ~home ~oid;
-          List.iter (deliver_deferred_grant t ~home) deliveries)
-        items)
+      if t.crash_enabled && t.crashed.(home) then begin
+        (* The home crashed between delivery and processing. A release must
+           never be lost — the survivor's locks would leak — so re-dispatch
+           it from the origin; current routing sends it to the acting
+           home (or back here after the rejoin). *)
+        if not t.crashed.(from) then gdo_release t ~node:from ~family items
+      end
+      else begin
+        Dsm.Metrics.incr_gdo_releases t.metrics;
+        List.iter
+          (fun (oid, dirty) ->
+            let deliveries = Gdo.Directory.release t.gdo oid ~family ~dirty in
+            replicate_gdo_update t ~home ~oid;
+            List.iter (deliver_deferred_grant t ~home) deliveries)
+          items
+      end)
+
+(* Fire-and-forget global release of objects grouped by GDO home. [items] is
+   (oid, dirty) with dirty = (page, version, node) list. An abandoned
+   release message is re-dispatched rather than dropped (releases must not
+   be lost); routing is re-evaluated each time, so the retry reaches the
+   partition's current acting home. *)
+and gdo_release t ~node ~family items =
+  let by_home = Hashtbl.create 8 in
+  List.iter
+    (fun ((oid, _) as item) ->
+      let home = home_of t oid in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_home home) in
+      Hashtbl.replace by_home home (item :: cur))
+    items;
+  Hashtbl.iter
+    (fun home items ->
+      let run () = process_release t ~home ~from:node ~family items in
+      if home = node then run ()
+      else
+        let bytes =
+          t.cfg.Config.control_msg_bytes
+          + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
+        in
+        send_reliable t ~mtype:Dsm.Wire.Release ~src:node ~dst:home ~kind:Sim.Network.Control
+          ~bytes ~tag:(-1)
+          ~on_abandon:(fun () ->
+            if not (t.crash_enabled && t.crashed.(node)) then
+              gdo_release t ~node ~family items)
+          run)
+    by_home
 
 (* Fiber-side global acquisition: route to the home, block until the reply. *)
 let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
@@ -605,33 +789,280 @@ let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
       else
         send_reliable t ~mtype:Dsm.Wire.Acquire_request ~src:node ~dst:home
           ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
+          ~on_abandon:(fun () ->
+            if not (Sim.Engine.Ivar.is_filled iv) then
+              Sim.Engine.Ivar.fill iv (Error Crashed))
           start;
       let r = Sim.Engine.Ivar.read iv in
       Hashtbl.remove t.inflight key;
       r
 
-(* Fire-and-forget global release of objects grouped by GDO home. [items] is
-   (oid, dirty) with dirty = (page, version, node) list. *)
-let gdo_release t ~node ~family items =
-  let by_home = Hashtbl.create 8 in
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: window entry/exit, heartbeat failure detection,
+   dead-family reclamation at the directory, GDO home failover. Armed by
+   [run] only when crash windows are configured, so crash-free runs are
+   byte-identical to the pre-recovery runtime.                          *)
+
+(* Conservative state reconstruction, traffic side: the successor
+   re-confirms the holders of every entry of the partition it takes over.
+   In-process the directory structure is shared, so only the messages are
+   modelled; the genuinely ambiguous families — those of the crashed home
+   itself — are aborted by the dead-family eviction. *)
+let send_failover_confirms t ~home ~successor =
+  let dests = Hashtbl.create 8 in
   List.iter
-    (fun ((oid, _) as item) ->
-      let home = home_of t oid in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_home home) in
-      Hashtbl.replace by_home home (item :: cur))
-    items;
+    (fun oid ->
+      if Oid.to_int oid mod t.cfg.Config.node_count = home then
+        List.iter
+          (fun (h : Gdo.Directory.holder) ->
+            if h.node <> successor && not t.crashed.(h.node) then Hashtbl.replace dests h.node ())
+          (Gdo.Directory.holders t.gdo oid))
+    (Catalog.oids t.catalog);
   Hashtbl.iter
-    (fun home items ->
-      let run () = process_release t ~home ~family items in
-      if home = node then run ()
+    (fun dst () ->
+      send_exec t ~mtype:Dsm.Wire.Failover_confirm ~src:successor ~dst
+        ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1) (fun () -> ()))
+    dests
+
+(* Re-derive, for every partition, the node currently serving it: the home
+   itself while up; with replication, a crashed home's first live ring
+   successor (a replica site) until the rejoin. Survivors re-route through
+   [home_of] from the next send on — the sim's stand-in for the client-side
+   timeout-and-redirect a real deployment would run. *)
+let recompute_acting_homes t =
+  let n = t.cfg.Config.node_count in
+  for p = 0 to n - 1 do
+    let serving =
+      if not t.crashed.(p) then p
+      else if t.cfg.Config.gdo_replicas = 0 then p
       else
-        let bytes =
-          t.cfg.Config.control_msg_bytes
-          + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
+        let rec scan i =
+          if i > t.cfg.Config.gdo_replicas then p  (* every replica down too *)
+          else
+            let c = (p + i) mod n in
+            if not t.crashed.(c) then c else scan (i + 1)
         in
-        send_reliable t ~mtype:Dsm.Wire.Release ~src:node ~dst:home ~kind:Sim.Network.Control
-          ~bytes ~tag:(-1) run)
-    by_home
+        scan 1
+    in
+    if serving <> t.acting_home.(p) then begin
+      t.acting_home.(p) <- serving;
+      if serving <> p then begin
+        Dsm.Metrics.incr_failovers t.metrics;
+        record_event t (fun () -> Dsm.Event.Failover { home = p; successor = serving });
+        send_failover_confirms t ~home:p ~successor:serving
+      end
+      else record_event t (fun () -> Dsm.Event.Failback { home = p })
+    end
+  done
+
+(* Reclaim a dead (or freshly restarted) node's residue at the directory:
+   evict its doomed families — releasing held locks, draining wait-queue
+   and waits-for entries, promoting queued survivors — drop its leases,
+   and (while it is down) repoint page-map entries stranded on it to a
+   surviving copy of the same committed version. *)
+let reclaim_dead_node t ~node:s ~repoint =
+  let dead f = Txn_tree.node_of t.tree f = s && Txn_id.Table.mem t.doomed f in
+  let evicted, deliveries = Gdo.Directory.evict_families t.gdo ~dead in
+  if t.lease_enabled then
+    List.iter
+      (fun oid ->
+        (* A recall that was waiting only on the dead node cleared: run the
+           writes parked behind it, exactly as after a final yield. *)
+        note_recall_resolved t ~oid;
+        drain_lease_blocked t ~oid)
+      (Gdo.Lease.evict_node t.lease_mgr ~node:s);
+  let repointed =
+    if not repoint then 0
+    else
+      Gdo.Directory.repoint_pages t.gdo ~dead_node:s ~find_copy:(fun oid ~page ~version ->
+          let rec scan i =
+            if i >= t.cfg.Config.node_count then None
+            else if
+              i <> s
+              && (not t.crashed.(i))
+              && Dsm.Page_store.version t.stores.(i) oid ~page = version
+            then Some i
+            else scan (i + 1)
+          in
+          scan 0)
+  in
+  if evicted > 0 || repointed > 0 then begin
+    Dsm.Metrics.add_families_reclaimed t.metrics evicted;
+    record_event t (fun () -> Dsm.Event.Reclaim { node = s; families = evicted; repointed })
+  end;
+  (* Queued survivors receive their deferred grants from the acting home. *)
+  List.iter
+    (fun (dv : Gdo.Directory.delivery) ->
+      deliver_deferred_grant t ~home:(home_of t dv.d_grant.Gdo.Directory.g_oid) dv)
+    deliveries
+
+(* An observer confirmed a suspect dead. Ground truth makes the
+   declaration exact; the gossiped verdict (Suspect messages) is what a
+   real deployment's agreement round would cost. *)
+let declare_dead t ~suspect:s ~by:o =
+  Hashtbl.replace t.declared_dead (s, t.incarnation.(s)) ();
+  Dsm.Metrics.incr_nodes_declared_dead t.metrics;
+  record_event t (fun () ->
+      Dsm.Event.Node_dead { node = s; incarnation = t.incarnation.(s); by = o });
+  for dst = 0 to t.cfg.Config.node_count - 1 do
+    if dst <> o && not t.crashed.(dst) then
+      send_exec t ~mtype:Dsm.Wire.Suspect ~src:o ~dst ~kind:Sim.Network.Control
+        ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
+        (fun () -> Sim.Failure_detector.hint t.detectors.(dst) ~node:s)
+  done;
+  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      (* If the node rejoined in the meantime, its restart scan reclaims. *)
+      if t.crashed.(s) then reclaim_dead_node t ~node:s ~repoint:true)
+
+let check_suspects t ~observer:o =
+  let now = Sim.Engine.now t.engine in
+  List.iter
+    (fun s ->
+      let key = (o, s, t.incarnation.(s)) in
+      if not (Hashtbl.mem t.suspected_seen key) then begin
+        Hashtbl.replace t.suspected_seen key ();
+        record_event t (fun () -> Dsm.Event.Node_suspected { node = s; by = o })
+      end;
+      (* The simulation holds ground truth about crashes, so confirmation
+         is exact: a suspicion about a live node is never acted on (an
+         eventually-perfect detector; see Sim.Failure_detector). *)
+      if t.crashed.(s) && not (Hashtbl.mem t.declared_dead (s, t.incarnation.(s))) then
+        declare_dead t ~suspect:s ~by:o)
+    (Sim.Failure_detector.suspects t.detectors.(o) ~now)
+
+(* Fail-stop crash: wipe the node's volatile state and unblock every
+   operation that can no longer complete, so doomed fibers unwind instead
+   of stalling the engine. *)
+let crash_enter t ~node:d =
+  record_event t (fun () -> Dsm.Event.Node_crash { node = d; incarnation = t.incarnation.(d) });
+  t.crashed.(d) <- true;
+  t.rejoin.(d) <- Some (Sim.Engine.Ivar.create ());
+  (* Doom every family executing at the node: ids are never reused, so
+     the mark permanently fences the family's pre-crash stragglers. *)
+  Txn_id.Table.iter
+    (fun f () -> if Txn_tree.node_of t.tree f = d then Txn_id.Table.replace t.doomed f ())
+    t.live_roots;
+  (* Unblock global acquires that cannot complete: requests by doomed
+     families and requests routed to this node as acting home (checked
+     before the failover recompute below, matching send-time routing). *)
+  let stuck =
+    Hashtbl.fold
+      (fun (oid_i, fam) iv acc ->
+        if
+          Txn_id.Table.mem t.doomed fam
+          || t.acting_home.(oid_i mod t.cfg.Config.node_count) = d
+        then iv :: acc
+        else acc)
+      t.inflight []
+  in
+  List.iter
+    (fun iv ->
+      if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed))
+    stuck;
+  (* Complete doomed families' transfer waits (awaiters re-check doom). *)
+  Hashtbl.iter
+    (fun (_, fam) iv ->
+      if Txn_id.Table.mem t.doomed fam && not (Sim.Engine.Ivar.is_filled iv) then
+        Sim.Engine.Ivar.fill iv ())
+    t.transfers;
+  (* Fail page fetches served by the crashed node; complete those of its
+     doomed families. *)
+  List.iter
+    (fun fw ->
+      if fw.fw_src = d || Txn_id.Table.mem t.doomed fw.fw_family then begin
+        if fw.fw_src = d then fw.fw_failed <- true;
+        if not (Sim.Engine.Ivar.is_filled fw.fw_iv) then Sim.Engine.Ivar.fill fw.fw_iv ()
+      end)
+    t.fetch_waits;
+  (* Volatile-state loss: the page cache keeps only what the page map
+     records as durable here (the node owns the newest published version);
+     every other copy is gone until re-fetched. *)
+  List.iter
+    (fun oid ->
+      let page_nodes, page_versions = Gdo.Directory.page_map t.gdo oid in
+      Array.iteri
+        (fun p owner ->
+          if owner = d then
+            Dsm.Page_store.restore t.stores.(d) oid ~page:p ~version:page_versions.(p)
+          else Dsm.Page_store.restore t.stores.(d) oid ~page:p ~version:Dsm.Page_store.absent)
+        page_nodes)
+    (Catalog.oids t.catalog);
+  (* The lease cache is volatile too. *)
+  t.lease_caches.(d) <- Gdo.Lease.Cache.create ();
+  recompute_acting_homes t
+
+(* Window end: the node rejoins under a fresh incarnation, runs its
+   restart recovery scan, and parked roots resume. *)
+let crash_rejoin t ~node:d =
+  t.crashed.(d) <- false;
+  t.incarnation.(d) <- t.incarnation.(d) + 1;
+  record_event t (fun () ->
+      Dsm.Event.Node_restart { node = d; incarnation = t.incarnation.(d) });
+  (* Stand-in for the rejoin announcement a restarted node would broadcast:
+     refresh detector state directly so the node is neither re-declared nor
+     stuck seeing everyone else as silent. *)
+  let now = Sim.Engine.now t.engine in
+  Array.iteri
+    (fun o det -> if o <> d then Sim.Failure_detector.heartbeat det ~node:d ~now)
+    t.detectors;
+  for p = 0 to t.cfg.Config.node_count - 1 do
+    if p <> d then Sim.Failure_detector.heartbeat t.detectors.(d) ~node:p ~now
+  done;
+  recompute_acting_homes t;
+  (* Restart recovery: if the window was shorter than the suspect timeout
+     the node was never declared dead, so its doomed families' directory
+     residue is still in place — the restarted node scans and evicts it.
+     Pages are not repointed: this node's durable copies are live again. *)
+  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      reclaim_dead_node t ~node:d ~repoint:false);
+  match t.rejoin.(d) with
+  | Some iv ->
+      t.rejoin.(d) <- None;
+      if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv ()
+  | None -> ()
+
+(* Schedule the crash windows and start the heartbeat loops. Heartbeats
+   run from time 0 to a fixed horizon past the last window (plus the
+   suspect timeout): late enough that any crash is detected and declared,
+   bounded so the event queue drains and the run terminates. *)
+let arm_crash_machinery t =
+  let cfg = t.cfg in
+  let windows =
+    match cfg.Config.faults with Some f -> Sim.Fault.crash_windows f | None -> []
+  in
+  List.iter
+    (fun (w : Sim.Fault.window) ->
+      Sim.Engine.schedule t.engine ~delay:w.Sim.Fault.w_from_us (fun () ->
+          if not t.crashed.(w.Sim.Fault.w_node) then crash_enter t ~node:w.Sim.Fault.w_node);
+      Sim.Engine.schedule t.engine ~delay:w.Sim.Fault.w_until_us (fun () ->
+          if t.crashed.(w.Sim.Fault.w_node) then crash_rejoin t ~node:w.Sim.Fault.w_node))
+    windows;
+  let horizon =
+    List.fold_left (fun acc w -> Float.max acc w.Sim.Fault.w_until_us) 0.0 windows
+    +. cfg.Config.suspect_timeout_us
+    +. (2.0 *. cfg.Config.heartbeat_interval_us)
+  in
+  let n = cfg.Config.node_count in
+  let rec tick s =
+    Sim.Engine.schedule t.engine ~delay:cfg.Config.heartbeat_interval_us (fun () ->
+        if Sim.Engine.now t.engine <= horizon then begin
+          if not t.crashed.(s) then begin
+            for dst = 0 to n - 1 do
+              if dst <> s then
+                send_exec t ~mtype:Dsm.Wire.Heartbeat ~src:s ~dst ~kind:Sim.Network.Control
+                  ~bytes:cfg.Config.control_msg_bytes ~tag:(-1)
+                  (fun () ->
+                    Sim.Failure_detector.heartbeat t.detectors.(dst) ~node:s
+                      ~now:(Sim.Engine.now t.engine))
+            done;
+            check_suspects t ~observer:s
+          end;
+          tick s
+        end)
+  in
+  for s = 0 to n - 1 do
+    tick s
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Page movement (Algorithm 4.5 and demand fetches).                   *)
@@ -651,40 +1082,61 @@ let group_by_source ~node ~oid (grant : Gdo.Directory.grant) pages =
   Hashtbl.fold (fun src ps acc -> (src, List.rev ps) :: acc) by_src []
 
 (* Fetch the given pages from their source nodes, in parallel, and install
-   them locally. Blocks until every group has arrived. *)
-let fetch_groups t ~node ~oid groups =
+   them locally. Blocks until every group has arrived — or, under crash
+   injection, until the wait is failed: every group is registered in
+   [t.fetch_waits] so a crash of either endpoint (or a transport give-up on
+   either leg) fills its ivar instead of stalling the fiber. A failed
+   fetch aborts the family: a doomed one unwinds with Crashed_abort, a
+   survivor retries — by then the page map has been repointed to a live
+   copy or the source has rejoined. *)
+let fetch_groups t ~family ~node ~oid groups =
+  check_crashed t ~txn_root:family;
   let cfg = t.cfg in
   let join =
     List.map
       (fun (src, pages) ->
         let iv = Sim.Engine.Ivar.create () in
+        let fw = { fw_iv = iv; fw_family = family; fw_src = src; fw_failed = false } in
+        if t.crash_enabled then t.fetch_waits <- fw :: t.fetch_waits;
+        let fail () =
+          fw.fw_failed <- true;
+          if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv ()
+        in
         let n_pages = List.length pages in
         let req_bytes = cfg.Config.control_msg_bytes + (4 * n_pages) in
         let reply_bytes = n_pages * (cfg.Config.page_size + cfg.Config.page_header_bytes) in
         let serve () =
           (* At the source: look the pages up, then ship them. *)
           Sim.Engine.schedule t.engine ~delay:cfg.Config.page_service_us (fun () ->
-              let copies =
-                List.map (fun p -> (p, Dsm.Page_store.version t.stores.(src) oid ~page:p)) pages
-              in
-              let install () =
-                List.iter
-                  (fun (p, v) -> Dsm.Page_store.receive t.stores.(node) oid ~page:p ~version:v)
-                  copies;
-                Sim.Engine.Ivar.fill iv ()
-              in
-              send_reliable t ~mtype:Dsm.Wire.Page_reply ~src ~dst:node ~kind:Sim.Network.Data
-                ~bytes:reply_bytes ~tag:(tag_of oid) install)
+              if t.crash_enabled && t.crashed.(src) then ()
+              else
+                let copies =
+                  List.map (fun p -> (p, Dsm.Page_store.version t.stores.(src) oid ~page:p)) pages
+                in
+                let install () =
+                  List.iter
+                    (fun (p, v) -> Dsm.Page_store.receive t.stores.(node) oid ~page:p ~version:v)
+                    copies;
+                  if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv ()
+                in
+                send_reliable t ~mtype:Dsm.Wire.Page_reply ~src ~dst:node ~kind:Sim.Network.Data
+                  ~bytes:reply_bytes ~tag:(tag_of oid) ~on_abandon:fail install)
         in
         send_reliable t ~mtype:Dsm.Wire.Page_request ~src:node ~dst:src
-          ~kind:Sim.Network.Control ~bytes:req_bytes ~tag:(tag_of oid) serve;
-        iv)
+          ~kind:Sim.Network.Control ~bytes:req_bytes ~tag:(tag_of oid) ~on_abandon:fail serve;
+        (fw, iv))
       groups
   in
-  List.iter Sim.Engine.Ivar.read join
+  List.iter (fun (_, iv) -> Sim.Engine.Ivar.read iv) join;
+  if t.crash_enabled then begin
+    t.fetch_waits <-
+      List.filter (fun fw -> not (List.exists (fun (fw', _) -> fw' == fw) join)) t.fetch_waits;
+    check_crashed t ~txn_root:family;
+    if List.exists (fun (fw, _) -> fw.fw_failed) join then raise Family_abort
+  end
 
 (* Acquisition-time transfer: what moves depends on the protocol. *)
-let transfer_on_acquire t ~node ~oid ~(grant : Gdo.Directory.grant) ~predicted =
+let transfer_on_acquire t ~family ~node ~oid ~(grant : Gdo.Directory.grant) ~predicted =
   let pages = Array.length grant.Gdo.Directory.g_page_nodes in
   let local_version p = Dsm.Page_store.version t.stores.(node) oid ~page:p in
   let set =
@@ -698,7 +1150,7 @@ let transfer_on_acquire t ~node ~oid ~(grant : Gdo.Directory.grant) ~predicted =
         Dsm.Event.Transfer
           { oid; node; pages = n;
             bytes = n * (t.cfg.Config.page_size + t.cfg.Config.page_header_bytes) });
-    fetch_groups t ~node ~oid (group_by_source ~node ~oid grant set)
+    fetch_groups t ~family ~node ~oid (group_by_source ~node ~oid grant set)
   end
 
 (* Make sure the pages an access touches are up to date locally, fetching on
@@ -725,7 +1177,7 @@ let ensure_pages t ~family ~node ~oid pages =
         Dsm.Event.Demand_fetch
           { oid; node; pages = n;
             bytes = n * (t.cfg.Config.page_size + t.cfg.Config.page_header_bytes) });
-    fetch_groups t ~node ~oid (group_by_source ~node ~oid g stale)
+    fetch_groups t ~family ~node ~oid (group_by_source ~node ~oid g stale)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -803,6 +1255,7 @@ let await_transfer t ~family ~oid =
 let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
   let node = Txn_tree.node_of t.tree txn in
   let family = Txn_tree.root_of t.tree txn in
+  check_crashed t ~txn_root:family;
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   let wake_iv = Sim.Engine.Ivar.create () in
   match
@@ -860,6 +1313,11 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
         | Error (Deadlock _) ->
             Dsm.Metrics.incr_deadlock_aborts t.metrics;
             raise Family_abort
+        | Error Crashed ->
+            (* The upgrade was disrupted by a crash or transport give-up.
+               The held read is released by the normal abort unwinding; a
+               stale upgrade-queue entry is fenced at delivery time. *)
+            if is_doomed t family then raise Crashed_abort else raise Family_abort
       end
   | Local_locks.Not_cached -> (
       match lease_hit t ~node ~oid ~mode with
@@ -896,16 +1354,28 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             record_event t (fun () -> Dsm.Event.Lock_grant { oid; family = txn; node; mode });
             let transfer_iv = Sim.Engine.Ivar.create () in
             Hashtbl.replace t.transfers (Oid.to_int oid, family) transfer_iv;
-            transfer_on_acquire t ~node ~oid ~grant:g ~predicted;
-            Hashtbl.remove t.transfers (Oid.to_int oid, family);
-            Sim.Engine.Ivar.fill transfer_iv ();
+            (* A failed transfer (crash, give-up) must still complete the
+               transfer ivar, or same-family fibers awaiting it stall. *)
+            let finish_transfer () =
+              Hashtbl.remove t.transfers (Oid.to_int oid, family);
+              (* crash_enter may have completed the ivar already (doomed
+                 family): waiters re-check doom, so a second fill is moot. *)
+              if not (Sim.Engine.Ivar.is_filled transfer_iv) then
+                Sim.Engine.Ivar.fill transfer_iv ()
+            in
+            (try transfer_on_acquire t ~family ~node ~oid ~grant:g ~predicted
+             with e ->
+               finish_transfer ();
+               raise e);
+            finish_transfer ();
             (* Install the piggybacked lease only now, after the grant's
                page transfer landed: a lease hit must find every page the
-               cached map calls local actually present. *)
+               cached map calls local actually present. A doomed family
+               must not seed the node's post-crash fresh cache. *)
             (match lease with
-            | Some (expires, epoch) ->
+            | Some (expires, epoch) when not (is_doomed t family) ->
                 Gdo.Lease.Cache.install t.lease_caches.(node) oid ~grant:g ~expires ~epoch
-            | None -> ());
+            | Some _ | None -> ());
             true
           end
       | Error Busy ->
@@ -925,6 +1395,17 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             record_event t (fun () ->
                 Dsm.Event.Deadlock_abort { family = txn; node; cycle = List.length cycle });
             raise Family_abort
+          end
+      | Error Crashed ->
+          if is_doomed t family then raise Crashed_abort
+          else begin
+            (* The acquire was disrupted (home crash or transport give-up)
+               and the outcome is ambiguous: the home may have granted the
+               lock into the void. Release defensively — a release of an
+               unheld lock is a no-op, and a stale wait-queue entry is
+               fenced by the defunct check when its grant is delivered. *)
+            gdo_release t ~node ~family [ (oid, []) ];
+            if optimistic then false else raise Family_abort
           end))
 
 (* ------------------------------------------------------------------ *)
@@ -953,14 +1434,30 @@ let undo_txn t txn =
   let log = recovery_of t txn in
   let cost = Recovery.restore_cost_units log in
   if cost > 0 then Sim.Engine.wait (t.cfg.Config.undo_page_us *. float_of_int cost);
+  (* The node may have crashed during the undo wait; restoring pre-images
+     into the wiped store would resurrect uncommitted state over the
+     durable versions, so switch to the crash unwinding instead. *)
+  check_crashed t ~txn_root:(Txn_tree.root_of t.tree txn);
   List.iter
     (fun (oid, page, version) -> Dsm.Page_store.restore t.stores.(node) oid ~page ~version)
     (Recovery.restore_plan log)
+
+(* Crash unwinding of one transaction level: purge local state with no
+   undo (the crash wipe already reset the node's pages to their durable
+   versions) and no global releases (the node cannot send — its directory
+   residue is reclaimed when it is declared dead). Waking local waiters
+   cascades the doom through same-node families. *)
+let crashed_purge_sub t txn =
+  let node = Txn_tree.node_of t.tree txn in
+  Local_locks.abort t.locks.(node) txn ~to_release:(fun _ -> ());
+  Txn_tree.set_status t.tree txn Txn_tree.Aborted;
+  drop_txn_state t txn
 
 let abort_sub_txn t txn =
   let node = Txn_tree.node_of t.tree txn in
   undo_txn t txn;
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  check_crashed t ~txn_root:(Txn_tree.root_of t.tree txn);
   let family = Txn_tree.root_of t.tree txn in
   Local_locks.abort t.locks.(node) txn ~to_release:(fun oid ->
       Oid.Table.remove (family_snapshots t family) oid;
@@ -1068,9 +1565,13 @@ let split_lease_released t ~node ~family released =
     global
   end
 
+(* Runs entirely without yielding (waits happen at the caller, before the
+   commit point), so a crash window can never tear a commit: either the
+   family crash-aborts before the commit point, or every commit-side
+   effect — local release, release/push sends — is issued atomically in
+   simulated time. *)
 let commit_root t root =
   let node = Txn_tree.node_of t.tree root in
-  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   let released = Local_locks.root_release t.locks.(node) ~root in
   let released = split_lease_released t ~node ~family:root released in
   let items = dirty_items t ~node ~root released in
@@ -1097,12 +1598,28 @@ let abort_root t root =
   let node = Txn_tree.node_of t.tree root in
   undo_txn t root;
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+  check_crashed t ~txn_root:root;
   let released = Local_locks.root_release t.locks.(node) ~root in
   let released = split_lease_released t ~node ~family:root released in
   gdo_release t ~node ~family:root (List.map (fun oid -> (oid, [])) released);
   Txn_tree.set_status t.tree root Txn_tree.Aborted;
   record_event t (fun () -> Dsm.Event.Root_abort { family = root; node });
   Txn_id.Table.remove t.snapshots root;
+  if t.crash_enabled then Txn_id.Table.remove t.live_roots root;
+  drop_txn_state t root
+
+(* Crash unwinding of a root: like [crashed_purge_sub] plus the root-level
+   bookkeeping — no undo, no global releases, permanent Aborted status (the
+   fence against the family's pre-crash stragglers). *)
+let crashed_purge_root t root =
+  let node = Txn_tree.node_of t.tree root in
+  ignore (Local_locks.root_release t.locks.(node) ~root);
+  if t.lease_enabled then drop_lease_reads t root;
+  Txn_tree.set_status t.tree root Txn_tree.Aborted;
+  record_event t (fun () -> Dsm.Event.Crash_abort { family = root; node });
+  Dsm.Metrics.incr_crash_aborts t.metrics;
+  Txn_id.Table.remove t.snapshots root;
+  Txn_id.Table.remove t.live_roots root;
   drop_txn_state t root
 
 (* ------------------------------------------------------------------ *)
@@ -1143,12 +1660,14 @@ let spawn_prefetches t ~txn ~oid ~(cm : Obj_class.compiled_method) =
           in
           let done_iv = Sim.Engine.Ivar.create () in
           Sim.Engine.spawn t.engine ~name:"prefetch" (fun () ->
+              (* Crashed_abort included: the prefetch must always complete
+                 its join ivar, or the main fiber could never unwind. *)
               (try
                  ignore
                    (acquire_object t ~txn ~oid:target ~mode
                       ~predicted:target_cm.Obj_class.page_summary.Access_analysis.access_pages
                       ~optimistic:true)
-               with Family_abort -> ());
+               with Family_abort | Crashed_abort -> ());
               Sim.Engine.Ivar.fill done_iv ());
           Some done_iv)
     targets
@@ -1187,8 +1706,10 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
       Method_ir.on_read =
         (fun a ->
           exec_statement t ~node;
+          check_crashed t ~txn_root:family;
           let pages = Layout.pages_of_attr layout a in
           ensure_pages t ~family ~node ~oid pages;
+          check_crashed t ~txn_root:family;
           List.iter
             (fun page ->
               let version = Dsm.Page_store.version t.stores.(node) oid ~page in
@@ -1197,8 +1718,12 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
       on_write =
         (fun a ->
           exec_statement t ~node;
+          check_crashed t ~txn_root:family;
           let pages = Layout.pages_of_attr layout a in
           ensure_pages t ~family ~node ~oid pages;
+          (* The store may have been wiped to its durable versions while
+             this fiber slept: writing now would corrupt restored state. *)
+          check_crashed t ~txn_root:family;
           List.iter
             (fun page ->
               t.next_version <- t.next_version + 1;
@@ -1210,6 +1735,7 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
       on_invoke =
         (fun slot meth ->
           exec_statement t ~node;
+          check_crashed t ~txn_root:family;
           let target = Catalog.resolve_slot t.catalog oid slot in
           if t.cfg.Config.allow_recursive_catalogs then
             check_no_recursion t ~parent:txn ~target;
@@ -1235,12 +1761,21 @@ and invoke_child t ~prng ~parent ~oid ~meth =
         run_body t ~prng ~txn ~oid ~cm;
         true
       with
-      | Family_abort ->
-          abort_sub_txn t txn;
-          false
+      | Family_abort -> (
+          try
+            abort_sub_txn t txn;
+            false
+          with Crashed_abort ->
+            (* The node crashed mid-abort: finish purging this level
+               without undo and keep crash-unwinding. *)
+            crashed_purge_sub t txn;
+            raise Crashed_abort)
+      | Crashed_abort as e ->
+          crashed_purge_sub t txn;
+          raise e
       | Recursion_rejected _ as e ->
           (* Fatal for the whole family: undo this level, keep unwinding. *)
-          abort_sub_txn t txn;
+          (try abort_sub_txn t txn with Crashed_abort -> crashed_purge_sub t txn);
           raise e
     in
     if not ok then raise Family_abort
@@ -1249,7 +1784,10 @@ and invoke_child t ~prng ~parent ~oid ~meth =
          failed sub-transactions may be retried without discarding the rest
          of the family). *)
       Dsm.Metrics.incr_sub_aborts t.metrics;
-      abort_sub_txn t txn;
+      (try abort_sub_txn t txn
+       with Crashed_abort ->
+         crashed_purge_sub t txn;
+         raise Crashed_abort);
       if k < t.cfg.Config.max_sub_retries then attempt (k + 1) else raise Family_abort
     end
     else precommit_txn t txn
@@ -1270,9 +1808,19 @@ let submit t ~at ~node ~oid ~meth ~seed =
       Sim.Engine.spawn t.engine ~name (fun () ->
           let prng = Sim.Prng.create ~seed in
           let submitted_at = Sim.Engine.now t.engine in
+          (* Time of the family's first crash abort, if any: closed into the
+             recovery-latency histogram when the family finally commits. *)
+          let first_crash_at = ref None in
           let rec attempt k =
+            (* A node inside a crash window executes nothing: park until the
+               rejoin before starting (or retrying) an attempt. *)
+            if t.crash_enabled && t.crashed.(node) then
+              (match t.rejoin.(node) with
+              | Some iv -> Sim.Engine.Ivar.read iv
+              | None -> ());
             let root = Txn_tree.create_root t.tree ~node in
             init_txn_state t root;
+            if t.crash_enabled then Txn_id.Table.replace t.live_roots root ();
             record_event t (fun () ->
                 Dsm.Event.Root_begin { family = root; node; oid; attempt = k + 1 });
             let ok =
@@ -1281,7 +1829,15 @@ let submit t ~at ~node ~oid ~meth ~seed =
                 (* TTL doom: a lease-backed read whose lease has expired or
                    been superseded is no longer protected against writers —
                    the family must retry rather than commit it. *)
-                if validate_lease_reads t ~node ~family:root then `Committed
+                if validate_lease_reads t ~node ~family:root then begin
+                  (* Commit point: after this check the family is no longer
+                     doomable and [commit_root] runs without yielding. *)
+                  Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+                  check_crashed t ~txn_root:root;
+                  if t.crash_enabled then Txn_id.Table.remove t.live_roots root;
+                  commit_root t root;
+                  `Committed
+                end
                 else begin
                   Dsm.Metrics.incr_lease_aborts t.metrics;
                   record_event t (fun () ->
@@ -1290,18 +1846,37 @@ let submit t ~at ~node ~oid ~meth ~seed =
                   `Retry
                 end
               with
-              | Family_abort ->
-                  abort_root t root;
-                  `Retry
+              | Family_abort -> (
+                  try
+                    abort_root t root;
+                    `Retry
+                  with Crashed_abort ->
+                    crashed_purge_root t root;
+                    `Crashed)
+              | Crashed_abort ->
+                  crashed_purge_root t root;
+                  `Crashed
               | Recursion_rejected target ->
                   record_event t (fun () ->
                       Dsm.Event.Recursion_reject { family = root; oid = target });
-                  abort_root t root;
+                  (try abort_root t root with Crashed_abort -> crashed_purge_root t root);
                   `Fatal
+            in
+            let ok =
+              match ok with
+              | `Crashed ->
+                  if !first_crash_at = None then
+                    first_crash_at := Some (Sim.Engine.now t.engine);
+                  `Retry
+              | (`Committed | `Retry | `Fatal) as o -> o
             in
             match ok with
             | `Committed ->
-                commit_root t root;
+                (match !first_crash_at with
+                | Some t0 ->
+                    Dsm.Metrics.record_recovery_latency_us t.metrics
+                      (Sim.Engine.now t.engine -. t0)
+                | None -> ());
                 Dsm.Metrics.record_commit_latency_us t.metrics
                   (Sim.Engine.now t.engine -. submitted_at);
                 (k + 1, Committed)
@@ -1337,6 +1912,7 @@ let submit t ~at ~node ~oid ~meth ~seed =
           t.outstanding <- t.outstanding - 1))
 
 let run t =
+  if t.crash_enabled && not t.ran then arm_crash_machinery t;
   Sim.Engine.run t.engine;
   t.ran <- true;
   assert (t.outstanding = 0);

@@ -25,6 +25,14 @@ type t =
   | Recursion_reject of { family : Txn_id.t; oid : Oid.t }
   | Retransmit of { mid : int; src : int; dst : int; attempt : int; abandoned : bool }
   | Fault of { fault : Sim.Fault.event; src : int; dst : int }
+  | Node_crash of { node : int; incarnation : int }
+  | Node_restart of { node : int; incarnation : int }
+  | Crash_abort of { family : Txn_id.t; node : int }
+  | Node_suspected of { node : int; by : int }
+  | Node_dead of { node : int; incarnation : int; by : int }
+  | Reclaim of { node : int; families : int; repointed : int }
+  | Failover of { home : int; successor : int }
+  | Failback of { home : int }
 
 let category = function
   | Lock_request _ | Lock_grant _ | Lock_refused _ | Upgrade _ -> "lock"
@@ -39,6 +47,10 @@ let category = function
   | Recursion_reject _ -> "recursion"
   | Retransmit _ -> "retransmit"
   | Fault _ -> "fault"
+  | Node_crash _ | Node_restart _ | Crash_abort _ -> "crash"
+  | Node_suspected _ | Node_dead _ -> "suspect"
+  | Reclaim _ -> "reclaim"
+  | Failover _ | Failback _ -> "failover"
 
 let family = function
   | Lock_request { family; _ }
@@ -54,9 +66,11 @@ let family = function
   | Recursion_reject { family; _ } ->
       Some family
   | Precommit { txn; _ } | Sub_abort { txn; _ } -> Some txn
+  | Crash_abort { family; _ } -> Some family
   | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
   | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
-  | Fault _ ->
+  | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _ | Reclaim _
+  | Failover _ | Failback _ ->
       None
 
 let oid = function
@@ -78,7 +92,8 @@ let oid = function
       Some oid
   | Lease_abort { oid; _ } -> oid
   | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
-  | Retransmit _ | Fault _ ->
+  | Retransmit _ | Fault _ | Node_crash _ | Node_restart _ | Crash_abort _
+  | Node_suspected _ | Node_dead _ | Reclaim _ | Failover _ | Failback _ ->
       None
 
 let node = function
@@ -105,6 +120,14 @@ let node = function
       node
   | Recursion_reject _ -> 0
   | Retransmit { src; _ } | Fault { src; _ } -> src
+  | Node_crash { node; _ }
+  | Node_restart { node; _ }
+  | Crash_abort { node; _ }
+  | Node_suspected { node; _ }
+  | Node_dead { node; _ }
+  | Reclaim { node; _ } ->
+      node
+  | Failover { home; _ } | Failback { home } -> home
 
 let pp fmt ev =
   let cat = category ev in
@@ -168,3 +191,21 @@ let pp fmt ev =
       else Format.fprintf fmt "%s: msg %d: %d->%d attempt %d" cat mid src dst attempt
   | Fault { fault; src; dst } ->
       Format.fprintf fmt "%s: %s %d->%d" cat (Sim.Fault.event_to_string fault) src dst
+  | Node_crash { node; incarnation } ->
+      Format.fprintf fmt "%s: node %d crashes (incarnation %d lost)" cat node incarnation
+  | Node_restart { node; incarnation } ->
+      Format.fprintf fmt "%s: node %d rejoins as incarnation %d" cat node incarnation
+  | Crash_abort { family; node } ->
+      Format.fprintf fmt "%s: root %a@%d aborted by crash" cat Txn_id.pp family node
+  | Node_suspected { node; by } ->
+      Format.fprintf fmt "%s: node %d suspected by node %d" cat node by
+  | Node_dead { node; incarnation; by } ->
+      Format.fprintf fmt "%s: node %d (incarnation %d) declared dead by node %d" cat node
+        incarnation by
+  | Reclaim { node; families; repointed } ->
+      Format.fprintf fmt "%s: evicted %d dead famil(ies) of node %d, %d page(s) repointed"
+        cat families node repointed
+  | Failover { home; successor } ->
+      Format.fprintf fmt "%s: node %d takes over as home for partition %d" cat successor home
+  | Failback { home } ->
+      Format.fprintf fmt "%s: partition %d handed back to its rejoined home" cat home

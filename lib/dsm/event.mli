@@ -68,11 +68,33 @@ type t =
           when it instead ran out of attempts) *)
   | Fault of { fault : Sim.Fault.event; src : int; dst : int }
       (** the injector perturbed a message *)
+  (* Crash recovery (see DESIGN.md, "Failure model & recovery"). *)
+  | Node_crash of { node : int; incarnation : int }
+      (** a crash window opened: the node's volatile state is wiped *)
+  | Node_restart of { node : int; incarnation : int }
+      (** the node rejoined with a fresh [incarnation] number *)
+  | Crash_abort of { family : Txn_id.t; node : int }
+      (** the root family aborted because its node crashed (or its request
+          was lost to a crashed home); the driver retries after the rejoin *)
+  | Node_suspected of { node : int; by : int }
+      (** node [by]'s failure detector first suspected [node] *)
+  | Node_dead of { node : int; incarnation : int; by : int }
+      (** the suspicion was confirmed and [node] declared dead by [by];
+          dead-family reclamation runs at the homes *)
+  | Reclaim of { node : int; families : int; repointed : int }
+      (** the directory evicted [families] dead families of [node] and
+          repointed [repointed] page-map entries to surviving copies *)
+  | Failover of { home : int; successor : int }
+      (** [successor] took over as acting home for the crashed [home]'s
+          directory partition ([gdo_replicas >= 1]) *)
+  | Failback of { home : int }
+      (** the partition was handed back when its real home rejoined *)
 
 val category : t -> string
 (** Coarse grouping for tallies and filtering: ["lock"], ["lease"],
     ["transfer"], ["demand-fetch"], ["txn"], ["commit"], ["deadlock"],
-    ["retransmit"], ["fault"] or ["recursion"]. *)
+    ["retransmit"], ["fault"], ["recursion"], ["crash"], ["suspect"],
+    ["reclaim"] or ["failover"]. *)
 
 val family : t -> Txn_id.t option
 (** The transaction family the event belongs to, when it has one (lease

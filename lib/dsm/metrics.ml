@@ -32,6 +32,11 @@ type totals = {
   lease_yields : int;
   lease_expiries : int;
   lease_aborts : int;
+  give_ups : int;
+  crash_aborts : int;
+  nodes_declared_dead : int;
+  families_reclaimed : int;
+  failovers : int;
 }
 
 type t = {
@@ -56,6 +61,11 @@ type t = {
   mutable lease_yields : int;
   mutable lease_expiries : int;
   mutable lease_aborts : int;
+  mutable give_ups : int;
+  mutable crash_aborts : int;
+  mutable nodes_declared_dead : int;
+  mutable families_reclaimed : int;
+  mutable failovers : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
   (* Per-message-type ledger, indexed by Wire.index; reconciles exactly with
@@ -67,6 +77,7 @@ type t = {
   acquire_latency : Histogram.t;
   commit_latency : Histogram.t;
   recall_latency : Histogram.t;
+  recovery_latency : Histogram.t;
 }
 
 let bucket_bounds = [| 128; 256; 512; 1024; 2048; 4096; 8192; max_int |]
@@ -96,6 +107,11 @@ let create () =
     lease_yields = 0;
     lease_expiries = 0;
     lease_aborts = 0;
+    give_ups = 0;
+    crash_aborts = 0;
+    nodes_declared_dead = 0;
+    families_reclaimed = 0;
+    failovers = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
     wire_counts = Array.make Wire.count 0;
@@ -103,6 +119,7 @@ let create () =
     acquire_latency = Histogram.create ();
     commit_latency = Histogram.create ();
     recall_latency = Histogram.create ();
+    recovery_latency = Histogram.create ();
   }
 
 let zero () =
@@ -152,10 +169,12 @@ let wire_bytes_total t = Array.fold_left ( + ) 0 t.wire_bytes
 let acquire_latency t = t.acquire_latency
 let commit_latency t = t.commit_latency
 let recall_latency t = t.recall_latency
+let recovery_latency t = t.recovery_latency
 
 let record_acquire_latency_us t v = Histogram.record t.acquire_latency v
 let record_commit_latency_us t v = Histogram.record t.commit_latency v
 let record_recall_latency_us t v = Histogram.record t.recall_latency v
+let record_recovery_latency_us t v = Histogram.record t.recovery_latency v
 
 let record_demand_fetch t ~oid =
   let e = entry t oid in
@@ -185,6 +204,11 @@ let add_lease_recalls t n = t.lease_recalls <- t.lease_recalls + n
 let incr_lease_yields t = t.lease_yields <- t.lease_yields + 1
 let incr_lease_expiries t = t.lease_expiries <- t.lease_expiries + 1
 let incr_lease_aborts t = t.lease_aborts <- t.lease_aborts + 1
+let incr_give_ups t = t.give_ups <- t.give_ups + 1
+let incr_crash_aborts t = t.crash_aborts <- t.crash_aborts + 1
+let incr_nodes_declared_dead t = t.nodes_declared_dead <- t.nodes_declared_dead + 1
+let add_families_reclaimed t n = t.families_reclaimed <- t.families_reclaimed + n
+let incr_failovers t = t.failovers <- t.failovers + 1
 
 (* Home-node lock-protocol operations: every request the GDO home processes
    (acquires, upgrades, release batches) plus lease recall round trips. The
@@ -218,6 +242,11 @@ let totals t =
     lease_yields = t.lease_yields;
     lease_expiries = t.lease_expiries;
     lease_aborts = t.lease_aborts;
+    give_ups = t.give_ups;
+    crash_aborts = t.crash_aborts;
+    nodes_declared_dead = t.nodes_declared_dead;
+    families_reclaimed = t.families_reclaimed;
+    failovers = t.failovers;
   }
 
 let per_object t oid =
@@ -289,6 +318,15 @@ let pp_summary fmt t =
       "leases: %d grants, %d hits, %d recalls, %d yields, %d expiries, %d aborts@,"
       tt.lease_grants tt.lease_hits tt.lease_recalls tt.lease_yields tt.lease_expiries
       tt.lease_aborts;
+  (* Crash-recovery line: absent unless crash windows actually fired. *)
+  if
+    tt.give_ups + tt.crash_aborts + tt.nodes_declared_dead + tt.families_reclaimed
+    + tt.failovers
+    > 0
+  then
+    Format.fprintf fmt
+      "crashes: %d crash aborts, %d give-ups, %d declared dead, %d reclaimed, %d failovers@,"
+      tt.crash_aborts tt.give_ups tt.nodes_declared_dead tt.families_reclaimed tt.failovers;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us
 
@@ -307,4 +345,6 @@ let pp_latencies fmt t =
     t.acquire_latency Histogram.pp t.commit_latency;
   if Histogram.count t.recall_latency > 0 then
     Format.fprintf fmt "@,recall-to-clear: %a" Histogram.pp t.recall_latency;
+  if Histogram.count t.recovery_latency > 0 then
+    Format.fprintf fmt "@,crash recovery:  %a" Histogram.pp t.recovery_latency;
   Format.fprintf fmt "@]"

@@ -70,18 +70,23 @@ val pp_wire_breakdown : Format.formatter -> t -> unit
     - {e commit}: submission to root commit, committed roots only —
       retries and their backoff included;
     - {e recall}: lease recall-to-clear, from the home issuing the recall
-      to the last yield arriving (or the TTL force-clear). *)
+      to the last yield arriving (or the TTL force-clear);
+    - {e recovery}: crash-to-recommit, from a root family's first
+      crash-induced abort to its eventual commit (committed,
+      crash-affected roots only). *)
 
 val acquire_latency : t -> Histogram.t
 val commit_latency : t -> Histogram.t
 val recall_latency : t -> Histogram.t
+val recovery_latency : t -> Histogram.t
 val record_acquire_latency_us : t -> float -> unit
 val record_commit_latency_us : t -> float -> unit
 val record_recall_latency_us : t -> float -> unit
+val record_recovery_latency_us : t -> float -> unit
 
 val pp_latencies : Format.formatter -> t -> unit
-(** p50/p90/p99/max lines for the three histograms (recall only when
-    non-empty). *)
+(** p50/p90/p99/max lines for the histograms (recall and recovery only
+    when non-empty). *)
 
 (** {1 System-wide counters} *)
 val incr_roots_committed : t -> unit
@@ -122,6 +127,20 @@ val incr_lease_yields : t -> unit
 val incr_lease_expiries : t -> unit
 val incr_lease_aborts : t -> unit
 
+(** {1 Crash-recovery counters}
+
+    See [Sim.Failure_detector] and DESIGN.md "Failure model & recovery":
+    reliable-transport deliveries abandoned after [max_retransmits]
+    (each surfaces as a suspect hint, never a stall), root families
+    aborted by a crash, nodes declared dead by the suspicion protocol,
+    dead families evicted from the directory, and GDO home failovers.
+    All zero on a crash-free run. *)
+val incr_give_ups : t -> unit
+val incr_crash_aborts : t -> unit
+val incr_nodes_declared_dead : t -> unit
+val add_families_reclaimed : t -> int -> unit
+val incr_failovers : t -> unit
+
 val home_lock_ops : t -> int
 (** Lock-protocol operations processed by GDO homes: global acquisitions +
     upgrades + release batches + recall/yield messages. The lease
@@ -149,6 +168,11 @@ type totals = {
   lease_yields : int;
   lease_expiries : int;
   lease_aborts : int;
+  give_ups : int;
+  crash_aborts : int;
+  nodes_declared_dead : int;
+  families_reclaimed : int;
+  failovers : int;
 }
 
 val totals : t -> totals

@@ -10,11 +10,14 @@ type t =
   | Lease_recall
   | Lease_yield
   | Ack
+  | Heartbeat
+  | Suspect
+  | Failover_confirm
 
 let all =
   [
     Acquire_request; Grant; Refusal; Release; Gdo_replica; Page_request; Page_reply;
-    Eager_push; Lease_recall; Lease_yield; Ack;
+    Eager_push; Lease_recall; Lease_yield; Ack; Heartbeat; Suspect; Failover_confirm;
   ]
 
 let count = List.length all
@@ -31,6 +34,9 @@ let index = function
   | Lease_recall -> 8
   | Lease_yield -> 9
   | Ack -> 10
+  | Heartbeat -> 11
+  | Suspect -> 12
+  | Failover_confirm -> 13
 
 let to_string = function
   | Acquire_request -> "acquire-request"
@@ -44,11 +50,14 @@ let to_string = function
   | Lease_recall -> "lease-recall"
   | Lease_yield -> "lease-yield"
   | Ack -> "ack"
+  | Heartbeat -> "heartbeat"
+  | Suspect -> "suspect"
+  | Failover_confirm -> "failover-confirm"
 
 let kind = function
   | Page_reply | Eager_push -> Sim.Network.Data
   | Acquire_request | Grant | Refusal | Release | Gdo_replica | Page_request
-  | Lease_recall | Lease_yield | Ack ->
+  | Lease_recall | Lease_yield | Ack | Heartbeat | Suspect | Failover_confirm ->
       Sim.Network.Control
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

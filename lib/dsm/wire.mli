@@ -38,6 +38,16 @@ type t =
   | Lease_recall  (** home → leased node: surrender the read lease (see [Gdo.Lease]) *)
   | Lease_yield  (** leased node → home: every lease-backed reader has drained *)
   | Ack  (** transport-level acknowledgement of the reliable transport *)
+  | Heartbeat
+      (** node → node: periodic liveness beacon feeding
+          [Sim.Failure_detector]; sent unreliably (no ack, no retransmit)
+          and only when crash windows are configured *)
+  | Suspect
+      (** declarer → surviving node: broadcast that a node has been
+          declared dead, triggering dead-family reclamation at the homes *)
+  | Failover_confirm
+      (** successor home → holder node: conservative state reconfirmation
+          after a GDO home failover (paper §4.1 replication made live) *)
 
 val all : t list
 (** Every message type, in declaration order. *)

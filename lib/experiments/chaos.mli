@@ -73,3 +73,78 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val pp_report : Format.formatter -> outcome list -> unit
 (** Table of the sweep, one row per case. *)
+
+(** {1 Crash chaos}
+
+    Scheduled fail-stop crash-restart windows ({!Sim.Fault.Crash}) on top
+    of the (optionally lossy) interconnect, exercising the full recovery
+    path: heartbeat failure detection, dead-family lock reclamation at the
+    directory, page-map repointing and — with [cc_gdo_replicas >= 1] — GDO
+    home failover to the ring successor. On top of {!run_case}'s
+    invariants, every crash run also asserts that the per-message-type wire
+    ledger reconciles {e exactly} with the network's per-object ledger
+    (crashed senders are suppressed before both hooks). *)
+
+type crash_case = {
+  cc_protocol : Dsm.Protocol.t;
+  cc_windows : (int * float * float) list;
+      (** crash windows as [(node, from_us, until_us)], half-open *)
+  cc_gdo_replicas : int;  (** 0: a crashed home's partition is unavailable *)
+  cc_drop : float;  (** additional per-message loss probability *)
+  cc_fault_seed : int;
+}
+
+type crash_outcome = {
+  cc_case : crash_case;
+  cc_committed : int;
+  cc_aborted : int;  (** permanently aborted (retry budget exhausted) *)
+  cc_crash_aborts : int;  (** root families aborted by a crash (incl. retried) *)
+  cc_recovered : int;  (** crash-affected roots that went on to commit *)
+  cc_give_ups : int;  (** transport deliveries abandoned after max_retransmits *)
+  cc_declared_dead : int;
+  cc_reclaimed : int;  (** dead families evicted from the directory *)
+  cc_failovers : int;
+  cc_recovery_p50_us : float;  (** crash-to-recommit latency percentiles *)
+  cc_recovery_p99_us : float;
+  cc_messages : int;
+  cc_completion_us : float;
+}
+
+val crash_fault_config : crash_case -> Sim.Fault.config
+(** Fault config with the case's crash windows and drop rate. *)
+
+val run_crash_case :
+  ?config:Core.Config.t -> ?dump_stalls:bool -> spec:Workload.Spec.t -> crash_case -> crash_outcome
+(** Run [spec] under the case, with recovery timers tightened (0.5 ms
+    retransmit timer, 3 retransmits, 0.5 ms heartbeats, 1.5 ms suspicion)
+    so detection and failover complete inside a few-millisecond window.
+    [dump_stalls] prints {!Gdo.Directory.dump} to stderr if the run stalls.
+    @raise Failure on any violated invariant (see above). *)
+
+val default_crash_windows : (int * float * float) list list
+(** One mid-run crash, and a staggered two-node pattern, sized against
+    {!default_spec}'s makespan. *)
+
+val crash_sweep :
+  ?config:Core.Config.t ->
+  ?spec:Workload.Spec.t ->
+  ?protocols:Dsm.Protocol.t list ->
+  ?windows:(int * float * float) list list ->
+  ?replicas:int list ->
+  ?fault_seeds:int list ->
+  ?dump_stalls:bool ->
+  unit ->
+  crash_outcome list
+(** Protocols × window patterns × replica counts × seeds. Defaults: the
+    three paper protocols (RC-nested's eager pushes are not crash-hardened),
+    {!default_crash_windows}, replicas [[0; 1]] — so the sweep covers both
+    partition unavailability and live failover. Raises like
+    {!run_crash_case}. *)
+
+val crash_to_json : crash_outcome list -> string
+(** JSON array, one object per outcome (the BENCH_crash.json payload). *)
+
+val pp_crash_outcome : Format.formatter -> crash_outcome -> unit
+
+val pp_crash_report : Format.formatter -> crash_outcome list -> unit
+(** Table of the crash sweep, one row per case. *)

@@ -4,7 +4,8 @@ type run = {
   runtime : Core.Runtime.t;
 }
 
-let execute ?(config = Core.Config.default) ~protocol (workload : Workload.Generator.t) =
+let execute ?(config = Core.Config.default) ?on_stall ~protocol
+    (workload : Workload.Generator.t) =
   let cfg =
     {
       config with
@@ -17,7 +18,15 @@ let execute ?(config = Core.Config.default) ~protocol (workload : Workload.Gener
     (fun (r : Workload.Generator.root_spec) ->
       Core.Runtime.submit runtime ~at:r.at ~node:r.node ~oid:r.oid ~meth:r.meth ~seed:r.seed)
     workload.Workload.Generator.roots;
-  Core.Runtime.run runtime;
+  (match on_stall with
+  | None -> Core.Runtime.run runtime
+  | Some hook -> (
+      (* Diagnostic hook: let the caller inspect the runtime (e.g. dump the
+         directory) before the failure propagates. *)
+      try Core.Runtime.run runtime
+      with e ->
+        hook runtime;
+        raise e));
   (match Core.Runtime.check_serializable runtime with
   | Core.Serializability.Serializable _ -> ()
   | Core.Serializability.Cyclic cycle ->

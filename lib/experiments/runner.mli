@@ -7,11 +7,18 @@ type run = {
 }
 
 val execute :
-  ?config:Core.Config.t -> protocol:Dsm.Protocol.t -> Workload.Generator.t -> run
+  ?config:Core.Config.t ->
+  ?on_stall:(Core.Runtime.t -> unit) ->
+  protocol:Dsm.Protocol.t ->
+  Workload.Generator.t ->
+  run
 (** Build a runtime for the workload's catalog (node count taken from the
     workload spec; everything else from [config], default
     {!Core.Config.default}), submit every root, drive the simulation to
     completion, and verify the committed history is serializable.
+    [on_stall], if given, is called with the runtime when the run raises
+    (e.g. {!Sim.Engine.Stalled}) before the exception propagates — a hook
+    for dumping diagnostic state such as {!Gdo.Directory.dump}.
     @raise Failure if the serializability check fails — that would be a
     protocol bug, not a workload property. *)
 

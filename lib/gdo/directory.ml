@@ -216,6 +216,63 @@ let release t oid ~family ~dirty =
     promote t e
   end
 
+(* Crash recovery: drop every trace of the families [dead] judges dead —
+   held locks, wait-queue entries and their waits-for edges — then promote,
+   so queued survivors receive their deferred grants. Sorted by oid for a
+   deterministic delivery order. *)
+let evict_families t ~dead =
+  let entries =
+    Oid.Table.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> Oid.compare a.oid b.oid)
+  in
+  let evicted = ref Txn_id.Set.empty in
+  let deliveries = ref [] in
+  List.iter
+    (fun e ->
+      let note f = evicted := Txn_id.Set.add f !evicted in
+      let doomed_holders = List.filter (fun h -> dead h.family) e.holders in
+      let doomed_waiters = List.filter (fun w -> dead w.wt_family) e.waiting in
+      if doomed_holders <> [] || doomed_waiters <> [] then begin
+        List.iter (fun (h : holder) -> note h.family) doomed_holders;
+        List.iter
+          (fun w ->
+            note w.wt_family;
+            remove_wait t w.wt_family e.oid)
+          doomed_waiters;
+        e.holders <- List.filter (fun h -> not (dead h.family)) e.holders;
+        e.waiting <- List.filter (fun w -> not (dead w.wt_family)) e.waiting;
+        if e.holders = [] then e.state <- Free;
+        deliveries := !deliveries @ promote t e
+      end)
+    entries;
+  (Txn_id.Set.cardinal !evicted, !deliveries)
+
+(* Crash recovery: repoint page-map entries naming [dead_node] at a
+   surviving copy of the same committed version, found by [find_copy]
+   (typically a scan of the live nodes' page stores). Entries with no
+   surviving copy are left in place: the versions the map records are
+   durable at their owner, so the rejoining node serves them again after
+   restart. Returns the number of entries repointed. *)
+let repoint_pages t ~dead_node ~find_copy =
+  let entries =
+    Oid.Table.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> Oid.compare a.oid b.oid)
+  in
+  let repointed = ref 0 in
+  List.iter
+    (fun e ->
+      Array.iteri
+        (fun page node ->
+          if node = dead_node then
+            match find_copy e.oid ~page ~version:e.page_versions.(page) with
+            | Some live when live <> dead_node ->
+                e.page_nodes.(page) <- live;
+                incr repointed
+            | Some _ | None -> ())
+        e.page_nodes)
+    entries;
+  !repointed
+
 let lock_state t oid = (get t oid).state
 let holders t oid = (get t oid).holders
 

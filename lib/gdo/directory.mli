@@ -100,6 +100,28 @@ val release :
     releases). Returns the deferred grants the caller must deliver.
     Releasing a lock the family does not hold is a no-op returning []. *)
 
+val evict_families : t -> dead:(Txn_id.t -> bool) -> int * delivery list
+(** Crash recovery: purge every family [dead] judges dead from every entry
+    — held locks are released (no dirty pages: a dead family's writes were
+    never published), wait-queue entries and their waits-for edges are
+    drained — then waiters are promoted exactly as after a release, so
+    queued survivors receive their deferred grants. Returns the number of
+    distinct families evicted and the deliveries, in ascending-oid order.
+    Idempotent: evicting already-absent families changes nothing. *)
+
+val repoint_pages :
+  t ->
+  dead_node:int ->
+  find_copy:(Objmodel.Oid.t -> page:int -> version:int -> int option) ->
+  int
+(** Crash recovery: patch page-map entries whose newest version lives on
+    [dead_node] to a surviving copy of the {e same} committed version, as
+    located by [find_copy] (a scan of live nodes' page stores). Falling
+    back to an older version would break conflict-serializability, so an
+    entry with no surviving copy is left pointing at the dead node — the
+    recorded version is durable there and is served again after the
+    restart. Returns the number of entries repointed. *)
+
 val lock_state : t -> Objmodel.Oid.t -> lock_state
 (** The entry's current LockState. *)
 

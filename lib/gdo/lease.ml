@@ -182,6 +182,27 @@ let force_clear t oid ~token =
           true
       | Some _ | None -> false)
 
+(* Crash recovery: a node declared dead can neither use nor yield its
+   leases. Drop every lease granted to it; a recall that was waiting only
+   on the dead node thereby clears — the caller must run the blocked
+   writes for the returned objects, exactly as after a final yield. *)
+let evict_node t ~node =
+  let cleared = ref [] in
+  Oid.Table.iter
+    (fun oid e ->
+      e.grants <- List.remove_assoc node e.grants;
+      match e.recall with
+      | Some r when List.mem node r.r_awaiting ->
+          r.r_awaiting <- List.filter (fun n -> n <> node) r.r_awaiting;
+          if r.r_awaiting = [] then begin
+            e.recall <- None;
+            e.grants <- [];
+            cleared := oid :: !cleared
+          end
+      | Some _ | None -> ())
+    t.entries;
+  List.sort Oid.compare !cleared
+
 let note_write_granted t oid =
   if enabled t then
     let e = entry t oid in

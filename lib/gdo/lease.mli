@@ -139,6 +139,14 @@ val force_clear : t -> Objmodel.Oid.t -> token:int -> bool
     remaining leases are dropped as expired and the blocked writes must be
     run (stranded readers will fail commit-time validation). *)
 
+val evict_node : t -> node:int -> Objmodel.Oid.t list
+(** Crash recovery: the node was declared dead — drop every lease granted
+    to it (it can neither serve readers nor yield). Returns, ascending,
+    the objects whose in-progress recall was waiting only on the dead node
+    and therefore cleared: the caller must run their blocked writes, as
+    after a final yield. Safe because a dead node's lease-backed readers
+    died with it — nothing unprotected can reach the committed history. *)
+
 val note_write_granted : t -> Objmodel.Oid.t -> unit
 (** Bump the object's epoch: leases stamped with earlier epochs (and readers
     admitted under them) are permanently superseded. *)

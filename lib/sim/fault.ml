@@ -45,6 +45,9 @@ let validate c =
       check (w.w_until_us >= w.w_from_us) "fault window must not end before it starts")
     (Ok ()) c.windows
 
+let crash_windows c = List.filter (fun w -> w.w_kind = Crash) c.windows
+let has_crash_windows c = List.exists (fun w -> w.w_kind = Crash) c.windows
+
 type event = Drop | Duplicate | Crash_drop | Pause_defer
 
 let event_to_string = function

@@ -11,9 +11,13 @@
       never violates the per-channel FIFO guarantee,
     - scheduled per-node {e pause} windows (GC stall, overloaded node:
       deliveries addressed to the node are deferred to the window's end),
-    - scheduled per-node {e crash} windows (crash-and-restart: deliveries
-      addressed to the node during the window are lost; the node's state
-      survives — see DESIGN.md for what is and is not modelled).
+    - scheduled per-node {e crash} windows (fail-stop crash-and-restart:
+      deliveries addressed to the node during the window are lost, and the
+      runtime layer wipes the node's volatile state on entry — in-flight
+      families abort, caches are invalidated, unacked transport state is
+      discarded — then restarts it with a fresh incarnation number at the
+      window's end; see the "Failure model & recovery" section of
+      DESIGN.md).
 
     All randomness is drawn from a dedicated {!Prng} stream seeded from
     [config.seed], independent of the workload streams, so any run is
@@ -22,7 +26,9 @@
 
 type window_kind =
   | Pause  (** deliveries are deferred until the window closes *)
-  | Crash  (** deliveries are dropped while the window is open *)
+  | Crash
+      (** deliveries are dropped while the window is open and the node's
+          volatile state is lost (see the module preamble) *)
 
 type window = {
   w_node : int;  (** affected destination node *)
@@ -52,6 +58,14 @@ val is_active : config -> bool
 val validate : config -> (unit, string) result
 (** Probabilities in [0,1], non-negative jitter, well-formed windows
     (non-negative node and times, [w_until_us >= w_from_us]). *)
+
+val crash_windows : config -> window list
+(** The [Crash]-kind windows, in configuration order. *)
+
+val has_crash_windows : config -> bool
+(** Whether any [Crash] window is configured — the runtime arms its
+    heartbeat/failure-detection machinery only in that case, keeping
+    crash-free runs byte-identical. *)
 
 (** What the injector did to a message; reported through the network's
     [on_fault] hook and tallied in {!stats}. *)

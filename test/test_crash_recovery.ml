@@ -1,0 +1,283 @@
+(* Crash-recovery tests: the failure detector, dead-family eviction at the
+   directory (QCheck property: no dangling residue), lease eviction, and
+   full runs through Chaos.run_crash_case — crash windows, dead
+   declaration, reclamation and GDO home failover, with the recovery
+   invariants asserted end to end. *)
+
+open Txn
+
+(* ------------------------------------------------------------------ *)
+(* Failure detector.                                                   *)
+
+let test_detector_silence_and_heartbeat () =
+  let d = Sim.Failure_detector.create ~node_count:4 ~timeout_us:1_000.0 in
+  Sim.Failure_detector.set_self d 0;
+  Alcotest.(check (list int)) "nothing suspect at start" [] (Sim.Failure_detector.suspects d ~now:500.0);
+  (* Everyone starts heard-at-0: silence past the timeout suspects all peers. *)
+  Alcotest.(check (list int))
+    "silent peers become suspect (self excluded)" [ 1; 2; 3 ]
+    (Sim.Failure_detector.suspects d ~now:1_500.0);
+  Sim.Failure_detector.heartbeat d ~node:2 ~now:1_400.0;
+  Alcotest.(check (list int))
+    "heartbeat clears one" [ 1; 3 ]
+    (Sim.Failure_detector.suspects d ~now:1_500.0);
+  Alcotest.(check bool) "node 2 clean" false (Sim.Failure_detector.is_suspect d ~node:2 ~now:1_500.0)
+
+let test_detector_hint () =
+  let d = Sim.Failure_detector.create ~node_count:3 ~timeout_us:10_000.0 in
+  Sim.Failure_detector.set_self d 0;
+  Alcotest.(check bool) "not suspect yet" false (Sim.Failure_detector.is_suspect d ~node:1 ~now:1.0);
+  Sim.Failure_detector.hint d ~node:1;
+  Alcotest.(check bool)
+    "transport give-up makes an immediate suspect" true
+    (Sim.Failure_detector.is_suspect d ~node:1 ~now:1.0);
+  Sim.Failure_detector.heartbeat d ~node:1 ~now:2.0;
+  Alcotest.(check bool) "heartbeat clears the hint" false
+    (Sim.Failure_detector.is_suspect d ~node:1 ~now:2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Dead-family eviction at the directory: QCheck property.             *)
+
+let oid i = Objmodel.Oid.of_int i
+let fam i = Txn_id.of_int i
+
+(* Families execute at node [id mod node_count]. *)
+let node_count = 4
+let node_of_family f = Txn_id.to_int f mod node_count
+
+let build_directory ~objects ~ops ~seed =
+  let gdo = Gdo.Directory.create () in
+  for i = 0 to objects - 1 do
+    Gdo.Directory.register_object gdo (oid i) ~pages:2 ~initial_node:(i mod node_count)
+  done;
+  let prng = Random.State.make [| seed |] in
+  (* Random acquires and releases from a pool of families; Deadlock refusals
+     and Busy results are simply skipped, exactly as the runtime would abort
+     and move on. *)
+  let held = Hashtbl.create 16 in
+  for _ = 1 to ops do
+    let f = fam (Random.State.int prng 12) in
+    let o = oid (Random.State.int prng objects) in
+    let mode = if Random.State.bool prng then Lock.Read else Lock.Write in
+    if Random.State.int prng 4 = 0 then begin
+      match Hashtbl.find_opt held (Txn_id.to_int f) with
+      | Some os when os <> [] ->
+          let victim = List.nth os (Random.State.int prng (List.length os)) in
+          ignore (Gdo.Directory.release gdo victim ~family:f ~dirty:[]);
+          Hashtbl.replace held (Txn_id.to_int f)
+            (List.filter (fun o' -> o' <> victim) os)
+      | _ -> ()
+    end
+    else
+      match
+        Gdo.Directory.acquire gdo o ~family:f ~node:(node_of_family f) ~mode ()
+      with
+      | Gdo.Directory.Granted _ ->
+          let os = Option.value (Hashtbl.find_opt held (Txn_id.to_int f)) ~default:[] in
+          if not (List.mem o os) then Hashtbl.replace held (Txn_id.to_int f) (o :: os)
+      | Gdo.Directory.Queued | Gdo.Directory.Busy | Gdo.Directory.Deadlock _ -> ()
+  done;
+  gdo
+
+(* After evicting a dead node's families: no holder, waiter or waits-for
+   edge of a dead family survives anywhere, deferred grants go only to
+   survivors, and a second eviction finds nothing. *)
+let prop_eviction_leaves_no_residue =
+  let gen = QCheck2.Gen.(triple (int_range 1 10_000) (int_range 2 8) (int_range 10 120)) in
+  QCheck2.Test.make ~name:"directory eviction leaves no dead-family residue" ~count:100 gen
+    (fun (seed, objects, ops) ->
+      let gdo = build_directory ~objects ~ops ~seed in
+      let dead_node = seed mod node_count in
+      let dead f = node_of_family f = dead_node in
+      let evicted, deliveries = Gdo.Directory.evict_families gdo ~dead in
+      let ok_holders =
+        List.for_all
+          (fun i ->
+            List.for_all
+              (fun (h : Gdo.Directory.holder) -> not (dead h.Gdo.Directory.family))
+              (Gdo.Directory.holders gdo (oid i)))
+          (List.init objects (fun i -> i))
+      in
+      let ok_edges =
+        List.for_all
+          (fun (w, h) -> (not (dead w)) && not (dead h))
+          (Gdo.Directory.waits_for_edges gdo)
+      in
+      let ok_deliveries =
+        List.for_all
+          (fun (d : Gdo.Directory.delivery) -> not (dead d.Gdo.Directory.d_family))
+          deliveries
+      in
+      let evicted', deliveries' = Gdo.Directory.evict_families gdo ~dead in
+      evicted >= 0 && ok_holders && ok_edges && ok_deliveries && evicted' = 0
+      && deliveries' = [])
+
+(* Page-map repointing: with a find_copy that always locates a surviving
+   same-version copy, no entry points at the dead node afterwards. *)
+let test_repoint_pages_total () =
+  let gdo = Gdo.Directory.create () in
+  for i = 0 to 5 do
+    Gdo.Directory.register_object gdo (oid i) ~pages:3 ~initial_node:(i mod node_count)
+  done;
+  let dead_node = 2 in
+  let repointed =
+    Gdo.Directory.repoint_pages gdo ~dead_node ~find_copy:(fun _ ~page:_ ~version:_ ->
+        Some ((dead_node + 1) mod node_count))
+  in
+  Alcotest.(check bool) "some entries were repointed" true (repointed > 0);
+  List.iter
+    (fun i ->
+      let nodes, _ = Gdo.Directory.page_map gdo (oid i) in
+      Array.iter
+        (fun n -> Alcotest.(check bool) "no page left on the dead node" true (n <> dead_node))
+        nodes)
+    (List.init 6 (fun i -> i));
+  (* With no surviving copy the entry must stay (the dead node's copy is
+     durable and valid again after restart) — never fall back silently. *)
+  let r2 =
+    Gdo.Directory.repoint_pages gdo ~dead_node:((dead_node + 1) mod node_count)
+      ~find_copy:(fun _ ~page:_ ~version:_ -> None)
+  in
+  Alcotest.(check int) "nothing repointed without a copy" 0 r2
+
+(* Lease eviction: every lease granted to the dead node disappears. *)
+let test_lease_eviction () =
+  let mgr = Gdo.Lease.create (Gdo.Lease.Fixed_ttl { ttl_us = 10_000.0 }) in
+  List.iter
+    (fun (o, n) ->
+      ignore (Gdo.Lease.lease_for_grant mgr (oid o) ~node:n ~now:0.0 ~writer_queued:false))
+    [ (0, 1); (0, 2); (1, 2); (2, 3) ];
+  let cleared = Gdo.Lease.evict_node mgr ~node:2 in
+  Alcotest.(check (list int)) "no recall was pending, nothing cleared" []
+    (List.map Objmodel.Oid.to_int cleared);
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "object %d holds no lease at node 2" o)
+        false
+        (List.mem 2 (Gdo.Lease.outstanding mgr (oid o) ~now:1.0)))
+    [ 0; 1; 2 ];
+  (* A recall waiting only on the dead node clears on eviction. *)
+  ignore (Gdo.Lease.lease_for_grant mgr (oid 5) ~node:2 ~now:0.0 ~writer_queued:false);
+  (match Gdo.Lease.begin_recall mgr (oid 5) ~now:1.0 ~excluded:None with
+  | `Recall _ -> ()
+  | `Clear | `In_progress -> Alcotest.fail "expected a recall order");
+  let cleared = Gdo.Lease.evict_node mgr ~node:2 in
+  Alcotest.(check (list int)) "recall cleared by eviction" [ 5 ]
+    (List.map Objmodel.Oid.to_int cleared);
+  Alcotest.(check bool) "no recall left in progress" false
+    (Gdo.Lease.recall_in_progress mgr (oid 5))
+
+(* ------------------------------------------------------------------ *)
+(* Full runs: crash windows through the runtime.                       *)
+
+let spec = Experiments.Chaos.default_spec
+
+let crash_case ?(replicas = 0) ?(windows = [ (2, 3_000.0, 9_000.0) ]) protocol =
+  {
+    Experiments.Chaos.cc_protocol = protocol;
+    cc_windows = windows;
+    cc_gdo_replicas = replicas;
+    cc_drop = 0.0;
+    cc_fault_seed = 1;
+  }
+
+(* run_crash_case raises on any violated invariant (root accounting, exact
+   wire-ledger reconciliation, ledger balance, serializability, stall), so
+   most of the checking is surviving the call. *)
+let test_crash_run_recovers () =
+  List.iter
+    (fun protocol ->
+      let o = Experiments.Chaos.run_crash_case ~spec (crash_case protocol) in
+      let name = Format.asprintf "%a" Dsm.Protocol.pp protocol in
+      Alcotest.(check int)
+        (name ^ " all roots accounted") spec.Workload.Spec.root_count
+        (o.Experiments.Chaos.cc_committed + o.Experiments.Chaos.cc_aborted);
+      Alcotest.(check bool) (name ^ " crash aborted some families") true
+        (o.Experiments.Chaos.cc_crash_aborts > 0);
+      Alcotest.(check int) (name ^ " one node declared dead") 1
+        o.Experiments.Chaos.cc_declared_dead;
+      Alcotest.(check bool) (name ^ " dead families reclaimed") true
+        (o.Experiments.Chaos.cc_reclaimed > 0);
+      Alcotest.(check int) (name ^ " no failover without replicas") 0
+        o.Experiments.Chaos.cc_failovers;
+      Alcotest.(check bool) (name ^ " crash-affected roots recovered") true
+        (o.Experiments.Chaos.cc_recovered > 0);
+      Alcotest.(check bool) (name ^ " recovery latency recorded") true
+        (o.Experiments.Chaos.cc_recovery_p50_us > 0.0))
+    Dsm.Protocol.[ Cotec; Otec; Lotec ]
+
+let test_gdo_home_failover () =
+  (* Node 2 is the GDO home of every object with oid mod 4 = 2; with one
+     replica its partition fails over to node 3 and back at rejoin. *)
+  let with_repl =
+    Experiments.Chaos.run_crash_case ~spec (crash_case ~replicas:1 Dsm.Protocol.Lotec)
+  in
+  let without =
+    Experiments.Chaos.run_crash_case ~spec (crash_case ~replicas:0 Dsm.Protocol.Lotec)
+  in
+  Alcotest.(check int) "exactly one failover" 1 with_repl.Experiments.Chaos.cc_failovers;
+  Alcotest.(check int) "all roots commit or abort" spec.Workload.Spec.root_count
+    (with_repl.Experiments.Chaos.cc_committed + with_repl.Experiments.Chaos.cc_aborted);
+  (* Serving the partition from the successor instead of stalling on the
+     dead home must not be slower. *)
+  Alcotest.(check bool) "failover does not hurt completion" true
+    (with_repl.Experiments.Chaos.cc_completion_us
+    <= without.Experiments.Chaos.cc_completion_us +. 1.0)
+
+let test_staggered_crashes () =
+  let o =
+    Experiments.Chaos.run_crash_case ~spec
+      (crash_case ~replicas:1
+         ~windows:[ (1, 2_000.0, 6_000.0); (3, 8_000.0, 13_000.0) ]
+         Dsm.Protocol.Lotec)
+  in
+  Alcotest.(check int) "both nodes declared dead" 2 o.Experiments.Chaos.cc_declared_dead;
+  Alcotest.(check int) "two failovers" 2 o.Experiments.Chaos.cc_failovers;
+  Alcotest.(check int) "all roots accounted" spec.Workload.Spec.root_count
+    (o.Experiments.Chaos.cc_committed + o.Experiments.Chaos.cc_aborted)
+
+(* Crash runs are deterministic: same case, same numbers. *)
+let test_crash_run_deterministic () =
+  let c = crash_case ~replicas:1 Dsm.Protocol.Otec in
+  let a = Experiments.Chaos.run_crash_case ~spec c in
+  let b = Experiments.Chaos.run_crash_case ~spec c in
+  Alcotest.(check int) "same traffic" a.Experiments.Chaos.cc_messages
+    b.Experiments.Chaos.cc_messages;
+  Alcotest.(check (float 0.0)) "same completion" a.Experiments.Chaos.cc_completion_us
+    b.Experiments.Chaos.cc_completion_us;
+  Alcotest.(check int) "same crash aborts" a.Experiments.Chaos.cc_crash_aborts
+    b.Experiments.Chaos.cc_crash_aborts
+
+(* A crash window entirely after completion must not perturb the run: the
+   recovery machinery arms (heartbeats and all) but no crash ever fires
+   during useful work — traffic differs only by the heartbeat/ack noise,
+   while commits, aborts and crash counters stay clean. *)
+let test_late_window_is_harmless () =
+  let o =
+    Experiments.Chaos.run_crash_case ~spec
+      (crash_case ~windows:[ (2, 500_000.0, 501_000.0) ] Dsm.Protocol.Lotec)
+  in
+  Alcotest.(check int) "all roots committed" spec.Workload.Spec.root_count
+    o.Experiments.Chaos.cc_committed;
+  Alcotest.(check int) "no crash aborts" 0 o.Experiments.Chaos.cc_crash_aborts;
+  Alcotest.(check int) "nobody declared dead" 0 o.Experiments.Chaos.cc_declared_dead;
+  Alcotest.(check int) "no failovers" 0 o.Experiments.Chaos.cc_failovers
+
+let tests =
+  [
+    ( "crash-recovery",
+      [
+        Alcotest.test_case "detector: silence and heartbeat" `Quick
+          test_detector_silence_and_heartbeat;
+        Alcotest.test_case "detector: transport hint" `Quick test_detector_hint;
+        QCheck_alcotest.to_alcotest prop_eviction_leaves_no_residue;
+        Alcotest.test_case "repoint pages" `Quick test_repoint_pages_total;
+        Alcotest.test_case "lease eviction" `Quick test_lease_eviction;
+        Alcotest.test_case "crash run recovers (all protocols)" `Quick test_crash_run_recovers;
+        Alcotest.test_case "gdo home failover" `Quick test_gdo_home_failover;
+        Alcotest.test_case "staggered crashes" `Quick test_staggered_crashes;
+        Alcotest.test_case "crash run deterministic" `Quick test_crash_run_deterministic;
+        Alcotest.test_case "late window is harmless" `Quick test_late_window_is_harmless;
+      ] );
+  ]

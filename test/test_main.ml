@@ -27,6 +27,7 @@ let () =
          Test_soak.tests;
          Test_edge_cases.tests;
          Test_chaos.tests;
+         Test_crash_recovery.tests;
          Test_lease.tests;
          Test_observability.tests;
        ])
