@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos crash-chaos lease doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos lease batch doc clean
 
 all: build
 
@@ -27,6 +27,12 @@ crash-chaos:
 
 lease:
 	dune exec bin/lotec_sim.exe -- lease
+
+# Message-combining sweep: protocols x batching policy under light loss;
+# asserts the wire ledger reconciles exactly with riders included and that
+# a batching-off run records zero combining activity.
+batch:
+	dune exec bin/lotec_sim.exe -- batch --json BENCH_batch.json
 
 # API docs. odoc warnings are fatal (root dune env stanza), so a broken
 # {!reference} fails the build — CI runs this; locally it skips gracefully

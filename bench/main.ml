@@ -80,6 +80,26 @@ let msg_breakdown () =
   close_out oc;
   Format.printf "wrote %s@.@." trace_json_file
 
+(* The message-combining sweep (protocols x batching policy under light
+   loss), printed and written as BENCH_batch.json: the machine-readable
+   record of how much of LOTEC's per-message overhead the combining layer
+   recovers (see EXPERIMENTS.md). *)
+let batch_json_file = "BENCH_batch.json"
+
+let batching_sweep () =
+  Format.printf "==================================================================@.";
+  Format.printf "Message combining: ack piggybacking, fetch aggregation, coalescing@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Batching.sweep () in
+  Format.printf "%a@." Experiments.Batching.pp_report outcomes;
+  (match Experiments.Batching.lotec_message_reduction_pct outcomes with
+  | Some pct -> Format.printf "LOTEC messages vs off: %+.1f%%@." pct
+  | None -> ());
+  let oc = open_out batch_json_file in
+  output_string oc (Experiments.Batching.to_json outcomes);
+  close_out oc;
+  Format.printf "wrote %s@.@." batch_json_file
+
 (* The crash-recovery sweep (crash windows x protocols x replica counts),
    printed and written as BENCH_crash.json: recovery latency percentiles
    and aborted-vs-recovered counts, machine-readable across revisions. *)
@@ -179,6 +199,21 @@ let tests =
             in
             fun () ->
               ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
+      Test.make ~name:"batch-lotec"
+        (Staged.stage
+           (let spec =
+              { Experiments.Batching.default_spec with Workload.Spec.root_count = 40 }
+            in
+            let wl = Workload.Generator.generate spec ~page_size:4096 in
+            let config =
+              {
+                Core.Config.default with
+                Core.Config.batching = Dsm.Batching.all;
+                faults = Some Experiments.Batching.default_faults;
+              }
+            in
+            fun () ->
+              ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
     ]
 
 let benchmark () =
@@ -209,6 +244,7 @@ let benchmark () =
 let () =
   reproduce ();
   lease_sweep ();
+  batching_sweep ();
   msg_breakdown ();
   crash_chaos ();
   benchmark ()

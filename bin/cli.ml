@@ -12,7 +12,8 @@
      throughput  — per-protocol throughput + LOTEC cluster scaling
      trace       — run with protocol-event tracing and print the tail
      chaos       — fault-rate sweep asserting the protocol invariants
-     lease       — read-lease policy sweep vs the leases-off baseline *)
+     lease       — read-lease policy sweep vs the leases-off baseline
+     batch       — message-combining sweep vs the batching-off baseline *)
 
 open Cmdliner
 
@@ -98,6 +99,39 @@ let lease_policy ~policy ~ttl ~ratio ~samples =
               min_read_ratio = or_else ratio min_read_ratio;
               min_samples = or_else samples min_samples;
             })
+
+(* Message-combining policy (shared by run and batch). *)
+let batching_arg =
+  let doc = "Message-combining policy: off or all." in
+  Arg.(value & opt string "off" & info [ "batching" ] ~doc)
+
+let batch_ack_flush_arg =
+  let doc = "Deferred-ack flush timer in microseconds (with --batching all)." in
+  Arg.(value & opt (some float) None & info [ "batch-ack-flush-us" ] ~doc)
+
+let batch_ack_rider_arg =
+  let doc = "Bytes one piggybacked ack adds to its carrier message." in
+  Arg.(value & opt (some int) None & info [ "batch-ack-rider-bytes" ] ~doc)
+
+let batch_release_flush_arg =
+  let doc = "Release-coalescing window in microseconds (0 combines same-instant commits)." in
+  Arg.(value & opt (some float) None & info [ "batch-release-flush-us" ] ~doc)
+
+(* Build a policy from the flags: the string picks the shape, the optional
+   numeric flags override that shape's parameters. *)
+let batching_policy ~policy ~ack_flush ~ack_rider ~release_flush =
+  match Dsm.Batching.of_string policy with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok p ->
+      let or_else o d = Option.value o ~default:d in
+      {
+        p with
+        Dsm.Batching.ack_flush_us = or_else ack_flush p.Dsm.Batching.ack_flush_us;
+        ack_rider_bytes = or_else ack_rider p.Dsm.Batching.ack_rider_bytes;
+        release_flush_us = or_else release_flush p.Dsm.Batching.release_flush_us;
+      }
 
 (* Interconnect fault injection (shared by run and chaos). *)
 let fault_drop_arg =
@@ -247,8 +281,8 @@ let run_cmd =
   in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
       recovery drop duplicate jitter fault_seed crash_windows gdo_replicas dump_directory
-      request_timeout_us max_retransmits policy ttl ratio samples trace_capacity trace_tail
-      trace_chrome =
+      request_timeout_us max_retransmits policy ttl ratio samples batching ack_flush
+      ack_rider release_flush trace_capacity trace_tail trace_chrome =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
@@ -268,6 +302,7 @@ let run_cmd =
         request_timeout_us;
         max_retransmits;
         lease = lease_policy ~policy ~ttl ~ratio ~samples;
+        batching = batching_policy ~policy:batching ~ack_flush ~ack_rider ~release_flush;
         trace_capacity;
       }
     in
@@ -302,6 +337,7 @@ let run_cmd =
       $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ crash_windows_arg
       $ gdo_replicas_arg $ dump_directory_arg $ timeout_arg $ retransmits_arg
       $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg
+      $ batching_arg $ batch_ack_flush_arg $ batch_ack_rider_arg $ batch_release_flush_arg
       $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
@@ -536,6 +572,62 @@ let lease_cmd =
           operations, lease traffic and completion time against the leases-off baseline.")
     term
 
+let batch_cmd =
+  let protocols_arg =
+    let doc = "Protocol to sweep (repeatable); default otec and lotec." in
+    Arg.(value & opt_all protocol_conv [] & info [ "protocol"; "p" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let action seed roots protocols drop duplicate jitter fault_seed policy ack_flush ack_rider
+      release_flush json =
+    let spec = apply_overrides Experiments.Batching.default_spec seed roots in
+    let faults =
+      (* The default sweep injects light loss on purpose (acks only exist on
+         a lossy interconnect); explicit --fault-* flags override it. *)
+      if drop = 0.0 && duplicate = 0.0 && jitter = 0.0 then
+        Some Experiments.Batching.default_faults
+      else
+        fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows:[]
+    in
+    let policies =
+      (* Off is always the baseline; an explicit policy flag replaces the
+         default "all" comparison point. *)
+      match policy with
+      | "off" -> Dsm.Batching.[ off; all ]
+      | p -> [ Dsm.Batching.off; batching_policy ~policy:p ~ack_flush ~ack_rider ~release_flush ]
+    in
+    let protocols = if protocols = [] then None else Some protocols in
+    let outcomes = Experiments.Batching.sweep ~spec ~faults ?protocols ~policies () in
+    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+    Format.printf "%a@." Experiments.Batching.pp_report outcomes;
+    (match Experiments.Batching.lotec_message_reduction_pct outcomes with
+    | Some pct -> Format.printf "LOTEC messages vs off: %+.1f%%@." pct
+    | None -> ());
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Experiments.Batching.to_json outcomes);
+        close_out oc;
+        Format.printf "wrote %s@." file
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ roots_arg $ protocols_arg $ fault_drop_arg
+      $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ batching_arg
+      $ batch_ack_flush_arg $ batch_ack_rider_arg $ batch_release_flush_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Sweep the message-combining policy x protocols under light interconnect faults \
+          and report message/byte counts, combining counters and the software-cost replay \
+          grid against the batching-off baseline.")
+    term
+
 let trace_cmd =
   let count_arg =
     let doc = "Number of trailing events to print." in
@@ -602,5 +694,5 @@ let main () =
        (Cmd.group info
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
-            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd;
+            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd; batch_cmd;
           ]))

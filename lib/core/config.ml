@@ -29,6 +29,7 @@ type t = {
   heartbeat_interval_us : float;
   suspect_timeout_us : float;
   lease : Gdo.Lease.policy;
+  batching : Dsm.Batching.t;
 }
 
 let default =
@@ -63,6 +64,7 @@ let default =
     heartbeat_interval_us = 1_000.0;
     suspect_timeout_us = 4_000.0;
     lease = Gdo.Lease.Off;
+    batching = Dsm.Batching.off;
   }
 
 let validate t =
@@ -102,6 +104,13 @@ let validate t =
       "suspect_timeout_us must be >= heartbeat_interval_us"
   in
   let* () = Gdo.Lease.validate_policy t.lease in
+  let* () = Dsm.Batching.validate t.batching in
+  let* () =
+    check
+      ((not t.batching.Dsm.Batching.ack_piggyback)
+      || t.batching.Dsm.Batching.ack_flush_us < t.request_timeout_us)
+      "batching ack_flush_us must be below request_timeout_us"
+  in
   match t.faults with None -> Ok () | Some f -> Sim.Fault.validate f
 
 let pp fmt t =
@@ -124,4 +133,6 @@ let pp fmt t =
   | Some _ | None -> ());
   if Gdo.Lease.policy_enabled t.lease then
     Format.fprintf fmt "@,leases: %a" Gdo.Lease.pp_policy t.lease;
+  if Dsm.Batching.enabled t.batching then
+    Format.fprintf fmt "@,batching: %a" Dsm.Batching.pp t.batching;
   Format.fprintf fmt "@]"

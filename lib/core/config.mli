@@ -91,6 +91,15 @@ type t = {
           read leases alongside read grants, so repeat read acquisitions at a
           leased node complete with zero home-node messages, and write
           acquisitions first recall outstanding leases (see {!Gdo.Lease}). *)
+  batching : Dsm.Batching.t;
+      (** Message combining: {!Dsm.Batching.off} (default) reproduces the
+          paper's per-message protocol exactly; enabling features piggybacks
+          transport acks on same-channel payloads, aggregates a method's
+          demand fetches, coalesces same-instant per-home releases and
+          suppresses heartbeats on recently active channels (see
+          {!Dsm.Batching}). When [ack_piggyback] is on, [ack_flush_us] must
+          be below [request_timeout_us] so a flushed ack always beats the
+          sender's retransmit timer. *)
 }
 
 val default : t

@@ -108,6 +108,27 @@ type t = {
   mutable next_mid : int;
   acked : (int, unit) Hashtbl.t;  (* at the sender: mids known delivered *)
   seen : (int, unit) Hashtbl.t;  (* at receivers: mids whose effect already ran *)
+  (* Message-combining layer (see Dsm.Batching). [batch_acks] arms ack
+     piggybacking (policy on AND reliable transport active — without
+     faults there are no transport acks to combine); [batch_heartbeat]
+     arms heartbeat suppression (policy on AND crash windows configured).
+     Everything here is inert when the policy is off, keeping batching-off
+     runs byte-identical to the pre-batching runtime. *)
+  batching : Dsm.Batching.t;
+  batch_acks : bool;
+  batch_heartbeat : bool;
+  (* (acking node, original sender) channel -> mids whose transport ack is
+     deferred to ride the channel's next payload (or its flush timer). *)
+  pending_acks : (int * int, int list ref) Hashtbl.t;
+  ack_flush_armed : (int * int, unit) Hashtbl.t;
+  (* (releasing node, home) -> per-family release batches parked for the
+     coalescing flush, combined into a single Release message. *)
+  pending_releases :
+    (int * int, (Txn_id.t * (Oid.t * (int * int * int) list) list) list ref) Hashtbl.t;
+  release_flush_armed : (int * int, unit) Hashtbl.t;
+  (* src * node_count + dst -> time of the channel's last outbound remote
+     message; lets the heartbeat tick skip recently active channels. *)
+  last_traffic : float array;
   (* Read-lease subsystem (see Gdo.Lease). All four fields are inert when
      [lease_enabled] is false — the default — keeping fault-free runs
      byte-identical to the pre-lease runtime. *)
@@ -268,6 +289,20 @@ let create ~config:cfg ~catalog =
       next_mid = 0;
       acked = Hashtbl.create 256;
       seen = Hashtbl.create 256;
+      batching = cfg.Config.batching;
+      batch_acks =
+        cfg.Config.batching.Dsm.Batching.ack_piggyback && Sim.Network.faults_active net;
+      batch_heartbeat =
+        (cfg.Config.batching.Dsm.Batching.piggyback_heartbeat
+        &&
+        match cfg.Config.faults with
+        | Some f -> Sim.Fault.has_crash_windows f
+        | None -> false);
+      pending_acks = Hashtbl.create 16;
+      ack_flush_armed = Hashtbl.create 16;
+      pending_releases = Hashtbl.create 16;
+      release_flush_armed = Hashtbl.create 16;
+      last_traffic = Array.make (cfg.Config.node_count * cfg.Config.node_count) neg_infinity;
       lease_enabled = Gdo.Lease.policy_enabled cfg.Config.lease;
       lease_mgr = Gdo.Lease.create cfg.Config.lease;
       lease_caches =
@@ -298,9 +333,17 @@ let create ~config:cfg ~catalog =
       fetch_waits = [];
     }
   in
-  (* Trivial dispatch: every node executes delivered thunks. *)
+  (* Trivial dispatch: every node executes delivered thunks. With heartbeat
+     piggybacking, any delivered remote message doubles as a liveness
+     proof — it refreshes the receiver's failure detector exactly as a
+     Heartbeat would, which is what lets the sender suppress the periodic
+     one on an active channel. *)
   for node = 0 to cfg.Config.node_count - 1 do
-    Sim.Network.set_handler net ~node (fun ~src:_ (Exec f) -> f ())
+    Sim.Network.set_handler net ~node (fun ~src (Exec f) ->
+        if t.batch_heartbeat && src <> node && not t.crashed.(node) then
+          Sim.Failure_detector.heartbeat t.detectors.(node) ~node:src
+            ~now:(Sim.Engine.now engine);
+        f ())
   done;
   (* Initial placement: all pages of every object live on its home node at
      version 0; the GDO entry lives on the same node. *)
@@ -326,6 +369,59 @@ let protocol_for t oid =
       | Some p -> p
       | None -> t.cfg.Config.protocol)
 
+(* ------------------------------------------------------------------ *)
+(* Message combining (see [Dsm.Batching]): deferred transport acks ride
+   the channel's next payload, releases coalesce per home, heartbeats are
+   suppressed by recent traffic. All of it is inert when the policy is
+   off.                                                                *)
+
+(* Channel-activity note for heartbeat suppression: any outbound remote
+   message proves the sender alive to the destination (the receive
+   handler feeds the failure detector on every delivery). *)
+let note_traffic t ~src ~dst =
+  if t.batch_heartbeat then
+    t.last_traffic.((src * t.cfg.Config.node_count) + dst) <- Sim.Engine.now t.engine
+
+let take_pending_acks t ~src ~dst =
+  match Hashtbl.find_opt t.pending_acks (src, dst) with
+  | None -> []
+  | Some q ->
+      let mids = List.rev !q in
+      q := [];
+      mids
+
+(* Attach the channel's pending transport acks to an outgoing payload: the
+   carrier grows by the riders' bytes and its delivery additionally marks
+   the ridden mids acknowledged at the original sender. Riders are
+   accounted as 0-message/+bytes ledger entries (see
+   [Metrics.record_rider]) so both reconciliation invariants keep holding
+   exactly. *)
+let attach_ack_riders t ~src ~dst f =
+  if not t.batch_acks then (0, f)
+  else
+    match take_pending_acks t ~src ~dst with
+    | [] -> (0, f)
+    | mids ->
+        let k = List.length mids in
+        let bytes = k * t.batching.Dsm.Batching.ack_rider_bytes in
+        Dsm.Metrics.add_acks_piggybacked t.metrics k;
+        Dsm.Metrics.record_rider t.metrics ~mtype:Dsm.Wire.Ack ~count:k ~bytes;
+        record_event t (fun () -> Dsm.Event.Ack_piggyback { src; dst; acks = k });
+        ( bytes,
+          fun () ->
+            List.iter (fun mid -> Hashtbl.replace t.acked mid ()) mids;
+            f () )
+
+(* Remote-send bookkeeping shared by [send_exec] and the reliable
+   transport's (re)transmit path: the per-type ledger entry records the
+   carrier's own bytes, pending acks ride along as accounted riders, and
+   the traffic note feeds heartbeat suppression. *)
+let wire_send t ~mtype ~src ~dst ~kind ~bytes ~tag f =
+  Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
+  let rider_bytes, f = attach_ack_riders t ~src ~dst f in
+  note_traffic t ~src ~dst;
+  Sim.Network.send t.net ~src ~dst ~kind ~bytes:(bytes + rider_bytes) ~tag (Exec f)
+
 (* Same-node sends bypass the network's [on_message] hook, so they are
    excluded here too — the wire ledger must reconcile exactly with the
    per-object ledger that hook feeds. A crashed node sends nothing: the
@@ -333,8 +429,52 @@ let protocol_for t oid =
    reconciled. *)
 let send_exec t ~mtype ~src ~dst ~kind ~bytes ~tag f =
   if not (t.crash_enabled && t.crashed.(src)) then begin
-    if src <> dst then Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
-    Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
+    if src = dst then Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec f)
+    else wire_send t ~mtype ~src ~dst ~kind ~bytes ~tag f
+  end
+
+(* Flush timer: the channel saw no payload within [ack_flush_us] of its
+   first deferred ack, so one standalone Ack carries the whole backlog.
+   [ack_flush_us] sits well below the retransmit timeout (validated in
+   [Config]), so the original senders never time out waiting for a
+   deferred ack. The extra acks beyond the first are accounted as riders
+   on the flush message. *)
+let flush_acks t ~src ~dst =
+  Hashtbl.remove t.ack_flush_armed (src, dst);
+  match take_pending_acks t ~src ~dst with
+  | [] -> ()
+  | mids ->
+      let k = List.length mids in
+      Dsm.Metrics.add_acks_flushed t.metrics k;
+      if k > 1 then
+        Dsm.Metrics.record_rider t.metrics ~mtype:Dsm.Wire.Ack ~count:(k - 1) ~bytes:0;
+      record_event t (fun () -> Dsm.Event.Ack_flush { src; dst; acks = k });
+      let bytes =
+        t.cfg.Config.control_msg_bytes
+        + ((k - 1) * t.batching.Dsm.Batching.ack_rider_bytes)
+      in
+      send_exec t ~mtype:Dsm.Wire.Ack ~src ~dst ~kind:Sim.Network.Control ~bytes ~tag:(-1)
+        (fun () -> List.iter (fun mid -> Hashtbl.replace t.acked mid ()) mids)
+
+(* Receiver side of ack piggybacking: park the ack of [mid] on the reverse
+   channel, arming its flush timer on first use. *)
+let queue_ack t ~src ~dst mid =
+  if not (t.crash_enabled && t.crashed.(src)) then begin
+    let key = (src, dst) in
+    let q =
+      match Hashtbl.find_opt t.pending_acks key with
+      | Some q -> q
+      | None ->
+          let q = ref [] in
+          Hashtbl.add t.pending_acks key q;
+          q
+    in
+    q := mid :: !q;
+    if not (Hashtbl.mem t.ack_flush_armed key) then begin
+      Hashtbl.replace t.ack_flush_armed key ();
+      Sim.Engine.schedule t.engine ~delay:t.batching.Dsm.Batching.ack_flush_us (fun () ->
+          flush_acks t ~src ~dst)
+    end
   end
 
 let tag_of oid = Oid.to_int oid
@@ -360,9 +500,11 @@ let send_reliable ?(on_abandon = fun () -> ()) t ~mtype ~src ~dst ~kind ~bytes ~
     let mid = t.next_mid in
     let inc0 = if t.crash_enabled then t.incarnation.(src) else 0 in
     let deliver () =
-      send_exec t ~mtype:Dsm.Wire.Ack ~src:dst ~dst:src ~kind:Sim.Network.Control
-        ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
-        (fun () -> Hashtbl.replace t.acked mid ());
+      (if t.batch_acks then queue_ack t ~src:dst ~dst:src mid
+       else
+         send_exec t ~mtype:Dsm.Wire.Ack ~src:dst ~dst:src ~kind:Sim.Network.Control
+           ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
+           (fun () -> Hashtbl.replace t.acked mid ()));
       if not (Hashtbl.mem t.seen mid) then begin
         Hashtbl.add t.seen mid ();
         f ()
@@ -371,10 +513,7 @@ let send_reliable ?(on_abandon = fun () -> ()) t ~mtype ~src ~dst ~kind ~bytes ~
     (* Retransmitted copies are charged under the original message type, one
        ledger entry per transmission — matching [on_message], which fires on
        every copy put on the wire. *)
-    let transmit () =
-      Dsm.Metrics.record_wire t.metrics ~mtype ~bytes;
-      Sim.Network.send t.net ~src ~dst ~kind ~bytes ~tag (Exec deliver)
-    in
+    let transmit () = wire_send t ~mtype ~src ~dst ~kind ~bytes ~tag deliver in
     let rec arm attempt timeout =
       Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
           if not (Hashtbl.mem t.acked mid) then begin
@@ -760,20 +899,90 @@ and gdo_release t ~node ~family items =
     items;
   Hashtbl.iter
     (fun home items ->
-      let run () = process_release t ~home ~from:node ~family items in
-      if home = node then run ()
-      else
-        let bytes =
-          t.cfg.Config.control_msg_bytes
-          + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
-        in
-        send_reliable t ~mtype:Dsm.Wire.Release ~src:node ~dst:home ~kind:Sim.Network.Control
-          ~bytes ~tag:(-1)
-          ~on_abandon:(fun () ->
-            if not (t.crash_enabled && t.crashed.(node)) then
-              gdo_release t ~node ~family items)
-          run)
+      if home = node then process_release t ~home ~from:node ~family items
+      else if t.batching.Dsm.Batching.coalesce_release && not t.crash_enabled then
+        (* Under crash injection coalescing stands down: a commit's releases
+           must leave the node atomically with the commit point, or a crash
+           inside the flush window could swallow a committed family's
+           releases and leak its locks (see [Batching]). *)
+        queue_release t ~node ~home ~family items
+      else send_release t ~node ~home ~family items)
     by_home
+
+(* One Release message carrying one family's per-home batch — the
+   uncombined wire format. *)
+and send_release t ~node ~home ~family items =
+  let bytes =
+    t.cfg.Config.control_msg_bytes
+    + List.fold_left (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty)) 0 items
+  in
+  send_reliable t ~mtype:Dsm.Wire.Release ~src:node ~dst:home ~kind:Sim.Network.Control
+    ~bytes ~tag:(-1)
+    ~on_abandon:(fun () ->
+      if not (t.crash_enabled && t.crashed.(node)) then gdo_release t ~node ~family items)
+    (fun () -> process_release t ~home ~from:node ~family items)
+
+(* Coalescing: park the family's batch and flush the channel after
+   [release_flush_us]. A zero window still combines — the flush event is
+   scheduled behind every already-queued event of the current instant
+   (engine ties break by insertion order), so families committing at the
+   same simulated time share one Release message. *)
+and queue_release t ~node ~home ~family items =
+  let key = (node, home) in
+  let q =
+    match Hashtbl.find_opt t.pending_releases key with
+    | Some q -> q
+    | None ->
+        let q = ref [] in
+        Hashtbl.add t.pending_releases key q;
+        q
+  in
+  q := (family, items) :: !q;
+  if not (Hashtbl.mem t.release_flush_armed key) then begin
+    Hashtbl.replace t.release_flush_armed key ();
+    Sim.Engine.schedule t.engine ~delay:t.batching.Dsm.Batching.release_flush_us (fun () ->
+        flush_releases t ~node ~home)
+  end
+
+and flush_releases t ~node ~home =
+  Hashtbl.remove t.release_flush_armed (node, home);
+  let batches =
+    match Hashtbl.find_opt t.pending_releases (node, home) with
+    | None -> []
+    | Some q ->
+        let b = List.rev !q in
+        q := [];
+        b
+  in
+  match batches with
+  | [] -> ()
+  | [ (family, items) ] -> send_release t ~node ~home ~family items
+  | batches ->
+      let k = List.length batches in
+      Dsm.Metrics.add_releases_coalesced t.metrics (k - 1);
+      record_event t (fun () -> Dsm.Event.Release_coalesced { node; home; families = k });
+      (* One control header for the combined message; every family beyond
+         the first adds its 8-byte id on top of its items — cheaper than
+         the (k-1) headers the separate sends would have paid. *)
+      let bytes =
+        t.cfg.Config.control_msg_bytes
+        + List.fold_left
+            (fun acc (_, items) ->
+              List.fold_left
+                (fun acc (_, dirty) -> acc + 8 + (8 * List.length dirty))
+                acc items)
+            0 batches
+        + (8 * (k - 1))
+      in
+      send_reliable t ~mtype:Dsm.Wire.Release ~src:node ~dst:home ~kind:Sim.Network.Control
+        ~bytes ~tag:(-1)
+        ~on_abandon:(fun () ->
+          if not (t.crash_enabled && t.crashed.(node)) then
+            List.iter (fun (family, items) -> gdo_release t ~node ~family items) batches)
+        (fun () ->
+          List.iter
+            (fun (family, items) -> process_release t ~home ~from:node ~family items)
+            batches)
 
 (* Fiber-side global acquisition: route to the home, block until the reply. *)
 let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
@@ -989,6 +1198,11 @@ let crash_enter t ~node:d =
     (Catalog.oids t.catalog);
   (* The lease cache is volatile too. *)
   t.lease_caches.(d) <- Gdo.Lease.Cache.create ();
+  (* So are deferred transport acks: the crashed node forgets them; the
+     original senders retransmit and are re-acked after the rejoin. Armed
+     flush timers fire harmlessly on the emptied channels. *)
+  if t.batch_acks then
+    Hashtbl.iter (fun (src, _) q -> if src = d then q := []) t.pending_acks;
   recompute_acting_homes t
 
 (* Window end: the node rejoins under a fresh incarnation, runs its
@@ -1047,13 +1261,31 @@ let arm_crash_machinery t =
     Sim.Engine.schedule t.engine ~delay:cfg.Config.heartbeat_interval_us (fun () ->
         if Sim.Engine.now t.engine <= horizon then begin
           if not t.crashed.(s) then begin
+            let now = Sim.Engine.now t.engine in
             for dst = 0 to n - 1 do
               if dst <> s then
-                send_exec t ~mtype:Dsm.Wire.Heartbeat ~src:s ~dst ~kind:Sim.Network.Control
-                  ~bytes:cfg.Config.control_msg_bytes ~tag:(-1)
-                  (fun () ->
-                    Sim.Failure_detector.heartbeat t.detectors.(dst) ~node:s
-                      ~now:(Sim.Engine.now t.engine))
+                if
+                  t.batch_heartbeat
+                  && t.last_traffic.((s * n) + dst) > now -. cfg.Config.heartbeat_interval_us
+                then begin
+                  (* The channel carried a message within the last period:
+                     its delivery already refreshed dst's detector (the
+                     receive handler treats any delivery as a liveness
+                     proof), so the periodic heartbeat is redundant.
+                     Accounted as a 0-message/0-byte rider so the
+                     suppression stays visible in the ledger. *)
+                  Dsm.Metrics.incr_heartbeats_suppressed t.metrics;
+                  Dsm.Metrics.record_rider t.metrics ~mtype:Dsm.Wire.Heartbeat ~count:1
+                    ~bytes:0;
+                  record_event t (fun () ->
+                      Dsm.Event.Heartbeat_suppressed { src = s; dst })
+                end
+                else
+                  send_exec t ~mtype:Dsm.Wire.Heartbeat ~src:s ~dst ~kind:Sim.Network.Control
+                    ~bytes:cfg.Config.control_msg_bytes ~tag:(-1)
+                    (fun () ->
+                      Sim.Failure_detector.heartbeat t.detectors.(dst) ~node:s
+                        ~now:(Sim.Engine.now t.engine))
             done;
             check_suspects t ~observer:s
           end;
@@ -1155,29 +1387,56 @@ let transfer_on_acquire t ~family ~node ~oid ~(grant : Gdo.Directory.grant) ~pre
 
 (* Make sure the pages an access touches are up to date locally, fetching on
    demand when the protocol allows it (LOTEC's lazy fetch; RC-nested cold
-   pages). For COTEC/OTEC a stale page here is a protocol bug. *)
-let ensure_pages t ~family ~node ~oid pages =
+   pages). For COTEC/OTEC a stale page here is a protocol bug. [predicted]
+   is the running method's predicted access set, used by the
+   [aggregate_fetch] batching feature to widen the round. *)
+let ensure_pages t ~family ~node ~oid ~predicted pages =
   let g = snapshot t ~family ~oid in
-  let stale =
+  let stale_of ps =
     List.filter
       (fun p ->
         Dsm.Page_store.version t.stores.(node) oid ~page:p
         < g.Gdo.Directory.g_page_versions.(p))
-      pages
+      ps
   in
+  let stale = stale_of pages in
   if stale <> [] then begin
     let protocol = protocol_for t oid in
     if not (Dsm.Protocol.demand_fetch_allowed protocol) then
       failwith
         (Format.asprintf "protocol invariant violated: %a stale under %a" Oid.pp oid
            Dsm.Protocol.pp protocol);
+    (* Aggregation: the method touches (at most) its predicted set, so one
+       widened round replaces the per-access-group request/reply pairs the
+       method would otherwise pay. A widened page is as safe to pull as a
+       triggering one — staleness is judged against the same grant
+       snapshot, so its newest copy is held remotely. *)
+    let fetch =
+      if not t.batching.Dsm.Batching.aggregate_fetch then stale
+      else begin
+        let extra =
+          stale_of
+            (List.sort_uniq Int.compare
+               (List.filter (fun p -> not (List.mem p pages)) predicted))
+        in
+        if extra <> [] then begin
+          Dsm.Metrics.add_fetches_aggregated t.metrics (List.length extra);
+          record_event t (fun () ->
+              Dsm.Event.Fetch_aggregated
+                { oid; node;
+                  pages = List.length stale + List.length extra;
+                  extra = List.length extra })
+        end;
+        stale @ extra
+      end
+    in
     Dsm.Metrics.record_demand_fetch t.metrics ~oid;
     record_event t (fun () ->
-        let n = List.length stale in
+        let n = List.length fetch in
         Dsm.Event.Demand_fetch
           { oid; node; pages = n;
             bytes = n * (t.cfg.Config.page_size + t.cfg.Config.page_header_bytes) });
-    fetch_groups t ~family ~node ~oid (group_by_source ~node ~oid g stale)
+    fetch_groups t ~family ~node ~oid (group_by_source ~node ~oid g fetch)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1708,7 +1967,8 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
           exec_statement t ~node;
           check_crashed t ~txn_root:family;
           let pages = Layout.pages_of_attr layout a in
-          ensure_pages t ~family ~node ~oid pages;
+          ensure_pages t ~family ~node ~oid
+            ~predicted:cm.Obj_class.page_summary.Access_analysis.access_pages pages;
           check_crashed t ~txn_root:family;
           List.iter
             (fun page ->
@@ -1720,7 +1980,8 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
           exec_statement t ~node;
           check_crashed t ~txn_root:family;
           let pages = Layout.pages_of_attr layout a in
-          ensure_pages t ~family ~node ~oid pages;
+          ensure_pages t ~family ~node ~oid
+            ~predicted:cm.Obj_class.page_summary.Access_analysis.access_pages pages;
           (* The store may have been wiped to its durable versions while
              this fiber slept: writing now would corrupt restored state. *)
           check_crashed t ~txn_root:family;

@@ -33,6 +33,11 @@ type t =
   | Reclaim of { node : int; families : int; repointed : int }
   | Failover of { home : int; successor : int }
   | Failback of { home : int }
+  | Ack_piggyback of { src : int; dst : int; acks : int }
+  | Ack_flush of { src : int; dst : int; acks : int }
+  | Fetch_aggregated of { oid : Oid.t; node : int; pages : int; extra : int }
+  | Release_coalesced of { node : int; home : int; families : int }
+  | Heartbeat_suppressed of { src : int; dst : int }
 
 let category = function
   | Lock_request _ | Lock_grant _ | Lock_refused _ | Upgrade _ -> "lock"
@@ -51,6 +56,9 @@ let category = function
   | Node_suspected _ | Node_dead _ -> "suspect"
   | Reclaim _ -> "reclaim"
   | Failover _ | Failback _ -> "failover"
+  | Ack_piggyback _ | Ack_flush _ | Fetch_aggregated _ | Release_coalesced _
+  | Heartbeat_suppressed _ ->
+      "batch"
 
 let family = function
   | Lock_request { family; _ }
@@ -70,7 +78,8 @@ let family = function
   | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
   | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
   | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _ | Reclaim _
-  | Failover _ | Failback _ ->
+  | Failover _ | Failback _ | Ack_piggyback _ | Ack_flush _ | Fetch_aggregated _
+  | Release_coalesced _ | Heartbeat_suppressed _ ->
       None
 
 let oid = function
@@ -91,9 +100,11 @@ let oid = function
   | Recursion_reject { oid; _ } ->
       Some oid
   | Lease_abort { oid; _ } -> oid
+  | Fetch_aggregated { oid; _ } -> Some oid
   | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
   | Retransmit _ | Fault _ | Node_crash _ | Node_restart _ | Crash_abort _
-  | Node_suspected _ | Node_dead _ | Reclaim _ | Failover _ | Failback _ ->
+  | Node_suspected _ | Node_dead _ | Reclaim _ | Failover _ | Failback _ | Ack_piggyback _
+  | Ack_flush _ | Release_coalesced _ | Heartbeat_suppressed _ ->
       None
 
 let node = function
@@ -119,7 +130,13 @@ let node = function
   | Sub_abort { node; _ } ->
       node
   | Recursion_reject _ -> 0
-  | Retransmit { src; _ } | Fault { src; _ } -> src
+  | Retransmit { src; _ }
+  | Fault { src; _ }
+  | Ack_piggyback { src; _ }
+  | Ack_flush { src; _ }
+  | Heartbeat_suppressed { src; _ } ->
+      src
+  | Fetch_aggregated { node; _ } | Release_coalesced { node; _ } -> node
   | Node_crash { node; _ }
   | Node_restart { node; _ }
   | Crash_abort { node; _ }
@@ -209,3 +226,14 @@ let pp fmt ev =
       Format.fprintf fmt "%s: node %d takes over as home for partition %d" cat successor home
   | Failback { home } ->
       Format.fprintf fmt "%s: partition %d handed back to its rejoined home" cat home
+  | Ack_piggyback { src; dst; acks } ->
+      Format.fprintf fmt "%s: %d ack(s) ride %d->%d payload" cat acks src dst
+  | Ack_flush { src; dst; acks } ->
+      Format.fprintf fmt "%s: flush of %d pending ack(s) %d->%d" cat acks src dst
+  | Fetch_aggregated { oid; node; pages; extra } ->
+      Format.fprintf fmt "%s: %a fetch widened to %d page(s) (+%d predicted) at node %d" cat
+        Oid.pp oid pages extra node
+  | Release_coalesced { node; home; families } ->
+      Format.fprintf fmt "%s: %d release batch(es) %d->%d combined" cat families node home
+  | Heartbeat_suppressed { src; dst } ->
+      Format.fprintf fmt "%s: heartbeat %d->%d suppressed by recent traffic" cat src dst

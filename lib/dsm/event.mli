@@ -89,12 +89,29 @@ type t =
           directory partition ([gdo_replicas >= 1]) *)
   | Failback of { home : int }
       (** the partition was handed back when its real home rejoined *)
+  (* Message combining (see [Dsm.Batching]). *)
+  | Ack_piggyback of { src : int; dst : int; acks : int }
+      (** [acks] pending transport acks rode a [src]→[dst] payload as a
+          rider instead of travelling standalone *)
+  | Ack_flush of { src : int; dst : int; acks : int }
+      (** the flush timer fired with no payload to ride: one standalone
+          [Ack] carried the channel's [acks] pending acknowledgements *)
+  | Fetch_aggregated of { oid : Oid.t; node : int; pages : int; extra : int }
+      (** a demand fetch was widened to the method's predicted access set:
+          [pages] fetched in one round, of which [extra] were stale
+          predicted pages beyond the triggering access *)
+  | Release_coalesced of { node : int; home : int; families : int }
+      (** [families] same-instant release batches from [node] to [home]
+          travelled as a single [Release] message *)
+  | Heartbeat_suppressed of { src : int; dst : int }
+      (** a periodic heartbeat was skipped because the channel carried
+          traffic within the last heartbeat interval *)
 
 val category : t -> string
 (** Coarse grouping for tallies and filtering: ["lock"], ["lease"],
     ["transfer"], ["demand-fetch"], ["txn"], ["commit"], ["deadlock"],
     ["retransmit"], ["fault"], ["recursion"], ["crash"], ["suspect"],
-    ["reclaim"] or ["failover"]. *)
+    ["reclaim"], ["failover"] or ["batch"]. *)
 
 val family : t -> Txn_id.t option
 (** The transaction family the event belongs to, when it has one (lease

@@ -45,9 +45,16 @@ let value_of i =
     float_of_int lower +. (float_of_int (width - 1) /. 2.0)
   end
 
+(* Largest value representable in the bucketing (and in an OCaml int).
+   [int_of_float] is unspecified above [max_int], so anything at or beyond
+   this — including [infinity] — is clamped here first; the clamped value
+   lands in the top occupied bucket and keeps min/max/mean finite. *)
+let clamp_limit = float_of_int max_int
+
 let record t v =
   let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
-  let n = int_of_float (Float.round v) in
+  let v = if v >= clamp_limit then clamp_limit else v in
+  let n = if v >= clamp_limit then max_int else int_of_float (Float.round v) in
   let i = index_of n in
   t.buckets.(i) <- t.buckets.(i) + 1;
   t.count <- t.count + 1;
@@ -80,7 +87,10 @@ let percentile t p =
            end)
          t.buckets
      with Exit -> ());
-    !result
+    (* A bucket's representative is its midpoint, which can exceed the
+       observed maximum (or undercut the minimum at low p); the true
+       quantile is bounded by both, so clamp into [min_value, max_value]. *)
+    Float.min (Float.max !result (min_value t)) (max_value t)
   end
 
 let pp fmt t =

@@ -22,8 +22,10 @@ val linear_limit : int
     subject to the 1/32 relative quantization error. *)
 
 val record : t -> float -> unit
-(** Record one value, in microseconds. Negative values clamp to 0;
-    fractional values round to the nearest integer microsecond. *)
+(** Record one value, in microseconds. Negative values (and [nan]) clamp to
+    0; fractional values round to the nearest integer microsecond; values
+    at or above [max_int] (including [infinity]) clamp to the top bucket —
+    [record] never raises, whatever float it is handed. *)
 
 val count : t -> int
 (** Number of recorded values. *)
@@ -41,8 +43,10 @@ val percentile : t -> float -> float
 (** [percentile t p] with [p] in [0, 100]: nearest-rank quantile over the
     recorded distribution, reported as the representative value of the
     bucket containing that rank (exact below {!linear_limit}, bucket
-    midpoint above — within the 1/32 error bound). [percentile t 0] is
-    {!min_value}; 0 on an empty histogram.
+    midpoint above — within the 1/32 error bound), clamped into
+    [[min_value, max_value]] so no reported quantile falls outside the
+    observed range. [percentile t 0] is {!min_value}; 0 on an empty
+    histogram.
     @raise Invalid_argument if [p] is outside [0, 100]. *)
 
 val pp : Format.formatter -> t -> unit

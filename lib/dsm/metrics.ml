@@ -37,6 +37,11 @@ type totals = {
   nodes_declared_dead : int;
   families_reclaimed : int;
   failovers : int;
+  acks_piggybacked : int;
+  acks_flushed : int;
+  fetches_aggregated : int;
+  releases_coalesced : int;
+  heartbeats_suppressed : int;
 }
 
 type t = {
@@ -66,6 +71,11 @@ type t = {
   mutable nodes_declared_dead : int;
   mutable families_reclaimed : int;
   mutable failovers : int;
+  mutable acks_piggybacked : int;
+  mutable acks_flushed : int;
+  mutable fetches_aggregated : int;
+  mutable releases_coalesced : int;
+  mutable heartbeats_suppressed : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
   (* Per-message-type ledger, indexed by Wire.index; reconciles exactly with
@@ -73,6 +83,12 @@ type t = {
      both, retransmitted copies included). *)
   wire_counts : int array;
   wire_bytes : int array;
+  (* Riders: control payloads combined onto a carrier message of another
+     type (piggybacked acks, traffic-suppressed heartbeats). A rider adds
+     its bytes under its own type but zero messages — the carrier already
+     counted one message and its total (base + rider) bytes went on the
+     wire — so both reconciliation equalities keep holding exactly. *)
+  wire_riders : int array;
   (* Latency histograms (HDR-style, see Histogram). *)
   acquire_latency : Histogram.t;
   commit_latency : Histogram.t;
@@ -112,10 +128,16 @@ let create () =
     nodes_declared_dead = 0;
     families_reclaimed = 0;
     failovers = 0;
+    acks_piggybacked = 0;
+    acks_flushed = 0;
+    fetches_aggregated = 0;
+    releases_coalesced = 0;
+    heartbeats_suppressed = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
     wire_counts = Array.make Wire.count 0;
     wire_bytes = Array.make Wire.count 0;
+    wire_riders = Array.make Wire.count 0;
     acquire_latency = Histogram.create ();
     commit_latency = Histogram.create ();
     recall_latency = Histogram.create ();
@@ -160,11 +182,20 @@ let record_wire t ~mtype ~bytes =
   t.wire_counts.(i) <- t.wire_counts.(i) + 1;
   t.wire_bytes.(i) <- t.wire_bytes.(i) + bytes
 
+let record_rider t ~mtype ~count ~bytes =
+  let i = Wire.index mtype in
+  t.wire_riders.(i) <- t.wire_riders.(i) + count;
+  t.wire_bytes.(i) <- t.wire_bytes.(i) + bytes
+
 let wire_breakdown t =
   List.map (fun w -> (w, t.wire_counts.(Wire.index w), t.wire_bytes.(Wire.index w))) Wire.all
 
+let wire_rider_breakdown t =
+  List.map (fun w -> (w, t.wire_riders.(Wire.index w))) Wire.all
+
 let wire_messages_total t = Array.fold_left ( + ) 0 t.wire_counts
 let wire_bytes_total t = Array.fold_left ( + ) 0 t.wire_bytes
+let wire_riders_total t = Array.fold_left ( + ) 0 t.wire_riders
 
 let acquire_latency t = t.acquire_latency
 let commit_latency t = t.commit_latency
@@ -209,6 +240,11 @@ let incr_crash_aborts t = t.crash_aborts <- t.crash_aborts + 1
 let incr_nodes_declared_dead t = t.nodes_declared_dead <- t.nodes_declared_dead + 1
 let add_families_reclaimed t n = t.families_reclaimed <- t.families_reclaimed + n
 let incr_failovers t = t.failovers <- t.failovers + 1
+let add_acks_piggybacked t n = t.acks_piggybacked <- t.acks_piggybacked + n
+let add_acks_flushed t n = t.acks_flushed <- t.acks_flushed + n
+let add_fetches_aggregated t n = t.fetches_aggregated <- t.fetches_aggregated + n
+let add_releases_coalesced t n = t.releases_coalesced <- t.releases_coalesced + n
+let incr_heartbeats_suppressed t = t.heartbeats_suppressed <- t.heartbeats_suppressed + 1
 
 (* Home-node lock-protocol operations: every request the GDO home processes
    (acquires, upgrades, release batches) plus lease recall round trips. The
@@ -247,6 +283,11 @@ let totals t =
     nodes_declared_dead = t.nodes_declared_dead;
     families_reclaimed = t.families_reclaimed;
     failovers = t.failovers;
+    acks_piggybacked = t.acks_piggybacked;
+    acks_flushed = t.acks_flushed;
+    fetches_aggregated = t.fetches_aggregated;
+    releases_coalesced = t.releases_coalesced;
+    heartbeats_suppressed = t.heartbeats_suppressed;
   }
 
 let per_object t oid =
@@ -327,18 +368,49 @@ let pp_summary fmt t =
     Format.fprintf fmt
       "crashes: %d crash aborts, %d give-ups, %d declared dead, %d reclaimed, %d failovers@,"
       tt.crash_aborts tt.give_ups tt.nodes_declared_dead tt.families_reclaimed tt.failovers;
+  (* Batching line: absent unless the combining layer actually combined. *)
+  if
+    tt.acks_piggybacked + tt.acks_flushed + tt.fetches_aggregated + tt.releases_coalesced
+    + tt.heartbeats_suppressed
+    > 0
+  then
+    Format.fprintf fmt
+      "batching: %d acks piggybacked (%d flushed), %d fetch pages aggregated, %d releases \
+       coalesced, %d heartbeats suppressed@,"
+      tt.acks_piggybacked tt.acks_flushed tt.fetches_aggregated tt.releases_coalesced
+      tt.heartbeats_suppressed;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us
 
 let pp_wire_breakdown fmt t =
-  Format.fprintf fmt "@[<v>%-16s %10s %12s %10s@," "message type" "messages" "bytes" "b/msg";
-  List.iter
-    (fun (w, msgs, bytes) ->
-      if msgs > 0 then
-        Format.fprintf fmt "%-16s %10d %12d %10.1f@," (Wire.to_string w) msgs bytes
-          (float_of_int bytes /. float_of_int msgs))
-    (wire_breakdown t);
-  Format.fprintf fmt "%-16s %10d %12d@]" "total" (wire_messages_total t) (wire_bytes_total t)
+  (* The riders column only appears when something actually rode, so runs
+     without batching print byte-for-byte what they always did. *)
+  let riders = wire_riders_total t in
+  if riders = 0 then begin
+    Format.fprintf fmt "@[<v>%-16s %10s %12s %10s@," "message type" "messages" "bytes" "b/msg";
+    List.iter
+      (fun (w, msgs, bytes) ->
+        if msgs > 0 then
+          Format.fprintf fmt "%-16s %10d %12d %10.1f@," (Wire.to_string w) msgs bytes
+            (float_of_int bytes /. float_of_int msgs))
+      (wire_breakdown t);
+    Format.fprintf fmt "%-16s %10d %12d@]" "total" (wire_messages_total t)
+      (wire_bytes_total t)
+  end
+  else begin
+    Format.fprintf fmt "@[<v>%-16s %10s %12s %10s %8s@," "message type" "messages" "bytes"
+      "b/msg" "riders";
+    List.iter
+      (fun (w, msgs, bytes) ->
+        let r = t.wire_riders.(Wire.index w) in
+        if msgs > 0 || r > 0 then
+          let per_msg = if msgs > 0 then float_of_int bytes /. float_of_int msgs else 0.0 in
+          Format.fprintf fmt "%-16s %10d %12d %10.1f %8d@," (Wire.to_string w) msgs bytes
+            per_msg r)
+      (wire_breakdown t);
+    Format.fprintf fmt "%-16s %10d %12d %10s %8d@]" "total" (wire_messages_total t)
+      (wire_bytes_total t) "" riders
+  end
 
 let pp_latencies fmt t =
   Format.fprintf fmt "@[<v>acquire latency: %a@,commit latency:  %a" Histogram.pp

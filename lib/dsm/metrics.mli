@@ -51,15 +51,31 @@ val record_acquisition : t -> oid:Objmodel.Oid.t -> unit
 
 val record_wire : t -> mtype:Wire.t -> bytes:int -> unit
 
+val record_rider : t -> mtype:Wire.t -> count:int -> bytes:int -> unit
+(** Account [count] control payloads of type [mtype] that rode a carrier
+    message of another type (piggybacked acks on a payload, a heartbeat
+    satisfied by data traffic): the rider's bytes are added under [mtype]
+    with {e zero} messages, because the carrier was already counted as one
+    message carrying its base-plus-rider bytes. Both reconciliation
+    equalities above keep holding exactly with riders present. *)
+
 val wire_breakdown : t -> (Wire.t * int * int) list
 (** [(type, messages, bytes)] for every catalog type, in {!Wire.all}
-    order, zero rows included. *)
+    order, zero rows included. Bytes include rider bytes recorded under the
+    type. *)
+
+val wire_rider_breakdown : t -> (Wire.t * int) list
+(** [(type, riders)] for every catalog type, in {!Wire.all} order. *)
 
 val wire_messages_total : t -> int
 val wire_bytes_total : t -> int
 
+val wire_riders_total : t -> int
+(** Total combined payloads across all types; 0 without batching. *)
+
 val pp_wire_breakdown : Format.formatter -> t -> unit
-(** Table of the non-zero rows of {!wire_breakdown} plus a total line. *)
+(** Table of the non-zero rows of {!wire_breakdown} plus a total line; a
+    riders column appears when any payload was combined. *)
 
 (** {1 Latency histograms}
 
@@ -141,6 +157,21 @@ val incr_nodes_declared_dead : t -> unit
 val add_families_reclaimed : t -> int -> unit
 val incr_failovers : t -> unit
 
+(** {1 Message-combining counters}
+
+    See [Dsm.Batching]: transport acks that rode a payload instead of
+    travelling standalone (and the flush messages that carried the rest),
+    extra predicted pages aggregated into demand-fetch rounds that would
+    otherwise have needed their own request/reply pairs, release batches
+    merged into another family's [Release] message, and periodic heartbeats
+    suppressed because the channel carried recent traffic. All zero when
+    batching is off. *)
+val add_acks_piggybacked : t -> int -> unit
+val add_acks_flushed : t -> int -> unit
+val add_fetches_aggregated : t -> int -> unit
+val add_releases_coalesced : t -> int -> unit
+val incr_heartbeats_suppressed : t -> unit
+
 val home_lock_ops : t -> int
 (** Lock-protocol operations processed by GDO homes: global acquisitions +
     upgrades + release batches + recall/yield messages. The lease
@@ -173,6 +204,11 @@ type totals = {
   nodes_declared_dead : int;
   families_reclaimed : int;
   failovers : int;
+  acks_piggybacked : int;
+  acks_flushed : int;
+  fetches_aggregated : int;
+  releases_coalesced : int;
+  heartbeats_suppressed : int;
 }
 
 val totals : t -> totals

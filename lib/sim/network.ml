@@ -155,8 +155,26 @@ let inject t ~fc ~prng ~src ~dst ~channel ~base_arrival msg =
 let send t ~src ~dst ~kind ~bytes ~tag msg =
   check_node t src;
   check_node t dst;
-  if src = dst then
-    Engine.schedule t.engine ~delay:local_delivery_cost_us (fun () -> deliver t ~src ~dst msg)
+  if src = dst then begin
+    (* Local deliveries are free of wire accounting and never dropped,
+       duplicated or jittered — but a node inside one of its own fault
+       windows is as unavailable to itself as to its peers: a crash window
+       swallows the self-send, a pause window defers it. Without this a
+       node would "deliver" self-messages while crashed. No PRNG is
+       consulted, so fault-free runs stay byte-identical. *)
+    let arrival = Engine.now t.engine +. local_delivery_cost_us in
+    match t.faults with
+    | None ->
+        Engine.schedule t.engine ~delay:local_delivery_cost_us (fun () ->
+            deliver t ~src ~dst msg)
+    | Some (fc, _) -> (
+        match through_windows t ~src ~dst arrival fc.Fault.windows with
+        | Some arrival ->
+            Engine.schedule t.engine
+              ~delay:(arrival -. Engine.now t.engine)
+              (fun () -> deliver t ~src ~dst msg)
+        | None -> ())
+  end
   else begin
     let s = t.stats in
     s.messages <- s.messages + 1;

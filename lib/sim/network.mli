@@ -90,7 +90,11 @@ val send : 'msg t -> src:int -> dst:int -> kind:kind -> bytes:int -> tag:int -> 
 (** One-way message, delivered to the destination handler after the link
     latency. Same-node sends ([src = dst]) are delivered after a negligible
     local-delivery cost and are neither counted in {!stats} nor reported to
-    [on_message].
+    [on_message]. They are exempt from drops, duplicates and jitter (no
+    wire is traversed, and no random bits are drawn) but {e not} from the
+    node's own fault windows: a self-send into the node's crash window is
+    swallowed (counted as a crash drop), one into a pause window is
+    deferred to the window's end.
 
     Delivery is FIFO per ordered (src, dst) pair, as a connection-oriented
     transport provides: a later, smaller message never overtakes an earlier,

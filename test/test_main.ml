@@ -30,4 +30,5 @@ let () =
          Test_crash_recovery.tests;
          Test_lease.tests;
          Test_observability.tests;
+         Test_batching.tests;
        ])

@@ -211,6 +211,61 @@ let test_crash_window_drops () =
   Alcotest.(check int) "only post-restart delivery" 1 !got;
   Alcotest.(check int) "crash drop counted" 1 (Network.fault_stats net).Fault.crash_drops
 
+let test_crash_window_self_send () =
+  (* Regression: src = dst used to bypass the fault windows entirely, so a
+     node "delivered" messages to itself while crashed. A self-send inside
+     the node's own crash window is swallowed (and counted as a crash
+     drop); one after the restart is delivered at the local cost. Local
+     sends stay off the wire ledger either way. *)
+  let window = { Fault.w_node = 1; w_kind = Fault.Crash; w_from_us = 0.0; w_until_us = 500.0 } in
+  let engine, net = make_faulty ~windows:[ window ] () in
+  let got = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ m -> got := m :: !got);
+  Network.send net ~src:1 ~dst:1 ~kind:Network.Control ~bytes:50 ~tag:0 "lost";
+  Engine.schedule engine ~delay:1000.0 (fun () ->
+      Network.send net ~src:1 ~dst:1 ~kind:Network.Control ~bytes:50 ~tag:0 "kept");
+  Engine.run engine;
+  Alcotest.(check (list string)) "only the post-restart self-send" [ "kept" ] !got;
+  Alcotest.(check int) "crash drop counted" 1 (Network.fault_stats net).Fault.crash_drops;
+  Alcotest.(check int) "local sends never hit the wire ledger" 0
+    (Network.stats net).Network.messages
+
+let test_pause_window_self_send_defers () =
+  let window = { Fault.w_node = 1; w_kind = Fault.Pause; w_from_us = 0.0; w_until_us = 300.0 } in
+  let engine, net = make_faulty ~windows:[ window ] () in
+  let at = ref (-1.0) in
+  Network.set_handler net ~node:1 (fun ~src:_ _ -> at := Engine.now engine);
+  Network.send net ~src:1 ~dst:1 ~kind:Network.Control ~bytes:50 ~tag:0 "x";
+  Engine.run engine;
+  Alcotest.(check (float 0.001)) "self-send deferred to window end" 300.0 !at;
+  Alcotest.(check int) "defer counted" 1 (Network.fault_stats net).Fault.pause_defers
+
+let test_pause_window_fifo_pileup () =
+  (* Several messages land inside the same pause window: all are deferred
+     to the same w_until_us, and the per-channel FIFO must still hand them
+     over in send order (engine ties break by insertion order; the channel
+     clamp never reorders). Each send is charged at send time — the pile-up
+     defers delivery, not the wire accounting. *)
+  let window = { Fault.w_node = 1; w_kind = Fault.Pause; w_from_us = 0.0; w_until_us = 500.0 } in
+  let engine, net = make_faulty ~windows:[ window ] () in
+  let got = ref [] in
+  Network.set_handler net ~node:1 (fun ~src:_ m -> got := (m, Engine.now engine) :: !got);
+  List.iteri
+    (fun i m ->
+      Engine.schedule engine ~delay:(float_of_int i *. 10.0) (fun () ->
+          Network.send net ~src:0 ~dst:1 ~kind:Network.Control ~bytes:100 ~tag:0 m))
+    [ "1"; "2"; "3" ];
+  Engine.run engine;
+  let deliveries = List.rev !got in
+  Alcotest.(check (list string)) "fifo preserved through the pile-up" [ "1"; "2"; "3" ]
+    (List.map fst deliveries);
+  List.iter
+    (fun (m, at) ->
+      Alcotest.(check (float 0.001)) (Printf.sprintf "%s released at window end" m) 500.0 at)
+    deliveries;
+  Alcotest.(check int) "every send charged" 3 (Network.stats net).Network.messages;
+  Alcotest.(check int) "every defer counted" 3 (Network.fault_stats net).Fault.pause_defers
+
 let test_inactive_faults_identical () =
   (* A zero-rate fault config must not perturb anything — same latency as the
      plain network, injector disarmed. *)
@@ -267,6 +322,10 @@ let tests =
         Alcotest.test_case "jitter keeps channel fifo" `Quick test_jitter_keeps_channel_fifo;
         Alcotest.test_case "pause window defers" `Quick test_pause_window_defers;
         Alcotest.test_case "crash window drops" `Quick test_crash_window_drops;
+        Alcotest.test_case "crash window swallows self-send" `Quick test_crash_window_self_send;
+        Alcotest.test_case "pause window defers self-send" `Quick
+          test_pause_window_self_send_defers;
+        Alcotest.test_case "pause window fifo pile-up" `Quick test_pause_window_fifo_pileup;
         Alcotest.test_case "inactive config identical" `Quick test_inactive_faults_identical;
         Alcotest.test_case "fault validate" `Quick test_fault_validate;
       ] );

@@ -63,6 +63,43 @@ let test_histogram_percentile_domain () =
         (fun () -> ignore (Histogram.percentile h p)))
     [ -1.0; 100.5 ]
 
+let test_histogram_extreme_values () =
+  (* Regression: [record] used to overflow [int_of_float] on values beyond
+     the int range (nan/inf/1e300 produce an unspecified int, which indexed
+     outside the bucket array), and [percentile] could report a bucket
+     midpoint above the recorded maximum. Non-finite and over-range values
+     clamp to the top bucket; every percentile stays within
+     [min_value, max_value]. *)
+  let h = Histogram.create () in
+  List.iter (Histogram.record h)
+    [ Float.nan; Float.infinity; Float.neg_infinity; 1.0e300; float_of_int max_int; -1.0e300; 3.5 ];
+  Alcotest.(check int) "every value counted" 7 (Histogram.count h);
+  let p99 = Histogram.percentile h 99.0 and p50 = Histogram.percentile h 50.0 in
+  Alcotest.(check bool) "p99 <= max" true (p99 <= Histogram.max_value h);
+  Alcotest.(check bool) "p50 >= min" true (p50 >= Histogram.min_value h);
+  (* A single huge value: its percentile must equal the recorded max, not
+     the (larger) top-bucket midpoint. *)
+  let h = Histogram.create () in
+  Histogram.record h 9.0e18;
+  Alcotest.(check (float 0.0)) "p100 clamped to max" (Histogram.max_value h)
+    (Histogram.percentile h 100.0)
+
+let prop_record_never_raises =
+  (* Any float — finite, huge, negative, nan, inf — must be recordable, and
+     percentiles must stay inside the recorded range. *)
+  let special = [ Float.nan; Float.infinity; Float.neg_infinity; 1.79e308; -1.0e300 ] in
+  QCheck2.Test.make ~name:"histogram record never raises, percentile in range" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 1 50)
+        (oneof [ oneofl special; float; float_range (-1.0e9) 1.0e18 ]))
+    (fun values ->
+      let h = Histogram.create () in
+      List.iter (Histogram.record h) values;
+      let p99 = Histogram.percentile h 99.0 in
+      Histogram.count h = List.length values
+      && p99 <= Histogram.max_value h
+      && p99 >= Histogram.min_value h)
+
 let prop_percentiles_monotone =
   QCheck2.Test.make ~name:"histogram percentiles are monotone and bounded" ~count:100
     QCheck2.Gen.(list_size (int_range 1 200) (float_range 0.0 1.0e7))
@@ -296,6 +333,8 @@ let tests =
         Alcotest.test_case "histogram clamp and round" `Quick
           test_histogram_negative_and_rounding;
         Alcotest.test_case "histogram percentile domain" `Quick test_histogram_percentile_domain;
+        Alcotest.test_case "histogram extreme values" `Quick test_histogram_extreme_values;
+        QCheck_alcotest.to_alcotest prop_record_never_raises;
         QCheck_alcotest.to_alcotest prop_percentiles_monotone;
         Alcotest.test_case "wire ledger reconciles" `Quick test_wire_reconciles_fault_free;
         Alcotest.test_case "wire ledger reconciles under faults" `Quick
