@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos crash-chaos lease batch doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos lease batch scale scale-smoke doc clean
 
 all: build
 
@@ -33,6 +33,19 @@ lease:
 # a batching-off run records zero combining activity.
 batch:
 	dune exec bin/lotec_sim.exe -- batch --json BENCH_batch.json
+
+# Scale sweep: engine micro-benchmarks plus the default 100k/300k/1M-root
+# streaming runs across all four protocols. Writes BENCH_engine.json.
+scale:
+	dune exec bin/lotec_sim.exe -- scale --engine-bench --json BENCH_engine.json
+
+# Small fixed point for CI: 10k roots over 64 nodes per protocol, with a
+# conservative events/sec floor (measured ~0.6-1.2M on dev hardware; the
+# floor leaves ~10x headroom for slow CI runners) and a heap ceiling.
+scale-smoke:
+	dune exec bin/lotec_sim.exe -- scale --roots 10000 --nodes 64 \
+		--assert-min-events-per-sec 100000 --assert-max-heap-mb 512 \
+		--json BENCH_engine.json
 
 # API docs. odoc warnings are fatal (root dune env stanza), so a broken
 # {!reference} fails the build — CI runs this; locally it skips gracefully

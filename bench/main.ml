@@ -116,6 +116,37 @@ let crash_chaos () =
   close_out oc;
   Format.printf "wrote %s@.@." crash_json_file
 
+(* The engine micro-benchmark (flat event pool vs the recorded
+   pre-refactor baseline) plus the 100k-root scale point per protocol
+   (streaming metrics), written as BENCH_engine.json: the
+   machine-readable record of raw simulator speed across revisions (see
+   EXPERIMENTS.md, "Scale"). The full 100k/300k/1M default sweep is
+   `make scale` — the 1M x 256 points alone take several minutes each,
+   too slow for the everything-bench. *)
+let engine_json_file = "BENCH_engine.json"
+
+let bench_scale_points = [ (100_000, 64) ]
+
+let engine_scale () =
+  Format.printf "==================================================================@.";
+  Format.printf "Engine speed: event-pool micro-benchmark + scale sweep@.";
+  Format.printf "==================================================================@.@.";
+  let bench = Experiments.Scale.engine_bench () in
+  Format.printf "%a@." Experiments.Scale.pp_bench bench;
+  let progress (r : Experiments.Scale.scale_row) =
+    Format.printf "  %-9s %8d roots x %3d nodes: %6.2f s wall, %8.0f events/sec@."
+      (Format.asprintf "%a" Dsm.Protocol.pp r.Experiments.Scale.s_protocol)
+      r.Experiments.Scale.s_roots r.Experiments.Scale.s_nodes
+      r.Experiments.Scale.s_profile.Experiments.Scale.wall_s
+      r.Experiments.Scale.s_profile.Experiments.Scale.events_per_sec
+  in
+  let scale = Experiments.Scale.sweep ~points:bench_scale_points ~progress () in
+  Format.printf "@.%a@." Experiments.Scale.pp_sweep scale;
+  let oc = open_out engine_json_file in
+  output_string oc (Experiments.Scale.to_json ~bench ~scale ());
+  close_out oc;
+  Format.printf "wrote %s@.@." engine_json_file
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing of the simulator itself.                    *)
 
@@ -247,4 +278,5 @@ let () =
   batching_sweep ();
   msg_breakdown ();
   crash_chaos ();
+  engine_scale ();
   benchmark ()

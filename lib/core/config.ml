@@ -22,6 +22,7 @@ type t = {
   multicast_push : bool;
   allow_recursive_catalogs : bool;
   trace_capacity : int;
+  streaming : bool;
   cpu_limited : bool;
   faults : Sim.Fault.config option;
   request_timeout_us : float;
@@ -57,6 +58,7 @@ let default =
     multicast_push = false;
     allow_recursive_catalogs = false;
     trace_capacity = 0;
+    streaming = false;
     cpu_limited = false;
     faults = None;
     request_timeout_us = 5_000.0;
@@ -95,6 +97,11 @@ let validate t =
       "gdo_replicas must be in [0, node_count)"
   in
   let* () = check (t.trace_capacity >= 0) "trace_capacity must be >= 0" in
+  let* () =
+    check
+      ((not t.streaming) || Option.is_none t.faults)
+      "streaming requires a fault-free run (faults = None)"
+  in
   let* () = check (t.request_timeout_us > 0.0) "request_timeout_us must be positive" in
   let* () = check (t.max_retransmits >= 0) "max_retransmits must be >= 0" in
   let* () = check (t.heartbeat_interval_us > 0.0) "heartbeat_interval_us must be positive" in

@@ -55,6 +55,18 @@ type t = {
           a family that actually recurses is aborted permanently. *)
   (* Instrumentation and execution model. *)
   trace_capacity : int;  (** > 0 keeps a ring of protocol events of that size *)
+  streaming : bool;
+      (** Bounded-memory mode for very large runs (the [scale] experiment):
+          per-root results and the serializability history are not retained
+          — aggregate {!Dsm.Metrics} counters and histograms are the only
+          output — and a root family's transaction-tree records are pruned
+          when the family completes, so resident memory no longer grows
+          with the root count. {!Runtime.results} returns [[]],
+          {!Runtime.check_serializable} trivially passes. Requires a
+          fault-free run ([faults = None]): the reliable transport and
+          crash recovery consult completed families' records. Off by
+          default — default-config runs are byte-identical to the
+          pre-streaming runtime. *)
   cpu_limited : bool;
       (** serialise statement execution on one CPU per node (off by default:
           the paper's metrics are traffic-, not CPU-bound) *)

@@ -37,6 +37,26 @@ type root_result = {
    is delivered; all byte/kind/tag accounting happens at send time. *)
 type msg = Exec of (unit -> unit)
 
+(* Int-keyed tables for the per-message path: monomorphic hashing and no
+   tuple allocation per lookup (the polymorphic Hashtbl versions built a
+   fresh (int, Txn_id.t) pair for every find/replace/remove). *)
+module Itbl = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash (x : int) = x
+end)
+
+(* (object, family) packed into one int: object id in the high bits,
+   family id — dense, monotonically assigned — in the low bits, so the
+   identity hash above spreads buckets well. Object ids are bounded at
+   [okey]'s first use per call; family ids cannot reach 2^42 in any
+   feasible run. *)
+let okey oid family =
+  let o = Oid.to_int oid in
+  if o >= 1 lsl 20 then invalid_arg "Runtime: object id exceeds the 2^20 key space";
+  (o lsl 42) lor Txn_id.to_int family
+
 type refusal =
   | Busy
   | Deadlock of Txn_id.t list
@@ -75,15 +95,15 @@ type t = {
   metrics : Dsm.Metrics.t;
   mutable next_version : int;
   (* Deferred GDO grants: (object, family) -> ivar of the blocked acquire. *)
-  pending : (int * Txn_id.t, reply Sim.Engine.Ivar.t) Hashtbl.t;
+  pending : reply Sim.Engine.Ivar.t Itbl.t;
   (* Global acquires in flight, to serialise racing acquires (main fiber vs
      prefetch fibers) by the same family on the same object. *)
-  inflight : (int * Txn_id.t, reply Sim.Engine.Ivar.t) Hashtbl.t;
+  inflight : reply Sim.Engine.Ivar.t Itbl.t;
   (* Acquisition-time page transfers in flight: with optimistic
      pre-acquisition, a child can be granted the lock locally while the
      prefetch fiber's pages are still on the wire; every grant path awaits
      this before the method body may touch the object. *)
-  transfers : (int * Txn_id.t, unit Sim.Engine.Ivar.t) Hashtbl.t;
+  transfers : unit Sim.Engine.Ivar.t Itbl.t;
   (* Family grant snapshots: the page map each family received for each
      object it holds; consulted for staleness checks and demand fetches. *)
   snapshots : Gdo.Directory.grant Oid.Table.t Txn_id.Table.t;
@@ -106,8 +126,8 @@ type t = {
      while unacknowledged. *)
   reliable : bool;
   mutable next_mid : int;
-  acked : (int, unit) Hashtbl.t;  (* at the sender: mids known delivered *)
-  seen : (int, unit) Hashtbl.t;  (* at receivers: mids whose effect already ran *)
+  acked : unit Itbl.t;  (* at the sender: mids known delivered *)
+  seen : unit Itbl.t;  (* at receivers: mids whose effect already ran *)
   (* Message-combining layer (see Dsm.Batching). [batch_acks] arms ack
      piggybacking (policy on AND reliable transport active — without
      faults there are no transport acks to combine); [batch_heartbeat]
@@ -140,10 +160,10 @@ type t = {
   lease_reads : unit Oid.Table.t Txn_id.Table.t;
   (* home-side: write acquisitions parked behind an in-progress lease
      recall, keyed by object; drained FIFO when the recall clears. *)
-  lease_blocked : (int, (unit -> unit) Queue.t) Hashtbl.t;
+  lease_blocked : (unit -> unit) Queue.t Itbl.t;
   (* object -> simulated time its in-progress recall was issued; feeds the
      recall-to-clear latency histogram. *)
-  recall_started : (int, float) Hashtbl.t;
+  recall_started : float Itbl.t;
   (* Crash-recovery subsystem. Everything below is inert when
      [crash_enabled] is false — no crash windows configured — keeping
      crash-free runs byte-identical to the pre-recovery runtime. *)
@@ -266,9 +286,9 @@ let create ~config:cfg ~catalog =
       locks = Array.init cfg.Config.node_count (fun _ -> Local_locks.create tree);
       metrics;
       next_version = 0;
-      pending = Hashtbl.create 64;
-      inflight = Hashtbl.create 16;
-      transfers = Hashtbl.create 16;
+      pending = Itbl.create 64;
+      inflight = Itbl.create 16;
+      transfers = Itbl.create 16;
       snapshots = Txn_id.Table.create 64;
       recovery_logs = Txn_id.Table.create 64;
       txn_objects = Txn_id.Table.create 64;
@@ -287,8 +307,8 @@ let create ~config:cfg ~catalog =
          else None);
       reliable = Sim.Network.faults_active net;
       next_mid = 0;
-      acked = Hashtbl.create 256;
-      seen = Hashtbl.create 256;
+      acked = Itbl.create 256;
+      seen = Itbl.create 256;
       batching = cfg.Config.batching;
       batch_acks =
         cfg.Config.batching.Dsm.Batching.ack_piggyback && Sim.Network.faults_active net;
@@ -308,8 +328,8 @@ let create ~config:cfg ~catalog =
       lease_caches =
         Array.init cfg.Config.node_count (fun _ -> Gdo.Lease.Cache.create ());
       lease_reads = Txn_id.Table.create 64;
-      lease_blocked = Hashtbl.create 16;
-      recall_started = Hashtbl.create 16;
+      lease_blocked = Itbl.create 16;
+      recall_started = Itbl.create 16;
       crash_enabled =
         (match cfg.Config.faults with
         | Some f -> Sim.Fault.has_crash_windows f
@@ -409,7 +429,7 @@ let attach_ack_riders t ~src ~dst f =
         record_event t (fun () -> Dsm.Event.Ack_piggyback { src; dst; acks = k });
         ( bytes,
           fun () ->
-            List.iter (fun mid -> Hashtbl.replace t.acked mid ()) mids;
+            List.iter (fun mid -> Itbl.replace t.acked mid ()) mids;
             f () )
 
 (* Remote-send bookkeeping shared by [send_exec] and the reliable
@@ -454,7 +474,7 @@ let flush_acks t ~src ~dst =
         + ((k - 1) * t.batching.Dsm.Batching.ack_rider_bytes)
       in
       send_exec t ~mtype:Dsm.Wire.Ack ~src ~dst ~kind:Sim.Network.Control ~bytes ~tag:(-1)
-        (fun () -> List.iter (fun mid -> Hashtbl.replace t.acked mid ()) mids)
+        (fun () -> List.iter (fun mid -> Itbl.replace t.acked mid ()) mids)
 
 (* Receiver side of ack piggybacking: park the ack of [mid] on the reverse
    channel, arming its flush timer on first use. *)
@@ -504,9 +524,9 @@ let send_reliable ?(on_abandon = fun () -> ()) t ~mtype ~src ~dst ~kind ~bytes ~
        else
          send_exec t ~mtype:Dsm.Wire.Ack ~src:dst ~dst:src ~kind:Sim.Network.Control
            ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
-           (fun () -> Hashtbl.replace t.acked mid ()));
-      if not (Hashtbl.mem t.seen mid) then begin
-        Hashtbl.add t.seen mid ();
+           (fun () -> Itbl.replace t.acked mid ()));
+      if not (Itbl.mem t.seen mid) then begin
+        Itbl.add t.seen mid ();
         f ()
       end
     in
@@ -516,7 +536,7 @@ let send_reliable ?(on_abandon = fun () -> ()) t ~mtype ~src ~dst ~kind ~bytes ~
     let transmit () = wire_send t ~mtype ~src ~dst ~kind ~bytes ~tag deliver in
     let rec arm attempt timeout =
       Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
-          if not (Hashtbl.mem t.acked mid) then begin
+          if not (Itbl.mem t.acked mid) then begin
             if t.crash_enabled && (t.crashed.(src) || t.incarnation.(src) <> inc0) then
               (* The sender crashed since this message was sent: its unacked
                  transport state is gone. Fail the blocked operation quietly
@@ -644,20 +664,20 @@ let replicate_gdo_update t ~home ~oid =
    order — the first (the excluded writer) reaches the directory first and
    is therefore the first granted. *)
 let drain_lease_blocked t ~oid =
-  match Hashtbl.find_opt t.lease_blocked (Oid.to_int oid) with
+  match Itbl.find_opt t.lease_blocked (Oid.to_int oid) with
   | None -> ()
   | Some q ->
-      Hashtbl.remove t.lease_blocked (Oid.to_int oid);
+      Itbl.remove t.lease_blocked (Oid.to_int oid);
       Queue.iter (fun k -> k ()) q
 
 (* Executed at the GDO home when a Lease_yield arrives. *)
 (* The recall latency span closes here (last yield) or at the TTL
    force-clear — whichever resolves the recall. *)
 let note_recall_resolved t ~oid =
-  match Hashtbl.find_opt t.recall_started (Oid.to_int oid) with
+  match Itbl.find_opt t.recall_started (Oid.to_int oid) with
   | None -> ()
   | Some t0 ->
-      Hashtbl.remove t.recall_started (Oid.to_int oid);
+      Itbl.remove t.recall_started (Oid.to_int oid);
       Dsm.Metrics.record_recall_latency_us t.metrics (Sim.Engine.now t.engine -. t0)
 
 let process_lease_yield t ~oid ~node =
@@ -707,7 +727,7 @@ let start_lease_recall t ~home ~oid ~excluded =
       record_event t (fun () ->
           Dsm.Event.Lease_recall
             { oid; node = home; nodes = List.length ro_nodes; epoch = ro_epoch });
-      Hashtbl.replace t.recall_started (Oid.to_int oid) now;
+      Itbl.replace t.recall_started (Oid.to_int oid) now;
       List.iter
         (fun node ->
           let deliver () = handle_lease_recall t ~node ~oid ~epoch:ro_epoch ~excluded in
@@ -777,7 +797,7 @@ let process_acquire_core t ~home ~requester ~family ~oid ~mode ~block
       reply_from_home t ~home ~dst:requester ~oid iv (Ok (g, lease))
   | Gdo.Directory.Queued ->
       replicate_gdo_update t ~home ~oid;
-      Hashtbl.replace t.pending (Oid.to_int oid, family) iv
+      Itbl.replace t.pending (okey oid family) iv
   | Gdo.Directory.Busy -> reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
   | Gdo.Directory.Deadlock cycle ->
       reply_from_home t ~home ~dst:requester ~oid iv (Error (Deadlock cycle))
@@ -798,11 +818,11 @@ let gate_lease_write t ~home ~requester ~family ~oid ~block ~core
     if not block then reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
     else begin
       let q =
-        match Hashtbl.find_opt t.lease_blocked (Oid.to_int oid) with
+        match Itbl.find_opt t.lease_blocked (Oid.to_int oid) with
         | Some q -> q
         | None ->
             let q = Queue.create () in
-            Hashtbl.replace t.lease_blocked (Oid.to_int oid) q;
+            Itbl.replace t.lease_blocked (Oid.to_int oid) q;
             q
       in
       Queue.add core q;
@@ -844,10 +864,10 @@ let process_acquire t ~home ~requester ~family ~oid ~mode ~block (iv : reply Sim
 
 let rec deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
   let oid = d.d_grant.Gdo.Directory.g_oid in
-  match Hashtbl.find_opt t.pending (Oid.to_int oid, d.d_family) with
+  match Itbl.find_opt t.pending (okey oid d.d_family) with
   | None -> ()  (* e.g. a test driving the directory directly *)
   | Some iv ->
-      Hashtbl.remove t.pending (Oid.to_int oid, d.d_family);
+      Itbl.remove t.pending (okey oid d.d_family);
       if family_defunct t d.d_family then begin
         (* The queued family aborted while waiting (transport give-up or
            crash unblocked it): hand the just-granted lock straight back
@@ -986,12 +1006,12 @@ and flush_releases t ~node ~home =
 
 (* Fiber-side global acquisition: route to the home, block until the reply. *)
 let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
-  let key = (Oid.to_int oid, family) in
-  match Hashtbl.find_opt t.inflight key with
+  let key = okey oid family in
+  match Itbl.find_opt t.inflight key with
   | Some iv -> Sim.Engine.Ivar.read iv
   | None ->
       let iv = Sim.Engine.Ivar.create () in
-      Hashtbl.replace t.inflight key iv;
+      Itbl.replace t.inflight key iv;
       let home = home_of t oid in
       let start () = process_acquire t ~home ~requester:node ~family ~oid ~mode ~block iv in
       if home = node then start ()
@@ -1003,7 +1023,7 @@ let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
               Sim.Engine.Ivar.fill iv (Error Crashed))
           start;
       let r = Sim.Engine.Ivar.read iv in
-      Hashtbl.remove t.inflight key;
+      Itbl.remove t.inflight key;
       r
 
 (* ------------------------------------------------------------------ *)
@@ -1155,8 +1175,9 @@ let crash_enter t ~node:d =
      families and requests routed to this node as acting home (checked
      before the failover recompute below, matching send-time routing). *)
   let stuck =
-    Hashtbl.fold
-      (fun (oid_i, fam) iv acc ->
+    Itbl.fold
+      (fun key iv acc ->
+        let oid_i = key lsr 42 and fam = Txn_id.of_int (key land ((1 lsl 42) - 1)) in
         if
           Txn_id.Table.mem t.doomed fam
           || t.acting_home.(oid_i mod t.cfg.Config.node_count) = d
@@ -1169,8 +1190,9 @@ let crash_enter t ~node:d =
       if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed))
     stuck;
   (* Complete doomed families' transfer waits (awaiters re-check doom). *)
-  Hashtbl.iter
-    (fun (_, fam) iv ->
+  Itbl.iter
+    (fun key iv ->
+      let fam = Txn_id.of_int (key land ((1 lsl 42) - 1)) in
       if Txn_id.Table.mem t.doomed fam && not (Sim.Engine.Ivar.is_filled iv) then
         Sim.Engine.Ivar.fill iv ())
     t.transfers;
@@ -1503,7 +1525,7 @@ let drop_lease_reads t family = Txn_id.Table.remove t.lease_reads family
    finished pulling the object's acquisition-time pages; being granted the
    lock locally does not mean the pages have landed. *)
 let await_transfer t ~family ~oid =
-  match Hashtbl.find_opt t.transfers (Oid.to_int oid, family) with
+  match Itbl.find_opt t.transfers (okey oid family) with
   | Some iv -> Sim.Engine.Ivar.read iv
   | None -> ()
 
@@ -1595,7 +1617,7 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
           true
       | None -> (
       Dsm.Metrics.incr_global_acquisitions t.metrics;
-      let had_inflight = Hashtbl.mem t.inflight (Oid.to_int oid, family) in
+      let had_inflight = Itbl.mem t.inflight (okey oid family) in
       if not had_inflight then
         record_event t (fun () -> Dsm.Event.Lock_request { oid; family = txn; node; mode });
       let t0 = Sim.Engine.now t.engine in
@@ -1612,11 +1634,11 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
             Dsm.Metrics.record_acquisition t.metrics ~oid;
             record_event t (fun () -> Dsm.Event.Lock_grant { oid; family = txn; node; mode });
             let transfer_iv = Sim.Engine.Ivar.create () in
-            Hashtbl.replace t.transfers (Oid.to_int oid, family) transfer_iv;
+            Itbl.replace t.transfers (okey oid family) transfer_iv;
             (* A failed transfer (crash, give-up) must still complete the
                transfer ivar, or same-family fibers awaiting it stall. *)
             let finish_transfer () =
-              Hashtbl.remove t.transfers (Oid.to_int oid, family);
+              Itbl.remove t.transfers (okey oid family);
               (* crash_enter may have completed the ivar already (doomed
                  family): waiters re-check doom, so a second fill is moot. *)
               if not (Sim.Engine.Ivar.is_filled transfer_iv) then
@@ -1839,19 +1861,24 @@ let commit_root t root =
   in
   if push_items <> [] then eager_push t ~node push_items;
   gdo_release t ~node ~family:root items;
-  t.history <-
-    {
-      Serializability.root;
-      reads = dedup_accesses !(read_log t root);
-      writes = dedup_accesses !(write_log t root);
-    }
-    :: t.history;
+  if not t.cfg.Config.streaming then
+    t.history <-
+      {
+        Serializability.root;
+        reads = dedup_accesses !(read_log t root);
+        writes = dedup_accesses !(write_log t root);
+      }
+      :: t.history;
   Txn_tree.set_status t.tree root Txn_tree.Committed;
   record_event t (fun () ->
       Dsm.Event.Root_commit { family = root; node; released = List.length released });
   Txn_id.Table.remove t.snapshots root;
   drop_txn_state t root;
-  Dsm.Metrics.incr_roots_committed t.metrics
+  Dsm.Metrics.incr_roots_committed t.metrics;
+  (* Streaming runs are fault-free, so nothing consults a completed
+     family's tree records afterwards (the defunct-family fence and crash
+     reclamation, the only such readers, need the reliable transport). *)
+  if t.cfg.Config.streaming then Txn_tree.forget_family t.tree root
 
 let abort_root t root =
   let node = Txn_tree.node_of t.tree root in
@@ -1865,7 +1892,8 @@ let abort_root t root =
   record_event t (fun () -> Dsm.Event.Root_abort { family = root; node });
   Txn_id.Table.remove t.snapshots root;
   if t.crash_enabled then Txn_id.Table.remove t.live_roots root;
-  drop_txn_state t root
+  drop_txn_state t root;
+  if t.cfg.Config.streaming then Txn_tree.forget_family t.tree root
 
 (* Crash unwinding of a root: like [crashed_purge_sub] plus the root-level
    bookkeeping — no undo, no global releases, permanent Aborted status (the
@@ -2159,17 +2187,18 @@ let submit t ~at ~node ~oid ~meth ~seed =
                 (k + 1, Gave_up)
           in
           let attempts, outcome = attempt 0 in
-          t.results <-
-            {
-              oid;
-              meth;
-              node;
-              submitted_at;
-              completed_at = Sim.Engine.now t.engine;
-              attempts;
-              outcome;
-            }
-            :: t.results;
+          if not t.cfg.Config.streaming then
+            t.results <-
+              {
+                oid;
+                meth;
+                node;
+                submitted_at;
+                completed_at = Sim.Engine.now t.engine;
+                attempts;
+                outcome;
+              }
+              :: t.results;
           t.outstanding <- t.outstanding - 1))
 
 let run t =

@@ -35,6 +35,14 @@ val wait : float -> unit
 (** Suspend the calling fiber for the given number of microseconds.
     Must be called from within a fiber. *)
 
+val suspend : ((unit -> unit) -> unit) -> unit
+(** [suspend register] blocks the calling fiber and passes its wake-up
+    callback to [register]; invoking the callback schedules the fiber to
+    resume at the then-current time. The low-level primitive beneath
+    {!Ivar.read}, {!Semaphore.acquire} and {!Mailbox.take}. Must be called
+    from within a fiber.
+    @raise Invalid_argument if the wake-up callback is invoked twice. *)
+
 val fiber_count : t -> int
 (** Number of fibers spawned and not yet finished. *)
 
@@ -48,6 +56,17 @@ val run : t -> unit
 val run_for : t -> float -> unit
 (** [run_for t d] processes events up to time [now t +. d], then stops
     (suspended fibers are left suspended; no stall check). *)
+
+(** Profiling counters, maintained unconditionally (they are a handful of
+    integer stores per event). *)
+type stats = {
+  dispatched : int;  (** events executed since {!create} *)
+  scheduled : int;  (** events enqueued since {!create} *)
+  pending : int;  (** events currently in the queue *)
+  max_queue : int;  (** high-water mark of the event queue *)
+}
+
+val stats : t -> stats
 
 (** Write-once cells: the unit of fiber synchronisation. *)
 module Ivar : sig

@@ -61,6 +61,12 @@ let pop t =
     Some min
   end
 
+let pop_if t ~before =
+  (* A single inspection of the root decides peek-and-pop atomically, so
+     callers draining "due" elements do one root comparison per element
+     instead of peek's plus pop's. *)
+  if t.size = 0 || not (before t.data.(0)) then None else pop t
+
 let pop_exn t =
   match pop t with
   | Some x -> x

@@ -19,6 +19,13 @@ val peek : 'a t -> 'a option
 val pop : 'a t -> 'a option
 (** Remove and return the minimum element. *)
 
+val pop_if : 'a t -> before:('a -> bool) -> 'a option
+(** [pop_if t ~before] removes and returns the minimum element if
+    [before] holds for it, examining the root only once — the
+    peek-then-pop idiom without the second root comparison. Returns
+    [None] (leaving the heap unchanged) when the heap is empty or the
+    predicate rejects the minimum. *)
+
 val pop_exn : 'a t -> 'a
 (** @raise Invalid_argument on an empty heap. *)
 

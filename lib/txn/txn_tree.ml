@@ -74,3 +74,15 @@ let family_size t root =
   count root
 
 let count t = t.next
+
+let forget_family t root =
+  (* Ids are never reused ([next] keeps counting), so dropping the records
+     frees their memory without weakening the no-reuse fence. *)
+  let rec drop id =
+    match Txn_id.Table.find_opt t.table id with
+    | None -> ()
+    | Some r ->
+        List.iter drop r.children;
+        Txn_id.Table.remove t.table id
+  in
+  drop root

@@ -60,4 +60,11 @@ val family_size : t -> Txn_id.t -> int
 (** Number of transactions in the family of the given root (inclusive). *)
 
 val count : t -> int
-(** Total transactions ever created. *)
+(** Total transactions ever created (unaffected by {!forget_family}). *)
+
+val forget_family : t -> Txn_id.t -> unit
+(** Drop the records of a completed family — the root and every
+    descendant — so long runs need not retain every transaction ever
+    created (the runtime's streaming mode). Ids are never reused, so
+    forgetting cannot resurrect one; querying a forgotten id afterwards
+    raises like any unknown id. *)

@@ -143,15 +143,29 @@ let generate spec ~page_size =
     end
   in
   let roots =
+    (* Built with explicit in-order recursion, not [List.init]: the list
+       must be ascending by [at] (the .mli contract), and the clock is a
+       side effect — [List.init] switches to a reverse-evaluation
+       tail-recursive scheme above ~10k elements, which silently handed
+       the *last* root the *first* arrival time at exactly the scales the
+       scale experiment runs. *)
     let clock = ref 0.0 in
-    List.init spec.Spec.root_count (fun r ->
+    let rec build r acc =
+      if r >= spec.Spec.root_count then List.rev acc
+      else begin
         clock := !clock +. Sim.Prng.exponential rng_roots ~mean:spec.Spec.arrival_mean_us;
-        {
-          at = !clock;
-          node = r mod spec.Spec.node_count;
-          oid = Oid.of_int (pick_target ());
-          meth = method_name (Sim.Prng.int rng_roots spec.Spec.methods_per_class);
-          seed = (spec.Spec.seed * 1_000_003) + (r * 7919) + 17;
-        })
+        let root =
+          {
+            at = !clock;
+            node = r mod spec.Spec.node_count;
+            oid = Oid.of_int (pick_target ());
+            meth = method_name (Sim.Prng.int rng_roots spec.Spec.methods_per_class);
+            seed = (spec.Spec.seed * 1_000_003) + (r * 7919) + 17;
+          }
+        in
+        build (r + 1) (root :: acc)
+      end
+    in
+    build 0 []
   in
   { spec; catalog; roots }

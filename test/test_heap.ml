@@ -66,6 +66,36 @@ let test_stability_via_pairs () =
     [ (0, 2); (1, 0); (1, 1); (1, 3) ]
     order
 
+let test_pop_if () =
+  let h = int_heap () in
+  Alcotest.(check (option int)) "empty" None (Heap.pop_if h ~before:(fun _ -> true));
+  List.iter (Heap.push h) [ 5; 1; 9 ];
+  Alcotest.(check (option int)) "min not due" None (Heap.pop_if h ~before:(fun x -> x < 1));
+  Alcotest.(check int) "nothing removed" 3 (Heap.length h);
+  Alcotest.(check (option int)) "min due" (Some 1) (Heap.pop_if h ~before:(fun x -> x <= 5));
+  Alcotest.(check (option int)) "next due" (Some 5) (Heap.pop_if h ~before:(fun x -> x <= 5));
+  Alcotest.(check (option int)) "9 held back" None (Heap.pop_if h ~before:(fun x -> x <= 5));
+  Alcotest.(check (option int)) "unconditional" (Some 9)
+    (Heap.pop_if h ~before:(fun _ -> true));
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let qcheck_pop_if_agrees =
+  (* pop_if ~before:p must behave exactly like peek-check-then-pop. *)
+  QCheck.Test.make ~name:"pop_if = guarded pop" ~count:200
+    QCheck.(pair (list small_int) small_int)
+    (fun (xs, bound) ->
+      let h = int_heap () and h' = int_heap () in
+      List.iter (Heap.push h) xs;
+      List.iter (Heap.push h') xs;
+      let via_pop_if = List.init (List.length xs) (fun _ -> Heap.pop_if h ~before:(fun x -> x <= bound)) in
+      let via_peek =
+        List.init (List.length xs) (fun _ ->
+            match Heap.peek h' with
+            | Some x when x <= bound -> Heap.pop h'
+            | _ -> None)
+      in
+      via_pop_if = via_peek && Heap.length h = Heap.length h')
+
 let qcheck_sorted_drain =
   QCheck.Test.make ~name:"heap drains sorted" ~count:200
     QCheck.(list small_int)
@@ -86,6 +116,8 @@ let tests =
         Alcotest.test_case "clear" `Quick test_clear;
         Alcotest.test_case "custom order" `Quick test_custom_order;
         Alcotest.test_case "tiebreaker order" `Quick test_stability_via_pairs;
+        Alcotest.test_case "pop_if" `Quick test_pop_if;
+        QCheck_alcotest.to_alcotest qcheck_pop_if_agrees;
         QCheck_alcotest.to_alcotest qcheck_sorted_drain;
       ] );
   ]

@@ -7,6 +7,7 @@ let () =
          Test_prng.tests;
          Test_heap.tests;
          Test_engine.tests;
+         Test_engine_props.tests;
          Test_network.tests;
          Test_trace.tests;
          Test_objmodel.tests;
@@ -31,4 +32,5 @@ let () =
          Test_lease.tests;
          Test_observability.tests;
          Test_batching.tests;
+         Test_scale.tests;
        ])
