@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos crash-chaos lease batch scale scale-smoke doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos lease cache cache-smoke batch scale scale-smoke doc clean
 
 all: build
 
@@ -27,6 +27,19 @@ crash-chaos:
 
 lease:
 	dune exec bin/lotec_sim.exe -- lease
+
+# Method-result cache sweep: baseline vs lease-only vs lease+cache on the
+# web-serving workload; every case asserts serializability and exact wire
+# ledger reconciliation. Writes BENCH_cache.json.
+cache:
+	dune exec bin/lotec_sim.exe -- cache --json BENCH_cache.json
+
+# CI gate: the cached LOTEC rows must reach a 50% hit rate and a 5x total
+# message reduction (vs everything-off) at a >= 0.95 request read share.
+cache-smoke:
+	dune exec bin/lotec_sim.exe -- cache -p lotec \
+		--assert-min-hit-rate 0.5 --assert-min-message-factor 5 \
+		--json BENCH_cache.json
 
 # Message-combining sweep: protocols x batching policy under light loss;
 # asserts the wire ledger reconciles exactly with riders included and that

@@ -47,6 +47,21 @@ let reproduce () =
   Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.protocols ());
   Format.printf "%a@." Experiments.Throughput.pp (Experiments.Throughput.scaling ())
 
+(* Every sweep below persists its results as a BENCH_*.json artefact. An
+   entry that silently writes nothing (or an empty array) would turn the
+   perf trajectory into a gap nobody notices until a regression needs the
+   history — so writing is fatal-on-empty, and main() re-checks that every
+   expected artefact exists and is non-empty after the entries ran. *)
+let write_artifact file contents =
+  if String.trim contents = "" || String.trim contents = "[\n\n]" then begin
+    Format.eprintf "FATAL: bench entry wrote no data for %s@." file;
+    exit 1
+  end;
+  let oc = open_out file in
+  output_string oc contents;
+  close_out oc;
+  Format.printf "wrote %s (%d bytes)@.@." file (String.length contents)
+
 (* The read-lease sweep (leases off vs TTL vs adaptive, all protocols),
    printed and also written as BENCH_lease.json so the perf trajectory is
    machine-readable across revisions. *)
@@ -58,10 +73,22 @@ let lease_sweep () =
   Format.printf "==================================================================@.@.";
   let outcomes = Experiments.Lease.sweep () in
   Format.printf "%a@." Experiments.Lease.pp_report outcomes;
-  let oc = open_out lease_json_file in
-  output_string oc (Experiments.Lease.to_json outcomes);
-  close_out oc;
-  Format.printf "wrote %s@.@." lease_json_file
+  write_artifact lease_json_file (Experiments.Lease.to_json outcomes)
+
+(* The method-result cache sweep (baseline vs lease-only vs lease+cache,
+   all protocols, web-serving workload), printed and written as
+   BENCH_cache.json: the machine-readable record of the hit rate and the
+   message reduction the cache rides on (see EXPERIMENTS.md, "Web
+   serving"). *)
+let cache_json_file = "BENCH_cache.json"
+
+let cache_sweep () =
+  Format.printf "==================================================================@.";
+  Format.printf "Method-result cache: web serving, baseline vs lease vs lease+cache@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Method_cache.sweep () in
+  Format.printf "%a@." Experiments.Method_cache.pp_report outcomes;
+  write_artifact cache_json_file (Experiments.Method_cache.to_json outcomes)
 
 (* Per-message-type traffic breakdown (COTEC vs OTEC vs LOTEC on the
    default scenario), printed and written as BENCH_trace.json: the
@@ -75,10 +102,7 @@ let msg_breakdown () =
   Format.printf "==================================================================@.@.";
   let rows = Experiments.Msg_breakdown.run () in
   Format.printf "%a@." Experiments.Msg_breakdown.pp_report rows;
-  let oc = open_out trace_json_file in
-  output_string oc (Experiments.Msg_breakdown.to_json rows);
-  close_out oc;
-  Format.printf "wrote %s@.@." trace_json_file
+  write_artifact trace_json_file (Experiments.Msg_breakdown.to_json rows)
 
 (* The message-combining sweep (protocols x batching policy under light
    loss), printed and written as BENCH_batch.json: the machine-readable
@@ -95,10 +119,7 @@ let batching_sweep () =
   (match Experiments.Batching.lotec_message_reduction_pct outcomes with
   | Some pct -> Format.printf "LOTEC messages vs off: %+.1f%%@." pct
   | None -> ());
-  let oc = open_out batch_json_file in
-  output_string oc (Experiments.Batching.to_json outcomes);
-  close_out oc;
-  Format.printf "wrote %s@.@." batch_json_file
+  write_artifact batch_json_file (Experiments.Batching.to_json outcomes)
 
 (* The crash-recovery sweep (crash windows x protocols x replica counts),
    printed and written as BENCH_crash.json: recovery latency percentiles
@@ -111,10 +132,7 @@ let crash_chaos () =
   Format.printf "==================================================================@.@.";
   let outcomes = Experiments.Chaos.crash_sweep () in
   Format.printf "%a@." Experiments.Chaos.pp_crash_report outcomes;
-  let oc = open_out crash_json_file in
-  output_string oc (Experiments.Chaos.crash_to_json outcomes);
-  close_out oc;
-  Format.printf "wrote %s@.@." crash_json_file
+  write_artifact crash_json_file (Experiments.Chaos.crash_to_json outcomes)
 
 (* The engine micro-benchmark (flat event pool vs the recorded
    pre-refactor baseline) plus the 100k-root scale point per protocol
@@ -142,10 +160,7 @@ let engine_scale () =
   in
   let scale = Experiments.Scale.sweep ~points:bench_scale_points ~progress () in
   Format.printf "@.%a@." Experiments.Scale.pp_sweep scale;
-  let oc = open_out engine_json_file in
-  output_string oc (Experiments.Scale.to_json ~bench ~scale ());
-  close_out oc;
-  Format.printf "wrote %s@.@." engine_json_file
+  write_artifact engine_json_file (Experiments.Scale.to_json ~bench ~scale ())
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel timing of the simulator itself.                    *)
@@ -230,6 +245,21 @@ let tests =
             in
             fun () ->
               ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
+      Test.make ~name:"cache-lotec"
+        (Staged.stage
+           (let spec =
+              { Workload.Scenarios.web_sessions with Workload.Spec.root_count = 40 }
+            in
+            let wl = Workload.Generator.generate spec ~page_size:4096 in
+            let config =
+              {
+                Core.Config.default with
+                Core.Config.lease = Experiments.Method_cache.default_lease;
+                method_cache = Experiments.Method_cache.default_policy;
+              }
+            in
+            fun () ->
+              ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
       Test.make ~name:"batch-lotec"
         (Staged.stage
            (let spec =
@@ -275,8 +305,29 @@ let benchmark () =
 let () =
   reproduce ();
   lease_sweep ();
+  cache_sweep ();
   batching_sweep ();
   msg_breakdown ();
   crash_chaos ();
   engine_scale ();
+  (* Belt and braces over write_artifact: every entry above must have left
+     a non-empty artefact on disk before the timing section runs. *)
+  List.iter
+    (fun file ->
+      let size =
+        try
+          let ic = open_in file in
+          let n = in_channel_length ic in
+          close_in ic;
+          n
+        with Sys_error _ -> -1
+      in
+      if size <= 0 then begin
+        Format.eprintf "FATAL: bench entry left %s missing or empty@." file;
+        exit 1
+      end)
+    [
+      lease_json_file; cache_json_file; batch_json_file; trace_json_file; crash_json_file;
+      engine_json_file;
+    ];
   benchmark ()

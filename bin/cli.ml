@@ -13,6 +13,7 @@
      trace       — run with protocol-event tracing and print the tail
      chaos       — fault-rate sweep asserting the protocol invariants
      lease       — read-lease policy sweep vs the leases-off baseline
+     cache       — method-result cache sweep on the web-serving scenarios
      batch       — message-combining sweep vs the batching-off baseline
      scale       — large-run sweep (streaming metrics) + engine micro-bench *)
 
@@ -38,7 +39,8 @@ let scenario_conv =
 
 let scenario_arg =
   let doc =
-    "Workload scenario: medium-high, large-high, medium-moderate or large-moderate."
+    "Workload scenario: medium-high, large-high, medium-moderate, large-moderate, \
+     web-sessions, web-catalog, web-diurnal or web-flash-crowd."
   in
   Arg.(value & opt scenario_conv Workload.Scenarios.medium_high & info [ "scenario" ] ~doc)
 
@@ -100,6 +102,29 @@ let lease_policy ~policy ~ttl ~ratio ~samples =
               min_read_ratio = or_else ratio min_read_ratio;
               min_samples = or_else samples min_samples;
             })
+
+(* Method-result cache policy (shared by run and cache). *)
+let cache_arg =
+  let doc =
+    "Method-result cache policy: off, lru or lru:CAPACITY. Requires an enabled lease \
+     policy (the lease is the cache's invalidation signal)."
+  in
+  Arg.(value & opt string "off" & info [ "cache" ] ~doc)
+
+let cache_capacity_arg =
+  let doc = "Per-node cache capacity in entries (with --cache lru)." in
+  Arg.(value & opt (some int) None & info [ "cache-capacity" ] ~doc)
+
+(* Build a policy from the flags: the string picks the shape, the optional
+   capacity flag overrides that shape's parameter. *)
+let cache_policy ~policy ~capacity =
+  match Dsm.Method_cache.policy_of_string policy with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok Dsm.Method_cache.Off -> Dsm.Method_cache.Off
+  | Ok (Dsm.Method_cache.Lru { capacity = c }) ->
+      Dsm.Method_cache.Lru { capacity = Option.value capacity ~default:c }
 
 (* Message-combining policy (shared by run and batch). *)
 let batching_arg =
@@ -249,8 +274,8 @@ let run_cmd =
     Arg.(value & opt (some int) None & info [ "objects" ] ~doc)
   in
   let skew_arg =
-    let doc = "Zipf-like access skew over root targets (0 = uniform)." in
-    Arg.(value & opt float 0.0 & info [ "skew" ] ~doc)
+    let doc = "Zipf-like access skew over root targets (0 = uniform; default: the scenario's)." in
+    Arg.(value & opt (some float) None & info [ "skew" ] ~doc)
   in
   let abort_arg =
     let doc = "Injected sub-transaction failure probability in [0,1]." in
@@ -289,15 +314,20 @@ let run_cmd =
   in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
       recovery drop duplicate jitter fault_seed crash_windows gdo_replicas dump_directory
-      request_timeout_us max_retransmits policy ttl ratio samples batching ack_flush
-      ack_rider release_flush trace_capacity trace_tail trace_chrome profile =
+      request_timeout_us max_retransmits policy ttl ratio samples cache cache_capacity
+      batching ack_flush ack_rider release_flush trace_capacity trace_tail trace_chrome
+      profile =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
       | Some n -> { spec with Workload.Spec.object_count = n }
       | None -> spec
     in
-    let spec = { spec with Workload.Spec.access_skew = skew } in
+    let spec =
+      match skew with
+      | Some s -> { spec with Workload.Spec.access_skew = s }
+      | None -> spec
+    in
     let config =
       {
         Core.Config.default with
@@ -310,10 +340,16 @@ let run_cmd =
         request_timeout_us;
         max_retransmits;
         lease = lease_policy ~policy ~ttl ~ratio ~samples;
+        method_cache = cache_policy ~policy:cache ~capacity:cache_capacity;
         batching = batching_policy ~policy:batching ~ack_flush ~ack_rider ~release_flush;
         trace_capacity;
       }
     in
+    (match Core.Config.validate config with
+    | Ok () -> ()
+    | Error msg ->
+        prerr_endline msg;
+        exit 2);
     let wl = Workload.Generator.generate spec ~page_size:config.Core.Config.page_size in
     Format.printf "workload: %a@.@." Workload.Spec.pp spec;
     let dump_gdo rt =
@@ -355,6 +391,7 @@ let run_cmd =
       $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ crash_windows_arg
       $ gdo_replicas_arg $ dump_directory_arg $ timeout_arg $ retransmits_arg
       $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg
+      $ cache_arg $ cache_capacity_arg
       $ batching_arg $ batch_ack_flush_arg $ batch_ack_rider_arg $ batch_release_flush_arg
       $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg $ profile_arg)
   in
@@ -590,6 +627,124 @@ let lease_cmd =
           operations, lease traffic and completion time against the leases-off baseline.")
     term
 
+let cache_cmd =
+  let scenario_cache_arg =
+    let doc = "Web-serving scenario to sweep (default web-sessions)." in
+    Arg.(
+      value
+      & opt scenario_conv Workload.Scenarios.web_sessions
+      & info [ "scenario" ] ~doc)
+  in
+  let fractions_arg =
+    let doc = "Request-level read share to sweep (repeatable); default 0.8 0.95 0.99." in
+    Arg.(value & opt_all float [] & info [ "read-fraction" ] ~doc)
+  in
+  let protocols_arg =
+    let doc = "Protocol to sweep (repeatable); default all four." in
+    Arg.(value & opt_all protocol_conv [] & info [ "protocol"; "p" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let min_hit_rate_arg =
+    let doc =
+      "Fail (exit 1) if the best cache hit rate of any cached LOTEC row is below $(docv) \
+       (in [0,1])."
+    in
+    Arg.(value & opt (some float) None & info [ "assert-min-hit-rate" ] ~docv:"R" ~doc)
+  in
+  let min_factor_arg =
+    let doc =
+      "Fail (exit 1) if the best message-reduction factor of any cached LOTEC row at read \
+       share >= 0.95 is below $(docv)."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "assert-min-message-factor" ] ~docv:"X" ~doc)
+  in
+  let action spec seed roots fractions protocols cache cache_capacity ttl json min_hit_rate
+      min_factor =
+    let spec = apply_overrides spec seed roots in
+    let policies =
+      match cache_policy ~policy:cache ~capacity:cache_capacity with
+      | Dsm.Method_cache.Off -> None (* default LRU; Baseline/Lease_only always run *)
+      | p -> Some [ p ]
+    in
+    let lease = Option.map (fun ttl_us -> Gdo.Lease.Fixed_ttl { ttl_us }) ttl in
+    let read_fractions = if fractions = [] then None else Some fractions in
+    let protocols = if protocols = [] then None else Some protocols in
+    let outcomes =
+      Experiments.Method_cache.sweep ?lease ~spec ?protocols ?read_fractions ?policies ()
+    in
+    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+    Format.printf "%a@." Experiments.Method_cache.pp_report outcomes;
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Experiments.Method_cache.to_json outcomes);
+        close_out oc;
+        Format.printf "wrote %s@." file);
+    (* CI gates: evaluated over the cached LOTEC rows of this sweep. *)
+    let cached_lotec =
+      List.filter
+        (fun (o : Experiments.Method_cache.outcome) ->
+          o.Experiments.Method_cache.case.Experiments.Method_cache.protocol
+          = Dsm.Protocol.Lotec
+          &&
+          match o.Experiments.Method_cache.case.Experiments.Method_cache.mode with
+          | Experiments.Method_cache.Cached _ -> true
+          | _ -> false)
+        outcomes
+    in
+    let failures = ref 0 in
+    let check cond msg = if not cond then (incr failures; prerr_endline ("FAIL: " ^ msg)) in
+    Option.iter
+      (fun floor ->
+        let best =
+          List.fold_left
+            (fun acc o -> Float.max acc (Experiments.Method_cache.hit_rate o))
+            0.0 cached_lotec
+        in
+        check (best >= floor)
+          (Printf.sprintf "best cached-LOTEC hit rate %.2f below the %.2f floor" best floor))
+      min_hit_rate;
+    Option.iter
+      (fun floor ->
+        let best =
+          List.fold_left
+            (fun acc (o : Experiments.Method_cache.outcome) ->
+              if o.Experiments.Method_cache.case.Experiments.Method_cache.read_fraction >= 0.95
+              then
+                match Experiments.Method_cache.baseline_of outcomes o with
+                | Some b ->
+                    Float.max acc (Experiments.Method_cache.message_factor ~baseline:b ~on:o)
+                | None -> acc
+              else acc)
+            0.0 cached_lotec
+        in
+        check (best >= floor)
+          (Printf.sprintf
+             "best cached-LOTEC message reduction %.1fx (read >= 0.95) below the %.1fx floor"
+             best floor))
+      min_factor;
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ scenario_cache_arg $ seed_arg $ roots_arg $ fractions_arg
+      $ protocols_arg $ cache_arg $ cache_capacity_arg $ lease_ttl_arg $ json_arg
+      $ min_hit_rate_arg $ min_factor_arg)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Sweep the method-result cache x protocols x request-level read shares on a \
+          web-serving scenario, against lease-only and everything-off baselines; report \
+          message reduction, hit rate and invalidation traffic, optionally asserting CI \
+          floors on the cached LOTEC rows.")
+    term
+
 let batch_cmd =
   let protocols_arg =
     let doc = "Protocol to sweep (repeatable); default otec and lotec." in
@@ -820,5 +975,6 @@ let main () =
        (Cmd.group info
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
-            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd; batch_cmd; scale_cmd;
+            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd; cache_cmd; batch_cmd;
+            scale_cmd;
           ]))

@@ -31,6 +31,7 @@ type t = {
   suspect_timeout_us : float;
   lease : Gdo.Lease.policy;
   batching : Dsm.Batching.t;
+  method_cache : Dsm.Method_cache.policy;
 }
 
 let default =
@@ -67,6 +68,7 @@ let default =
     suspect_timeout_us = 4_000.0;
     lease = Gdo.Lease.Off;
     batching = Dsm.Batching.off;
+    method_cache = Dsm.Method_cache.off;
   }
 
 let validate t =
@@ -112,6 +114,13 @@ let validate t =
   in
   let* () = Gdo.Lease.validate_policy t.lease in
   let* () = Dsm.Batching.validate t.batching in
+  let* () = Dsm.Method_cache.validate_policy t.method_cache in
+  let* () =
+    check
+      ((not (Dsm.Method_cache.policy_enabled t.method_cache))
+      || Gdo.Lease.policy_enabled t.lease)
+      "method_cache requires an enabled lease policy (the lease is its invalidation signal)"
+  in
   let* () =
     check
       ((not t.batching.Dsm.Batching.ack_piggyback)
@@ -142,4 +151,6 @@ let pp fmt t =
     Format.fprintf fmt "@,leases: %a" Gdo.Lease.pp_policy t.lease;
   if Dsm.Batching.enabled t.batching then
     Format.fprintf fmt "@,batching: %a" Dsm.Batching.pp t.batching;
+  if Dsm.Method_cache.policy_enabled t.method_cache then
+    Format.fprintf fmt "@,method cache: %a" Dsm.Method_cache.pp_policy t.method_cache;
   Format.fprintf fmt "@]"

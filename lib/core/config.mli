@@ -112,6 +112,15 @@ type t = {
           {!Dsm.Batching}). When [ack_piggyback] is on, [ack_flush_us] must
           be below [request_timeout_us] so a flushed ack always beats the
           sender's retransmit timer. *)
+  method_cache : Dsm.Method_cache.policy;
+      (** Method-result caching: {!Dsm.Method_cache.Off} (default)
+          reproduces the lease runtime exactly; an LRU policy lets a node
+          serve a repeat read-only invocation from its cached read log —
+          zero messages {e and} zero local page reads — whenever its read
+          lease on the object is valid and the cached version vector
+          matches. Requires an enabled [lease] policy: the lease's
+          recall/expiry/epoch machinery is the cache's invalidation signal
+          (see {!Dsm.Method_cache}). *)
 }
 
 val default : t

@@ -164,6 +164,13 @@ type t = {
   (* object -> simulated time its in-progress recall was issued; feeds the
      recall-to-clear latency histogram. *)
   recall_started : float Itbl.t;
+  (* Method-result cache (see Dsm.Method_cache): per-node caches of
+     read-only invocation read logs, consulted at invocation entry when the
+     node's lease on the object is valid, invalidated through the lease
+     caches' on_invalidate hooks. Inert when [cache_enabled] is false —
+     the default — keeping cache-off runs byte-identical. *)
+  cache_enabled : bool;
+  method_caches : Dsm.Method_cache.t array;
   (* Crash-recovery subsystem. Everything below is inert when
      [crash_enabled] is false — no crash windows configured — keeping
      crash-free runs byte-identical to the pre-recovery runtime. *)
@@ -202,6 +209,7 @@ let store t ~node = t.stores.(node)
 let trace t = t.trace
 let lease_manager t = t.lease_mgr
 let lease_cache t ~node = t.lease_caches.(node)
+let method_cache t ~node = t.method_caches.(node)
 
 (* The thunk keeps event construction off the tracing-off path entirely:
    with no ring configured, no allocation or formatting happens at all. *)
@@ -209,6 +217,21 @@ let record_event t ev =
   match t.trace with
   | None -> ()
   | Some tr -> Sim.Trace.record tr ~time:(Sim.Engine.now t.engine) (ev ())
+
+(* Wire a node's method cache to its lease cache's invalidation hook: a
+   lease recall, expiry or epoch-superseding re-grant wipes the object's
+   cached method results. Only drops are counted — retransmitted recalls
+   find nothing and stay invisible. Must be re-called whenever the node's
+   lease cache is replaced (crash wipe), since the subscription lives in
+   the lease cache. *)
+let register_cache_invalidation t ~node =
+  Gdo.Lease.Cache.set_on_invalidate t.lease_caches.(node) (fun oid ->
+      let dropped = Dsm.Method_cache.invalidate_object t.method_caches.(node) oid in
+      if dropped > 0 then begin
+        Dsm.Metrics.add_cache_invalidations t.metrics dropped;
+        record_event t (fun () ->
+            Dsm.Event.Cache_invalidate { oid = Some oid; node; entries = dropped })
+      end)
 
 (* Statement execution holds the node's CPU when the CPU-limited model is
    on; waits for locks, pages and messages never do. *)
@@ -330,6 +353,10 @@ let create ~config:cfg ~catalog =
       lease_reads = Txn_id.Table.create 64;
       lease_blocked = Itbl.create 16;
       recall_started = Itbl.create 16;
+      cache_enabled = Dsm.Method_cache.policy_enabled cfg.Config.method_cache;
+      method_caches =
+        Array.init cfg.Config.node_count (fun _ ->
+            Dsm.Method_cache.create cfg.Config.method_cache);
       crash_enabled =
         (match cfg.Config.faults with
         | Some f -> Sim.Fault.has_crash_windows f
@@ -353,6 +380,10 @@ let create ~config:cfg ~catalog =
       fetch_waits = [];
     }
   in
+  if t.cache_enabled then
+    for node = 0 to cfg.Config.node_count - 1 do
+      register_cache_invalidation t ~node
+    done;
   (* Trivial dispatch: every node executes delivered thunks. With heartbeat
      piggybacking, any delivered remote message doubles as a liveness
      proof — it refreshes the receiver's failure detector exactly as a
@@ -1218,8 +1249,19 @@ let crash_enter t ~node:d =
           else Dsm.Page_store.restore t.stores.(d) oid ~page:p ~version:Dsm.Page_store.absent)
         page_nodes)
     (Catalog.oids t.catalog);
-  (* The lease cache is volatile too. *)
+  (* The lease cache is volatile too, and the method cache dies with it.
+     The fresh lease cache needs the invalidation hook re-wired — the
+     subscription lived in the object just discarded. *)
   t.lease_caches.(d) <- Gdo.Lease.Cache.create ();
+  if t.cache_enabled then begin
+    let dropped = Dsm.Method_cache.clear t.method_caches.(d) in
+    if dropped > 0 then begin
+      Dsm.Metrics.add_cache_invalidations t.metrics dropped;
+      record_event t (fun () ->
+          Dsm.Event.Cache_invalidate { oid = None; node = d; entries = dropped })
+    end;
+    register_cache_invalidation t ~node:d
+  end;
   (* So are deferred transport acks: the crashed node forgets them; the
      original senders retransmit and are re-acked after the rejoin. Armed
      flush timers fire harmlessly on the emptied channels. *)
@@ -1920,6 +1962,107 @@ let log_write t txn ~oid ~page ~version =
   let l = write_log t txn in
   l := { Serializability.oid; page; version } :: !l
 
+(* ------------------------------------------------------------------ *)
+(* Method-result cache (see Dsm.Method_cache). Only read-only leaf
+   methods — no updates, no sub-invocations — are cacheable: their entire
+   observable effect is the read log they produce.                      *)
+
+let cacheable_method (cm : Obj_class.compiled_method) =
+  (not cm.Obj_class.summary.Access_analysis.updates)
+  && cm.Obj_class.summary.Access_analysis.invoked = []
+
+(* The version vector the entry is keyed by: the grant's versions of the
+   method's predicted read-set pages, in page order. While the lease is
+   valid these are the objects' current global versions. *)
+let cache_versions (cm : Obj_class.compiled_method) (g : Gdo.Directory.grant) =
+  Array.of_list
+    (List.map
+       (fun p -> g.Gdo.Directory.g_page_versions.(p))
+       cm.Obj_class.page_summary.Access_analysis.access_pages)
+
+(* Serve a read-only leaf invocation from the node's method cache. A hit is
+   a lease hit plus a body skip: the local lock is installed and the family
+   registered as a lease-backed reader — so commit-time lease validation
+   and recall deferral protect the cached reads exactly as they would a
+   re-executed body — and the cached read log is replayed into the
+   transaction. Zero messages, zero page reads, zero statement execution.
+   From the lease consult to the return there is no yield, so the install
+   is atomic in simulated time. Returns true when served. *)
+let try_cache_serve t ~txn ~oid ~(cm : Obj_class.compiled_method) =
+  if not (t.cache_enabled && cacheable_method cm) then false
+  else begin
+    let node = Txn_tree.node_of t.tree txn in
+    let family = Txn_tree.root_of t.tree txn in
+    (* The consult is charged like a local lock probe; a miss pays it on
+       top of the normal acquisition (cache-off runs never reach here). *)
+    Sim.Engine.wait t.cfg.Config.local_lock_op_us;
+    check_crashed t ~txn_root:family;
+    match Local_locks.family_mode t.locks.(node) oid ~family with
+    | Some _ ->
+        (* A same-family fiber (a prefetch) acquired the lock during the
+           wait: the normal path will join it; not a cache miss. *)
+        false
+    | None -> (
+        match lease_hit t ~node ~oid ~mode:Lock.Read with
+        | None ->
+            Dsm.Metrics.incr_cache_misses t.metrics;
+            false
+        | Some g -> (
+            match
+              Dsm.Method_cache.find t.method_caches.(node) ~oid
+                ~meth:cm.Obj_class.ir.Method_ir.name ~versions:(cache_versions cm g)
+            with
+            | None ->
+                Dsm.Metrics.incr_cache_misses t.metrics;
+                false
+            | Some reads ->
+                Dsm.Metrics.incr_cache_hits t.metrics;
+                Local_locks.install_grant t.locks.(node) oid ~txn ~mode:Lock.Read;
+                set_snapshot t ~family ~oid g;
+                Gdo.Lease.Cache.add_reader t.lease_caches.(node) oid ~family;
+                mark_lease_backed t ~family ~oid;
+                List.iter (fun (page, version) -> log_read t txn ~oid ~page ~version) reads;
+                record_event t (fun () ->
+                    Dsm.Event.Cache_hit
+                      { oid; family = txn; node; pages = List.length reads });
+                true))
+  end
+
+(* Install a completed read-only leaf execution's read log, but only when
+   the node's lease on the object is valid right now AND every logged read
+   version matches the leased grant's page versions — the lease could have
+   been recalled and re-granted at a higher epoch while the body ran, and
+   an entry stored across that boundary would marry stale reads to a fresh
+   version vector. Under this guard a future hit at the same vector is
+   indistinguishable from re-execution. *)
+let try_cache_fill t ~txn ~oid ~(cm : Obj_class.compiled_method) =
+  if t.cache_enabled && cacheable_method cm then
+    let node = Txn_tree.node_of t.tree txn in
+    match lease_hit t ~node ~oid ~mode:Lock.Read with
+    | None -> ()
+    | Some g ->
+        let reads =
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (a : Serializability.access) ->
+                 if Oid.equal a.Serializability.oid oid then Some (a.page, a.version)
+                 else None)
+               !(read_log t txn))
+        in
+        if
+          List.for_all
+            (fun (page, version) -> g.Gdo.Directory.g_page_versions.(page) = version)
+            reads
+        then
+          if
+            Dsm.Method_cache.install t.method_caches.(node) ~oid
+              ~meth:cm.Obj_class.ir.Method_ir.name ~versions:(cache_versions cm g) ~reads
+          then begin
+            Dsm.Metrics.incr_cache_fills t.metrics;
+            record_event t (fun () ->
+                Dsm.Event.Cache_fill { oid; node; pages = List.length reads })
+          end
+
 (* Optimistic pre-acquisition (paper §5.1): at method entry, asynchronously
    acquire — as the current transaction — the locks of the objects this
    method may invoke on, and pull their predicted pages, overlapping the
@@ -1979,6 +2122,10 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
   let node = Txn_tree.node_of t.tree txn in
   let family = Txn_tree.root_of t.tree txn in
   Txn_id.Table.replace t.txn_objects txn oid;
+  if try_cache_serve t ~txn ~oid ~cm then ()
+  else run_body_exec t ~prng ~txn ~oid ~cm ~node ~family
+
+and run_body_exec t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) ~node ~family =
   let mode = if cm.Obj_class.summary.Access_analysis.updates then Lock.Write else Lock.Read in
   let (_ : bool) =
     acquire_object t ~txn ~oid ~mode
@@ -2037,7 +2184,8 @@ let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
    with e ->
      join ();
      raise e);
-  join ()
+  join ();
+  try_cache_fill t ~txn ~oid ~cm
 
 (* Run a sub-transaction, retrying injected failures in place. *)
 and invoke_child t ~prng ~parent ~oid ~meth =

@@ -66,6 +66,11 @@ val lease_cache : t -> node:int -> Gdo.Lease.Cache.cache
 (** [node]'s local lease cache (see {!Gdo.Lease.Cache}); for tests and
     diagnostics. *)
 
+val method_cache : t -> node:int -> Dsm.Method_cache.t
+(** [node]'s method-result cache (see {!Dsm.Method_cache}); inert — empty
+    forever — unless [Config.method_cache] enables a policy. For tests and
+    diagnostics. *)
+
 val submit : t -> at:float -> node:int -> oid:Oid.t -> meth:string -> seed:int -> unit
 (** Schedule a root invocation of [meth] on [oid] at node [node] and
     simulated time [at]. [seed] makes the root's private random stream

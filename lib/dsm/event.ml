@@ -38,6 +38,9 @@ type t =
   | Fetch_aggregated of { oid : Oid.t; node : int; pages : int; extra : int }
   | Release_coalesced of { node : int; home : int; families : int }
   | Heartbeat_suppressed of { src : int; dst : int }
+  | Cache_hit of { oid : Oid.t; family : Txn_id.t; node : int; pages : int }
+  | Cache_fill of { oid : Oid.t; node : int; pages : int }
+  | Cache_invalidate of { oid : Oid.t option; node : int; entries : int }
 
 let category = function
   | Lock_request _ | Lock_grant _ | Lock_refused _ | Upgrade _ -> "lock"
@@ -59,6 +62,7 @@ let category = function
   | Ack_piggyback _ | Ack_flush _ | Fetch_aggregated _ | Release_coalesced _
   | Heartbeat_suppressed _ ->
       "batch"
+  | Cache_hit _ | Cache_fill _ | Cache_invalidate _ -> "cache"
 
 let family = function
   | Lock_request { family; _ }
@@ -75,11 +79,12 @@ let family = function
       Some family
   | Precommit { txn; _ } | Sub_abort { txn; _ } -> Some txn
   | Crash_abort { family; _ } -> Some family
+  | Cache_hit { family; _ } -> Some family
   | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
   | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
   | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _ | Reclaim _
   | Failover _ | Failback _ | Ack_piggyback _ | Ack_flush _ | Fetch_aggregated _
-  | Release_coalesced _ | Heartbeat_suppressed _ ->
+  | Release_coalesced _ | Heartbeat_suppressed _ | Cache_fill _ | Cache_invalidate _ ->
       None
 
 let oid = function
@@ -101,6 +106,8 @@ let oid = function
       Some oid
   | Lease_abort { oid; _ } -> oid
   | Fetch_aggregated { oid; _ } -> Some oid
+  | Cache_hit { oid; _ } | Cache_fill { oid; _ } -> Some oid
+  | Cache_invalidate { oid; _ } -> oid
   | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
   | Retransmit _ | Fault _ | Node_crash _ | Node_restart _ | Crash_abort _
   | Node_suspected _ | Node_dead _ | Reclaim _ | Failover _ | Failback _ | Ack_piggyback _
@@ -137,6 +144,7 @@ let node = function
   | Heartbeat_suppressed { src; _ } ->
       src
   | Fetch_aggregated { node; _ } | Release_coalesced { node; _ } -> node
+  | Cache_hit { node; _ } | Cache_fill { node; _ } | Cache_invalidate { node; _ } -> node
   | Node_crash { node; _ }
   | Node_restart { node; _ }
   | Crash_abort { node; _ }
@@ -237,3 +245,16 @@ let pp fmt ev =
       Format.fprintf fmt "%s: %d release batch(es) %d->%d combined" cat families node home
   | Heartbeat_suppressed { src; dst } ->
       Format.fprintf fmt "%s: heartbeat %d->%d suppressed by recent traffic" cat src dst
+  | Cache_hit { oid; family; node; pages } ->
+      Format.fprintf fmt "%s: %a served to %a@%d from cache (%d page read(s) skipped)" cat
+        Oid.pp oid Txn_id.pp family node pages
+  | Cache_fill { oid; node; pages } ->
+      Format.fprintf fmt "%s: %a result cached at node %d (%d page(s))" cat Oid.pp oid node
+        pages
+  | Cache_invalidate { oid; node; entries } -> (
+      match oid with
+      | Some o ->
+          Format.fprintf fmt "%s: %a invalidated at node %d (%d entr(ies))" cat Oid.pp o node
+            entries
+      | None ->
+          Format.fprintf fmt "%s: node %d cache wiped (%d entr(ies))" cat node entries)

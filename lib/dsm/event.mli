@@ -106,12 +106,23 @@ type t =
   | Heartbeat_suppressed of { src : int; dst : int }
       (** a periodic heartbeat was skipped because the channel carried
           traffic within the last heartbeat interval *)
+  (* Method-result cache (see [Dsm.Method_cache]). *)
+  | Cache_hit of { oid : Oid.t; family : Txn_id.t; node : int; pages : int }
+      (** a read-only invocation was served from [node]'s method cache
+          under a valid lease: zero messages, [pages] page reads skipped *)
+  | Cache_fill of { oid : Oid.t; node : int; pages : int }
+      (** an execution's read log ([pages] pages) was installed into
+          [node]'s method cache *)
+  | Cache_invalidate of { oid : Oid.t option; node : int; entries : int }
+      (** the lease layer invalidated [entries] cached results at [node]:
+          for one object (recall/expiry/epoch bump) or — [oid = None] —
+          the whole cache (node crash) *)
 
 val category : t -> string
 (** Coarse grouping for tallies and filtering: ["lock"], ["lease"],
     ["transfer"], ["demand-fetch"], ["txn"], ["commit"], ["deadlock"],
     ["retransmit"], ["fault"], ["recursion"], ["crash"], ["suspect"],
-    ["reclaim"], ["failover"] or ["batch"]. *)
+    ["reclaim"], ["failover"], ["batch"] or ["cache"]. *)
 
 val family : t -> Txn_id.t option
 (** The transaction family the event belongs to, when it has one (lease

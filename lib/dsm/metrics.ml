@@ -42,6 +42,10 @@ type totals = {
   fetches_aggregated : int;
   releases_coalesced : int;
   heartbeats_suppressed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_fills : int;
+  cache_invalidations : int;
 }
 
 type t = {
@@ -76,6 +80,10 @@ type t = {
   mutable fetches_aggregated : int;
   mutable releases_coalesced : int;
   mutable heartbeats_suppressed : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable cache_fills : int;
+  mutable cache_invalidations : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
   (* Per-message-type ledger, indexed by Wire.index; reconciles exactly with
@@ -133,6 +141,10 @@ let create () =
     fetches_aggregated = 0;
     releases_coalesced = 0;
     heartbeats_suppressed = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    cache_fills = 0;
+    cache_invalidations = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
     wire_counts = Array.make Wire.count 0;
@@ -245,6 +257,10 @@ let add_acks_flushed t n = t.acks_flushed <- t.acks_flushed + n
 let add_fetches_aggregated t n = t.fetches_aggregated <- t.fetches_aggregated + n
 let add_releases_coalesced t n = t.releases_coalesced <- t.releases_coalesced + n
 let incr_heartbeats_suppressed t = t.heartbeats_suppressed <- t.heartbeats_suppressed + 1
+let incr_cache_hits t = t.cache_hits <- t.cache_hits + 1
+let incr_cache_misses t = t.cache_misses <- t.cache_misses + 1
+let incr_cache_fills t = t.cache_fills <- t.cache_fills + 1
+let add_cache_invalidations t n = t.cache_invalidations <- t.cache_invalidations + n
 
 (* Home-node lock-protocol operations: every request the GDO home processes
    (acquires, upgrades, release batches) plus lease recall round trips. The
@@ -288,6 +304,10 @@ let totals t =
     fetches_aggregated = t.fetches_aggregated;
     releases_coalesced = t.releases_coalesced;
     heartbeats_suppressed = t.heartbeats_suppressed;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+    cache_fills = t.cache_fills;
+    cache_invalidations = t.cache_invalidations;
   }
 
 let per_object t oid =
@@ -379,6 +399,10 @@ let pp_summary fmt t =
        coalesced, %d heartbeats suppressed@,"
       tt.acks_piggybacked tt.acks_flushed tt.fetches_aggregated tt.releases_coalesced
       tt.heartbeats_suppressed;
+  (* Method-cache line: absent unless the cache saw any traffic. *)
+  if tt.cache_hits + tt.cache_misses + tt.cache_fills + tt.cache_invalidations > 0 then
+    Format.fprintf fmt "method cache: %d hits, %d misses, %d fills, %d invalidations@,"
+      tt.cache_hits tt.cache_misses tt.cache_fills tt.cache_invalidations;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us
 

@@ -172,6 +172,19 @@ val add_fetches_aggregated : t -> int -> unit
 val add_releases_coalesced : t -> int -> unit
 val incr_heartbeats_suppressed : t -> unit
 
+(** {1 Method-cache counters}
+
+    See [Dsm.Method_cache]: consults of the per-node method-result cache
+    that hit (the invocation was served from the cached read log — zero
+    messages, zero page reads) or missed, executions whose read log was
+    installed into the cache, and entries wiped by the lease layer's
+    invalidation hooks (recall/expiry/epoch bump) or a node crash. All
+    zero when the method-cache policy is [Off]. *)
+val incr_cache_hits : t -> unit
+val incr_cache_misses : t -> unit
+val incr_cache_fills : t -> unit
+val add_cache_invalidations : t -> int -> unit
+
 val home_lock_ops : t -> int
 (** Lock-protocol operations processed by GDO homes: global acquisitions +
     upgrades + release batches + recall/yield messages. The lease
@@ -209,6 +222,10 @@ type totals = {
   fetches_aggregated : int;
   releases_coalesced : int;
   heartbeats_suppressed : int;
+  cache_hits : int;
+  cache_misses : int;
+  cache_fills : int;
+  cache_invalidations : int;
 }
 
 val totals : t -> totals

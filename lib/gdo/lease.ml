@@ -230,9 +230,22 @@ module Cache = struct
        so a reordered or retransmitted grant can never resurrect a recalled
        lease (the epoch fence). *)
     recall_floor : int Oid.Table.t;
+    (* Invalidation subscriber (the runtime's method-result cache): called
+       with the object whenever this cache learns its leased view is over —
+       recall delivery, expiry GC, epoch-superseding re-install. *)
+    mutable on_invalidate : (Oid.t -> unit) option;
   }
 
-  let create () = { c_entries = Oid.Table.create 32; recall_floor = Oid.Table.create 32 }
+  let create () =
+    {
+      c_entries = Oid.Table.create 32;
+      recall_floor = Oid.Table.create 32;
+      on_invalidate = None;
+    }
+
+  let set_on_invalidate c f = c.on_invalidate <- Some f
+
+  let invalidated c oid = match c.on_invalidate with None -> () | Some f -> f oid
 
   let floor_of c oid =
     match Oid.Table.find_opt c.recall_floor oid with Some e -> e | None -> -1
@@ -254,7 +267,10 @@ module Cache = struct
       | Some e ->
           if epoch > e.c_epoch then begin
             (* Superseding lease from a later epoch: existing readers keep
-               their admission epoch and will fail validation. *)
+               their admission epoch and will fail validation. The epoch
+               bump means a write was granted in between — anything derived
+               from the old leased view is stale. *)
+            invalidated c oid;
             e.grant <- grant;
             e.expires <- expires;
             e.c_epoch <- epoch;
@@ -304,6 +320,10 @@ module Cache = struct
         end
 
   let recall c oid ~epoch ~excluded =
+    (* A recall means a write is imminent: whatever subscribers derived from
+       the leased view must go, whether or not a lease entry survives here.
+       Fired on every delivery; retransmitted recalls find nothing to drop. *)
+    invalidated c oid;
     if epoch > floor_of c oid then Oid.Table.replace c.recall_floor oid epoch;
     match Oid.Table.find_opt c.c_entries oid with
     | None -> `Yield
@@ -345,5 +365,9 @@ module Cache = struct
         (fun oid e acc -> if e.readers = [] && now >= e.expires then oid :: acc else acc)
         c.c_entries []
     in
-    List.iter (drop c) dead
+    List.iter
+      (fun oid ->
+        invalidated c oid;
+        drop c oid)
+      dead
 end

@@ -161,6 +161,15 @@ module Cache : sig
 
   val create : unit -> cache
 
+  val set_on_invalidate : cache -> (Objmodel.Oid.t -> unit) -> unit
+  (** Subscribe to lease invalidation: [f oid] is called whenever the cache
+      learns its leased view of [oid] is over — a [Lease_recall] delivery
+      (every delivery, retransmissions included), an expired entry being
+      GCed by {!drop_expired}, or an epoch-superseding {!install} (a write
+      was granted in between). The runtime's method-result cache
+      ([Dsm.Method_cache]) hooks this to wipe the object's cached results;
+      at most one subscriber is kept (the latest wins). *)
+
   val install :
     cache -> Objmodel.Oid.t -> grant:Directory.grant -> expires:float -> epoch:int -> unit
   (** A read grant arrived carrying a lease. Called only after the grant's

@@ -142,6 +142,27 @@ let generate spec ~page_size =
         search 0 (n - 1)
     end
   in
+  (* Load shaping scales the mean inter-arrival time as a function of the
+     root's phase x = r / (root_count - 1) in [0,1]. [Steady] returns
+     [arrival_mean_us] itself (not a computed copy), so steady specs
+     generate byte-identical arrival times across versions. *)
+  let shaped_mean r =
+    match spec.Spec.load_shape with
+    | Spec.Steady -> spec.Spec.arrival_mean_us
+    | shape ->
+        let x = float_of_int r /. float_of_int (max 1 (spec.Spec.root_count - 1)) in
+        let rate_scale =
+          match shape with
+          | Spec.Steady -> 1.0
+          | Spec.Diurnal { trough } ->
+              (* Cosine day: full rate at the start/end, [trough] of it at
+                 midday. *)
+              trough +. ((1.0 -. trough) *. 0.5 *. (1.0 +. cos (2.0 *. Float.pi *. x)))
+          | Spec.Flash_crowd { at; width; boost } ->
+              if Float.abs (x -. at) <= width /. 2.0 then boost else 1.0
+        in
+        spec.Spec.arrival_mean_us /. rate_scale
+  in
   let roots =
     (* Built with explicit in-order recursion, not [List.init]: the list
        must be ascending by [at] (the .mli contract), and the clock is a
@@ -153,13 +174,22 @@ let generate spec ~page_size =
     let rec build r acc =
       if r >= spec.Spec.root_count then List.rev acc
       else begin
-        clock := !clock +. Sim.Prng.exponential rng_roots ~mean:spec.Spec.arrival_mean_us;
+        clock := !clock +. Sim.Prng.exponential rng_roots ~mean:(shaped_mean r);
+        let pick_method () =
+          (* [None] keeps the original single uniform draw, so specs without
+             the knob generate byte-identical roots across versions. *)
+          match spec.Spec.root_update_fraction with
+          | None -> Sim.Prng.int rng_roots spec.Spec.methods_per_class
+          | Some p ->
+              if Sim.Prng.bernoulli rng_roots p then 0 (* m0: the class's writer *)
+              else 1 + Sim.Prng.int rng_roots (spec.Spec.methods_per_class - 1)
+        in
         let root =
           {
             at = !clock;
             node = r mod spec.Spec.node_count;
             oid = Oid.of_int (pick_target ());
-            meth = method_name (Sim.Prng.int rng_roots spec.Spec.methods_per_class);
+            meth = method_name (pick_method ());
             seed = (spec.Spec.seed * 1_000_003) + (r * 7919) + 17;
           }
         in
@@ -167,5 +197,21 @@ let generate spec ~page_size =
       end
     in
     build 0 []
+  in
+  (* Enforce the .mli arrival-order contract before anyone consumes the
+     list: the runtime's streaming feeder submits roots lazily and trusts
+     ascending [at] (see PR 6), so an out-of-order list must fail here, at
+     the source, with a message naming the offending index. *)
+  let _ =
+    List.fold_left
+      (fun (i, prev) root ->
+        if root.at < prev then
+          invalid_arg
+            (Printf.sprintf
+               "Generator.generate: root %d arrives at %.3f, before root %d at %.3f — \
+                roots must be ascending by [at]"
+               i root.at (i - 1) prev);
+        (i + 1, root.at))
+      (0, Float.neg_infinity) roots
   in
   { spec; catalog; roots }

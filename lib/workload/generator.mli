@@ -21,11 +21,19 @@ type root_spec = {
 type t = {
   spec : Spec.t;
   catalog : Objmodel.Catalog.t;
-  roots : root_spec list;  (** ascending by [at] *)
+  roots : root_spec list;
+      (** {b Contract:} ascending by [at] (ties allowed). Consumers rely on
+          it — the runtime's streaming feeder submits roots lazily, pulling
+          the next one only when the simulation clock reaches it, and the
+          experiment runners compute makespans from the last root's [at].
+          {!generate} validates the ordering and raises [Invalid_argument]
+          naming the offending index if it is ever violated. *)
 }
 
 val generate : Spec.t -> page_size:int -> t
-(** @raise Invalid_argument on an invalid spec. *)
+(** @raise Invalid_argument on an invalid spec, or if the generated root
+    list violates the ascending-by-[at] contract (a generator bug — see
+    [roots]). *)
 
 val method_name : int -> string
 (** ["m<i>"] — the naming scheme used for generated methods. *)

@@ -22,6 +22,67 @@ let large_high = spec High Large
 let medium_moderate = spec Moderate Medium
 let large_moderate = spec Moderate Large
 
+(* Web-serving family: read-heavy traffic against a small hot set — the
+   regime a method-result cache on read leases is built for. Methods are
+   almost all read-only, writes are rare (content updates, session renewal),
+   and access is skewed toward popular objects. *)
+
+let web_sessions =
+  (* Session-store lookups: a small hot set of tiny objects, no
+     cross-object invocations, a GET-dominated request mix (3% of requests
+     hit the writer endpoint), strong popularity skew. All non-writer
+     methods are read-only, so [root_update_fraction] alone sets the
+     read/write mix. *)
+  {
+    Spec.default with
+    Spec.seed = 47;
+    object_count = 8;
+    min_pages = 1;
+    max_pages = 2;
+    root_count = 800;
+    node_count = 4;
+    arrival_mean_us = 80.0;
+    methods_per_class = 4;
+    read_only_method_fraction = 1.0;
+    root_update_fraction = Some 0.03;
+    write_fraction = 0.2;
+    invoke_probability = 0.0;
+    max_ref_slots = 0;
+    access_skew = 1.0;
+  }
+
+let web_catalog =
+  (* Catalog browsing: larger objects linked into category pages (nested
+     invocations reach shared detail objects), 5% update requests, strong
+     head-of-catalog skew. *)
+  {
+    Spec.default with
+    Spec.seed = 48;
+    object_count = 16;
+    min_pages = 2;
+    max_pages = 6;
+    root_count = 600;
+    node_count = 8;
+    arrival_mean_us = 100.0;
+    methods_per_class = 8;
+    read_only_method_fraction = 1.0;
+    root_update_fraction = Some 0.05;
+    write_fraction = 0.25;
+    invoke_probability = 0.15;
+    max_ref_slots = 2;
+    access_skew = 1.1;
+  }
+
+let web_diurnal =
+  { web_catalog with Spec.seed = 49; load_shape = Spec.Diurnal { trough = 0.25 } }
+
+let web_flash_crowd =
+  {
+    web_catalog with
+    Spec.seed = 50;
+    load_shape = Spec.Flash_crowd { at = 0.5; width = 0.2; boost = 8.0 };
+  }
+
 let name contention size =
   Printf.sprintf "%s-%s"
     (match size with Medium -> "medium" | Large -> "large")
@@ -33,4 +94,8 @@ let all =
     (name High Large, large_high);
     (name Moderate Medium, medium_moderate);
     (name Moderate Large, large_moderate);
+    ("web-sessions", web_sessions);
+    ("web-catalog", web_catalog);
+    ("web-diurnal", web_diurnal);
+    ("web-flash-crowd", web_flash_crowd);
   ]

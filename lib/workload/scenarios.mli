@@ -22,5 +22,28 @@ val medium_moderate : Spec.t
 val large_moderate : Spec.t
 (** Figure 5 *)
 
+(** {1 Web-serving family}
+
+    Read-heavy traffic against a small hot set — the regime the
+    method-result cache ({!Dsm.Method_cache}) targets. Not from the paper;
+    used by the [cache] experiment. *)
+
+val web_sessions : Spec.t
+(** session-store lookups: tiny hot objects, 3% update requests, no
+    nesting *)
+
+val web_catalog : Spec.t
+(** catalog browsing: larger linked objects, 5% update requests, strong
+    skew *)
+
+val web_diurnal : Spec.t
+(** {!web_catalog} under a diurnal arrival-rate swing *)
+
+val web_flash_crowd : Spec.t
+(** {!web_catalog} with an 8x flash crowd mid-run *)
+
 val name : contention -> size -> string
+
 val all : (string * Spec.t) list
+(** every preset, keyed by CLI scenario name (["medium-high"],
+    ["web-sessions"], ...) *)

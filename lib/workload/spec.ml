@@ -1,3 +1,8 @@
+type load_shape =
+  | Steady
+  | Diurnal of { trough : float }
+  | Flash_crowd of { at : float; width : float; boost : float }
+
 type t = {
   seed : int;
   object_count : int;
@@ -17,7 +22,9 @@ type t = {
   invoke_probability : float;
   max_ref_slots : int;
   read_only_method_fraction : float;
+  root_update_fraction : float option;
   access_skew : float;
+  load_shape : load_shape;
 }
 
 let default =
@@ -40,7 +47,9 @@ let default =
     invoke_probability = 0.5;
     max_ref_slots = 4;
     read_only_method_fraction = 0.25;
+    root_update_fraction = None;
     access_skew = 0.0;
+    load_shape = Steady;
   }
 
 let validate t =
@@ -63,14 +72,42 @@ let validate t =
   let* () = frac "invoke_probability" t.invoke_probability in
   let* () = frac "read_only_method_fraction" t.read_only_method_fraction in
   let* () = check (t.max_ref_slots >= 0) "max_ref_slots must be >= 0" in
-  check (t.access_skew >= 0.0) "access_skew must be >= 0"
+  let* () =
+    match t.root_update_fraction with
+    | None -> Ok ()
+    | Some p ->
+        let* () = frac "root_update_fraction" p in
+        check (t.methods_per_class >= 2)
+          "root_update_fraction needs methods_per_class >= 2 (a writer and a non-writer)"
+  in
+  let* () = check (t.access_skew >= 0.0) "access_skew must be >= 0" in
+  match t.load_shape with
+  | Steady -> Ok ()
+  | Diurnal { trough } ->
+      check (trough > 0.0 && trough <= 1.0) "diurnal trough must be in (0,1]"
+  | Flash_crowd { at; width; boost } ->
+      let* () = frac "flash-crowd at" at in
+      let* () = check (width > 0.0 && width <= 1.0) "flash-crowd width must be in (0,1]" in
+      check (boost >= 1.0) "flash-crowd boost must be >= 1"
+
+let pp_load_shape fmt = function
+  | Steady -> Format.pp_print_string fmt "steady"
+  | Diurnal { trough } -> Format.fprintf fmt "diurnal (trough %.2f)" trough
+  | Flash_crowd { at; width; boost } ->
+      Format.fprintf fmt "flash crowd (at %.2f, width %.2f, x%.1f)" at width boost
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>%d objects x %d-%d pages, %d roots over %d nodes@,\
-     access %.0f%%, write %.0f%%, branch %.0f%%, invoke %.0f%%%s (seed %d)@]"
+     access %.0f%%, write %.0f%%, branch %.0f%%, invoke %.0f%%%s (seed %d)"
     t.object_count t.min_pages t.max_pages t.root_count t.node_count
     (t.access_fraction *. 100.) (t.write_fraction *. 100.) (t.branch_probability *. 100.)
     (t.invoke_probability *. 100.)
     (if t.access_skew > 0.0 then Printf.sprintf ", skew %.2f" t.access_skew else "")
-    t.seed
+    t.seed;
+  (match t.root_update_fraction with
+  | Some p -> Format.fprintf fmt "@,root updates: %.1f%% of requests" (p *. 100.)
+  | None -> ());
+  if t.load_shape <> Steady then
+    Format.fprintf fmt "@,load: %a" pp_load_shape t.load_shape;
+  Format.fprintf fmt "@]"

@@ -6,6 +6,17 @@
     bodies so that methods access only a subset of an object's pages and
     update only a subset of what they access — the property LOTEC exploits. *)
 
+type load_shape =
+  | Steady  (** constant mean inter-arrival time (the default) *)
+  | Diurnal of { trough : float }
+      (** a full cosine day over the root sequence: arrival rate swings
+          between the peak (the spec's [arrival_mean_us]) and
+          [trough * peak]; [trough] in (0,1] *)
+  | Flash_crowd of { at : float; width : float; boost : float }
+      (** a burst centred at fraction [at] of the root sequence, covering
+          [width] of it, during which the arrival rate is multiplied by
+          [boost] ([>= 1]) — a news spike hitting a web site *)
+
 type t = {
   seed : int;
   object_count : int;
@@ -29,11 +40,26 @@ type t = {
   invoke_probability : float;  (** per reference slot, chance a method invokes through it *)
   max_ref_slots : int;  (** outgoing references per object (DAG edges) *)
   read_only_method_fraction : float;
+  root_update_fraction : float option;
+      (** request-level read/write mix for root transactions. [None] (the
+          default): roots pick a method uniformly — byte-identical to the
+          pre-knob generator, but the always-writer method [m0] then claims
+          [1/methods_per_class] of the traffic no matter how read-only the
+          catalog is. [Some p]: a root invokes the writer [m0] with
+          probability [p] and otherwise picks uniformly among
+          [m1..m(k-1)] — how web traffic actually splits (a GET-dominated
+          endpoint with a rare POST). Requires [methods_per_class >= 2].
+          Only root selection changes; nested invocations are whatever the
+          generated method bodies contain. *)
   access_skew : float;
       (** Zipf-like skew of root-transaction targets: 0 = uniform over
           objects (the default); larger values concentrate load on
           low-numbered objects with weight 1/(rank+1)^skew — the uneven
           per-object traffic visible in the paper's figures. *)
+  load_shape : load_shape;
+      (** how the root arrival rate varies over the run; {!Steady} (the
+          default) keeps generated workloads byte-identical to the
+          pre-shape generator. *)
 }
 
 val default : t
@@ -41,3 +67,4 @@ val default : t
 
 val validate : t -> (unit, string) result
 val pp : Format.formatter -> t -> unit
+val pp_load_shape : Format.formatter -> load_shape -> unit

@@ -30,6 +30,7 @@ let () =
          Test_chaos.tests;
          Test_crash_recovery.tests;
          Test_lease.tests;
+         Test_method_cache.tests;
          Test_observability.tests;
          Test_batching.tests;
          Test_scale.tests;
