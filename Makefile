@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos crash-chaos lease cache cache-smoke batch scale scale-smoke doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos lease cache cache-smoke batch scale scale-smoke ship ship-smoke check-links doc clean
 
 all: build
 
@@ -59,6 +59,26 @@ scale-smoke:
 	dune exec bin/lotec_sim.exe -- scale --roots 10000 --nodes 64 \
 		--assert-min-events-per-sec 100000 --assert-max-heap-mb 512 \
 		--json BENCH_engine.json
+
+# Function-shipping sweep: every protocol x locality skew x software cost,
+# each case run with shipping off (the data-ship baseline) and on; every
+# case asserts serializability and exact wire ledger reconciliation
+# (Ship_invoke/Ship_reply rows included). Writes BENCH_ship.json.
+ship:
+	dune exec bin/lotec_sim.exe -- ship --json BENCH_ship.json
+
+# CI gate: on the skewed workload at the cheapest messaging, LOTEC with
+# shipping must move >= 30% fewer bytes than its data-ship baseline with
+# completion no worse than +2%.
+ship-smoke:
+	dune exec bin/lotec_sim.exe -- ship -p lotec --skew 1.5 --software-cost 20 \
+		--assert-min-bytes-reduction 30 --assert-max-time-ratio 1.02 \
+		--json BENCH_ship.json
+
+# Fail on intra-repo markdown links pointing at missing files or at
+# anchors that no heading generates. CI runs this next to the doc build.
+check-links:
+	./tools/check_md_links.sh
 
 # API docs. odoc warnings are fatal (root dune env stanza), so a broken
 # {!reference} fails the build — CI runs this; locally it skips gracefully

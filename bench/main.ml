@@ -121,6 +121,21 @@ let batching_sweep () =
   | None -> ());
   write_artifact batch_json_file (Experiments.Batching.to_json outcomes)
 
+(* The function-shipping sweep (protocols x locality skews x software
+   costs, shipping on vs the always-data-ship baseline), printed and
+   written as BENCH_ship.json: the machine-readable record of the byte
+   reduction and the completion-time ratio the per-call cost model buys
+   (see EXPERIMENTS.md, "Function shipping"). *)
+let ship_json_file = "BENCH_ship.json"
+
+let ship_sweep () =
+  Format.printf "==================================================================@.";
+  Format.printf "Function shipping: per-call cost model vs always data-ship@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Function_shipping.sweep () in
+  Format.printf "%a@." Experiments.Function_shipping.pp_report outcomes;
+  write_artifact ship_json_file (Experiments.Function_shipping.to_json outcomes)
+
 (* The crash-recovery sweep (crash windows x protocols x replica counts),
    printed and written as BENCH_crash.json: recovery latency percentiles
    and aborted-vs-recovered counts, machine-readable across revisions. *)
@@ -275,6 +290,24 @@ let tests =
             in
             fun () ->
               ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
+      Test.make ~name:"ship-lotec"
+        (Staged.stage
+           (let spec =
+              {
+                (Experiments.Function_shipping.default_spec ~skew:1.5) with
+                Workload.Spec.root_count = 40;
+              }
+            in
+            let wl = Workload.Generator.generate spec ~page_size:4096 in
+            let config =
+              {
+                Core.Config.default with
+                Core.Config.shipping =
+                  Dsm.Shipping.On Experiments.Function_shipping.default_params;
+              }
+            in
+            fun () ->
+              ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
     ]
 
 let benchmark () =
@@ -307,6 +340,7 @@ let () =
   lease_sweep ();
   cache_sweep ();
   batching_sweep ();
+  ship_sweep ();
   msg_breakdown ();
   crash_chaos ();
   engine_scale ();
@@ -327,7 +361,7 @@ let () =
         exit 1
       end)
     [
-      lease_json_file; cache_json_file; batch_json_file; trace_json_file; crash_json_file;
-      engine_json_file;
+      lease_json_file; cache_json_file; batch_json_file; ship_json_file; trace_json_file;
+      crash_json_file; engine_json_file;
     ];
   benchmark ()

@@ -15,6 +15,7 @@
      lease       — read-lease policy sweep vs the leases-off baseline
      cache       — method-result cache sweep on the web-serving scenarios
      batch       — message-combining sweep vs the batching-off baseline
+     ship        — function-shipping sweep vs the always-data-ship baseline
      scale       — large-run sweep (streaming metrics) + engine micro-bench *)
 
 open Cmdliner
@@ -158,6 +159,18 @@ let batching_policy ~policy ~ack_flush ~ack_rider ~release_flush =
         ack_rider_bytes = or_else ack_rider p.Dsm.Batching.ack_rider_bytes;
         release_flush_us = or_else release_flush p.Dsm.Batching.release_flush_us;
       }
+
+(* Function shipping (the ship subcommand sweeps its own parameter grid). *)
+let shipping_arg =
+  let doc = "Function-shipping policy: off, on, or on:<software-us>." in
+  Arg.(value & opt string "off" & info [ "shipping" ] ~doc)
+
+let shipping_policy ~policy =
+  match Dsm.Shipping.policy_of_string policy with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok p -> p
 
 (* Interconnect fault injection (shared by run and chaos). *)
 let fault_drop_arg =
@@ -315,8 +328,8 @@ let run_cmd =
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
       recovery drop duplicate jitter fault_seed crash_windows gdo_replicas dump_directory
       request_timeout_us max_retransmits policy ttl ratio samples cache cache_capacity
-      batching ack_flush ack_rider release_flush trace_capacity trace_tail trace_chrome
-      profile =
+      batching ack_flush ack_rider release_flush shipping trace_capacity trace_tail
+      trace_chrome profile =
     let spec = apply_overrides spec seed roots in
     let spec =
       match objects with
@@ -342,6 +355,7 @@ let run_cmd =
         lease = lease_policy ~policy ~ttl ~ratio ~samples;
         method_cache = cache_policy ~policy:cache ~capacity:cache_capacity;
         batching = batching_policy ~policy:batching ~ack_flush ~ack_rider ~release_flush;
+        shipping = shipping_policy ~policy:shipping;
         trace_capacity;
       }
     in
@@ -393,7 +407,7 @@ let run_cmd =
       $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg
       $ cache_arg $ cache_capacity_arg
       $ batching_arg $ batch_ack_flush_arg $ batch_ack_rider_arg $ batch_release_flush_arg
-      $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg $ profile_arg)
+      $ shipping_arg $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
 
@@ -745,6 +759,107 @@ let cache_cmd =
           floors on the cached LOTEC rows.")
     term
 
+let ship_cmd =
+  let protocols_arg =
+    let doc = "Protocol to sweep (repeatable); default all four." in
+    Arg.(value & opt_all protocol_conv [] & info [ "protocol"; "p" ] ~doc)
+  in
+  let skews_arg =
+    let doc = "Locality skew to sweep (repeatable); default 0 and 1.5." in
+    Arg.(value & opt_all float [] & info [ "skew" ] ~doc)
+  in
+  let costs_arg =
+    let doc =
+      "Per-message software cost in microseconds to sweep (repeatable); sets both the link \
+       and the cost model's sigma. Default 20 and 60."
+    in
+    Arg.(value & opt_all float [] & info [ "software-cost" ] ~doc)
+  in
+  let min_pages_arg =
+    let doc = "Cost-model floor: never ship below this many stale remote pages." in
+    Arg.(value & opt (some int) None & info [ "ship-min-pages" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let min_reduction_arg =
+    let doc =
+      "Fail (exit 1) unless the headline row (LOTEC, skewed workload, cheapest messaging) \
+       moves at least $(docv) percent fewer bytes than its data-ship baseline."
+    in
+    Arg.(value & opt (some float) None & info [ "assert-min-bytes-reduction" ] ~docv:"PCT" ~doc)
+  in
+  let max_ratio_arg =
+    let doc =
+      "Fail (exit 1) if the headline row's completion time exceeds $(docv) times its \
+       data-ship baseline."
+    in
+    Arg.(value & opt (some float) None & info [ "assert-max-time-ratio" ] ~docv:"R" ~doc)
+  in
+  let action seed roots protocols skews costs min_pages json min_reduction max_ratio =
+    let spec_of_skew skew =
+      apply_overrides (Experiments.Function_shipping.default_spec ~skew) seed roots
+    in
+    let params =
+      match min_pages with
+      | None -> Experiments.Function_shipping.default_params
+      | Some m ->
+          {
+            Experiments.Function_shipping.default_params with
+            Dsm.Shipping.min_remote_pages = m;
+          }
+    in
+    let protocols = if protocols = [] then None else Some protocols in
+    let skews = if skews = [] then None else Some skews in
+    let software_costs = if costs = [] then None else Some costs in
+    let outcomes =
+      Experiments.Function_shipping.sweep ~spec_of_skew ~params ?protocols ?skews
+        ?software_costs ()
+    in
+    Format.printf "workload (skewed axis): %a@.@." Workload.Spec.pp (spec_of_skew 1.5);
+    Format.printf "%a@." Experiments.Function_shipping.pp_report outcomes;
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Experiments.Function_shipping.to_json outcomes);
+        close_out oc;
+        Format.printf "wrote %s@." file);
+    let failures = ref 0 in
+    let check cond msg = if not cond then (incr failures; prerr_endline ("FAIL: " ^ msg)) in
+    (if min_reduction <> None || max_ratio <> None then
+       match Experiments.Function_shipping.headline outcomes with
+       | None -> check false "no headline row (LOTEC shipping at positive skew) in the sweep"
+       | Some (_, _, reduction, ratio) ->
+           Option.iter
+             (fun floor ->
+               check (reduction >= floor)
+                 (Printf.sprintf "headline byte reduction %.1f%% below the %.1f%% floor"
+                    reduction floor))
+             min_reduction;
+           Option.iter
+             (fun ceiling ->
+               check (ratio <= ceiling)
+                 (Printf.sprintf "headline time ratio %.3f above the %.3f ceiling" ratio
+                    ceiling))
+             max_ratio);
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ roots_arg $ protocols_arg $ skews_arg $ costs_arg
+      $ min_pages_arg $ json_arg $ min_reduction_arg $ max_ratio_arg)
+  in
+  Cmd.v
+    (Cmd.info "ship"
+       ~doc:
+         "Sweep function shipping x protocols x locality skews x software costs on the \
+          locality-skewed nesting workload, against the always-data-ship baseline; report \
+          byte/message reduction and ship-decision counters, optionally asserting CI floors \
+          on the headline LOTEC row.")
+    term
+
 let batch_cmd =
   let protocols_arg =
     let doc = "Protocol to sweep (repeatable); default otec and lotec." in
@@ -976,5 +1091,5 @@ let main () =
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
             sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd; cache_cmd; batch_cmd;
-            scale_cmd;
+            ship_cmd; scale_cmd;
           ]))

@@ -32,6 +32,7 @@ type t = {
   lease : Gdo.Lease.policy;
   batching : Dsm.Batching.t;
   method_cache : Dsm.Method_cache.policy;
+  shipping : Dsm.Shipping.policy;
 }
 
 let default =
@@ -69,6 +70,7 @@ let default =
     lease = Gdo.Lease.Off;
     batching = Dsm.Batching.off;
     method_cache = Dsm.Method_cache.off;
+    shipping = Dsm.Shipping.off;
   }
 
 let validate t =
@@ -127,6 +129,12 @@ let validate t =
       || t.batching.Dsm.Batching.ack_flush_us < t.request_timeout_us)
       "batching ack_flush_us must be below request_timeout_us"
   in
+  let* () = Dsm.Shipping.validate_policy t.shipping in
+  let* () =
+    check
+      ((not (Dsm.Shipping.policy_enabled t.shipping)) || not t.prefetch)
+      "shipping excludes prefetch (optimistic pre-acquisition races the site decision)"
+  in
   match t.faults with None -> Ok () | Some f -> Sim.Fault.validate f
 
 let pp fmt t =
@@ -153,4 +161,6 @@ let pp fmt t =
     Format.fprintf fmt "@,batching: %a" Dsm.Batching.pp t.batching;
   if Dsm.Method_cache.policy_enabled t.method_cache then
     Format.fprintf fmt "@,method cache: %a" Dsm.Method_cache.pp_policy t.method_cache;
+  if Dsm.Shipping.policy_enabled t.shipping then
+    Format.fprintf fmt "@,shipping: %a" Dsm.Shipping.pp_policy t.shipping;
   Format.fprintf fmt "@]"

@@ -121,6 +121,16 @@ type t = {
           matches. Requires an enabled [lease] policy: the lease's
           recall/expiry/epoch machinery is the cache's invalidation signal
           (see {!Dsm.Method_cache}). *)
+  shipping : Dsm.Shipping.policy;
+      (** Function shipping: {!Dsm.Shipping.Off} (default) reproduces the
+          data-shipping runtime exactly; [On] runs the per-invocation cost
+          model at every method dispatch and, when shipping wins, executes
+          the invocation as a sub-fiber at the majority home of its
+          predicted pages — one [Ship_invoke]/[Ship_reply] pair instead of
+          the stale-page transfers — under the unchanged O2PL/lease/commit
+          rules (see {!Dsm.Shipping}). Excludes [prefetch]: optimistic
+          pre-acquisition would fetch pages to the invoker while the model
+          is deciding to execute elsewhere. *)
 }
 
 val default : t

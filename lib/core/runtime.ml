@@ -83,6 +83,37 @@ type fetch_wait = {
   mutable fw_failed : bool;
 }
 
+(* Outcome of a function-shipped invocation, carried home by Ship_reply (or
+   synthesised by crash handling when the reply cannot arrive). *)
+type ship_outcome =
+  | Ship_ok  (* the child precommitted into the family *)
+  | Ship_aborted  (* the child aborted out of retries: Family_abort *)
+  | Ship_recursion of Oid.t  (* run-time recursion check fired at the site *)
+  | Ship_crashed  (* a crash (or transport give-up) broke the round trip *)
+
+(* One invoker fiber blocked on a Ship_reply, registered so crash handling
+   can fail it instead of letting it block forever. *)
+type ship_wait = {
+  sw_iv : ship_outcome Sim.Engine.Ivar.t;
+  sw_family : Txn_id.t;
+  sw_site : int;
+}
+
+(* Per-family function-shipping state. [pins] fixes each invoked object's
+   execution site at the family's first dispatch on it, so every later
+   invocation in the family runs at the same site (one site per (family,
+   object) keeps the local lock inheritance chain well-formed).
+   [exec_sites] lists every node the family has executed at — the root's
+   node plus each site a Ship_invoke was delivered to — with the node's
+   incarnation at registration: commit/abort/purge iterate it for lock
+   release, crash entry dooms the family when a member crashes, and the
+   purge paths restore parked undo state only at sites whose incarnation
+   is unchanged (a crashed site's wipe already discarded the writes). *)
+type ship_state = {
+  pins : int Oid.Table.t;
+  mutable exec_sites : (int * int) list;
+}
+
 type t = {
   cfg : Config.t;
   catalog : Catalog.t;
@@ -156,8 +187,11 @@ type t = {
   lease_mgr : Gdo.Lease.t;  (* home-side manager (homes share the process) *)
   lease_caches : Gdo.Lease.Cache.cache array;  (* node-side, one per node *)
   (* family -> objects whose read lock is lease-backed (invisible to the
-     directory): released locally, validated at commit and at upgrade. *)
-  lease_reads : unit Oid.Table.t Txn_id.Table.t;
+     directory), each mapped to the nodes whose lease caches back it (the
+     family's node; with function shipping, possibly several execution
+     sites): released locally at those nodes, validated at commit and at
+     upgrade. *)
+  lease_reads : int list Oid.Table.t Txn_id.Table.t;
   (* home-side: write acquisitions parked behind an in-progress lease
      recall, keyed by object; drained FIFO when the recall clears. *)
   lease_blocked : (unit -> unit) Queue.t Itbl.t;
@@ -198,6 +232,20 @@ type t = {
   acting_home : int array;
   rejoin : unit Sim.Engine.Ivar.t option array;  (* filled at window end *)
   mutable fetch_waits : fetch_wait list;
+  (* Function-shipping subsystem (see Dsm.Shipping). Everything below is
+     inert when [ship_enabled] is false — the default — keeping
+     shipping-off runs byte-identical to the data-shipping runtime. *)
+  ship_enabled : bool;
+  ship_params : Dsm.Shipping.params option;  (* Some iff [ship_enabled] *)
+  ship_states : ship_state Txn_id.Table.t;  (* family -> pins + exec sites *)
+  (* owner transaction -> undo state parked by its function-shipped
+     descendants, one Recovery log per remote execution site. A shipped
+     child cannot merge its log into a parent executing elsewhere — the
+     pre-images belong to the site's store — so precommit parks it here
+     (and promotes parked entries up the chain), until root commit drops
+     them or an abort replays them site by site. *)
+  parked_logs : (int * Recovery.t) list ref Txn_id.Table.t;
+  mutable ship_waits : ship_wait list;
 }
 
 let config t = t.cfg
@@ -378,6 +426,14 @@ let create ~config:cfg ~catalog =
       acting_home = Array.init cfg.Config.node_count (fun i -> i);
       rejoin = Array.make cfg.Config.node_count None;
       fetch_waits = [];
+      ship_enabled = Dsm.Shipping.policy_enabled cfg.Config.shipping;
+      ship_params =
+        (match cfg.Config.shipping with
+        | Dsm.Shipping.Off -> None
+        | Dsm.Shipping.On p -> Some p);
+      ship_states = Txn_id.Table.create 16;
+      parked_logs = Txn_id.Table.create 16;
+      ship_waits = [];
     }
   in
   if t.cache_enabled then
@@ -878,7 +934,15 @@ let process_acquire t ~home ~requester ~family ~oid ~mode ~block (iv : reply Sim
          request from a defunct family is fenced — nobody is waiting on
          its reply, and granting it would leak the lock forever. *)
       if t.crash_enabled && t.crashed.(home) then ()
-      else if family_defunct t family then ()
+      else if family_defunct t family then begin
+        (* Nothing is granted, but the requester may be a function-shipped
+           fiber that outlived its family's abort (the invoker's transport
+           gave up on the round trip): fail its wait so it unwinds and
+           restores its writes instead of blocking forever. Without
+           shipping the ivar is always already filled (the family could
+           only become defunct after its one fiber was unblocked). *)
+        if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed)
+      end
       else begin
         Gdo.Directory.note_cached t.gdo oid ~node:requester;
         let core () = process_acquire_core t ~home ~requester ~family ~oid ~mode ~block iv in
@@ -902,7 +966,10 @@ let rec deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
       if family_defunct t d.d_family then begin
         (* The queued family aborted while waiting (transport give-up or
            crash unblocked it): hand the just-granted lock straight back
-           instead of delivering it to a corpse. *)
+           instead of delivering it to a corpse. If the waiter is a
+           function-shipped fiber that outlived the abort, fail its wait so
+           it unwinds (without shipping the ivar is already filled). *)
+        if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed);
         let deliveries = Gdo.Directory.release t.gdo oid ~family:d.d_family ~dirty:[] in
         List.iter (deliver_deferred_grant t ~home) deliveries
       end
@@ -1121,7 +1188,18 @@ let recompute_acting_homes t =
    and (while it is down) repoint page-map entries stranded on it to a
    surviving copy of the same committed version. *)
 let reclaim_dead_node t ~node:s ~repoint =
-  let dead f = Txn_tree.node_of t.tree f = s && Txn_id.Table.mem t.doomed f in
+  let dead f =
+    Txn_id.Table.mem t.doomed f
+    && (Txn_tree.node_of t.tree f = s
+       ||
+       (* A family rooted elsewhere but with a function-shipped executor
+          registered at the dead node is just as gone. *)
+       t.ship_enabled
+       &&
+       match Txn_id.Table.find_opt t.ship_states f with
+       | Some st -> List.exists (fun (n, _) -> n = s) st.exec_sites
+       | None -> false)
+  in
   let evicted, deliveries = Gdo.Directory.evict_families t.gdo ~dead in
   if t.lease_enabled then
     List.iter
@@ -1197,10 +1275,20 @@ let crash_enter t ~node:d =
   record_event t (fun () -> Dsm.Event.Node_crash { node = d; incarnation = t.incarnation.(d) });
   t.crashed.(d) <- true;
   t.rejoin.(d) <- Some (Sim.Engine.Ivar.create ());
-  (* Doom every family executing at the node: ids are never reused, so
-     the mark permanently fences the family's pre-crash stragglers. *)
+  (* Doom every family executing at the node — rooted here, or with a
+     function-shipped executor registered here (its uncommitted writes in
+     this store are about to be wiped): ids are never reused, so the mark
+     permanently fences the family's pre-crash stragglers. *)
   Txn_id.Table.iter
-    (fun f () -> if Txn_tree.node_of t.tree f = d then Txn_id.Table.replace t.doomed f ())
+    (fun f () ->
+      if
+        Txn_tree.node_of t.tree f = d
+        || t.ship_enabled
+           &&
+           (match Txn_id.Table.find_opt t.ship_states f with
+           | Some st -> List.exists (fun (n, _) -> n = d) st.exec_sites
+           | None -> false)
+      then Txn_id.Table.replace t.doomed f ())
     t.live_roots;
   (* Unblock global acquires that cannot complete: requests by doomed
      families and requests routed to this node as acting home (checked
@@ -1236,6 +1324,15 @@ let crash_enter t ~node:d =
         if not (Sim.Engine.Ivar.is_filled fw.fw_iv) then Sim.Engine.Ivar.fill fw.fw_iv ()
       end)
     t.fetch_waits;
+  (* Fail ship round trips headed to the crashed site, and those of doomed
+     families (the invoker re-checks doom when it wakes). *)
+  List.iter
+    (fun sw ->
+      if
+        (sw.sw_site = d || Txn_id.Table.mem t.doomed sw.sw_family)
+        && not (Sim.Engine.Ivar.is_filled sw.sw_iv)
+      then Sim.Engine.Ivar.fill sw.sw_iv Ship_crashed)
+    t.ship_waits;
   (* Volatile-state loss: the page cache keeps only what the page map
      records as durable here (the node owns the newest published version);
      every other copy is gone until re-fetched. *)
@@ -1516,17 +1613,35 @@ let family_lease_reads t family =
       Txn_id.Table.add t.lease_reads family tbl;
       tbl
 
-let mark_lease_backed t ~family ~oid = Oid.Table.replace (family_lease_reads t family) oid ()
+(* The nodes whose lease caches back the family's read on [oid] — the
+   family's own site, plus (with function shipping) any shipped reader's
+   execution site. A singleton whenever shipping is off. *)
+let lease_nodes t ~family ~oid =
+  match Txn_id.Table.find_opt t.lease_reads family with
+  | Some tbl -> Option.value ~default:[] (Oid.Table.find_opt tbl oid)
+  | None -> []
+
+let mark_lease_backed t ~family ~oid ~node =
+  let tbl = family_lease_reads t family in
+  let cur = Option.value ~default:[] (Oid.Table.find_opt tbl oid) in
+  if not (List.mem node cur) then Oid.Table.replace tbl oid (cur @ [ node ])
 
 let unmark_lease_backed t ~family ~oid =
   match Txn_id.Table.find_opt t.lease_reads family with
   | Some tbl -> Oid.Table.remove tbl oid
   | None -> ()
 
-let is_lease_backed t ~family ~oid =
+(* Drop one site's backing of the read; other sites' backings remain. *)
+let unmark_lease_backed_at t ~family ~oid ~node =
   match Txn_id.Table.find_opt t.lease_reads family with
-  | Some tbl -> Oid.Table.mem tbl oid
-  | None -> false
+  | Some tbl -> (
+      match Oid.Table.find_opt tbl oid with
+      | Some nodes -> (
+          match List.filter (fun n -> n <> node) nodes with
+          | [] -> Oid.Table.remove tbl oid
+          | rest -> Oid.Table.replace tbl oid rest)
+      | None -> ())
+  | None -> ()
 
 (* Satisfy a read-mode acquire from the node's lease cache, if it holds a
    valid lease on the object. *)
@@ -1547,7 +1662,7 @@ let lease_release t ~node ~family ~oid =
    reader whose lease expired or was superseded may have read data a writer
    has since been allowed to overwrite, so the family must abort and
    retry. *)
-let validate_lease_reads t ~node ~family =
+let validate_lease_reads t ~family =
   (not t.lease_enabled)
   ||
   match Txn_id.Table.find_opt t.lease_reads family with
@@ -1555,7 +1670,11 @@ let validate_lease_reads t ~node ~family =
   | Some tbl ->
       let now = Sim.Engine.now t.engine in
       Oid.Table.fold
-        (fun oid () ok -> ok && Gdo.Lease.Cache.valid t.lease_caches.(node) oid ~family ~now)
+        (fun oid nodes ok ->
+          ok
+          && List.for_all
+               (fun node -> Gdo.Lease.Cache.valid t.lease_caches.(node) oid ~family ~now)
+               nodes)
         tbl true
 
 let drop_lease_reads t family = Txn_id.Table.remove t.lease_reads family
@@ -1579,6 +1698,10 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
   let node = Txn_tree.node_of t.tree txn in
   let family = Txn_tree.root_of t.tree txn in
   check_crashed t ~txn_root:family;
+  (* A function-shipped fiber can outlive its family's abort (the invoker's
+     transport gave up on the round trip and unwound). Stop it at the next
+     acquisition so it restores its writes instead of piling on more. *)
+  if t.ship_enabled && family_defunct t family then raise Family_abort;
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   let wake_iv = Sim.Engine.Ivar.create () in
   match
@@ -1602,28 +1725,33 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
         let t0 = Sim.Engine.now t.engine in
         match gdo_acquire t ~node ~family ~oid ~mode:Lock.Write ~block:true with
         | Ok (g, _) ->
-            if t.lease_enabled && is_lease_backed t ~family ~oid then begin
-              (* The read being upgraded never reached the directory: this
-                 write grant is fresh, not an upgrade, and the lease that
-                 protected the read must still be valid at grant time —
-                 otherwise another writer was admitted in between (via TTL
-                 force-clear) and the read is doomed. The just-granted
-                 write lock is handed straight back so the directory is not
-                 leaked across the family abort. *)
-              let valid =
-                Gdo.Lease.Cache.valid t.lease_caches.(node) oid ~family
-                  ~now:(Sim.Engine.now t.engine)
-              in
-              if not valid then begin
-                Dsm.Metrics.incr_lease_aborts t.metrics;
-                record_event t (fun () ->
-                    Dsm.Event.Lease_abort { family = txn; node; oid = Some oid });
-                gdo_release t ~node ~family [ (oid, []) ];
-                raise Family_abort
-              end;
-              unmark_lease_backed t ~family ~oid;
-              lease_release t ~node ~family ~oid
-            end;
+            (match lease_nodes t ~family ~oid with
+            | lnodes when t.lease_enabled && lnodes <> [] ->
+                (* The read being upgraded never reached the directory: this
+                   write grant is fresh, not an upgrade, and the lease that
+                   protected the read must still be valid at grant time —
+                   otherwise another writer was admitted in between (via TTL
+                   force-clear) and the read is doomed. The just-granted
+                   write lock is handed straight back so the directory is not
+                   leaked across the family abort. [lnodes] are the sites
+                   whose caches back the read (≠ [node] only for
+                   function-shipped reads). *)
+                let now = Sim.Engine.now t.engine in
+                let valid =
+                  List.for_all
+                    (fun lnode -> Gdo.Lease.Cache.valid t.lease_caches.(lnode) oid ~family ~now)
+                    lnodes
+                in
+                if not valid then begin
+                  Dsm.Metrics.incr_lease_aborts t.metrics;
+                  record_event t (fun () ->
+                      Dsm.Event.Lease_abort { family = txn; node; oid = Some oid });
+                  gdo_release t ~node ~family [ (oid, []) ];
+                  raise Family_abort
+                end;
+                unmark_lease_backed t ~family ~oid;
+                List.iter (fun lnode -> lease_release t ~node:lnode ~family ~oid) lnodes
+            | _ -> ());
             Local_locks.upgrade_granted t.locks.(node) oid ~txn;
             Dsm.Metrics.record_acquire_latency_us t.metrics (Sim.Engine.now t.engine -. t0);
             set_snapshot t ~family ~oid g;
@@ -1654,7 +1782,7 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
           Local_locks.install_grant t.locks.(node) oid ~txn ~mode;
           set_snapshot t ~family ~oid g;
           Gdo.Lease.Cache.add_reader t.lease_caches.(node) oid ~family;
-          mark_lease_backed t ~family ~oid;
+          mark_lease_backed t ~family ~oid ~node;
           record_event t (fun () -> Dsm.Event.Lease_hit { oid; family = txn; node });
           true
       | None -> (
@@ -1732,6 +1860,120 @@ let rec acquire_object t ~txn ~oid ~mode ~predicted ~optimistic =
           end))
 
 (* ------------------------------------------------------------------ *)
+(* Function-shipping bookkeeping (see Dsm.Shipping): execution-site
+   tracking, invocation pinning and parked per-site undo state. All of it
+   is inert when shipping is off — no table ever gains an entry, keeping
+   shipping-off runs byte-identical.                                     *)
+
+(* The family's ship state, created at its first dispatch decision with the
+   root's own node registered as the first execution site. *)
+let ship_state_of t ~family ~node =
+  match Txn_id.Table.find_opt t.ship_states family with
+  | Some s -> s
+  | None ->
+      let inc = if t.crash_enabled then t.incarnation.(node) else 0 in
+      let s = { pins = Oid.Table.create 8; exec_sites = [ (node, inc) ] } in
+      Txn_id.Table.add t.ship_states family s;
+      s
+
+(* Register a Ship_invoke delivery site. The state already exists: the
+   deciding invoker created it before sending. *)
+let register_ship_site t ~family ~site =
+  let s = Txn_id.Table.find t.ship_states family in
+  if not (List.exists (fun (n, _) -> n = site) s.exec_sites) then begin
+    let inc = if t.crash_enabled then t.incarnation.(site) else 0 in
+    s.exec_sites <- s.exec_sites @ [ (site, inc) ]
+  end
+
+(* Every node the family has executed at — [node] (the caller's notion of
+   the transaction's site) first, then the other registered sites. The
+   completion paths iterate this for lock disposition; each per-site
+   operation is a no-op at sites where the transaction holds nothing. *)
+let family_exec_sites t ~family ~node =
+  if not t.ship_enabled then [ node ]
+  else
+    match Txn_id.Table.find_opt t.ship_states family with
+    | None -> [ node ]
+    | Some s ->
+        node :: List.filter_map (fun (n, _) -> if n = node then None else Some n) s.exec_sites
+
+(* A registered execution site whose store still holds the family's
+   uncommitted writes: not currently crashed, and at the incarnation it was
+   registered under (a crashed site's wipe already discarded the writes,
+   and restoring pre-images over the durable versions would resurrect
+   them). *)
+let intact_site t ~family ~site =
+  match Txn_id.Table.find_opt t.ship_states family with
+  | None -> false
+  | Some s ->
+      List.exists
+        (fun (n, inc) ->
+          n = site
+          && ((not t.crash_enabled)
+             || ((not t.crashed.(site)) && t.incarnation.(site) = inc)))
+        s.exec_sites
+
+let parked_of t txn =
+  match Txn_id.Table.find_opt t.parked_logs txn with Some cell -> !cell | None -> []
+
+let drop_parked t txn = Txn_id.Table.remove t.parked_logs txn
+
+(* Park a shipped descendant's recovery log under [owner], keyed by the
+   execution site whose store its pre-images belong to; a log already
+   parked for the site absorbs the new one (the new log's entries are
+   newer: family execution is sequential). Empty logs park nothing —
+   read-only shipped children leave no undo state behind. *)
+let park_log t ~owner ~site log =
+  if not (Recovery.is_empty log) then begin
+    let cell =
+      match Txn_id.Table.find_opt t.parked_logs owner with
+      | Some c -> c
+      | None ->
+          let c = ref [] in
+          Txn_id.Table.add t.parked_logs owner c;
+          c
+    in
+    match List.assoc_opt site !cell with
+    | Some existing -> Recovery.merge_into_parent ~child:log ~parent:existing
+    | None ->
+        let fresh = Recovery.create t.cfg.Config.recovery in
+        Recovery.merge_into_parent ~child:log ~parent:fresh;
+        cell := !cell @ [ (site, fresh) ]
+  end
+
+(* Apply recovery logs over a node's store. A single log restores exactly
+   as the single-site runtime always has (sequential newest-first
+   application ends at the oldest pre-image per page). Several logs for one
+   site — a shipped descendant wrote pages its owner also wrote, and the
+   interleaving was lost when the logs were parked separately — combine
+   into one oldest-pre-image-per-page plan, which is what the correctly
+   interleaved single log would have produced: pre-image versions are
+   drawn from a global monotone counter, so oldest = minimum. *)
+let restore_logs t ~node logs =
+  match logs with
+  | [] -> ()
+  | [ log ] ->
+      List.iter
+        (fun (oid, page, version) -> Dsm.Page_store.restore t.stores.(node) oid ~page ~version)
+        (Recovery.restore_plan log)
+  | logs ->
+      let oldest = Hashtbl.create 16 in
+      List.iter
+        (fun log ->
+          List.iter
+            (fun (oid, page, version) ->
+              let key = (Oid.to_int oid, page) in
+              match Hashtbl.find_opt oldest key with
+              | Some (_, v) when v <= version -> ()
+              | Some _ | None -> Hashtbl.replace oldest key (oid, version))
+            (Recovery.restore_plan log))
+        logs;
+      Hashtbl.iter
+        (fun (_, page) (oid, version) ->
+          Dsm.Page_store.restore t.stores.(node) oid ~page ~version)
+        oldest
+
+(* ------------------------------------------------------------------ *)
 (* Transaction completion (Algorithm 4.3 and root paths).              *)
 
 let precommit_txn t txn =
@@ -1741,9 +1983,30 @@ let precommit_txn t txn =
     | None -> invalid_arg "Runtime.precommit_txn: root"
   in
   let node = Txn_tree.node_of t.tree txn in
+  let family = Txn_tree.root_of t.tree txn in
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
-  Local_locks.precommit t.locks.(node) txn;
-  Recovery.merge_into_parent ~child:(recovery_of t txn) ~parent:(recovery_of t parent);
+  (* The child's (and its precommitted descendants') locks may live in
+     several sites' tables; the parent inherits them wherever they are. *)
+  List.iter
+    (fun site -> Local_locks.precommit t.locks.(site) txn)
+    (family_exec_sites t ~family ~node);
+  let pnode = Txn_tree.node_of t.tree parent in
+  if node = pnode then
+    Recovery.merge_into_parent ~child:(recovery_of t txn) ~parent:(recovery_of t parent)
+  else
+    (* Function-shipped child: its pre-images belong to [node]'s store and
+       cannot merge into a parent log that restores at [pnode]; park them
+       under the parent instead. *)
+    park_log t ~owner:parent ~site:node (recovery_of t txn);
+  (* Promote undo state the child's own shipped descendants parked under
+     it: logs for the parent's site join the parent's own log, the rest
+     stay parked (now under the parent). *)
+  List.iter
+    (fun (site, log) ->
+      if site = pnode then Recovery.merge_into_parent ~child:log ~parent:(recovery_of t parent)
+      else park_log t ~owner:parent ~site log)
+    (parked_of t txn);
+  drop_parked t txn;
   let rl = read_log t txn and prl = read_log t parent in
   prl := !rl @ !prl;
   let wl = write_log t txn and pwl = write_log t parent in
@@ -1755,15 +2018,30 @@ let precommit_txn t txn =
 let undo_txn t txn =
   let node = Txn_tree.node_of t.tree txn in
   let log = recovery_of t txn in
-  let cost = Recovery.restore_cost_units log in
+  let parked = parked_of t txn in
+  let cost =
+    Recovery.restore_cost_units log
+    + List.fold_left (fun acc (_, l) -> acc + Recovery.restore_cost_units l) 0 parked
+  in
   if cost > 0 then Sim.Engine.wait (t.cfg.Config.undo_page_us *. float_of_int cost);
   (* The node may have crashed during the undo wait; restoring pre-images
      into the wiped store would resurrect uncommitted state over the
      durable versions, so switch to the crash unwinding instead. *)
   check_crashed t ~txn_root:(Txn_tree.root_of t.tree txn);
-  List.iter
-    (fun (oid, page, version) -> Dsm.Page_store.restore t.stores.(node) oid ~page ~version)
-    (Recovery.restore_plan log)
+  if parked = [] then restore_logs t ~node [ log ]
+  else begin
+    (* The transaction's own log restores at its node; each parked log at
+       the site its shipped descendants wrote. *)
+    let sites = List.sort_uniq compare (node :: List.map fst parked) in
+    List.iter
+      (fun site ->
+        let logs =
+          (if site = node then [ log ] else [])
+          @ List.filter_map (fun (s, l) -> if s = site then Some l else None) parked
+        in
+        restore_logs t ~node:site logs)
+      sites
+  end
 
 (* Crash unwinding of one transaction level: purge local state with no
    undo (the crash wipe already reset the node's pages to their durable
@@ -1772,7 +2050,23 @@ let undo_txn t txn =
    cascades the doom through same-node families. *)
 let crashed_purge_sub t txn =
   let node = Txn_tree.node_of t.tree txn in
-  Local_locks.abort t.locks.(node) txn ~to_release:(fun _ -> ());
+  let family = Txn_tree.root_of t.tree txn in
+  (* With shipping, doom may have come from a crash elsewhere in the
+     family's execution-site set: sites that did NOT crash still hold the
+     family's uncommitted writes, which the wipe did not discard. Restore
+     them here (and the parked state of shipped descendants), intact sites
+     only. *)
+  if t.ship_enabled then begin
+    if intact_site t ~family ~site:node then restore_logs t ~node [ recovery_of t txn ];
+    List.iter
+      (fun (site, log) ->
+        if intact_site t ~family ~site then restore_logs t ~node:site [ log ])
+      (parked_of t txn);
+    drop_parked t txn
+  end;
+  List.iter
+    (fun site -> Local_locks.abort t.locks.(site) txn ~to_release:(fun _ -> ()))
+    (family_exec_sites t ~family ~node);
   Txn_tree.set_status t.tree txn Txn_tree.Aborted;
   drop_txn_state t txn
 
@@ -1782,17 +2076,22 @@ let abort_sub_txn t txn =
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   check_crashed t ~txn_root:(Txn_tree.root_of t.tree txn);
   let family = Txn_tree.root_of t.tree txn in
-  Local_locks.abort t.locks.(node) txn ~to_release:(fun oid ->
-      Oid.Table.remove (family_snapshots t family) oid;
-      if is_lease_backed t ~family ~oid then begin
-        (* The directory never saw this read lock: release it against the
-           lease cache only. *)
-        unmark_lease_backed t ~family ~oid;
-        lease_release t ~node ~family ~oid
-      end
-      else gdo_release t ~node ~family [ (oid, []) ]);
+  let release site oid =
+    Oid.Table.remove (family_snapshots t family) oid;
+    if t.lease_enabled && List.mem site (lease_nodes t ~family ~oid) then begin
+      (* The directory never saw this site's read lock: release it against
+         the site's lease cache only. *)
+      unmark_lease_backed_at t ~family ~oid ~node:site;
+      lease_release t ~node:site ~family ~oid
+    end
+    else gdo_release t ~node:site ~family [ (oid, []) ]
+  in
+  List.iter
+    (fun site -> Local_locks.abort t.locks.(site) txn ~to_release:(release site))
+    (family_exec_sites t ~family ~node);
   Txn_tree.set_status t.tree txn Txn_tree.Aborted;
   record_event t (fun () -> Dsm.Event.Sub_abort { txn; node });
+  drop_parked t txn;
   drop_txn_state t txn
 
 (* Dirty info for the family's release: for every page its undo log touched,
@@ -1870,22 +2169,30 @@ let dedup_accesses accesses =
   end) in
   S.elements (S.of_list accesses)
 
-(* Split a family's released objects into lease-backed reads (released
-   against the node's lease cache, no directory traffic) and directory
+(* Split one site's released objects into lease-backed reads (released
+   against the site's lease cache, no directory traffic) and directory
    locks (released globally as before). Lease-backed locks are read-only by
    construction: a write would have upgraded, and upgrading converts the
    lock to a directory lock. *)
-let split_lease_released t ~node ~family released =
+let split_lease_released t ~site ~family released =
   if not t.lease_enabled then released
   else begin
     let leased, global =
-      List.partition (fun oid -> is_lease_backed t ~family ~oid) released
+      List.partition (fun oid -> List.mem site (lease_nodes t ~family ~oid)) released
     in
     List.iter
-      (fun oid -> lease_release t ~node ~family ~oid)
+      (fun oid ->
+        unmark_lease_backed_at t ~family ~oid ~node:site;
+        lease_release t ~node:site ~family ~oid)
       leased;
-    drop_lease_reads t family;
     global
+  end
+
+(* Drop a completed family's function-shipping state. *)
+let drop_ship_state t root =
+  if t.ship_enabled then begin
+    Txn_id.Table.remove t.ship_states root;
+    drop_parked t root
   end
 
 (* Runs entirely without yielding (waits happen at the caller, before the
@@ -1895,14 +2202,83 @@ let split_lease_released t ~node ~family released =
    simulated time. *)
 let commit_root t root =
   let node = Txn_tree.node_of t.tree root in
-  let released = Local_locks.root_release t.locks.(node) ~root in
-  let released = split_lease_released t ~node ~family:root released in
-  let items = dirty_items t ~node ~root released in
-  let push_items =
-    List.filter (fun (oid, _) -> Dsm.Protocol.is_eager_push (protocol_for t oid)) items
+  let released_count =
+    if not t.ship_enabled then begin
+      let released = Local_locks.root_release t.locks.(node) ~root in
+      let released = split_lease_released t ~site:node ~family:root released in
+      let items = dirty_items t ~node ~root released in
+      let push_items =
+        List.filter (fun (oid, _) -> Dsm.Protocol.is_eager_push (protocol_for t oid)) items
+      in
+      if push_items <> [] then eager_push t ~node push_items;
+      gdo_release t ~node ~family:root items;
+      List.length released
+    end
+    else begin
+      (* Function shipping: the family's locks live in several sites' tables
+         and its dirty pages in several sites' stores. Collect the final
+         version of every dirty page across the root's own log and its
+         parked per-site logs (a page written at several sites reports its
+         newest version — version numbers are globally monotone), then
+         release per site; an object cached at more than one site (a
+         directory grant plus shipped re-acquisitions) releases globally
+         once, from the first site listing it. *)
+      let site_logs = (node, recovery_of t root) :: parked_of t root in
+      let by_page = Hashtbl.create 16 in
+      List.iter
+        (fun (site, log) ->
+          List.iter
+            (fun (oid, page) ->
+              let v = Dsm.Page_store.version t.stores.(site) oid ~page in
+              match Hashtbl.find_opt by_page (Oid.to_int oid, page) with
+              | Some (_, v0, _) when v0 >= v -> ()
+              | Some _ | None -> Hashtbl.replace by_page (Oid.to_int oid, page) (oid, v, site))
+            (Recovery.dirty_pages log))
+        site_logs;
+      let dirty_of oid =
+        Hashtbl.fold
+          (fun (o, page) (_, v, n) acc ->
+            if o = Oid.to_int oid then (page, v, n) :: acc else acc)
+          by_page []
+      in
+      let seen = Oid.Table.create 16 in
+      let total = ref 0 in
+      List.iter
+        (fun site ->
+          let released = Local_locks.root_release t.locks.(site) ~root in
+          let released = split_lease_released t ~site ~family:root released in
+          let released =
+            List.filter
+              (fun oid ->
+                if Oid.Table.mem seen oid then false
+                else begin
+                  Oid.Table.add seen oid ();
+                  true
+                end)
+              released
+          in
+          total := !total + List.length released;
+          if released <> [] then begin
+            let items = List.map (fun oid -> (oid, dirty_of oid)) released in
+            let push_items =
+              List.filter (fun (oid, _) -> Dsm.Protocol.is_eager_push (protocol_for t oid)) items
+            in
+            if push_items <> [] then eager_push t ~node:site push_items;
+            gdo_release t ~node:site ~family:root items
+          end)
+        (family_exec_sites t ~family:root ~node);
+      (* Locks are held to root commit (rule 2), so every dirty object must
+         have been among the released locks. *)
+      Hashtbl.iter
+        (fun _ (oid, _, _) ->
+          if not (Oid.Table.mem seen oid) then
+            failwith
+              (Format.asprintf "Runtime: dirty object %a not among released locks" Oid.pp oid))
+        by_page;
+      !total
+    end
   in
-  if push_items <> [] then eager_push t ~node push_items;
-  gdo_release t ~node ~family:root items;
+  if t.lease_enabled then drop_lease_reads t root;
   if not t.cfg.Config.streaming then
     t.history <-
       {
@@ -1913,8 +2289,9 @@ let commit_root t root =
       :: t.history;
   Txn_tree.set_status t.tree root Txn_tree.Committed;
   record_event t (fun () ->
-      Dsm.Event.Root_commit { family = root; node; released = List.length released });
+      Dsm.Event.Root_commit { family = root; node; released = released_count });
   Txn_id.Table.remove t.snapshots root;
+  drop_ship_state t root;
   drop_txn_state t root;
   Dsm.Metrics.incr_roots_committed t.metrics;
   (* Streaming runs are fault-free, so nothing consults a completed
@@ -1927,28 +2304,64 @@ let abort_root t root =
   undo_txn t root;
   Sim.Engine.wait t.cfg.Config.local_lock_op_us;
   check_crashed t ~txn_root:root;
-  let released = Local_locks.root_release t.locks.(node) ~root in
-  let released = split_lease_released t ~node ~family:root released in
-  gdo_release t ~node ~family:root (List.map (fun oid -> (oid, [])) released);
+  let seen = Oid.Table.create 16 in
+  List.iter
+    (fun site ->
+      let released = Local_locks.root_release t.locks.(site) ~root in
+      let released = split_lease_released t ~site ~family:root released in
+      let released =
+        List.filter
+          (fun oid ->
+            if Oid.Table.mem seen oid then false
+            else begin
+              Oid.Table.add seen oid ();
+              true
+            end)
+          released
+      in
+      if released <> [] then
+        gdo_release t ~node:site ~family:root (List.map (fun oid -> (oid, [])) released))
+    (family_exec_sites t ~family:root ~node);
+  if t.lease_enabled then drop_lease_reads t root;
   Txn_tree.set_status t.tree root Txn_tree.Aborted;
   record_event t (fun () -> Dsm.Event.Root_abort { family = root; node });
   Txn_id.Table.remove t.snapshots root;
   if t.crash_enabled then Txn_id.Table.remove t.live_roots root;
+  drop_ship_state t root;
   drop_txn_state t root;
   if t.cfg.Config.streaming then Txn_tree.forget_family t.tree root
 
 (* Crash unwinding of a root: like [crashed_purge_sub] plus the root-level
-   bookkeeping — no undo, no global releases, permanent Aborted status (the
-   fence against the family's pre-crash stragglers). *)
+   bookkeeping — no undo waits, no global releases (the crashed node cannot
+   send; directory residue is reclaimed at dead declaration), permanent
+   Aborted status (the fence against the family's pre-crash stragglers).
+   With shipping, execution sites that did not crash restore the family's
+   uncommitted writes from the root's remaining logs first. *)
 let crashed_purge_root t root =
   let node = Txn_tree.node_of t.tree root in
-  ignore (Local_locks.root_release t.locks.(node) ~root);
+  if t.ship_enabled then begin
+    if intact_site t ~family:root ~site:node then restore_logs t ~node [ recovery_of t root ];
+    List.iter
+      (fun (site, log) ->
+        if intact_site t ~family:root ~site then restore_logs t ~node:site [ log ])
+      (parked_of t root)
+  end;
+  List.iter
+    (fun site -> ignore (Local_locks.root_release t.locks.(site) ~root))
+    (family_exec_sites t ~family:root ~node);
   if t.lease_enabled then drop_lease_reads t root;
   Txn_tree.set_status t.tree root Txn_tree.Aborted;
   record_event t (fun () -> Dsm.Event.Crash_abort { family = root; node });
   Dsm.Metrics.incr_crash_aborts t.metrics;
   Txn_id.Table.remove t.snapshots root;
   Txn_id.Table.remove t.live_roots root;
+  (* A doomed family's exec-site record must outlive the purge: the family
+     released nothing at the directory (this path sends no messages), so
+     [reclaim_dead_node] is what evicts its locks — and for a family rooted
+     on a live node its doom is only visible through the registered remote
+     exec sites. The record persists like the doom mark itself; committed
+     and normally-aborted families still drop theirs. *)
+  if not (is_doomed t root) then drop_ship_state t root;
   drop_txn_state t root
 
 (* ------------------------------------------------------------------ *)
@@ -2020,7 +2433,7 @@ let try_cache_serve t ~txn ~oid ~(cm : Obj_class.compiled_method) =
                 Local_locks.install_grant t.locks.(node) oid ~txn ~mode:Lock.Read;
                 set_snapshot t ~family ~oid g;
                 Gdo.Lease.Cache.add_reader t.lease_caches.(node) oid ~family;
-                mark_lease_backed t ~family ~oid;
+                mark_lease_backed t ~family ~oid ~node;
                 List.iter (fun (page, version) -> log_read t txn ~oid ~page ~version) reads;
                 record_event t (fun () ->
                     Dsm.Event.Cache_hit
@@ -2187,11 +2600,30 @@ and run_body_exec t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) ~node ~fam
   join ();
   try_cache_fill t ~txn ~oid ~cm
 
-(* Run a sub-transaction, retrying injected failures in place. *)
+(* Method dispatch. With shipping off this is exactly the pre-shipping
+   dispatch: run the child's attempts at the parent's node. With shipping
+   on, the cost model (or the family's established pin for the object)
+   chooses the execution site; a remote site turns the dispatch into a
+   [Ship_invoke]/[Ship_reply] round trip. *)
 and invoke_child t ~prng ~parent ~oid ~meth =
+  if not t.ship_enabled then
+    run_child_attempts t ~prng ~parent ~oid ~meth ~site:(Txn_tree.node_of t.tree parent)
+  else begin
+    let pnode = Txn_tree.node_of t.tree parent in
+    let family = Txn_tree.root_of t.tree parent in
+    check_crashed t ~txn_root:family;
+    let cm = Catalog.find_method t.catalog oid meth in
+    let site = decide_exec_site t ~parent ~oid ~cm in
+    if site = pnode then run_child_attempts t ~prng ~parent ~oid ~meth ~site
+    else ship_invocation t ~prng ~parent ~oid ~meth ~family ~site
+  end
+
+(* Run a sub-transaction at [site], retrying injected failures in place. *)
+and run_child_attempts t ~prng ~parent ~oid ~meth ~site =
   let cm = Catalog.find_method t.catalog oid meth in
+  let family = Txn_tree.root_of t.tree parent in
   let rec attempt k =
-    let txn = Txn_tree.create_child t.tree ~parent in
+    let txn = Txn_tree.create_child ~node:site t.tree ~parent in
     init_txn_state t txn;
     let ok =
       try
@@ -2227,9 +2659,119 @@ and invoke_child t ~prng ~parent ~oid ~meth =
          raise Crashed_abort);
       if k < t.cfg.Config.max_sub_retries then attempt (k + 1) else raise Family_abort
     end
+    else if t.ship_enabled && family_defunct t family then begin
+      (* A shipped fiber whose family aborted while the body ran must not
+         pre-commit into the corpse: undo this level and unwind. *)
+      (try abort_sub_txn t txn with Crashed_abort -> crashed_purge_sub t txn);
+      raise Family_abort
+    end
     else precommit_txn t txn
   in
   attempt 0
+
+(* Pick the execution site for an invocation of [oid]. The first dispatch
+   in a family runs the cost model over the method's predicted pages and
+   the GDO page map, then pins the verdict: every later invocation of the
+   same object in this family joins it at the pinned site, so an object's
+   locks and uncommitted pages live at one site per family. *)
+and decide_exec_site t ~parent ~oid ~(cm : Obj_class.compiled_method) =
+  let pnode = Txn_tree.node_of t.tree parent in
+  let family = Txn_tree.root_of t.tree parent in
+  let st = ship_state_of t ~family ~node:(Txn_tree.node_of t.tree family) in
+  match Oid.Table.find_opt st.pins oid with
+  | Some site ->
+      if site <> pnode then Dsm.Metrics.incr_ships_forced t.metrics;
+      site
+  | None ->
+      let params =
+        match t.ship_params with Some p -> p | None -> assert false (* ship_enabled *)
+      in
+      let page_nodes, page_versions = Gdo.Directory.page_map t.gdo oid in
+      let owners =
+        List.map
+          (fun page -> (page, page_nodes.(page)))
+          cm.Obj_class.page_summary.Access_analysis.access_pages
+      in
+      let fresh page =
+        Dsm.Page_store.version t.stores.(pnode) oid ~page >= page_versions.(page)
+      in
+      let page_bytes = t.cfg.Config.page_size + t.cfg.Config.page_header_bytes in
+      let decision = Dsm.Shipping.decide params ~invoker:pnode ~owners ~fresh ~page_bytes in
+      let site, saved_bytes =
+        match decision with
+        | Dsm.Shipping.Stay -> (pnode, 0)
+        | Dsm.Shipping.Ship { site; saved_bytes } ->
+            (* Never ship into a node inside its crash window: the model's
+               page-map inputs predate the wipe. *)
+            if t.crash_enabled && t.crashed.(site) then (pnode, 0)
+            else (site, saved_bytes)
+      in
+      if site = pnode then Dsm.Metrics.incr_ship_declines t.metrics
+      else begin
+        Dsm.Metrics.incr_ships t.metrics;
+        Dsm.Metrics.add_ship_bytes_saved t.metrics saved_bytes
+      end;
+      record_event t (fun () ->
+          Dsm.Event.Ship_decision
+            { oid; family; src = pnode; dst = site; shipped = site <> pnode; saved_bytes });
+      Oid.Table.replace st.pins oid site;
+      site
+
+(* Ship the invocation: one [Ship_invoke] to [site], the child's attempts
+   as a sub-fiber there (same prng, same family, unchanged O2PL rules —
+   the invoker blocks on the reply, so family execution stays sequential),
+   one [Ship_reply] back carrying the outcome. Crash handling mirrors a
+   local child: a dead site (or transport give-up on either leg) fails the
+   wait, and the invoker aborts the family — [crash_enter] dooms families
+   with registered remote execution sites, so the usual crash-retry
+   machinery applies. *)
+and ship_invocation t ~prng ~parent ~oid ~meth ~family ~site =
+  let params =
+    match t.ship_params with Some p -> p | None -> assert false (* ship_enabled *)
+  in
+  let pnode = Txn_tree.node_of t.tree parent in
+  let iv = Sim.Engine.Ivar.create () in
+  let sw = { sw_iv = iv; sw_family = family; sw_site = site } in
+  if t.crash_enabled then t.ship_waits <- sw :: t.ship_waits;
+  let fail_wait () =
+    if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv Ship_crashed
+  in
+  send_reliable t ~mtype:Dsm.Wire.Ship_invoke ~src:pnode ~dst:site ~kind:Sim.Network.Control
+    ~bytes:params.Dsm.Shipping.invoke_bytes ~tag:(tag_of oid) ~on_abandon:fail_wait
+    (fun () ->
+      (* Delivery fences: a site inside its crash window executes nothing
+         (the crash sweep fails the invoker's wait); a doomed or defunct
+         family gets no zombie executor from a duplicate or straggling
+         copy. *)
+      if t.crash_enabled && t.crashed.(site) then ()
+      else if is_doomed t family || family_defunct t family then ()
+      else begin
+        register_ship_site t ~family ~site;
+        record_event t (fun () -> Dsm.Event.Ship_exec { oid; family; node = site });
+        Sim.Engine.spawn t.engine ~name:"ship" (fun () ->
+            let outcome =
+              try
+                run_child_attempts t ~prng ~parent ~oid ~meth ~site;
+                Ship_ok
+              with
+              | Family_abort -> Ship_aborted
+              | Crashed_abort -> Ship_crashed
+              | Recursion_rejected o -> Ship_recursion o
+            in
+            if not (t.crash_enabled && t.crashed.(site)) then
+              send_reliable t ~mtype:Dsm.Wire.Ship_reply ~src:site ~dst:pnode
+                ~kind:Sim.Network.Control ~bytes:params.Dsm.Shipping.reply_bytes
+                ~tag:(tag_of oid) ~on_abandon:fail_wait
+                (fun () ->
+                  if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv outcome))
+      end);
+  let outcome = Sim.Engine.Ivar.read iv in
+  if t.crash_enabled then t.ship_waits <- List.filter (fun w -> w != sw) t.ship_waits;
+  match outcome with
+  | Ship_ok -> check_crashed t ~txn_root:family
+  | Ship_aborted -> raise Family_abort
+  | Ship_recursion o -> raise (Recursion_rejected o)
+  | Ship_crashed -> if is_doomed t family then raise Crashed_abort else raise Family_abort
 
 (* ------------------------------------------------------------------ *)
 (* Root driving.                                                       *)
@@ -2266,7 +2808,7 @@ let submit t ~at ~node ~oid ~meth ~seed =
                 (* TTL doom: a lease-backed read whose lease has expired or
                    been superseded is no longer protected against writers —
                    the family must retry rather than commit it. *)
-                if validate_lease_reads t ~node ~family:root then begin
+                if validate_lease_reads t ~family:root then begin
                   (* Commit point: after this check the family is no longer
                      doomable and [commit_root] runs without yielding. *)
                   Sim.Engine.wait t.cfg.Config.local_lock_op_us;

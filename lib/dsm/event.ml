@@ -41,6 +41,15 @@ type t =
   | Cache_hit of { oid : Oid.t; family : Txn_id.t; node : int; pages : int }
   | Cache_fill of { oid : Oid.t; node : int; pages : int }
   | Cache_invalidate of { oid : Oid.t option; node : int; entries : int }
+  | Ship_decision of {
+      oid : Oid.t;
+      family : Txn_id.t;
+      src : int;
+      dst : int;
+      shipped : bool;
+      saved_bytes : int;
+    }
+  | Ship_exec of { oid : Oid.t; family : Txn_id.t; node : int }
 
 let category = function
   | Lock_request _ | Lock_grant _ | Lock_refused _ | Upgrade _ -> "lock"
@@ -63,6 +72,7 @@ let category = function
   | Heartbeat_suppressed _ ->
       "batch"
   | Cache_hit _ | Cache_fill _ | Cache_invalidate _ -> "cache"
+  | Ship_decision _ | Ship_exec _ -> "ship"
 
 let family = function
   | Lock_request { family; _ }
@@ -80,6 +90,7 @@ let family = function
   | Precommit { txn; _ } | Sub_abort { txn; _ } -> Some txn
   | Crash_abort { family; _ } -> Some family
   | Cache_hit { family; _ } -> Some family
+  | Ship_decision { family; _ } | Ship_exec { family; _ } -> Some family
   | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
   | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
   | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _ | Reclaim _
@@ -107,6 +118,7 @@ let oid = function
   | Lease_abort { oid; _ } -> oid
   | Fetch_aggregated { oid; _ } -> Some oid
   | Cache_hit { oid; _ } | Cache_fill { oid; _ } -> Some oid
+  | Ship_decision { oid; _ } | Ship_exec { oid; _ } -> Some oid
   | Cache_invalidate { oid; _ } -> oid
   | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
   | Retransmit _ | Fault _ | Node_crash _ | Node_restart _ | Crash_abort _
@@ -145,6 +157,8 @@ let node = function
       src
   | Fetch_aggregated { node; _ } | Release_coalesced { node; _ } -> node
   | Cache_hit { node; _ } | Cache_fill { node; _ } | Cache_invalidate { node; _ } -> node
+  | Ship_decision { src; _ } -> src
+  | Ship_exec { node; _ } -> node
   | Node_crash { node; _ }
   | Node_restart { node; _ }
   | Crash_abort { node; _ }
@@ -258,3 +272,12 @@ let pp fmt ev =
             entries
       | None ->
           Format.fprintf fmt "%s: node %d cache wiped (%d entr(ies))" cat node entries)
+  | Ship_decision { oid; family; src; dst; shipped; saved_bytes } ->
+      if shipped then
+        Format.fprintf fmt "%s: %a of %a ships %d->%d (~%d B saved)" cat Oid.pp oid Txn_id.pp
+          family src dst saved_bytes
+      else
+        Format.fprintf fmt "%s: %a of %a stays at node %d" cat Oid.pp oid Txn_id.pp family src
+  | Ship_exec { oid; family; node } ->
+      Format.fprintf fmt "%s: %a of %a executing at home node %d" cat Oid.pp oid Txn_id.pp
+        family node

@@ -117,12 +117,27 @@ type t =
       (** the lease layer invalidated [entries] cached results at [node]:
           for one object (recall/expiry/epoch bump) or — [oid = None] —
           the whole cache (node crash) *)
+  (* Function shipping (see [Dsm.Shipping]). *)
+  | Ship_decision of {
+      oid : Oid.t;
+      family : Txn_id.t;
+      src : int;
+      dst : int;
+      shipped : bool;
+      saved_bytes : int;
+    }
+      (** the cost model ran at method dispatch: the invocation ships
+          [src]→[dst] with [saved_bytes] predicted wire bytes saved, or
+          stays at [src] ([shipped = false], [dst = src]) *)
+  | Ship_exec of { oid : Oid.t; family : Txn_id.t; node : int }
+      (** a shipped invocation was delivered and began executing as a
+          sub-fiber at home [node] *)
 
 val category : t -> string
 (** Coarse grouping for tallies and filtering: ["lock"], ["lease"],
     ["transfer"], ["demand-fetch"], ["txn"], ["commit"], ["deadlock"],
     ["retransmit"], ["fault"], ["recursion"], ["crash"], ["suspect"],
-    ["reclaim"], ["failover"], ["batch"] or ["cache"]. *)
+    ["reclaim"], ["failover"], ["batch"], ["cache"] or ["ship"]. *)
 
 val family : t -> Txn_id.t option
 (** The transaction family the event belongs to, when it has one (lease

@@ -46,6 +46,10 @@ type totals = {
   cache_misses : int;
   cache_fills : int;
   cache_invalidations : int;
+  ships : int;
+  ship_declines : int;
+  ships_forced : int;
+  ship_bytes_saved : int;
 }
 
 type t = {
@@ -84,6 +88,10 @@ type t = {
   mutable cache_misses : int;
   mutable cache_fills : int;
   mutable cache_invalidations : int;
+  mutable ships : int;
+  mutable ship_declines : int;
+  mutable ships_forced : int;
+  mutable ship_bytes_saved : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
   (* Per-message-type ledger, indexed by Wire.index; reconciles exactly with
@@ -145,6 +153,10 @@ let create () =
     cache_misses = 0;
     cache_fills = 0;
     cache_invalidations = 0;
+    ships = 0;
+    ship_declines = 0;
+    ships_forced = 0;
+    ship_bytes_saved = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
     wire_counts = Array.make Wire.count 0;
@@ -261,6 +273,10 @@ let incr_cache_hits t = t.cache_hits <- t.cache_hits + 1
 let incr_cache_misses t = t.cache_misses <- t.cache_misses + 1
 let incr_cache_fills t = t.cache_fills <- t.cache_fills + 1
 let add_cache_invalidations t n = t.cache_invalidations <- t.cache_invalidations + n
+let incr_ships t = t.ships <- t.ships + 1
+let incr_ship_declines t = t.ship_declines <- t.ship_declines + 1
+let incr_ships_forced t = t.ships_forced <- t.ships_forced + 1
+let add_ship_bytes_saved t n = t.ship_bytes_saved <- t.ship_bytes_saved + n
 
 (* Home-node lock-protocol operations: every request the GDO home processes
    (acquires, upgrades, release batches) plus lease recall round trips. The
@@ -308,6 +324,10 @@ let totals t =
     cache_misses = t.cache_misses;
     cache_fills = t.cache_fills;
     cache_invalidations = t.cache_invalidations;
+    ships = t.ships;
+    ship_declines = t.ship_declines;
+    ships_forced = t.ships_forced;
+    ship_bytes_saved = t.ship_bytes_saved;
   }
 
 let per_object t oid =
@@ -403,6 +423,11 @@ let pp_summary fmt t =
   if tt.cache_hits + tt.cache_misses + tt.cache_fills + tt.cache_invalidations > 0 then
     Format.fprintf fmt "method cache: %d hits, %d misses, %d fills, %d invalidations@,"
       tt.cache_hits tt.cache_misses tt.cache_fills tt.cache_invalidations;
+  (* Shipping line: absent unless the shipping cost model ever ran. *)
+  if tt.ships + tt.ship_declines + tt.ships_forced > 0 then
+    Format.fprintf fmt
+      "shipping: %d shipped (%d forced to pinned site), %d stayed, ~%d B predicted saved@,"
+      tt.ships tt.ships_forced tt.ship_declines tt.ship_bytes_saved;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us
 

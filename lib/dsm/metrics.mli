@@ -185,6 +185,21 @@ val incr_cache_misses : t -> unit
 val incr_cache_fills : t -> unit
 val add_cache_invalidations : t -> int -> unit
 
+(** {1 Function-shipping counters}
+
+    See [Dsm.Shipping]: cost-model verdicts that shipped the invocation to
+    its majority home, verdicts that kept it at the invoker, re-invocations
+    forced to an already-pinned execution site without consulting the model
+    (one site per (family, object)), and the cumulative predicted wire-byte
+    saving of the shipped calls (stale-page bytes avoided minus
+    invoke/reply/residual bytes — a model-side estimate; the measured saving
+    is the byte-ledger delta the ship experiment reports). All zero when the
+    shipping policy is [Off]. *)
+val incr_ships : t -> unit
+val incr_ship_declines : t -> unit
+val incr_ships_forced : t -> unit
+val add_ship_bytes_saved : t -> int -> unit
+
 val home_lock_ops : t -> int
 (** Lock-protocol operations processed by GDO homes: global acquisitions +
     upgrades + release batches + recall/yield messages. The lease
@@ -226,6 +241,10 @@ type totals = {
   cache_misses : int;
   cache_fills : int;
   cache_invalidations : int;
+  ships : int;
+  ship_declines : int;
+  ships_forced : int;
+  ship_bytes_saved : int;
 }
 
 val totals : t -> totals

@@ -1,0 +1,122 @@
+(* Function-shipping policy: a per-invocation cost model that decides, at
+   method-dispatch time, whether to move the predicted pages to the invoker
+   (LOTEC's default data shipping) or to move the *invocation* to the node
+   that already stores most of them. The model is pure — the runtime feeds
+   it the invoked method's page prediction, the GDO page map and the
+   invoker's local freshness, and acts on the verdict. *)
+
+type params = {
+  invoke_bytes : int;
+  reply_bytes : int;
+  min_remote_pages : int;
+  software_us : float;
+  byte_us : float;
+}
+
+type policy = Off | On of params
+
+type decision = Stay | Ship of { site : int; saved_bytes : int }
+
+let default_params =
+  {
+    invoke_bytes = 256;
+    reply_bytes = 64;
+    min_remote_pages = 2;
+    software_us = 20.0;
+    (* 0.08 us/byte = an 100 Mbit/s link, the paper's base interconnect. *)
+    byte_us = 0.08;
+  }
+
+let off = Off
+
+let policy_enabled = function Off -> false | On _ -> true
+
+let validate_policy = function
+  | Off -> Ok ()
+  | On p ->
+      let check cond msg = if cond then Ok () else Error msg in
+      let ( let* ) = Result.bind in
+      let* () = check (p.invoke_bytes > 0) "shipping invoke_bytes must be positive" in
+      let* () = check (p.reply_bytes > 0) "shipping reply_bytes must be positive" in
+      let* () =
+        check (p.min_remote_pages >= 1) "shipping min_remote_pages must be >= 1"
+      in
+      let* () = check (p.software_us >= 0.0) "shipping software_us must be >= 0" in
+      check (p.byte_us >= 0.0) "shipping byte_us must be >= 0"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "off" | "none" -> Ok Off
+  | "on" -> Ok (On default_params)
+  | other -> (
+      match String.index_opt other ':' with
+      | Some i when String.sub other 0 i = "on" -> (
+          let arg = String.sub other (i + 1) (String.length other - i - 1) in
+          match float_of_string_opt arg with
+          | Some c when c >= 0.0 -> Ok (On { default_params with software_us = c })
+          | Some _ | None ->
+              Error
+                (Printf.sprintf "shipping software cost %S must be a non-negative number"
+                   arg))
+      | _ ->
+          Error
+            (Printf.sprintf "unknown shipping policy %S (expected off|on|on:<software_us>)"
+               other))
+
+let policy_to_string = function Off -> "off" | On _ -> "on"
+
+let pp_policy fmt = function
+  | Off -> Format.pp_print_string fmt "off"
+  | On p ->
+      Format.fprintf fmt "on(sw %.1fus, %.3fus/B, min %d, inv %dB, rep %dB)"
+        p.software_us p.byte_us p.min_remote_pages p.invoke_bytes p.reply_bytes
+
+(* Number of distinct source nodes in a page list: each source costs one
+   request/reply exchange under the runtime's grouped demand fetch. *)
+let group_count owners =
+  let nodes = List.sort_uniq compare (List.map snd owners) in
+  List.length nodes
+
+(* The plurality owner among the invoker's stale pages; ties break to the
+   lowest node id so the decision is deterministic across runs. *)
+let plurality_owner stale =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (_, node) ->
+      Hashtbl.replace counts node (1 + Option.value ~default:0 (Hashtbl.find_opt counts node)))
+    stale;
+  Hashtbl.fold
+    (fun node count best ->
+      match best with
+      | Some (bn, bc) when bc > count || (bc = count && bn < node) -> best
+      | _ -> Some (node, count))
+    counts None
+
+let decide p ~invoker ~owners ~fresh ~page_bytes =
+  (* Pages the invoker would have to pull over the wire: owned elsewhere and
+     not already locally fresh. *)
+  let stale = List.filter (fun (page, node) -> node <> invoker && not (fresh page)) owners in
+  if List.length stale < p.min_remote_pages then Stay
+  else
+    match plurality_owner stale with
+    | None -> Stay
+    | Some (site, _) ->
+        (* Residual pages the *home* would still have to pull if the method
+           ran there: everything predicted but not already resident at it.
+           The invoker's freshness does not transfer — the home fetches from
+           the page map like any other site. *)
+        let residual = List.filter (fun (_, node) -> node <> site) owners in
+        let cost_fetch =
+          (2.0 *. p.software_us *. float_of_int (group_count stale))
+          +. (p.byte_us *. float_of_int (page_bytes * List.length stale))
+        in
+        let ship_bytes =
+          p.invoke_bytes + p.reply_bytes + (page_bytes * List.length residual)
+        in
+        let cost_ship =
+          (p.software_us *. float_of_int (2 + (2 * group_count residual)))
+          +. (p.byte_us *. float_of_int ship_bytes)
+        in
+        if cost_ship < cost_fetch then
+          Ship { site; saved_bytes = (page_bytes * List.length stale) - ship_bytes }
+        else Stay

@@ -13,11 +13,14 @@ type t =
   | Heartbeat
   | Suspect
   | Failover_confirm
+  | Ship_invoke
+  | Ship_reply
 
 let all =
   [
     Acquire_request; Grant; Refusal; Release; Gdo_replica; Page_request; Page_reply;
     Eager_push; Lease_recall; Lease_yield; Ack; Heartbeat; Suspect; Failover_confirm;
+    Ship_invoke; Ship_reply;
   ]
 
 let count = List.length all
@@ -37,6 +40,8 @@ let index = function
   | Heartbeat -> 11
   | Suspect -> 12
   | Failover_confirm -> 13
+  | Ship_invoke -> 14
+  | Ship_reply -> 15
 
 let to_string = function
   | Acquire_request -> "acquire-request"
@@ -53,11 +58,14 @@ let to_string = function
   | Heartbeat -> "heartbeat"
   | Suspect -> "suspect"
   | Failover_confirm -> "failover-confirm"
+  | Ship_invoke -> "ship-invoke"
+  | Ship_reply -> "ship-reply"
 
 let kind = function
   | Page_reply | Eager_push -> Sim.Network.Data
   | Acquire_request | Grant | Refusal | Release | Gdo_replica | Page_request
-  | Lease_recall | Lease_yield | Ack | Heartbeat | Suspect | Failover_confirm ->
+  | Lease_recall | Lease_yield | Ack | Heartbeat | Suspect | Failover_confirm
+  | Ship_invoke | Ship_reply ->
       Sim.Network.Control
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

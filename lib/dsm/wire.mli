@@ -48,6 +48,14 @@ type t =
   | Failover_confirm
       (** successor home → holder node: conservative state reconfirmation
           after a GDO home failover (paper §4.1 replication made live) *)
+  | Ship_invoke
+      (** invoker → executing home: a function-shipped method invocation —
+          the small message that replaces the stale-page transfers when the
+          {!Shipping} cost model decides to move the method to the data *)
+  | Ship_reply
+      (** executing home → invoker: outcome of a shipped invocation
+          (committed-into-family, aborted, or refused), unblocking the
+          invoking fiber *)
 
 val all : t list
 (** Every message type, in declaration order. *)

@@ -10,7 +10,10 @@
     The experiment replays one workload's ledgers at 1 Gbps with the data
     software cost held at the conventional 20 µs and the control software
     cost swept downward, showing LOTEC's margin over OTEC recovering as
-    messaging gets cheaper. *)
+    messaging gets cheaper. The ledger replay itself
+    ({!Dsm.Metrics.total_time_us_am}) is shared with the
+    {!Function_shipping} sweep, which uses it to price each case's traffic
+    under the same link model the shipping cost model reasons about. *)
 
 type cell = {
   control_cost_us : float;

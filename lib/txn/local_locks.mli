@@ -59,6 +59,9 @@ val held_mode : t -> Objmodel.Oid.t -> txn:Txn_id.t -> Lock.mode option
 (** Mode in which [txn] itself currently holds the object, if at all. *)
 
 val retainers : t -> Objmodel.Oid.t -> family:Txn_id.t -> (Txn_id.t * Lock.mode) list
+(** Transactions of the family retaining (not holding) the object's lock,
+    with the mode each retains — the ancestors consulted by the
+    acquisition rule. *)
 
 val precommit : t -> Txn_id.t -> unit
 (** Child pre-commit: every lock [txn] holds or retains moves to its parent

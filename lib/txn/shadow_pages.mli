@@ -34,5 +34,9 @@ val dirty_pages : t -> (Objmodel.Oid.t * int) list
     descendants). *)
 
 val page_count : t -> int
+(** Number of pages currently shadowed. *)
+
 val is_empty : t -> bool
+
 val clear : t -> unit
+(** Drop every shadow (commit: the pre-images are no longer needed). *)

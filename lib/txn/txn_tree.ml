@@ -29,7 +29,7 @@ let create_root t ~node =
     { parent = None; root = id; node; depth = 0; status = Active; children = [] };
   id
 
-let create_child t ~parent =
+let create_child ?node t ~parent =
   let p = get t parent in
   if p.status <> Active then
     invalid_arg
@@ -39,7 +39,7 @@ let create_child t ~parent =
     {
       parent = Some parent;
       root = p.root;
-      node = p.node;
+      node = Option.value node ~default:p.node;
       depth = p.depth + 1;
       status = Active;
       children = [];

@@ -2,8 +2,10 @@
 
     A user-invoked method starts a root transaction; each nested invocation
     starts a sub-transaction whose parent is the invoker. All transactions
-    sharing a root form a family; in this system a family executes at a
-    single site.
+    sharing a root form a family. A family ordinarily executes at a single
+    site; with function shipping enabled ([Dsm.Shipping]) a sub-transaction
+    may execute at a different node than its parent — {!create_child}'s
+    [?node] records where.
 
     The tree also records each transaction's life-cycle status. A
     sub-transaction that finishes successfully {e pre-commits} — its effects
@@ -24,9 +26,11 @@ val create : unit -> t
 val create_root : t -> node:int -> Txn_id.t
 (** New root transaction (its own family), executing at [node]. *)
 
-val create_child : t -> parent:Txn_id.t -> Txn_id.t
-(** New sub-transaction of [parent]. @raise Invalid_argument if the parent is
-    not [Active]. *)
+val create_child : ?node:int -> t -> parent:Txn_id.t -> Txn_id.t
+(** New sub-transaction of [parent], executing at [node] (default: the
+    parent's node — a function-shipped invocation passes the remote
+    execution site). @raise Invalid_argument if the parent is not
+    [Active]. *)
 
 val parent : t -> Txn_id.t -> Txn_id.t option
 (** [None] for roots. *)
@@ -35,7 +39,8 @@ val root_of : t -> Txn_id.t -> Txn_id.t
 (** The family (root) of a transaction; identity on roots. *)
 
 val node_of : t -> Txn_id.t -> int
-(** Site at which the transaction's family executes. *)
+(** Site at which the transaction executes (the family's site, unless the
+    transaction was function-shipped elsewhere). *)
 
 val depth : t -> Txn_id.t -> int
 (** 0 for roots. *)

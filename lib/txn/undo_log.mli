@@ -36,5 +36,9 @@ val dirty_pages : t -> (Objmodel.Oid.t * int) list
     particular order. At root commit this is the family's dirty-page set. *)
 
 val is_empty : t -> bool
+
 val length : t -> int
+(** Number of write records (one per write, not per distinct page). *)
+
 val clear : t -> unit
+(** Drop every record (commit: nothing left to undo). *)

@@ -34,4 +34,5 @@ let () =
          Test_observability.tests;
          Test_batching.tests;
          Test_scale.tests;
+         Test_function_shipping.tests;
        ])

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Intra-repo markdown link checker: every relative [text](target) in the
+# tracked *.md files must point at an existing file, and a #fragment on a
+# markdown target must match a heading in that file (GitHub slug rules,
+# approximated: lowercase, punctuation stripped, spaces to dashes).
+# External (scheme://) and mailto: links are out of scope. No dependencies
+# beyond bash + python3.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+python3 - <<'EOF'
+import os, re, sys
+
+LINK = re.compile(r'(?<!\!)\[[^\]]*\]\(([^)\s]+)\)')
+
+def slugs(path):
+    out = set()
+    in_fence = False
+    with open(path, encoding='utf-8') as f:
+        for line in f:
+            if line.lstrip().startswith('```'):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = re.match(r'#+\s+(.*)', line)
+            if m:
+                text = re.sub(r'`([^`]*)`', r'\1', m.group(1)).strip()
+                slug = re.sub(r'[^\w\- ]', '', text.lower()).replace(' ', '-')
+                out.add(slug)
+    return out
+
+md_files = []
+for root, dirs, files in os.walk('.'):
+    dirs[:] = [d for d in dirs if not d.startswith(('.', '_build')) and d != 'node_modules']
+    md_files += [os.path.join(root, f) for f in files if f.endswith('.md')]
+
+errors = []
+for md in sorted(md_files):
+    base = os.path.dirname(md)
+    in_fence = False
+    with open(md, encoding='utf-8') as f:
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith('```'):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(line):
+                if re.match(r'[a-zA-Z][a-zA-Z0-9+.-]*:', target):
+                    continue  # scheme: http(s), mailto, ...
+                path, _, frag = target.partition('#')
+                if not path:  # same-file #anchor
+                    if frag and frag.lower() not in slugs(md):
+                        errors.append(f"{md}:{lineno}: broken anchor #{frag}")
+                    continue
+                resolved = os.path.normpath(os.path.join(base, path))
+                if not os.path.exists(resolved):
+                    errors.append(f"{md}:{lineno}: missing target {target}")
+                elif frag and resolved.endswith('.md') and frag.lower() not in slugs(resolved):
+                    errors.append(f"{md}:{lineno}: broken anchor {target}")
+
+if errors:
+    print(f"{len(errors)} broken markdown link(s):")
+    print('\n'.join(errors))
+    sys.exit(1)
+print(f"markdown links OK across {len(md_files)} file(s)")
+EOF
