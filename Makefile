@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos crash-chaos lease cache cache-smoke batch scale scale-smoke ship ship-smoke check-links doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos partition partition-smoke lease cache cache-smoke batch scale scale-smoke ship ship-smoke check-links doc clean
 
 all: build
 
@@ -74,6 +74,22 @@ ship-smoke:
 	dune exec bin/lotec_sim.exe -- ship -p lotec --skew 1.5 --software-cost 20 \
 		--assert-min-bytes-reduction 30 --assert-max-time-ratio 1.02 \
 		--json BENCH_ship.json
+
+# Partition / gray-failure nemesis: partition, one-way-cut and slow-link
+# schedules x protocols x replica counts against the quorum membership
+# protocol. Every case asserts no split-brain (directory + acting-home
+# audit), exact wire reconciliation, and — on the false-suspicion
+# schedules — a forced false declaration followed by message-driven
+# readmission. Writes BENCH_partition.json.
+partition:
+	dune exec bin/lotec_sim.exe -- partition --json BENCH_partition.json
+
+# CI gate: the two forced-false-declaration schedules on LOTEC, both
+# replica settings. The sweep exits nonzero on any violated invariant.
+partition-smoke:
+	dune exec bin/lotec_sim.exe -- partition -p lotec \
+		--schedule minority-iso --schedule false-suspicion \
+		--json BENCH_partition.json
 
 # Fail on intra-repo markdown links pointing at missing files or at
 # anchors that no heading generates. CI runs this next to the doc build.

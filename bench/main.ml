@@ -149,6 +149,22 @@ let crash_chaos () =
   Format.printf "%a@." Experiments.Chaos.pp_crash_report outcomes;
   write_artifact crash_json_file (Experiments.Chaos.crash_to_json outcomes)
 
+(* The partition / gray-failure nemesis (partition, one-way-cut and
+   slow-link schedules x protocols x replica counts, no crashes),
+   printed and written as BENCH_partition.json: declaration latency
+   percentiles, false-suspicion / readmission counts and in-window
+   availability, machine-readable across revisions. Every run asserts
+   the split-brain audit and exact wire reconciliation internally. *)
+let partition_json_file = "BENCH_partition.json"
+
+let partition_nemesis () =
+  Format.printf "==================================================================@.";
+  Format.printf "Partition nemesis: quorum membership, fencing, readmission@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Partition.sweep () in
+  Format.printf "%a@." Experiments.Partition.pp_report outcomes;
+  write_artifact partition_json_file (Experiments.Partition.to_json outcomes)
+
 (* The engine micro-benchmark (flat event pool vs the recorded
    pre-refactor baseline) plus the 100k-root scale point per protocol
    (streaming metrics), written as BENCH_engine.json: the
@@ -343,6 +359,7 @@ let () =
   ship_sweep ();
   msg_breakdown ();
   crash_chaos ();
+  partition_nemesis ();
   engine_scale ();
   (* Belt and braces over write_artifact: every entry above must have left
      a non-empty artefact on disk before the timing section runs. *)
@@ -362,6 +379,6 @@ let () =
       end)
     [
       lease_json_file; cache_json_file; batch_json_file; ship_json_file; trace_json_file;
-      crash_json_file; engine_json_file;
+      crash_json_file; partition_json_file; engine_json_file;
     ];
   benchmark ()

@@ -222,6 +222,60 @@ let crash_windows_arg =
   in
   Arg.(value & opt_all crash_window_conv [] & info [ "crash-window" ] ~docv:"N:F:U" ~doc)
 
+(* Partition windows: "N[,N...]:FROM_US:UNTIL_US" — the listed nodes form one
+   side of the split; messages crossing the boundary are lost both ways. *)
+let partition_window_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ g; f; u ] -> (
+        try
+          let group = List.map int_of_string (String.split_on_char ',' g) in
+          Ok (group, float_of_string f, float_of_string u)
+        with Failure _ -> Error (`Msg ("bad partition window " ^ s)))
+    | _ -> Error (`Msg ("expected NODES:FROM_US:UNTIL_US, got " ^ s))
+  in
+  let print fmt (g, f, u) =
+    Format.fprintf fmt "%s:%g:%g" (String.concat "," (List.map string_of_int g)) f u
+  in
+  Arg.conv (parse, print)
+
+let partition_windows_arg =
+  let doc =
+    "Network partition window as NODES:FROM_US:UNTIL_US where NODES is a comma-separated \
+     group forming one side of the split (repeatable). Messages crossing the boundary are \
+     lost in both directions; the partition heals at UNTIL_US."
+  in
+  Arg.(
+    value & opt_all partition_window_conv [] & info [ "partition-window" ] ~docv:"G:F:U" ~doc)
+
+(* Slow links: "SRC>DST:EXTRA_US:FROM_US:UNTIL_US" (gray failure). *)
+let slow_link_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ sd; e; f; u ] -> (
+        match String.split_on_char '>' sd with
+        | [ src; dst ] -> (
+            try
+              Ok
+                ( int_of_string src,
+                  int_of_string dst,
+                  float_of_string e,
+                  float_of_string f,
+                  float_of_string u )
+            with Failure _ -> Error (`Msg ("bad slow link " ^ s)))
+        | _ -> Error (`Msg ("expected SRC>DST:EXTRA_US:FROM_US:UNTIL_US, got " ^ s)))
+    | _ -> Error (`Msg ("expected SRC>DST:EXTRA_US:FROM_US:UNTIL_US, got " ^ s))
+  in
+  let print fmt (s, d, e, f, u) = Format.fprintf fmt "%d>%d:%g:%g:%g" s d e f u in
+  Arg.conv (parse, print)
+
+let slow_links_arg =
+  let doc =
+    "Gray-failure window as SRC>DST:EXTRA_US:FROM_US:UNTIL_US (repeatable): messages from \
+     SRC to DST incur EXTRA_US additional latency during the window but are delivered."
+  in
+  Arg.(value & opt_all slow_link_conv [] & info [ "slow-link" ] ~docv:"S>D:E:F:U" ~doc)
+
 let gdo_replicas_arg =
   let doc =
     "GDO replication factor: with crash windows, a crashed home's partition fails over to \
@@ -236,8 +290,12 @@ let dump_directory_arg =
   let doc = "Print the GDO dump (non-free entries) after the run, and on a stall." in
   Arg.(value & flag & info [ "dump-directory" ] ~doc)
 
-let fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows =
-  if drop = 0.0 && duplicate = 0.0 && jitter = 0.0 && crash_windows = [] then None
+let fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows ~partition_windows
+    ~slow_links =
+  if
+    drop = 0.0 && duplicate = 0.0 && jitter = 0.0 && crash_windows = []
+    && partition_windows = [] && slow_links = []
+  then None
   else
     (* Any non-default value gets a config, even an out-of-range one, so it
        reaches Config.validate instead of being silently ignored. *)
@@ -257,6 +315,24 @@ let fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows =
                 w_until_us = u;
               })
             crash_windows;
+        link_windows =
+          List.map
+            (fun (g, f, u) ->
+              {
+                Sim.Fault.lw_kind = Sim.Fault.Partition g;
+                lw_from_us = f;
+                lw_until_us = u;
+              })
+            partition_windows
+          @ List.map
+              (fun (s, d, e, f, u) ->
+                {
+                  Sim.Fault.lw_kind =
+                    Sim.Fault.Slow { slow_src = s; slow_dst = d; extra_us = e };
+                  lw_from_us = f;
+                  lw_until_us = u;
+                })
+              slow_links;
       }
 
 (* Shared by run (via the --trace- flags) and the trace subcommand. *)
@@ -326,7 +402,8 @@ let run_cmd =
     Arg.(value & flag & info [ "profile" ] ~doc)
   in
   let action spec protocol seed roots objects skew abort_probability prefetch cpu_limited
-      recovery drop duplicate jitter fault_seed crash_windows gdo_replicas dump_directory
+      recovery drop duplicate jitter fault_seed crash_windows partition_windows slow_links
+      gdo_replicas dump_directory
       request_timeout_us max_retransmits policy ttl ratio samples cache cache_capacity
       batching ack_flush ack_rider release_flush shipping trace_capacity trace_tail
       trace_chrome profile =
@@ -348,7 +425,9 @@ let run_cmd =
         prefetch;
         cpu_limited;
         recovery;
-        faults = fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows;
+        faults =
+          fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows
+            ~partition_windows ~slow_links;
         gdo_replicas;
         request_timeout_us;
         max_retransmits;
@@ -403,6 +482,7 @@ let run_cmd =
       const action $ scenario_arg $ protocol_arg $ seed_arg $ roots_arg $ objects_arg
       $ skew_arg $ abort_arg $ prefetch_arg $ cpu_arg $ recovery_arg $ fault_drop_arg
       $ fault_duplicate_arg $ fault_jitter_arg $ fault_seed_arg $ crash_windows_arg
+      $ partition_windows_arg $ slow_links_arg
       $ gdo_replicas_arg $ dump_directory_arg $ timeout_arg $ retransmits_arg
       $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg
       $ cache_arg $ cache_capacity_arg
@@ -590,6 +670,84 @@ let chaos_cmd =
           invariants (serializability, root accounting, ledger balance) hold; with --crash \
           or --crash-window, sweep fail-stop crash-restart windows through the recovery \
           subsystem instead.")
+    term
+
+let partition_cmd =
+  let protocols_arg =
+    let doc = "Protocol to sweep (repeatable); default COTEC, OTEC and LOTEC." in
+    Arg.(value & opt_all protocol_conv [] & info [ "protocol"; "p" ] ~doc)
+  in
+  let replicas_arg =
+    let doc = "GDO replication factor to sweep (repeatable); default 0 and 1." in
+    Arg.(value & opt_all int [] & info [ "replicas" ] ~doc)
+  in
+  let seeds_arg =
+    let doc = "Fault-injector seed (repeatable)." in
+    Arg.(value & opt_all int [] & info [ "fault-seed" ] ~doc)
+  in
+  let schedule_arg =
+    let doc =
+      "Nemesis schedule to run (repeatable): minority-iso, even-split, one-way, slow-link \
+       or false-suspicion; default all five (plus the leased fence scenario on replicated \
+       columns)."
+    in
+    Arg.(value & opt_all string [] & info [ "schedule" ] ~docv:"NAME" ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let action seed roots protocols replicas seeds schedules json dump_directory =
+    let spec = apply_overrides Experiments.Partition.default_spec seed roots in
+    let protocols = if protocols = [] then None else Some protocols in
+    let replicas = if replicas = [] then None else Some replicas in
+    let fault_seeds = if seeds = [] then None else Some seeds in
+    let schedules =
+      match schedules with
+      | [] -> None
+      | names ->
+          Some
+            (List.map
+               (fun name ->
+                 match
+                   List.find_opt
+                     (fun (s : Experiments.Partition.schedule) ->
+                       s.Experiments.Partition.sched_name = name)
+                     Experiments.Partition.default_schedules
+                 with
+                 | Some s -> s
+                 | None -> failwith ("unknown schedule " ^ name))
+               names)
+    in
+    (* Every invariant — root accounting, wire-ledger reconciliation,
+       split-brain audit, forced false declaration + readmission — is
+       asserted inside the sweep; a violation raises and exits nonzero. *)
+    let outcomes =
+      Experiments.Partition.sweep ~spec ?schedules ?protocols ?replicas ?fault_seeds
+        ~dump_stalls:dump_directory ()
+    in
+    Format.printf "workload: %a@.@." Workload.Spec.pp spec;
+    Format.printf "%a@." Experiments.Partition.pp_report outcomes;
+    match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Experiments.Partition.to_json outcomes);
+        close_out oc;
+        Format.printf "wrote %s@." file
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ roots_arg $ protocols_arg $ replicas_arg $ seeds_arg
+      $ schedule_arg $ json_arg $ dump_directory_arg)
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Run the partition / gray-failure nemesis: scheduled partitions, one-way cuts and \
+          slow links x protocols x replica counts against the quorum membership protocol, \
+          asserting no split-brain (directory + acting-home audit), exact wire \
+          reconciliation, and message-driven readmission after a forced false declaration.")
     term
 
 let lease_cmd =
@@ -879,6 +1037,7 @@ let batch_cmd =
         Some Experiments.Batching.default_faults
       else
         fault_config ~drop ~duplicate ~jitter ~fault_seed ~crash_windows:[]
+          ~partition_windows:[] ~slow_links:[]
     in
     let policies =
       (* Off is always the baseline; an explicit policy flag replaces the
@@ -1090,6 +1249,6 @@ let main () =
        (Cmd.group info
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
-            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; lease_cmd; cache_cmd; batch_cmd;
+            sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; partition_cmd; lease_cmd; cache_cmd; batch_cmd;
             ship_cmd; scale_cmd;
           ]))

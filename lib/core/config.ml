@@ -27,6 +27,7 @@ type t = {
   faults : Sim.Fault.config option;
   request_timeout_us : float;
   max_retransmits : int;
+  retransmit_backoff_cap_us : float;
   heartbeat_interval_us : float;
   suspect_timeout_us : float;
   lease : Gdo.Lease.policy;
@@ -65,6 +66,7 @@ let default =
     faults = None;
     request_timeout_us = 5_000.0;
     max_retransmits = 10;
+    retransmit_backoff_cap_us = 40_000.0;
     heartbeat_interval_us = 1_000.0;
     suspect_timeout_us = 4_000.0;
     lease = Gdo.Lease.Off;
@@ -108,6 +110,11 @@ let validate t =
   in
   let* () = check (t.request_timeout_us > 0.0) "request_timeout_us must be positive" in
   let* () = check (t.max_retransmits >= 0) "max_retransmits must be >= 0" in
+  let* () =
+    check
+      (t.retransmit_backoff_cap_us >= t.request_timeout_us)
+      "retransmit_backoff_cap_us must be >= request_timeout_us"
+  in
   let* () = check (t.heartbeat_interval_us > 0.0) "heartbeat_interval_us must be positive" in
   let* () =
     check

@@ -80,9 +80,12 @@ type t = {
           still completes correctly. An inactive config behaves exactly like
           [None]. *)
   request_timeout_us : float;
-      (** retransmit timer for an unacknowledged protocol message; doubled
-          after every retransmission (exponential backoff). Only used when
-          [faults] is active. *)
+      (** base retransmit timer for an unacknowledged protocol message;
+          subsequent retransmit delays grow by decorrelated jitter
+          ({!Sim.Backoff}): drawn uniformly from [base, 3 * prev) on the
+          sender's private seed-deterministic stream and clamped to
+          [retransmit_backoff_cap_us]. Only used when [faults] is
+          active. *)
   max_retransmits : int;
       (** retransmissions of one message before the transport gives up.
           A give-up is counted ({!Dsm.Metrics}), reported to the sender's
@@ -91,6 +94,11 @@ type t = {
           stalls the simulation. With the default 10 and drop rates
           <= 0.2 a give-up is a ~1e-8 per-message event; crash-window
           tests lower it to exercise the recovery path. *)
+  retransmit_backoff_cap_us : float;
+      (** upper bound on any single retransmit delay. Uncapped exponential
+          backoff pushes retries of a long partition far past its heal;
+          the cap bounds the post-heal recovery latency. Must be >=
+          [request_timeout_us]. *)
   heartbeat_interval_us : float;
       (** period of the liveness heartbeats every node broadcasts while
           crash windows are configured (crash-free runs send none) *)

@@ -1,0 +1,37 @@
+(* The membership half of the split-brain auditor: the acting-home log is
+   a sequence of (epoch, partition, serving) records appended by
+   [Runtime.recompute_acting_homes] whenever a partition's acting home
+   changes. Split-brain would show up here as two different nodes recorded
+   as serving the same partition at the same membership epoch — two
+   regimes both believing they own the directory partition. *)
+
+let check log =
+  (* Oldest first; the runtime prepends. *)
+  let log = List.rev log in
+  let seen = Hashtbl.create 16 in
+  let violations = ref [] in
+  List.iter
+    (fun (epoch, partition, serving) ->
+      match Hashtbl.find_opt seen (epoch, partition) with
+      | Some other when other <> serving ->
+          violations :=
+            Printf.sprintf
+              "partition %d served by both node %d and node %d at membership epoch %d"
+              partition other serving epoch
+            :: !violations
+      | Some _ -> ()
+      | None -> Hashtbl.replace seen (epoch, partition) serving)
+    log;
+  (* Epochs must be non-decreasing along the log: a regression would mean
+     an acting home was installed under a stale view. *)
+  let rec monotone last = function
+    | [] -> ()
+    | (epoch, partition, _) :: rest ->
+        if epoch < last then
+          violations :=
+            Printf.sprintf "membership epoch regressed to %d at partition %d" epoch partition
+            :: !violations;
+        monotone (max last epoch) rest
+  in
+  monotone 0 log;
+  match List.rev !violations with [] -> Ok () | vs -> Error vs

@@ -231,6 +231,40 @@ type t = {
      by its first live ring successor until the rejoin. *)
   acting_home : int array;
   rejoin : unit Sim.Engine.Ivar.t option array;  (* filled at window end *)
+  (* Quorum-membership subsystem (no ground-truth oracle): a suspicion
+     becomes a declaration only when a majority of the not-yet-declared
+     observers corroborate it from their own detectors. Every declaration
+     or readmission bumps the membership epoch; acquisition requests are
+     stamped with the sender's epoch view and refused when stale, fencing
+     out the regime of a falsely-declared (partitioned, not crashed)
+     home. All of it is inert when [crash_enabled] is false. *)
+  mutable membership_epoch : int;  (* global; bumped per declaration/readmission *)
+  epoch_view : int array;  (* node -> highest epoch it has heard of *)
+  declared_down : bool array;  (* node -> currently declared dead by quorum *)
+  acting_epoch : int array;  (* partition -> epoch of its last acting-home change *)
+  (* node -> instant before which a successor must not serve the node's
+     home partition: the latest expiry of any read lease the node granted
+     (lease-expiry fencing; 0 with leases off). *)
+  fence_until : float array;
+  (* A node that can reach fewer than a majority of eligible peers parks:
+     it refuses directory service and starts no new roots until the
+     majority is reachable again (minority side of a partition). *)
+  parked : bool array;
+  park_ivars : unit Sim.Engine.Ivar.t option array;
+  (* (suspect, incarnation) -> observers that voted; a vote is recorded
+     only from an observer whose own detector suspects the node. *)
+  votes : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+  (* (epoch, partition, serving) appended per acting-home change, newest
+     first: the split-brain auditor's input (see Membership_audit). *)
+  mutable membership_log : (int * int * int) list;
+  (* Per-node decorrelated-jitter retransmit streams (see Sim.Backoff);
+     draw nothing unless a retransmit timer actually fires. *)
+  backoffs : Sim.Backoff.t array;
+  (* Membership work done on every delivered remote message (epoch
+     max-merge, readmission of a falsely-declared sender); a no-op until
+     [arm_crash_machinery] installs the real hook, so fault-free runs are
+     untouched. *)
+  mutable deliver_hook : src:int -> dst:int -> unit;
   mutable fetch_waits : fetch_wait list;
   (* Function-shipping subsystem (see Dsm.Shipping). Everything below is
      inert when [ship_enabled] is false — the default — keeping
@@ -331,9 +365,11 @@ let create ~config:cfg ~catalog =
   in
   let on_fault ~event ~src ~dst =
     (match event with
-    | Sim.Fault.Drop | Sim.Fault.Crash_drop -> Dsm.Metrics.incr_drops metrics
+    | Sim.Fault.Drop | Sim.Fault.Crash_drop | Sim.Fault.Partition_drop
+    | Sim.Fault.Link_cut_drop ->
+        Dsm.Metrics.incr_drops metrics
     | Sim.Fault.Duplicate -> Dsm.Metrics.incr_duplicates metrics
-    | Sim.Fault.Pause_defer -> ());
+    | Sim.Fault.Pause_defer | Sim.Fault.Slow_defer -> ());
     match trace with
     | None -> ()
     | Some tr ->
@@ -387,7 +423,7 @@ let create ~config:cfg ~catalog =
         (cfg.Config.batching.Dsm.Batching.piggyback_heartbeat
         &&
         match cfg.Config.faults with
-        | Some f -> Sim.Fault.has_crash_windows f
+        | Some f -> Sim.Fault.has_crash_windows f || Sim.Fault.has_link_windows f
         | None -> false);
       pending_acks = Hashtbl.create 16;
       ack_flush_armed = Hashtbl.create 16;
@@ -405,9 +441,13 @@ let create ~config:cfg ~catalog =
       method_caches =
         Array.init cfg.Config.node_count (fun _ ->
             Dsm.Method_cache.create cfg.Config.method_cache);
+      (* Crash *or* link windows arm the whole failure-handling stack:
+         heartbeats, detectors, quorum membership, failover. A partition
+         makes messages loseable and nodes falsely suspectable, so it
+         needs everything a crash does except the state wipe. *)
       crash_enabled =
         (match cfg.Config.faults with
-        | Some f -> Sim.Fault.has_crash_windows f
+        | Some f -> Sim.Fault.has_crash_windows f || Sim.Fault.has_link_windows f
         | None -> false);
       crashed = Array.make cfg.Config.node_count false;
       incarnation = Array.make cfg.Config.node_count 0;
@@ -425,6 +465,23 @@ let create ~config:cfg ~catalog =
             d);
       acting_home = Array.init cfg.Config.node_count (fun i -> i);
       rejoin = Array.make cfg.Config.node_count None;
+      membership_epoch = 0;
+      epoch_view = Array.make cfg.Config.node_count 0;
+      declared_down = Array.make cfg.Config.node_count false;
+      acting_epoch = Array.make cfg.Config.node_count 0;
+      fence_until = Array.make cfg.Config.node_count 0.0;
+      parked = Array.make cfg.Config.node_count false;
+      park_ivars = Array.make cfg.Config.node_count None;
+      votes = Hashtbl.create 8;
+      membership_log = [];
+      backoffs =
+        (let seed =
+           match cfg.Config.faults with Some f -> f.Sim.Fault.seed | None -> 0
+         in
+         Array.init cfg.Config.node_count (fun node ->
+             Sim.Backoff.stream ~seed ~node ~base_us:cfg.Config.request_timeout_us
+               ~cap_us:cfg.Config.retransmit_backoff_cap_us));
+      deliver_hook = (fun ~src:_ ~dst:_ -> ());
       fetch_waits = [];
       ship_enabled = Dsm.Shipping.policy_enabled cfg.Config.shipping;
       ship_params =
@@ -447,9 +504,15 @@ let create ~config:cfg ~catalog =
      one on an active channel. *)
   for node = 0 to cfg.Config.node_count - 1 do
     Sim.Network.set_handler net ~node (fun ~src (Exec f) ->
-        if t.batch_heartbeat && src <> node && not t.crashed.(node) then
-          Sim.Failure_detector.heartbeat t.detectors.(node) ~node:src
-            ~now:(Sim.Engine.now engine);
+        if src <> node && not t.crashed.(node) then begin
+          if t.batch_heartbeat then
+            Sim.Failure_detector.heartbeat t.detectors.(node) ~node:src
+              ~now:(Sim.Engine.now engine);
+          (* Membership: a delivered message carries the sender's epoch
+             view and is a liveness proof — it readmits a falsely-declared
+             sender. No-op until the crash machinery arms the hook. *)
+          t.deliver_hook ~src ~dst:node
+        end;
         f ())
   done;
   (* Initial placement: all pages of every object live on its home node at
@@ -591,8 +654,11 @@ let tag_of oid = Oid.to_int oid
    transport-level ack back (re-acking on every delivery, since a previous
    ack may itself have been lost), then runs the effect at most once — the
    receiver's [seen] table absorbs injected duplicates and retransmissions.
-   The sender retransmits on an exponential-backoff timer until acked or out
-   of attempts. Without an active fault model this is exactly [send_exec]:
+   The sender retransmits until acked or out of attempts, on a capped
+   decorrelated-jitter backoff timer ({!Sim.Backoff}): roughly exponential
+   growth, clamped so a long partition cannot push the retry far past its
+   heal, and drawn from a per-node stream so synchronized losers do not
+   retry in lockstep. Without an active fault model this is exactly [send_exec]:
    no acks, no timers, no accounting difference.
 
    [on_abandon] runs when the transport stops trying before the message
@@ -638,7 +704,7 @@ let send_reliable ?(on_abandon = fun () -> ()) t ~mtype ~src ~dst ~kind ~bytes ~
                     Dsm.Event.Retransmit
                       { mid; src; dst; attempt = attempt + 1; abandoned = false });
                 transmit ();
-                arm (attempt + 1) (timeout *. 2.0)
+                arm (attempt + 1) (Sim.Backoff.next t.backoffs.(src) ~prev_us:timeout)
               end
               else begin
                 (* Give up: count it, hint the sender's failure detector
@@ -926,14 +992,49 @@ let gate_lease_write t ~home ~requester ~family ~oid ~block ~core
 let family_defunct t family =
   t.reliable && Txn_tree.status t.tree family = Txn_tree.Aborted
 
-(* Executed at the GDO home when an acquire request arrives. *)
-let process_acquire t ~home ~requester ~family ~oid ~mode ~block (iv : reply Sim.Engine.Ivar.t) =
+(* Executed at the GDO home when an acquire request arrives. [epoch] is
+   the membership epoch stamped by the requester at send time; a request
+   under a stale view — or reaching a node the current view says is not
+   this partition's acting home — is refused, and the requester retries
+   under the new regime. This is the request-side half of the split-brain
+   fence. *)
+let rec process_acquire t ~home ~requester ~family ~oid ~mode ~block ~epoch
+    (iv : reply Sim.Engine.Ivar.t) =
   Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      let p = Oid.to_int oid mod t.cfg.Config.node_count in
       (* A home that crashed between delivery and processing mutates
          nothing (its requesters were unblocked by the crash sweep); a
          request from a defunct family is fenced — nobody is waiting on
          its reply, and granting it would leak the lock forever. *)
       if t.crash_enabled && t.crashed.(home) then ()
+      else if
+        t.crash_enabled
+        && (t.acting_home.(p) <> home
+           || epoch < t.acting_epoch.(p)
+           || t.declared_down.(home)
+           || t.parked.(home))
+      then begin
+        (* Epoch fence: this node is not the partition's acting home under
+           the current view, the request predates the view that installed
+           the acting home, or the node is declared/parked and must not
+           grant. Refuse; the requester re-routes under its caught-up
+           view. *)
+        Dsm.Metrics.incr_stale_epoch_rejects t.metrics;
+        reply_from_home t ~home ~dst:requester ~oid iv (Error Crashed)
+      end
+      else if
+        t.crash_enabled && home <> p
+        && Sim.Engine.now t.engine < t.fence_until.(p)
+      then begin
+        (* Lease fence: a successor serving a dead home's partition must
+           wait out every read lease the dead home granted — a stale
+           lease-holder could otherwise read while the successor grants a
+           conflicting write. Defer the whole acquire to the fence. *)
+        Dsm.Metrics.incr_fence_deferrals t.metrics;
+        let wait = t.fence_until.(p) -. Sim.Engine.now t.engine in
+        Sim.Engine.schedule t.engine ~delay:wait (fun () ->
+            process_acquire t ~home ~requester ~family ~oid ~mode ~block ~epoch iv)
+      end
       else if family_defunct t family then begin
         (* Nothing is granted, but the requester may be a function-shipped
            fiber that outlived its family's abort (the invoker's transport
@@ -990,6 +1091,16 @@ let rec process_release t ~home ~from ~family items =
            never be lost — the survivor's locks would leak — so re-dispatch
            it from the origin; current routing sends it to the acting
            home (or back here after the rejoin). *)
+        if not t.crashed.(from) then gdo_release t ~node:from ~family items
+      end
+      else if
+        t.crash_enabled
+        && List.exists (fun (oid, _) -> home_of t oid <> home) items
+      then begin
+        (* Membership moved the partition between send and processing (a
+           declaration or readmission re-routed it): re-dispatch from the
+           origin so the release lands at the current acting home — a
+           release must never be lost. *)
         if not t.crashed.(from) then gdo_release t ~node:from ~family items
       end
       else begin
@@ -1111,7 +1222,10 @@ let gdo_acquire t ~node ~family ~oid ~mode ~block : reply =
       let iv = Sim.Engine.Ivar.create () in
       Itbl.replace t.inflight key iv;
       let home = home_of t oid in
-      let start () = process_acquire t ~home ~requester:node ~family ~oid ~mode ~block iv in
+      let epoch = if t.crash_enabled then t.epoch_view.(node) else 0 in
+      let start () =
+        process_acquire t ~home ~requester:node ~family ~oid ~mode ~block ~epoch iv
+      in
       if home = node then start ()
       else
         send_reliable t ~mtype:Dsm.Wire.Acquire_request ~src:node ~dst:home
@@ -1152,27 +1266,35 @@ let send_failover_confirms t ~home ~successor =
     dests
 
 (* Re-derive, for every partition, the node currently serving it: the home
-   itself while up; with replication, a crashed home's first live ring
-   successor (a replica site) until the rejoin. Survivors re-route through
-   [home_of] from the next send on — the sim's stand-in for the client-side
-   timeout-and-redirect a real deployment would run. *)
+   itself while not *declared* dead; with replication, a declared home's
+   first undeclared ring successor (a replica site) until the readmission
+   or rejoin. Failover keys off the quorum declaration, never off ground
+   truth — the gap between a crash and its declaration is a real
+   availability gap, and a false declaration really does move the
+   partition (the epoch fence keeps that safe). Each change stamps the
+   partition with the current membership epoch and appends to the
+   acting-home log the split-brain auditor checks. Survivors re-route
+   through [home_of] from the next send on — the sim's stand-in for the
+   client-side timeout-and-redirect a real deployment would run. *)
 let recompute_acting_homes t =
   let n = t.cfg.Config.node_count in
   for p = 0 to n - 1 do
     let serving =
-      if not t.crashed.(p) then p
+      if not t.declared_down.(p) then p
       else if t.cfg.Config.gdo_replicas = 0 then p
       else
         let rec scan i =
-          if i > t.cfg.Config.gdo_replicas then p  (* every replica down too *)
+          if i > t.cfg.Config.gdo_replicas then p  (* every replica declared too *)
           else
             let c = (p + i) mod n in
-            if not t.crashed.(c) then c else scan (i + 1)
+            if not t.declared_down.(c) then c else scan (i + 1)
         in
         scan 1
     in
     if serving <> t.acting_home.(p) then begin
       t.acting_home.(p) <- serving;
+      t.acting_epoch.(p) <- t.membership_epoch;
+      t.membership_log <- (t.membership_epoch, p, serving) :: t.membership_log;
       if serving <> p then begin
         Dsm.Metrics.incr_failovers t.metrics;
         record_event t (fun () -> Dsm.Event.Failover { home = p; successor = serving });
@@ -1234,39 +1356,231 @@ let reclaim_dead_node t ~node:s ~repoint =
       deliver_deferred_grant t ~home:(home_of t dv.d_grant.Gdo.Directory.g_oid) dv)
     deliveries
 
-(* An observer confirmed a suspect dead. Ground truth makes the
-   declaration exact; the gossiped verdict (Suspect messages) is what a
-   real deployment's agreement round would cost. *)
+(* Announce the current membership epoch from [src]. The View_change
+   message makes the bump explicit on the wire; every other delivered
+   remote message also max-merges the sender's view at the receiver (see
+   the delivery hook), so a dropped announcement only delays convergence,
+   never prevents it. *)
+let broadcast_view_change t ~src =
+  let epoch = t.membership_epoch in
+  if epoch > t.epoch_view.(src) then t.epoch_view.(src) <- epoch;
+  for dst = 0 to t.cfg.Config.node_count - 1 do
+    if dst <> src && not t.crashed.(dst) then
+      send_exec t ~mtype:Dsm.Wire.View_change ~src ~dst ~kind:Sim.Network.Control
+        ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
+        (fun () -> if epoch > t.epoch_view.(dst) then t.epoch_view.(dst) <- epoch)
+  done
+
+(* The quorum size right now: a majority of the nodes not currently
+   declared dead. Degenerate clusters (<= 2 nodes) use 1 — there is no
+   third observer to corroborate, and requiring 2 of 2 would let a single
+   crash block its own declaration forever. *)
+let quorum t =
+  let n = t.cfg.Config.node_count in
+  if n <= 2 then 1
+  else begin
+    let live = ref 0 in
+    for i = 0 to n - 1 do
+      if not t.declared_down.(i) then incr live
+    done;
+    (!live / 2) + 1
+  end
+
+(* A quorum of live observers corroborated the suspicion: declare the
+   node dead. The declaration is a membership decision, not ground truth
+   — a falsely declared node (partitioned away, not crashed) is fenced
+   out by the epoch bump until one of its messages is delivered again
+   (see [readmit], the rejoin path that never wipes state). *)
 let declare_dead t ~suspect:s ~by:o =
-  Hashtbl.replace t.declared_dead (s, t.incarnation.(s)) ();
+  let now = Sim.Engine.now t.engine in
+  let inc = t.incarnation.(s) in
+  Hashtbl.replace t.declared_dead (s, inc) ();
+  t.declared_down.(s) <- true;
   Dsm.Metrics.incr_nodes_declared_dead t.metrics;
-  record_event t (fun () ->
-      Dsm.Event.Node_dead { node = s; incarnation = t.incarnation.(s); by = o });
+  (* Ground truth is consulted for METRICS ONLY — the declaration itself
+     never reads [t.crashed]. *)
+  if not t.crashed.(s) then Dsm.Metrics.incr_false_suspicions t.metrics;
+  (* Declaration latency: from the start of the suspect's silence (the
+     declarer's last liveness proof) to the quorum verdict — the window
+     during which a genuinely dead node's partition is unavailable.
+     First-suspicion-to-verdict would read ~0 here: detectors sweep on
+     synchronized ticks, so suspicion and quorum often land in the same
+     instant. *)
+  Dsm.Metrics.record_declaration_latency_us t.metrics
+    (now -. Sim.Failure_detector.last_heard t.detectors.(o) ~node:s);
+  record_event t (fun () -> Dsm.Event.Node_dead { node = s; incarnation = inc; by = o });
+  (* Gossip the final verdict as detector hints, so every survivor's view
+     converges without waiting out its own timeout. A later heartbeat
+     from the node clears the hint (Failure_detector.heartbeat), so a
+     readmitted node does not flap. *)
   for dst = 0 to t.cfg.Config.node_count - 1 do
     if dst <> o && not t.crashed.(dst) then
       send_exec t ~mtype:Dsm.Wire.Suspect ~src:o ~dst ~kind:Sim.Network.Control
         ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
         (fun () -> Sim.Failure_detector.hint t.detectors.(dst) ~node:s)
   done;
-  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
-      (* If the node rejoined in the meantime, its restart scan reclaims. *)
-      if t.crashed.(s) then reclaim_dead_node t ~node:s ~repoint:true)
+  (* New membership regime: requests stamped under the old view —
+     including any from the declared node itself — are refused by the
+     acting homes until their senders catch up. *)
+  t.membership_epoch <- t.membership_epoch + 1;
+  broadcast_view_change t ~src:o;
+  (* Lease-expiry fencing: the successor may serve the dead home's
+     partition only once every read lease that home granted has provably
+     expired or been recalled. With leases off this is [now] — no wait. *)
+  let fence = ref now in
+  List.iter
+    (fun oid ->
+      if Oid.to_int oid mod t.cfg.Config.node_count = s then
+        fence := Float.max !fence (Gdo.Lease.fence_deadline t.lease_mgr oid ~now))
+    (Catalog.oids t.catalog);
+  t.fence_until.(s) <- !fence;
+  (* Acquires already routed to partitions the dead node was serving
+     would otherwise wait out the full capped retransmit schedule; fail
+     them now so their families retry against the new acting homes.
+     Computed against the pre-failover routing, filled after it. *)
+  let stranded =
+    Itbl.fold
+      (fun key iv acc ->
+        let oid_i = key lsr 42 in
+        if t.acting_home.(oid_i mod t.cfg.Config.node_count) = s then iv :: acc else acc)
+      t.inflight []
+  in
+  recompute_acting_homes t;
+  List.iter
+    (fun iv ->
+      if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed))
+    stranded;
+  (* Directory reclamation of the dead node's residue waits for the lease
+     fence, and stands down unless the node is genuinely crashed and
+     still declared under this incarnation: a live node's locks are never
+     stolen, which is exactly what makes a false declaration harmless to
+     safety (doomed families are the only evictees; a false declaration
+     dooms nothing). *)
+  let delay = Float.max t.cfg.Config.gdo_op_us (!fence -. now) in
+  Sim.Engine.schedule t.engine ~delay (fun () ->
+      if t.crashed.(s) && t.declared_down.(s) && t.incarnation.(s) = inc then
+        reclaim_dead_node t ~node:s ~repoint:true)
 
+(* Record [observer]'s vote that [suspect] is dead, and declare on
+   quorum. A vote is recorded at most once per (suspect, incarnation,
+   observer); only votes from observers not themselves declared count. *)
+let record_vote t ~suspect:s ~observer:o =
+  let key = (s, t.incarnation.(s)) in
+  if not (Hashtbl.mem t.declared_dead key) then begin
+    let tally =
+      match Hashtbl.find_opt t.votes key with
+      | Some tl -> tl
+      | None ->
+          let tl = Hashtbl.create 4 in
+          Hashtbl.add t.votes key tl;
+          tl
+    in
+    if not (Hashtbl.mem tally o) then begin
+      Hashtbl.replace tally o ();
+      Dsm.Metrics.incr_quorum_votes t.metrics
+    end;
+    let live_votes =
+      Hashtbl.fold (fun ob () acc -> if t.declared_down.(ob) then acc else acc + 1) tally 0
+    in
+    if live_votes >= quorum t then declare_dead t ~suspect:s ~by:o
+  end
+
+(* One detector sweep for [observer]: vote for every current suspect and
+   gossip the suspicion to the other live nodes. A receiver corroborates
+   ONLY when its own detector independently agrees — gossip never feeds a
+   detector, or a single partitioned-away observer could manufacture a
+   quorum by itself. The gossip is re-sent every sweep until the
+   declaration (or until the suspicion clears), so votes lost to the very
+   partition under suspicion are re-offered after the heal. *)
 let check_suspects t ~observer:o =
   let now = Sim.Engine.now t.engine in
   List.iter
     (fun s ->
-      let key = (o, s, t.incarnation.(s)) in
-      if not (Hashtbl.mem t.suspected_seen key) then begin
-        Hashtbl.replace t.suspected_seen key ();
+      let inc = t.incarnation.(s) in
+      let seen_key = (o, s, inc) in
+      if not (Hashtbl.mem t.suspected_seen seen_key) then begin
+        Hashtbl.replace t.suspected_seen seen_key ();
         record_event t (fun () -> Dsm.Event.Node_suspected { node = s; by = o })
       end;
-      (* The simulation holds ground truth about crashes, so confirmation
-         is exact: a suspicion about a live node is never acted on (an
-         eventually-perfect detector; see Sim.Failure_detector). *)
-      if t.crashed.(s) && not (Hashtbl.mem t.declared_dead (s, t.incarnation.(s))) then
-        declare_dead t ~suspect:s ~by:o)
+      if not (Hashtbl.mem t.declared_dead (s, inc)) then begin
+        record_vote t ~suspect:s ~observer:o;
+        if not (Hashtbl.mem t.declared_dead (s, inc)) then
+          for dst = 0 to t.cfg.Config.node_count - 1 do
+            if dst <> o && dst <> s && not t.crashed.(dst) then
+              send_exec t ~mtype:Dsm.Wire.Suspect ~src:o ~dst ~kind:Sim.Network.Control
+                ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
+                (fun () ->
+                  if
+                    (not t.crashed.(dst))
+                    && Sim.Failure_detector.is_suspect t.detectors.(dst) ~node:s
+                         ~now:(Sim.Engine.now t.engine)
+                  then record_vote t ~suspect:s ~observer:dst)
+          done
+      end)
     (Sim.Failure_detector.suspects t.detectors.(o) ~now)
+
+(* A message from a declared-dead, not-actually-crashed node was
+   delivered: the declaration was false. Readmit the node — clear the
+   declaration, bump its incarnation (the spent (node, incarnation) key
+   keeps the old regime's stragglers fenced), announce a new view and
+   hand its partitions back. Nothing is wiped: reclamation only ever runs
+   against genuinely crashed nodes, so a false declaration costs
+   availability, never state. *)
+let readmit t ~node:s =
+  t.declared_down.(s) <- false;
+  t.incarnation.(s) <- t.incarnation.(s) + 1;
+  t.fence_until.(s) <- 0.0;
+  Dsm.Metrics.incr_node_readmissions t.metrics;
+  record_event t (fun () ->
+      Dsm.Event.Node_readmitted { node = s; incarnation = t.incarnation.(s) });
+  t.membership_epoch <- t.membership_epoch + 1;
+  broadcast_view_change t ~src:s;
+  recompute_acting_homes t
+
+(* Minority-side self-parking: a node whose own detector can reach fewer
+   than a majority of the eligible (undeclared) nodes stops serving the
+   directory and starts no new roots — it may be on the minority side of
+   a partition, where continuing to grant is what the majority side's
+   failover would turn into a split brain. Re-evaluated every detector
+   sweep; a symmetric even split parks both sides, and everyone resumes
+   at the heal. Only meaningful with >= 3 nodes: a 2-node cluster has no
+   majority to protect. *)
+let unpark t ~node:s =
+  if t.parked.(s) then begin
+    t.parked.(s) <- false;
+    (match t.park_ivars.(s) with
+    | Some iv ->
+        t.park_ivars.(s) <- None;
+        if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv ()
+    | None -> ());
+    record_event t (fun () -> Dsm.Event.Node_parked { node = s; parked = false })
+  end
+
+let update_parking t ~node:s =
+  if t.cfg.Config.node_count >= 3 && (not t.crashed.(s)) && not t.declared_down.(s) then begin
+    let n = t.cfg.Config.node_count in
+    let now = Sim.Engine.now t.engine in
+    let eligible = ref 0 in
+    for i = 0 to n - 1 do
+      if not t.declared_down.(i) then incr eligible
+    done;
+    let reachable = ref 0 in
+    for i = 0 to n - 1 do
+      if
+        (not t.declared_down.(i))
+        && (i = s || not (Sim.Failure_detector.is_suspect t.detectors.(s) ~node:i ~now))
+      then incr reachable
+    done;
+    if !reachable < (!eligible / 2) + 1 then begin
+      if not t.parked.(s) then begin
+        t.parked.(s) <- true;
+        t.park_ivars.(s) <- Some (Sim.Engine.Ivar.create ());
+        Dsm.Metrics.incr_node_parks t.metrics;
+        record_event t (fun () -> Dsm.Event.Node_parked { node = s; parked = true })
+      end
+    end
+    else unpark t ~node:s
+  end
 
 (* Fail-stop crash: wipe the node's volatile state and unblock every
    operation that can no longer complete, so doomed fibers unwind instead
@@ -1364,7 +1678,11 @@ let crash_enter t ~node:d =
      flush timers fire harmlessly on the emptied channels. *)
   if t.batch_acks then
     Hashtbl.iter (fun (src, _) q -> if src = d then q := []) t.pending_acks;
-  recompute_acting_homes t
+  (* No failover here: the partition moves only at the quorum declaration
+     (see [declare_dead]) — ground truth never drives membership. A parked
+     node that crashes is force-unparked so waiters re-check and land on
+     the rejoin wait instead. *)
+  unpark t ~node:d
 
 (* Window end: the node rejoins under a fresh incarnation, runs its
    restart recovery scan, and parked roots resume. *)
@@ -1383,6 +1701,12 @@ let crash_rejoin t ~node:d =
   for p = 0 to t.cfg.Config.node_count - 1 do
     if p <> d then Sim.Failure_detector.heartbeat t.detectors.(d) ~node:p ~now
   done;
+  if t.declared_down.(d) then begin
+    t.declared_down.(d) <- false;
+    t.fence_until.(d) <- 0.0;
+    t.membership_epoch <- t.membership_epoch + 1;
+    broadcast_view_change t ~src:d
+  end;
   recompute_acting_homes t;
   (* Restart recovery: if the window was shorter than the suspect timeout
      the node was never declared dead, so its doomed families' directory
@@ -1402,8 +1726,21 @@ let crash_rejoin t ~node:d =
    bounded so the event queue drains and the run terminates. *)
 let arm_crash_machinery t =
   let cfg = t.cfg in
+  (* Epoch piggybacking and message-driven readmission: every delivered
+     remote message max-merges the sender's membership view into the
+     receiver's, and a delivery from a declared-dead node that is not in
+     fact crashed is living proof the declaration was false — readmit it.
+     Installed here so fault-free runs keep the inert default hook. *)
+  t.deliver_hook <-
+    (fun ~src ~dst ->
+      if t.epoch_view.(src) > t.epoch_view.(dst) then
+        t.epoch_view.(dst) <- t.epoch_view.(src);
+      if t.declared_down.(src) && not t.crashed.(src) then readmit t ~node:src);
   let windows =
     match cfg.Config.faults with Some f -> Sim.Fault.crash_windows f | None -> []
+  in
+  let link_windows =
+    match cfg.Config.faults with Some f -> f.Sim.Fault.link_windows | None -> []
   in
   List.iter
     (fun (w : Sim.Fault.window) ->
@@ -1413,7 +1750,11 @@ let arm_crash_machinery t =
           if t.crashed.(w.Sim.Fault.w_node) then crash_rejoin t ~node:w.Sim.Fault.w_node))
     windows;
   let horizon =
-    List.fold_left (fun acc w -> Float.max acc w.Sim.Fault.w_until_us) 0.0 windows
+    Float.max
+      (List.fold_left (fun acc w -> Float.max acc w.Sim.Fault.w_until_us) 0.0 windows)
+      (List.fold_left
+         (fun acc (lw : Sim.Fault.link_window) -> Float.max acc lw.Sim.Fault.lw_until_us)
+         0.0 link_windows)
     +. cfg.Config.suspect_timeout_us
     +. (2.0 *. cfg.Config.heartbeat_interval_us)
   in
@@ -1448,10 +1789,12 @@ let arm_crash_machinery t =
                       Sim.Failure_detector.heartbeat t.detectors.(dst) ~node:s
                         ~now:(Sim.Engine.now t.engine))
             done;
-            check_suspects t ~observer:s
+            check_suspects t ~observer:s;
+            update_parking t ~node:s
           end;
           tick s
-        end)
+        end
+        else unpark t ~node:s)
   in
   for s = 0 to n - 1 do
     tick s
@@ -2791,12 +3134,26 @@ let submit t ~at ~node ~oid ~meth ~seed =
              recovery-latency histogram when the family finally commits. *)
           let first_crash_at = ref None in
           let rec attempt k =
-            (* A node inside a crash window executes nothing: park until the
-               rejoin before starting (or retrying) an attempt. *)
-            if t.crash_enabled && t.crashed.(node) then
-              (match t.rejoin.(node) with
-              | Some iv -> Sim.Engine.Ivar.read iv
-              | None -> ());
+            (* A node inside a crash window executes nothing, and a node
+               parked on the minority side of a partition starts no new
+               roots: wait out both before starting (or retrying) an
+               attempt. Re-check after every wake — a park can resolve into
+               a crash (and vice versa) while the fiber slept. *)
+            let rec wait_ready () =
+              if t.crash_enabled && t.crashed.(node) then (
+                match t.rejoin.(node) with
+                | Some iv ->
+                    Sim.Engine.Ivar.read iv;
+                    wait_ready ()
+                | None -> ())
+              else if t.crash_enabled && t.parked.(node) then (
+                match t.park_ivars.(node) with
+                | Some iv ->
+                    Sim.Engine.Ivar.read iv;
+                    wait_ready ()
+                | None -> ())
+            in
+            wait_ready ();
             let root = Txn_tree.create_root t.tree ~node in
             init_txn_state t root;
             if t.crash_enabled then Txn_id.Table.replace t.live_roots root ();
@@ -2900,5 +3257,26 @@ let run t =
 
 let results t = List.rev t.results
 let committed_history t = List.rev t.history
+let membership_epoch t = t.membership_epoch
+let membership_log t = t.membership_log
+let node_declared_down t ~node = t.declared_down.(node)
+let node_parked t ~node = t.parked.(node)
+
+let audit t =
+  let dir = Gdo.Directory.audit t.gdo in
+  let mem =
+    match Membership_audit.check t.membership_log with Ok () -> [] | Error vs -> vs
+  in
+  dir @ mem
+
+let dump_directory t =
+  let partition_info oid =
+    let p = Oid.to_int oid mod t.cfg.Config.node_count in
+    Printf.sprintf "[p%d acting=%d@e%d fence=%.0f%s%s]" p t.acting_home.(p)
+      t.acting_epoch.(p) t.fence_until.(p)
+      (if t.declared_down.(p) then " declared-down" else "")
+      (if t.parked.(p) then " parked" else "")
+  in
+  Gdo.Directory.dump ~partition_info t.gdo
 let check_serializable t = Serializability.check (committed_history t)
 let next_version_exceeds t n = t.next_version > n

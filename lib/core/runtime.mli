@@ -94,6 +94,39 @@ val committed_history : t -> Serializability.committed_root list
 
 val check_serializable : t -> Serializability.verdict
 
+val membership_epoch : t -> int
+(** Current membership epoch: bumped at every quorum death declaration,
+    readmission, and rejoin-with-standing-declaration. 0 for fault-free
+    runs. *)
+
+val membership_log : t -> (int * int * int) list
+(** Acting-home change log, {e newest first}: (membership epoch,
+    partition, serving node) appended whenever a partition's acting home
+    changes. Feed to {!Membership_audit.check} — or use {!audit}. *)
+
+val node_declared_down : t -> node:int -> bool
+(** Has a quorum declared [node] dead under its current incarnation (and
+    no readmission or rejoin cleared it)? Membership state, not ground
+    truth: true for a falsely declared live node until one of its
+    messages gets through. *)
+
+val node_parked : t -> node:int -> bool
+(** Is [node] currently self-parked (its own detector reaches fewer than
+    a majority of undeclared nodes)? A parked node serves no acquires and
+    starts no new roots until the majority is reachable again. *)
+
+val audit : t -> string list
+(** The split-brain auditor: {!Gdo.Directory.audit} over the directory
+    (at most one exclusive holder per entry, holder/waiter consistency)
+    plus {!Membership_audit.check} over the acting-home log (at most one
+    serving node per (epoch, partition)). Empty when clean; run after
+    {!run} in nemesis tests. *)
+
+val dump_directory : t -> string
+(** {!Gdo.Directory.dump} enriched with per-object membership state:
+    partition, acting home and its epoch, lease fence, declared/parked
+    flags — the stall diagnostic for partition nemesis runs. *)
+
 val next_version_exceeds : t -> int -> bool
 (** True if more than [n] page versions were produced — a cheap progress
     probe for tests. *)

@@ -30,6 +30,8 @@ type t =
   | Crash_abort of { family : Txn_id.t; node : int }
   | Node_suspected of { node : int; by : int }
   | Node_dead of { node : int; incarnation : int; by : int }
+  | Node_readmitted of { node : int; incarnation : int }
+  | Node_parked of { node : int; parked : bool }
   | Reclaim of { node : int; families : int; repointed : int }
   | Failover of { home : int; successor : int }
   | Failback of { home : int }
@@ -66,6 +68,7 @@ let category = function
   | Fault _ -> "fault"
   | Node_crash _ | Node_restart _ | Crash_abort _ -> "crash"
   | Node_suspected _ | Node_dead _ -> "suspect"
+  | Node_readmitted _ | Node_parked _ -> "membership"
   | Reclaim _ -> "reclaim"
   | Failover _ | Failback _ -> "failover"
   | Ack_piggyback _ | Ack_flush _ | Fetch_aggregated _ | Release_coalesced _
@@ -93,7 +96,8 @@ let family = function
   | Ship_decision { family; _ } | Ship_exec { family; _ } -> Some family
   | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
   | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
-  | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _ | Reclaim _
+  | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _
+  | Node_readmitted _ | Node_parked _ | Reclaim _
   | Failover _ | Failback _ | Ack_piggyback _ | Ack_flush _ | Fetch_aggregated _
   | Release_coalesced _ | Heartbeat_suppressed _ | Cache_fill _ | Cache_invalidate _ ->
       None
@@ -122,7 +126,8 @@ let oid = function
   | Cache_invalidate { oid; _ } -> oid
   | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
   | Retransmit _ | Fault _ | Node_crash _ | Node_restart _ | Crash_abort _
-  | Node_suspected _ | Node_dead _ | Reclaim _ | Failover _ | Failback _ | Ack_piggyback _
+  | Node_suspected _ | Node_dead _ | Node_readmitted _ | Node_parked _ | Reclaim _
+  | Failover _ | Failback _ | Ack_piggyback _
   | Ack_flush _ | Release_coalesced _ | Heartbeat_suppressed _ ->
       None
 
@@ -164,6 +169,8 @@ let node = function
   | Crash_abort { node; _ }
   | Node_suspected { node; _ }
   | Node_dead { node; _ }
+  | Node_readmitted { node; _ }
+  | Node_parked { node; _ }
   | Reclaim { node; _ } ->
       node
   | Failover { home; _ } | Failback { home } -> home
@@ -241,6 +248,13 @@ let pp fmt ev =
   | Node_dead { node; incarnation; by } ->
       Format.fprintf fmt "%s: node %d (incarnation %d) declared dead by node %d" cat node
         incarnation by
+  | Node_readmitted { node; incarnation } ->
+      Format.fprintf fmt "%s: node %d readmitted as incarnation %d (false declaration)" cat
+        node incarnation
+  | Node_parked { node; parked } ->
+      if parked then
+        Format.fprintf fmt "%s: node %d parks (minority side of a partition)" cat node
+      else Format.fprintf fmt "%s: node %d unparks (majority reachable again)" cat node
   | Reclaim { node; families; repointed } ->
       Format.fprintf fmt "%s: evicted %d dead famil(ies) of node %d, %d page(s) repointed"
         cat families node repointed

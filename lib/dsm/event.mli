@@ -79,8 +79,17 @@ type t =
   | Node_suspected of { node : int; by : int }
       (** node [by]'s failure detector first suspected [node] *)
   | Node_dead of { node : int; incarnation : int; by : int }
-      (** the suspicion was confirmed and [node] declared dead by [by];
-          dead-family reclamation runs at the homes *)
+      (** a quorum of live observers corroborated the suspicion and [node]
+          was declared dead (the last vote cast by [by]); failover and
+          dead-family reclamation follow *)
+  | Node_readmitted of { node : int; incarnation : int }
+      (** a message from a declared-dead node was delivered: the
+          declaration was false (partition, not crash) — the node rejoins
+          under a fresh [incarnation] without losing state *)
+  | Node_parked of { node : int; parked : bool }
+      (** the node's own detector saw fewer than a majority of eligible
+          peers reachable, so it parked (refusing service and new roots)
+          — or unparked when the majority came back *)
   | Reclaim of { node : int; families : int; repointed : int }
       (** the directory evicted [families] dead families of [node] and
           repointed [repointed] page-map entries to surviving copies *)

@@ -37,6 +37,12 @@ type totals = {
   nodes_declared_dead : int;
   families_reclaimed : int;
   failovers : int;
+  quorum_votes : int;
+  false_suspicions : int;
+  node_readmissions : int;
+  stale_epoch_rejects : int;
+  fence_deferrals : int;
+  node_parks : int;
   acks_piggybacked : int;
   acks_flushed : int;
   fetches_aggregated : int;
@@ -79,6 +85,12 @@ type t = {
   mutable nodes_declared_dead : int;
   mutable families_reclaimed : int;
   mutable failovers : int;
+  mutable quorum_votes : int;
+  mutable false_suspicions : int;
+  mutable node_readmissions : int;
+  mutable stale_epoch_rejects : int;
+  mutable fence_deferrals : int;
+  mutable node_parks : int;
   mutable acks_piggybacked : int;
   mutable acks_flushed : int;
   mutable fetches_aggregated : int;
@@ -110,6 +122,7 @@ type t = {
   commit_latency : Histogram.t;
   recall_latency : Histogram.t;
   recovery_latency : Histogram.t;
+  declaration_latency : Histogram.t;
 }
 
 let bucket_bounds = [| 128; 256; 512; 1024; 2048; 4096; 8192; max_int |]
@@ -144,6 +157,12 @@ let create () =
     nodes_declared_dead = 0;
     families_reclaimed = 0;
     failovers = 0;
+    quorum_votes = 0;
+    false_suspicions = 0;
+    node_readmissions = 0;
+    stale_epoch_rejects = 0;
+    fence_deferrals = 0;
+    node_parks = 0;
     acks_piggybacked = 0;
     acks_flushed = 0;
     fetches_aggregated = 0;
@@ -166,6 +185,7 @@ let create () =
     commit_latency = Histogram.create ();
     recall_latency = Histogram.create ();
     recovery_latency = Histogram.create ();
+    declaration_latency = Histogram.create ();
   }
 
 let zero () =
@@ -225,11 +245,13 @@ let acquire_latency t = t.acquire_latency
 let commit_latency t = t.commit_latency
 let recall_latency t = t.recall_latency
 let recovery_latency t = t.recovery_latency
+let declaration_latency t = t.declaration_latency
 
 let record_acquire_latency_us t v = Histogram.record t.acquire_latency v
 let record_commit_latency_us t v = Histogram.record t.commit_latency v
 let record_recall_latency_us t v = Histogram.record t.recall_latency v
 let record_recovery_latency_us t v = Histogram.record t.recovery_latency v
+let record_declaration_latency_us t v = Histogram.record t.declaration_latency v
 
 let record_demand_fetch t ~oid =
   let e = entry t oid in
@@ -264,6 +286,12 @@ let incr_crash_aborts t = t.crash_aborts <- t.crash_aborts + 1
 let incr_nodes_declared_dead t = t.nodes_declared_dead <- t.nodes_declared_dead + 1
 let add_families_reclaimed t n = t.families_reclaimed <- t.families_reclaimed + n
 let incr_failovers t = t.failovers <- t.failovers + 1
+let incr_quorum_votes t = t.quorum_votes <- t.quorum_votes + 1
+let incr_false_suspicions t = t.false_suspicions <- t.false_suspicions + 1
+let incr_node_readmissions t = t.node_readmissions <- t.node_readmissions + 1
+let incr_stale_epoch_rejects t = t.stale_epoch_rejects <- t.stale_epoch_rejects + 1
+let incr_fence_deferrals t = t.fence_deferrals <- t.fence_deferrals + 1
+let incr_node_parks t = t.node_parks <- t.node_parks + 1
 let add_acks_piggybacked t n = t.acks_piggybacked <- t.acks_piggybacked + n
 let add_acks_flushed t n = t.acks_flushed <- t.acks_flushed + n
 let add_fetches_aggregated t n = t.fetches_aggregated <- t.fetches_aggregated + n
@@ -315,6 +343,12 @@ let totals t =
     nodes_declared_dead = t.nodes_declared_dead;
     families_reclaimed = t.families_reclaimed;
     failovers = t.failovers;
+    quorum_votes = t.quorum_votes;
+    false_suspicions = t.false_suspicions;
+    node_readmissions = t.node_readmissions;
+    stale_epoch_rejects = t.stale_epoch_rejects;
+    fence_deferrals = t.fence_deferrals;
+    node_parks = t.node_parks;
     acks_piggybacked = t.acks_piggybacked;
     acks_flushed = t.acks_flushed;
     fetches_aggregated = t.fetches_aggregated;
@@ -408,6 +442,17 @@ let pp_summary fmt t =
     Format.fprintf fmt
       "crashes: %d crash aborts, %d give-ups, %d declared dead, %d reclaimed, %d failovers@,"
       tt.crash_aborts tt.give_ups tt.nodes_declared_dead tt.families_reclaimed tt.failovers;
+  (* Membership line: absent unless the quorum detector did work. *)
+  if
+    tt.quorum_votes + tt.false_suspicions + tt.node_readmissions + tt.stale_epoch_rejects
+    + tt.fence_deferrals + tt.node_parks
+    > 0
+  then
+    Format.fprintf fmt
+      "membership: %d votes, %d false suspicions, %d readmissions, %d stale-epoch rejects, \
+       %d fence deferrals, %d parks@,"
+      tt.quorum_votes tt.false_suspicions tt.node_readmissions tt.stale_epoch_rejects
+      tt.fence_deferrals tt.node_parks;
   (* Batching line: absent unless the combining layer actually combined. *)
   if
     tt.acks_piggybacked + tt.acks_flushed + tt.fetches_aggregated + tt.releases_coalesced
@@ -468,4 +513,6 @@ let pp_latencies fmt t =
     Format.fprintf fmt "@,recall-to-clear: %a" Histogram.pp t.recall_latency;
   if Histogram.count t.recovery_latency > 0 then
     Format.fprintf fmt "@,crash recovery:  %a" Histogram.pp t.recovery_latency;
+  if Histogram.count t.declaration_latency > 0 then
+    Format.fprintf fmt "@,dead declaration:%a" Histogram.pp t.declaration_latency;
   Format.fprintf fmt "@]"

@@ -95,10 +95,17 @@ val acquire_latency : t -> Histogram.t
 val commit_latency : t -> Histogram.t
 val recall_latency : t -> Histogram.t
 val recovery_latency : t -> Histogram.t
+
+val declaration_latency : t -> Histogram.t
+(** Suspicion-to-declaration: from an observer first suspecting a node to
+    the quorum declaring that (node, incarnation) dead. Empty unless the
+    membership machinery declared someone. *)
+
 val record_acquire_latency_us : t -> float -> unit
 val record_commit_latency_us : t -> float -> unit
 val record_recall_latency_us : t -> float -> unit
 val record_recovery_latency_us : t -> float -> unit
+val record_declaration_latency_us : t -> float -> unit
 
 val pp_latencies : Format.formatter -> t -> unit
 (** p50/p90/p99/max lines for the histograms (recall and recovery only
@@ -156,6 +163,26 @@ val incr_crash_aborts : t -> unit
 val incr_nodes_declared_dead : t -> unit
 val add_families_reclaimed : t -> int -> unit
 val incr_failovers : t -> unit
+
+(** {1 Quorum-membership counters}
+
+    See DESIGN.md "Failure model & recovery": suspicion corroborations
+    recorded by the quorum detector (one per distinct (observer, suspect,
+    incarnation)), declarations whose subject was in fact alive (a
+    partition or gray failure, not a crash — ground truth is consulted for
+    this tally only, never for the protocol decision), falsely-declared
+    nodes readmitted on proof of life, state-changing requests rejected
+    for carrying a stale membership epoch (or arriving at a node no longer
+    serving the partition), acquire processing deferred until a declared
+    node's outstanding leases provably expired, and nodes that parked
+    because they could no longer reach a majority. All zero unless crash
+    or link windows are configured. *)
+val incr_quorum_votes : t -> unit
+val incr_false_suspicions : t -> unit
+val incr_node_readmissions : t -> unit
+val incr_stale_epoch_rejects : t -> unit
+val incr_fence_deferrals : t -> unit
+val incr_node_parks : t -> unit
 
 (** {1 Message-combining counters}
 
@@ -232,6 +259,12 @@ type totals = {
   nodes_declared_dead : int;
   families_reclaimed : int;
   failovers : int;
+  quorum_votes : int;
+  false_suspicions : int;
+  node_readmissions : int;
+  stale_epoch_rejects : int;
+  fence_deferrals : int;
+  node_parks : int;
   acks_piggybacked : int;
   acks_flushed : int;
   fetches_aggregated : int;

@@ -15,12 +15,13 @@ type t =
   | Failover_confirm
   | Ship_invoke
   | Ship_reply
+  | View_change
 
 let all =
   [
     Acquire_request; Grant; Refusal; Release; Gdo_replica; Page_request; Page_reply;
     Eager_push; Lease_recall; Lease_yield; Ack; Heartbeat; Suspect; Failover_confirm;
-    Ship_invoke; Ship_reply;
+    Ship_invoke; Ship_reply; View_change;
   ]
 
 let count = List.length all
@@ -42,6 +43,7 @@ let index = function
   | Failover_confirm -> 13
   | Ship_invoke -> 14
   | Ship_reply -> 15
+  | View_change -> 16
 
 let to_string = function
   | Acquire_request -> "acquire-request"
@@ -60,12 +62,13 @@ let to_string = function
   | Failover_confirm -> "failover-confirm"
   | Ship_invoke -> "ship-invoke"
   | Ship_reply -> "ship-reply"
+  | View_change -> "view-change"
 
 let kind = function
   | Page_reply | Eager_push -> Sim.Network.Data
   | Acquire_request | Grant | Refusal | Release | Gdo_replica | Page_request
   | Lease_recall | Lease_yield | Ack | Heartbeat | Suspect | Failover_confirm
-  | Ship_invoke | Ship_reply ->
+  | Ship_invoke | Ship_reply | View_change ->
       Sim.Network.Control
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

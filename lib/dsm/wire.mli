@@ -43,8 +43,11 @@ type t =
           [Sim.Failure_detector]; sent unreliably (no ack, no retransmit)
           and only when crash windows are configured *)
   | Suspect
-      (** declarer → surviving node: broadcast that a node has been
-          declared dead, triggering dead-family reclamation at the homes *)
+      (** observer → surviving node: a suspicion vote for the quorum
+          membership protocol. Receivers corroborate only from their own
+          detector's evidence; once a quorum of live observers agrees the
+          node is declared dead and the verdict is gossiped (as detector
+          hints), triggering dead-family reclamation at the homes *)
   | Failover_confirm
       (** successor home → holder node: conservative state reconfirmation
           after a GDO home failover (paper §4.1 replication made live) *)
@@ -56,6 +59,12 @@ type t =
       (** executing home → invoker: outcome of a shipped invocation
           (committed-into-family, aborted, or refused), unblocking the
           invoking fiber *)
+  | View_change
+      (** declarer (or readmitted node) → every live node: a membership
+          epoch bump — a node was declared dead by quorum, or a falsely
+          declared node was readmitted. Receivers max-merge the carried
+          epoch into their view; requests stamped with an older epoch are
+          refused by the partition's acting home (split-brain fencing) *)
 
 val all : t list
 (** Every message type, in declaration order. *)

@@ -34,6 +34,7 @@ let default_faults =
     duplicate_probability = 0.0;
     delay_jitter_us = 30.0;
     windows = [];
+    link_windows = [];
   }
 
 let default_bandwidth_bps = 1e8

@@ -1,0 +1,108 @@
+(** Partition / gray-failure nemesis for the quorum membership protocol.
+
+    Scheduled network partitions, asymmetric one-way cuts and slow-link
+    (gray failure) windows — no crashes — driven across protocols and
+    replication settings. Since every node stays up, any death
+    declaration the quorum produces is false by construction, which is
+    precisely the regime split-brain-safe failover must survive: the
+    falsely declared node is fenced by the membership epoch, readmitted
+    by message delivery, and nothing it holds is ever reclaimed.
+
+    Every case asserts, fail-loud: exact root accounting, exact wire
+    ledger reconciliation (membership traffic included), a clean
+    split-brain audit ({!Core.Runtime.audit}), serializability, no node
+    left declared or parked at the end, and — on schedules built to
+    force a false declaration — that a declaration, false-suspicion
+    count and readmission all actually happened. *)
+
+type schedule = {
+  sched_name : string;
+  sched_link_windows : Sim.Fault.link_window list;
+  sched_expect_false : bool;
+      (** assert declared/false/readmitted >= 1 on this schedule *)
+}
+
+val minority_isolated : schedule
+(** Node 3 split from the {0,1,2} majority long enough to be declared,
+    failed over (with replicas), parked, and readmitted at the heal. *)
+
+val even_split : schedule
+(** Symmetric 2-2 split: no quorum on either side, so no declaration —
+    both sides park until the heal. *)
+
+val one_way_cut : schedule
+(** Asymmetric 1 -> 2 cut: a single suspecting observer cannot reach
+    quorum, so no declaration. *)
+
+val slow_link : schedule
+(** Gray failure: 0 -> 1 delivers 2 ms late — suspicion without quorum,
+    no declaration. *)
+
+val false_suspicion : schedule
+(** The issue's false-suspicion scenario: a healthy home isolated just
+    long enough that the declaration strictly precedes the heal. *)
+
+val false_suspicion_leased : schedule
+(** {!false_suspicion} with 10 ms read leases on (replicas >= 1): the
+    successor of the falsely declared home must wait out the lease fence
+    before serving — fence deferrals show up in the metrics. Not in
+    {!default_schedules}; the sweep adds it for the replicated column. *)
+
+val default_schedules : schedule list
+
+type case = {
+  pc_schedule : schedule;
+  pc_protocol : Dsm.Protocol.t;
+  pc_gdo_replicas : int;
+  pc_fault_seed : int;
+}
+
+type outcome = {
+  pc_case : case;
+  pc_committed : int;
+  pc_aborted : int;
+  pc_declared_dead : int;
+  pc_false_suspicions : int;
+  pc_readmissions : int;
+  pc_quorum_votes : int;
+  pc_stale_epoch_rejects : int;
+  pc_fence_deferrals : int;
+  pc_node_parks : int;
+  pc_failovers : int;
+  pc_declaration_p50_us : float;
+  pc_declaration_p99_us : float;
+  pc_window_submitted : int;
+      (** roots submitted while some link window was open *)
+  pc_window_committed : int;  (** of those, how many eventually committed *)
+  pc_membership_epoch : int;
+  pc_messages : int;
+  pc_completion_us : float;
+}
+
+val default_spec : Workload.Spec.t
+
+val run_case :
+  ?config:Core.Config.t -> ?dump_stalls:bool -> spec:Workload.Spec.t -> case -> outcome
+(** One nemesis run, with detection/membership timers tightened so a
+    few-millisecond window suffices for declaration and failover.
+    @raise Failure on any violated invariant (see module doc). *)
+
+val sweep :
+  ?config:Core.Config.t ->
+  ?spec:Workload.Spec.t ->
+  ?schedules:schedule list ->
+  ?protocols:Dsm.Protocol.t list ->
+  ?replicas:int list ->
+  ?fault_seeds:int list ->
+  ?dump_stalls:bool ->
+  unit ->
+  outcome list
+(** The full grid: schedules x protocols x replica counts x fault seeds.
+    Defaults: {!default_schedules}, COTEC/OTEC/LOTEC, replicas [0; 1],
+    one seed. *)
+
+val to_json : outcome list -> string
+(** JSON array, one object per outcome — the BENCH_partition.json shape. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+val pp_report : Format.formatter -> outcome list -> unit

@@ -299,7 +299,43 @@ let copyset t oid = (get t oid).copyset
 
 let object_count t = Oid.Table.length t.entries
 
-let dump t =
+(* Structural invariants every reachable directory state must satisfy;
+   the split-brain auditor's per-object half. Returns human-readable
+   violation descriptions, [] when clean. *)
+let audit t =
+  let entries =
+    Oid.Table.fold (fun _ e acc -> e :: acc) t.entries []
+    |> List.sort (fun a b -> Oid.compare a.oid b.oid)
+  in
+  List.concat_map
+    (fun e ->
+      let v = ref [] in
+      let bad fmt = Format.kasprintf (fun s -> v := s :: !v) fmt in
+      (match e.state with
+      | Held_write ->
+          if List.length e.holders <> 1 then
+            bad "%a: Held_write with %d holders (exactly one exclusive holder required)"
+              Oid.pp e.oid (List.length e.holders)
+      | Held_read ->
+          if e.holders = [] then bad "%a: Held_read with no holders" Oid.pp e.oid
+      | Free -> if e.holders <> [] then bad "%a: Free but has holders" Oid.pp e.oid);
+      let rec dup = function
+        | [] -> ()
+        | h :: rest ->
+            if List.exists (fun h' -> Txn_id.equal h'.family h.family) rest then
+              bad "%a: family %a holds twice" Oid.pp e.oid Txn_id.pp h.family;
+            dup rest
+      in
+      dup e.holders;
+      List.iter
+        (fun w ->
+          if not (Oid.Set.mem e.oid (waits_of t w.wt_family)) then
+            bad "%a: waiter %a has no waits-for edge" Oid.pp e.oid Txn_id.pp w.wt_family)
+        e.waiting;
+      List.rev !v)
+    entries
+
+let dump ?partition_info t =
   let buf = Buffer.create 256 in
   let entries =
     Oid.Table.fold (fun _ e acc -> e :: acc) t.entries []
@@ -325,9 +361,14 @@ let dump t =
                    (if w.wt_upgrade then "!" else ""))
                e.waiting)
         in
+        let extra =
+          match partition_info with
+          | None -> ""
+          | Some f -> " " ^ f e.oid
+        in
         Buffer.add_string buf
-          (Format.asprintf "%a: %s holders=[%s] waiting=[%s]\n" Oid.pp e.oid state holders
-             waiters)
+          (Format.asprintf "%a: %s holders=[%s] waiting=[%s]%s\n" Oid.pp e.oid state holders
+             waiters extra)
       end)
     entries;
   Buffer.contents buf

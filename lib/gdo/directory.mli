@@ -155,6 +155,16 @@ val waits_for_edges : t -> (Txn_id.t * Txn_id.t) list
 (** Current waits-for edges (waiting family, holding family); for tests and
     diagnostics. *)
 
-val dump : t -> string
+val audit : t -> string list
+(** Structural invariants every reachable directory state must satisfy —
+    the split-brain auditor's per-object half: a [Held_write] entry has
+    exactly one holder, a [Held_read] entry at least one, a [Free] entry
+    none; no family holds an entry twice; every waiter has a matching
+    waits-for edge. Returns human-readable violation descriptions, [[]]
+    when clean. *)
+
+val dump : ?partition_info:(Objmodel.Oid.t -> string) -> t -> string
 (** Human-readable dump of every non-free entry (lock state, holders,
-    waiters) — a stall diagnostic. *)
+    waiters) — a stall diagnostic. [partition_info], when given, appends
+    per-object membership state (acting home, membership epoch, lease
+    fence) supplied by the runtime. *)

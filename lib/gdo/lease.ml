@@ -124,6 +124,19 @@ let outstanding t oid ~now =
       prune e ~now;
       List.sort Int.compare (List.map fst e.grants)
 
+(* Split-brain fencing (see Core.Runtime's failover): the latest expiry
+   among the object's outstanding grants. A failover successor must not
+   serve a dead home's partition before every lease that home granted has
+   provably expired or been recalled — until then a fenced-out node could
+   still be serving leased reads of the old regime. [now] when nothing is
+   outstanding, so lease-off runs fence to "immediately". *)
+let fence_deadline t oid ~now =
+  match Oid.Table.find_opt t.entries oid with
+  | None -> now
+  | Some e ->
+      prune e ~now;
+      List.fold_left (fun acc (_, exp) -> Float.max acc exp) now e.grants
+
 let recall_in_progress t oid =
   match Oid.Table.find_opt t.entries oid with None -> false | Some e -> e.recall <> None
 

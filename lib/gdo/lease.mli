@@ -99,6 +99,13 @@ val lease_for_grant :
 val outstanding : t -> Objmodel.Oid.t -> now:float -> int list
 (** Nodes holding an unexpired lease (expired entries are pruned). *)
 
+val fence_deadline : t -> Objmodel.Oid.t -> now:float -> float
+(** The latest expiry among the object's outstanding grants, or [now] if
+    none. Failover fencing: a successor taking over a declared-dead home's
+    partition must not grant on the object before this instant — earlier,
+    a node holding one of the dead home's read leases could still be
+    serving leased reads the new regime does not know about. *)
+
 val recall_in_progress : t -> Objmodel.Oid.t -> bool
 (** Whether a {!begin_recall} on the object has not yet cleared. *)
 

@@ -1,0 +1,19 @@
+type t = { prng : Prng.t; base_us : float; cap_us : float }
+
+(* Mix the node id into the seed with a large odd constant (a 62-bit
+   xorshift multiplier) so sibling streams differ in every bit even for
+   adjacent node ids. *)
+let stream ~seed ~node ~base_us ~cap_us =
+  if base_us <= 0.0 then invalid_arg "Backoff.stream: base must be positive";
+  if cap_us < base_us then invalid_arg "Backoff.stream: cap must be >= base";
+  let mixed = seed lxor ((node + 1) * 0x2545F4914F6CDD1D) in
+  { prng = Prng.create ~seed:mixed; base_us; cap_us }
+
+let next t ~prev_us =
+  let prev_us = Float.max t.base_us prev_us in
+  let span = Float.max 0.0 ((prev_us *. 3.0) -. t.base_us) in
+  let draw = if span > 0.0 then Prng.float t.prng span else 0.0 in
+  Float.min t.cap_us (t.base_us +. draw)
+
+let first t = t.base_us
+let cap t = t.cap_us

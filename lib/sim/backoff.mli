@@ -1,0 +1,36 @@
+(** Capped, decorrelated retransmit backoff.
+
+    Plain exponential backoff has two failure modes under a partition: the
+    delay doubles without bound (a long outage pushes the next retry far
+    past the heal), and every node that lost a message at the same instant
+    retries at the same instant — a synchronized retry storm when the link
+    heals. This module implements the standard fix, "decorrelated jitter"
+    (AWS Architecture Blog, 2015): each retry delay is drawn uniformly from
+    [base, 3 * prev) and clamped to a cap, from a per-node PRNG stream
+    derived from the fault seed. Growth stays roughly exponential in
+    expectation, the cap bounds the post-heal recovery time, and no two
+    nodes share a retry schedule.
+
+    Streams are seed-deterministic: the same (seed, node) pair always
+    yields the same schedule, so faulty runs stay exactly reproducible.
+    The transport only consults this module when reliable delivery is
+    armed, so fault-free runs draw nothing and remain byte-identical. *)
+
+type t
+
+val stream : seed:int -> node:int -> base_us:float -> cap_us:float -> t
+(** [stream ~seed ~node ~base_us ~cap_us] derives the node's private
+    backoff stream. The node id is mixed into the seed (splitmix64 gamma)
+    so sibling streams decorrelate in every bit.
+    @raise Invalid_argument if [base_us <= 0] or [cap_us < base_us]. *)
+
+val next : t -> prev_us:float -> float
+(** [next t ~prev_us] draws the delay to wait after a retransmit whose
+    previous delay was [prev_us]: uniform in [base, max base (3 * prev)),
+    clamped to the cap. *)
+
+val first : t -> float
+(** The initial (pre-retransmit) timeout: the configured base. *)
+
+val cap : t -> float
+(** The configured cap. *)

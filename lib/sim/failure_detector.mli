@@ -42,6 +42,10 @@ val suspects : t -> now:float -> int list
 (** All suspect peers in ascending node order (deterministic iteration
     for the declaration protocol). The observer itself is never listed. *)
 
+val last_heard : t -> node:int -> float
+(** Time of the last liveness proof received from [node] (0 if never) —
+    the start of its current silence, for declaration-latency metrics. *)
+
 val node_count : t -> int
 val self : t -> int option
 

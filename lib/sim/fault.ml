@@ -7,12 +7,24 @@ type window = {
   w_until_us : float;
 }
 
+type link_kind =
+  | Partition of int list
+  | One_way of { cut_src : int; cut_dst : int }
+  | Slow of { slow_src : int; slow_dst : int; extra_us : float }
+
+type link_window = {
+  lw_kind : link_kind;
+  lw_from_us : float;
+  lw_until_us : float;
+}
+
 type config = {
   seed : int;
   drop_probability : float;
   duplicate_probability : float;
   delay_jitter_us : float;
   windows : window list;
+  link_windows : link_window list;
 }
 
 let none =
@@ -22,6 +34,7 @@ let none =
     duplicate_probability = 0.0;
     delay_jitter_us = 0.0;
     windows = [];
+    link_windows = [];
   }
 
 let is_active c =
@@ -29,6 +42,7 @@ let is_active c =
   || c.duplicate_probability > 0.0
   || c.delay_jitter_us > 0.0
   || c.windows <> []
+  || c.link_windows <> []
 
 let validate c =
   let check cond msg = if cond then Ok () else Error msg in
@@ -37,43 +51,103 @@ let validate c =
   let* () = prob "drop_probability" c.drop_probability in
   let* () = prob "duplicate_probability" c.duplicate_probability in
   let* () = check (c.delay_jitter_us >= 0.0) "delay_jitter_us must be >= 0" in
+  let* () =
+    List.fold_left
+      (fun acc w ->
+        let* () = acc in
+        let* () = check (w.w_node >= 0) "fault window node must be >= 0" in
+        let* () = check (w.w_from_us >= 0.0) "fault window start must be >= 0" in
+        check (w.w_until_us >= w.w_from_us) "fault window must not end before it starts")
+      (Ok ()) c.windows
+  in
   List.fold_left
-    (fun acc w ->
+    (fun acc lw ->
       let* () = acc in
-      let* () = check (w.w_node >= 0) "fault window node must be >= 0" in
-      let* () = check (w.w_from_us >= 0.0) "fault window start must be >= 0" in
-      check (w.w_until_us >= w.w_from_us) "fault window must not end before it starts")
-    (Ok ()) c.windows
+      let* () =
+        check (lw.lw_from_us >= 0.0) "link window start must be >= 0"
+      in
+      let* () =
+        check (lw.lw_until_us >= lw.lw_from_us)
+          "link window must not end before it starts"
+      in
+      match lw.lw_kind with
+      | Partition group ->
+          let* () = check (group <> []) "partition group must be non-empty" in
+          check (List.for_all (fun n -> n >= 0) group)
+            "partition group nodes must be >= 0"
+      | One_way { cut_src; cut_dst } ->
+          let* () =
+            check (cut_src >= 0 && cut_dst >= 0) "link cut nodes must be >= 0"
+          in
+          check (cut_src <> cut_dst) "link cut endpoints must differ"
+      | Slow { slow_src; slow_dst; extra_us } ->
+          let* () =
+            check (slow_src >= 0 && slow_dst >= 0) "slow link nodes must be >= 0"
+          in
+          let* () = check (slow_src <> slow_dst) "slow link endpoints must differ" in
+          check (extra_us >= 0.0) "slow link extra delay must be >= 0")
+    (Ok ()) c.link_windows
 
 let crash_windows c = List.filter (fun w -> w.w_kind = Crash) c.windows
 let has_crash_windows c = List.exists (fun w -> w.w_kind = Crash) c.windows
+let has_link_windows c = c.link_windows <> []
 
-type event = Drop | Duplicate | Crash_drop | Pause_defer
+type event =
+  | Drop
+  | Duplicate
+  | Crash_drop
+  | Pause_defer
+  | Partition_drop
+  | Link_cut_drop
+  | Slow_defer
 
 let event_to_string = function
   | Drop -> "drop"
   | Duplicate -> "duplicate"
   | Crash_drop -> "crash-drop"
   | Pause_defer -> "pause-defer"
+  | Partition_drop -> "partition-drop"
+  | Link_cut_drop -> "link-cut-drop"
+  | Slow_defer -> "slow-defer"
 
 type stats = {
   mutable drops : int;
   mutable duplicates : int;
   mutable crash_drops : int;
   mutable pause_defers : int;
+  mutable partition_drops : int;
+  mutable link_cut_drops : int;
+  mutable slow_defers : int;
 }
 
-let zero_stats () = { drops = 0; duplicates = 0; crash_drops = 0; pause_defers = 0 }
+let zero_stats () =
+  {
+    drops = 0;
+    duplicates = 0;
+    crash_drops = 0;
+    pause_defers = 0;
+    partition_drops = 0;
+    link_cut_drops = 0;
+    slow_defers = 0;
+  }
 
 let count s = function
   | Drop -> s.drops <- s.drops + 1
   | Duplicate -> s.duplicates <- s.duplicates + 1
   | Crash_drop -> s.crash_drops <- s.crash_drops + 1
   | Pause_defer -> s.pause_defers <- s.pause_defers + 1
+  | Partition_drop -> s.partition_drops <- s.partition_drops + 1
+  | Link_cut_drop -> s.link_cut_drops <- s.link_cut_drops + 1
+  | Slow_defer -> s.slow_defers <- s.slow_defers + 1
 
-let total_faults s = s.drops + s.duplicates + s.crash_drops + s.pause_defers
+let total_faults s =
+  s.drops + s.duplicates + s.crash_drops + s.pause_defers + s.partition_drops
+  + s.link_cut_drops + s.slow_defers
 
 let pp_config fmt c =
-  Format.fprintf fmt "drop %.3f, dup %.3f, jitter %.1f us, %d window(s) (seed %d)"
-    c.drop_probability c.duplicate_probability c.delay_jitter_us (List.length c.windows)
+  Format.fprintf fmt
+    "drop %.3f, dup %.3f, jitter %.1f us, %d window(s), %d link window(s) (seed %d)"
+    c.drop_probability c.duplicate_probability c.delay_jitter_us
+    (List.length c.windows)
+    (List.length c.link_windows)
     c.seed

@@ -17,12 +17,20 @@
       families abort, caches are invalidated, unacked transport state is
       discarded — then restarts it with a fresh incarnation number at the
       window's end; see the "Failure model & recovery" section of
-      DESIGN.md).
+      DESIGN.md),
+    - scheduled {e link windows}: network {e partitions} (messages crossing
+      the split are lost, both directions), asymmetric {e one-way cuts}
+      (messages on one directed link are lost), and {e slow links} (gray
+      failure: messages on one directed link incur a fixed extra delay but
+      are delivered). Link windows compose with the node windows and the
+      probabilistic faults; delivery stays FIFO per channel, so a healed
+      link resumes in order.
 
     All randomness is drawn from a dedicated {!Prng} stream seeded from
     [config.seed], independent of the workload streams, so any run is
-    exactly reproducible from its seeds. Byzantine behaviour (corruption,
-    lying nodes) is out of scope. *)
+    exactly reproducible from its seeds. Link windows draw no randomness
+    at all. Byzantine behaviour (corruption, lying nodes) is out of
+    scope. *)
 
 type window_kind =
   | Pause  (** deliveries are deferred until the window closes *)
@@ -37,6 +45,25 @@ type window = {
   w_until_us : float;  (** half-open window [w_from_us, w_until_us) *)
 }
 
+(** Which traffic a link window affects. *)
+type link_kind =
+  | Partition of int list
+      (** node-set split: a message is lost iff exactly one endpoint is in
+          the listed group (traffic within the group, and within its
+          complement, is unaffected) *)
+  | One_way of { cut_src : int; cut_dst : int }
+      (** asymmetric cut: messages from [cut_src] to [cut_dst] are lost;
+          the reverse direction is unaffected *)
+  | Slow of { slow_src : int; slow_dst : int; extra_us : float }
+      (** gray failure: messages from [slow_src] to [slow_dst] incur
+          [extra_us] additional latency but are delivered (FIFO kept) *)
+
+type link_window = {
+  lw_kind : link_kind;
+  lw_from_us : float;
+  lw_until_us : float;  (** half-open window [lw_from_us, lw_until_us) *)
+}
+
 type config = {
   seed : int;  (** seed of the fault PRNG stream *)
   drop_probability : float;  (** chance a remote message is lost, in [0,1] *)
@@ -45,6 +72,8 @@ type config = {
   delay_jitter_us : float;
       (** uniform extra latency in [0, delay_jitter_us) per message *)
   windows : window list;  (** scheduled node pause / crash-restart windows *)
+  link_windows : link_window list;
+      (** scheduled partition / one-way-cut / slow-link windows *)
 }
 
 val none : config
@@ -57,7 +86,9 @@ val is_active : config -> bool
 
 val validate : config -> (unit, string) result
 (** Probabilities in [0,1], non-negative jitter, well-formed windows
-    (non-negative node and times, [w_until_us >= w_from_us]). *)
+    (non-negative node and times, [w_until_us >= w_from_us]) and link
+    windows (non-empty partition groups, distinct cut/slow endpoints,
+    non-negative extra delay). *)
 
 val crash_windows : config -> window list
 (** The [Crash]-kind windows, in configuration order. *)
@@ -67,6 +98,11 @@ val has_crash_windows : config -> bool
     heartbeat/failure-detection machinery only in that case, keeping
     crash-free runs byte-identical. *)
 
+val has_link_windows : config -> bool
+(** Whether any link window is configured. Like {!has_crash_windows}, this
+    arms the runtime's membership machinery (reliable transport, quorum
+    failure detection), since a partition makes messages loseable. *)
+
 (** What the injector did to a message; reported through the network's
     [on_fault] hook and tallied in {!stats}. *)
 type event =
@@ -74,6 +110,9 @@ type event =
   | Duplicate  (** a second copy was scheduled *)
   | Crash_drop  (** destination was crashed at arrival time *)
   | Pause_defer  (** delivery deferred past a pause window *)
+  | Partition_drop  (** lost crossing a partition boundary *)
+  | Link_cut_drop  (** lost on a one-way link cut *)
+  | Slow_defer  (** delayed by a slow-link (gray failure) window *)
 
 val event_to_string : event -> string
 
@@ -82,6 +121,9 @@ type stats = {
   mutable duplicates : int;
   mutable crash_drops : int;
   mutable pause_defers : int;
+  mutable partition_drops : int;
+  mutable link_cut_drops : int;
+  mutable slow_defers : int;
 }
 
 val zero_stats : unit -> stats

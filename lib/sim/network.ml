@@ -56,6 +56,10 @@ let create ~engine ~node_count ~link ?faults ?on_fault ?on_message () =
               List.sort
                 (fun a b -> Float.compare a.Fault.w_from_us b.Fault.w_from_us)
                 fc.Fault.windows;
+            Fault.link_windows =
+              List.sort
+                (fun a b -> Float.compare a.Fault.lw_from_us b.Fault.lw_from_us)
+                fc.Fault.link_windows;
           }
         in
         Some (fc, Prng.create ~seed:fc.Fault.seed)
@@ -121,6 +125,37 @@ let rec through_windows t ~src ~dst arrival = function
             through_windows t ~src ~dst w.Fault.w_until_us rest
       else through_windows t ~src ~dst arrival rest
 
+(* Route [arrival] through the scheduled link windows: a partition window
+   swallows messages crossing the split (one endpoint in the group, the other
+   out), a one-way cut swallows messages on its directed link, and a slow-link
+   window adds a fixed extra delay (the message survives and is later clamped
+   to the channel FIFO). The list is sorted by start time, so a slow-delayed
+   arrival only ever lands in a later window. No randomness is drawn. *)
+let rec through_link_windows t ~src ~dst arrival = function
+  | [] -> Some arrival
+  | lw :: rest ->
+      if arrival >= lw.Fault.lw_from_us && arrival < lw.Fault.lw_until_us then
+        match lw.Fault.lw_kind with
+        | Fault.Partition group ->
+            if List.mem src group <> List.mem dst group then begin
+              record_fault t ~event:Fault.Partition_drop ~src ~dst;
+              None
+            end
+            else through_link_windows t ~src ~dst arrival rest
+        | Fault.One_way { cut_src; cut_dst } ->
+            if src = cut_src && dst = cut_dst then begin
+              record_fault t ~event:Fault.Link_cut_drop ~src ~dst;
+              None
+            end
+            else through_link_windows t ~src ~dst arrival rest
+        | Fault.Slow { slow_src; slow_dst; extra_us } ->
+            if src = slow_src && dst = slow_dst then begin
+              record_fault t ~event:Fault.Slow_defer ~src ~dst;
+              through_link_windows t ~src ~dst (arrival +. extra_us) rest
+            end
+            else through_link_windows t ~src ~dst arrival rest
+      else through_link_windows t ~src ~dst arrival rest
+
 (* Schedule one (possibly perturbed) delivery and keep the channel FIFO: the
    recorded last-delivery time only moves forward, and every arrival is
    clamped to it, so jitter and duplicates never reorder a channel. *)
@@ -138,7 +173,16 @@ let inject t ~fc ~prng ~src ~dst ~channel ~base_arrival msg =
       if fc.Fault.delay_jitter_us > 0.0 then Prng.float prng fc.Fault.delay_jitter_us
       else 0.0
     in
-    (match through_windows t ~src ~dst (base_arrival +. jitter ()) fc.Fault.windows with
+    (* One fault pipeline per delivery attempt: jitter, then the link
+       windows (partition / cut / slow), then the destination's node
+       windows. Link windows see the jittered arrival so a partition that
+       opens mid-flight catches messages already on the wire. *)
+    let route arrival =
+      match through_link_windows t ~src ~dst arrival fc.Fault.link_windows with
+      | None -> None
+      | Some arrival -> through_windows t ~src ~dst arrival fc.Fault.windows
+    in
+    (match route (base_arrival +. jitter ()) with
     | Some arrival -> schedule_delivery t ~src ~dst ~channel ~arrival msg
     | None -> ());
     if
@@ -146,7 +190,7 @@ let inject t ~fc ~prng ~src ~dst ~channel ~base_arrival msg =
       && Prng.bernoulli prng fc.Fault.duplicate_probability
     then begin
       record_fault t ~event:Fault.Duplicate ~src ~dst;
-      match through_windows t ~src ~dst (base_arrival +. jitter ()) fc.Fault.windows with
+      match route (base_arrival +. jitter ()) with
       | Some arrival -> schedule_delivery t ~src ~dst ~channel ~arrival msg
       | None -> ()
     end

@@ -62,9 +62,10 @@ val create :
     [tag] carries the object identifier (or [-1] for untagged traffic).
 
     [faults] arms the fault injector (see {!Fault}): remote messages may be
-    dropped, duplicated, jittered, deferred past a node pause window or lost
-    to a node crash window, all drawn from a dedicated PRNG seeded from the
-    config so runs stay reproducible. An inactive config
+    dropped, duplicated, jittered, deferred past a node pause window, lost
+    to a node crash window, lost crossing a partition or one-way link cut,
+    or delayed by a slow-link window, with any randomness drawn from a
+    dedicated PRNG seeded from the config so runs stay reproducible. An inactive config
     ({!Fault.is_active} [= false]) is equivalent to no config at all — the
     reliable code path runs and no random bits are drawn. [on_fault] fires
     once per injected fault event (also tallied in {!fault_stats}).

@@ -69,6 +69,7 @@ let faulty_config ?(windows = []) ~fault_seed ~drop ~dup ~jitter () =
           duplicate_probability = dup;
           delay_jitter_us = jitter;
           windows;
+          link_windows = [];
         };
     trace_capacity = 200_000;
   }

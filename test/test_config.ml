@@ -68,6 +68,7 @@ let test_fault_fields () =
             delay_jitter_us = 50.0;
             windows =
               [ { Sim.Fault.w_node = 1; w_kind = Sim.Fault.Crash; w_from_us = 10.0; w_until_us = 20.0 } ];
+            link_windows = [];
           };
     }
   in

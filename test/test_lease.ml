@@ -296,6 +296,7 @@ let leased_config ?(windows = []) ~fault_seed ~drop ~dup ~jitter () =
           duplicate_probability = dup;
           delay_jitter_us = jitter;
           windows;
+          link_windows = [];
         };
   }
 

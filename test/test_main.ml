@@ -35,4 +35,5 @@ let () =
          Test_batching.tests;
          Test_scale.tests;
          Test_function_shipping.tests;
+         Test_partition.tests;
        ])

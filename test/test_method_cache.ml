@@ -284,6 +284,7 @@ let cached_config ?(windows = []) ~fault_seed ~drop ~dup ~jitter () =
           duplicate_probability = dup;
           delay_jitter_us = jitter;
           windows;
+          link_windows = [];
         };
   }
 

@@ -117,6 +117,7 @@ let make_faulty ?(seed = 11) ?(drop = 0.0) ?(dup = 0.0) ?(jitter = 0.0) ?(window
       duplicate_probability = dup;
       delay_jitter_us = jitter;
       windows;
+      link_windows = [];
     }
   in
   let engine = Engine.create () in
