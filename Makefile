@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench figures examples chaos crash-chaos partition partition-smoke lease cache cache-smoke batch scale scale-smoke ship ship-smoke check-links doc clean
+.PHONY: all build test bench figures examples chaos crash-chaos partition partition-smoke lease cache cache-smoke batch scale scale-smoke ship ship-smoke escrow escrow-smoke determinism check-links doc clean
 
 all: build
 
@@ -74,6 +74,26 @@ ship-smoke:
 	dune exec bin/lotec_sim.exe -- ship -p lotec --skew 1.5 --software-cost 20 \
 		--assert-min-bytes-reduction 30 --assert-max-time-ratio 1.02 \
 		--json BENCH_ship.json
+
+# Escrow-commit sweep: every protocol x Zipf skew on the bank workload,
+# each case run with exclusive locking (baseline) and escrow delta locks;
+# every case asserts serializability, bounded escrow-ledger replay and
+# exact wire ledger reconciliation. Writes BENCH_escrow.json.
+escrow:
+	dune exec bin/lotec_sim.exe -- escrow --json BENCH_escrow.json
+
+# CI gate: on the hottest-skew bank workload, LOTEC with escrow must cut
+# completion time by >= 25% vs its exclusive-locking baseline.
+escrow-smoke:
+	dune exec bin/lotec_sim.exe -- escrow -p lotec --skew 1.2 \
+		--assert-min-time-reduction 25 \
+		--json BENCH_escrow.json
+
+# Re-run the deterministic goldens with OCaml's randomized hashing turned
+# on (OCAMLRUNPARAM=R): any Hashtbl-iteration-order leak into dumps,
+# traces or metrics shows up as a golden mismatch.
+determinism:
+	OCAMLRUNPARAM=R dune exec test/determinism/main.exe
 
 # Partition / gray-failure nemesis: partition, one-way-cut and slow-link
 # schedules x protocols x replica counts against the quorum membership

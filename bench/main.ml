@@ -136,6 +136,21 @@ let ship_sweep () =
   Format.printf "%a@." Experiments.Function_shipping.pp_report outcomes;
   write_artifact ship_json_file (Experiments.Function_shipping.to_json outcomes)
 
+(* The escrow-commit sweep (protocols x Zipf skews, escrow delta locks vs
+   the exclusive-locking baseline on the bank workload), printed and
+   written as BENCH_escrow.json: the machine-readable record of the
+   completion-time reduction coordination-avoiding commutative commits
+   buy on hot objects (see EXPERIMENTS.md, "Escrow"). *)
+let escrow_json_file = "BENCH_escrow.json"
+
+let escrow_sweep () =
+  Format.printf "==================================================================@.";
+  Format.printf "Escrow commit: coordination-avoiding deltas vs exclusive locking@.";
+  Format.printf "==================================================================@.@.";
+  let outcomes = Experiments.Escrow.sweep () in
+  Format.printf "%a@." Experiments.Escrow.pp_report outcomes;
+  write_artifact escrow_json_file (Experiments.Escrow.to_json outcomes)
+
 (* The crash-recovery sweep (crash windows x protocols x replica counts),
    printed and written as BENCH_crash.json: recovery latency percentiles
    and aborted-vs-recovered counts, machine-readable across revisions. *)
@@ -306,6 +321,23 @@ let tests =
             in
             fun () ->
               ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
+      Test.make ~name:"escrow-lotec"
+        (Staged.stage
+           (let spec =
+              {
+                (Experiments.Escrow.default_spec ~skew:1.2) with
+                Workload.Spec.root_count = 40;
+              }
+            in
+            let wl = Workload.Generator.generate spec ~page_size:4096 in
+            let config =
+              {
+                Core.Config.default with
+                Core.Config.escrow = Dsm.Escrow.On Experiments.Escrow.default_params;
+              }
+            in
+            fun () ->
+              ignore (Experiments.Runner.execute ~config ~protocol:Dsm.Protocol.Lotec wl)));
       Test.make ~name:"ship-lotec"
         (Staged.stage
            (let spec =
@@ -357,6 +389,7 @@ let () =
   cache_sweep ();
   batching_sweep ();
   ship_sweep ();
+  escrow_sweep ();
   msg_breakdown ();
   crash_chaos ();
   partition_nemesis ();
@@ -378,7 +411,7 @@ let () =
         exit 1
       end)
     [
-      lease_json_file; cache_json_file; batch_json_file; ship_json_file; trace_json_file;
-      crash_json_file; partition_json_file; engine_json_file;
+      lease_json_file; cache_json_file; batch_json_file; ship_json_file; escrow_json_file;
+      trace_json_file; crash_json_file; partition_json_file; engine_json_file;
     ];
   benchmark ()

@@ -16,6 +16,7 @@
      cache       — method-result cache sweep on the web-serving scenarios
      batch       — message-combining sweep vs the batching-off baseline
      ship        — function-shipping sweep vs the always-data-ship baseline
+     escrow      — escrow-commit sweep vs the exclusive-locking baseline
      scale       — large-run sweep (streaming metrics) + engine micro-bench *)
 
 open Cmdliner
@@ -164,6 +165,18 @@ let batching_policy ~policy ~ack_flush ~ack_rider ~release_flush =
 let shipping_arg =
   let doc = "Function-shipping policy: off, on, or on:<software-us>." in
   Arg.(value & opt string "off" & info [ "shipping" ] ~doc)
+
+(* Escrow commit (the escrow subcommand sweeps its own parameter grid). *)
+let escrow_arg =
+  let doc = "Escrow-commit policy: off, on, or on:<local-quota>." in
+  Arg.(value & opt string "off" & info [ "escrow" ] ~doc)
+
+let escrow_policy ~policy =
+  match Dsm.Escrow.policy_of_string policy with
+  | Error e ->
+      prerr_endline e;
+      exit 2
+  | Ok p -> p
 
 let shipping_policy ~policy =
   match Dsm.Shipping.policy_of_string policy with
@@ -405,7 +418,7 @@ let run_cmd =
       recovery drop duplicate jitter fault_seed crash_windows partition_windows slow_links
       gdo_replicas dump_directory
       request_timeout_us max_retransmits policy ttl ratio samples cache cache_capacity
-      batching ack_flush ack_rider release_flush shipping trace_capacity trace_tail
+      batching ack_flush ack_rider release_flush shipping escrow trace_capacity trace_tail
       trace_chrome profile =
     let spec = apply_overrides spec seed roots in
     let spec =
@@ -435,6 +448,7 @@ let run_cmd =
         method_cache = cache_policy ~policy:cache ~capacity:cache_capacity;
         batching = batching_policy ~policy:batching ~ack_flush ~ack_rider ~release_flush;
         shipping = shipping_policy ~policy:shipping;
+        escrow = escrow_policy ~policy:escrow;
         trace_capacity;
       }
     in
@@ -487,7 +501,8 @@ let run_cmd =
       $ lease_policy_arg $ lease_ttl_arg $ lease_ratio_arg $ lease_samples_arg
       $ cache_arg $ cache_capacity_arg
       $ batching_arg $ batch_ack_flush_arg $ batch_ack_rider_arg $ batch_release_flush_arg
-      $ shipping_arg $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg $ profile_arg)
+      $ shipping_arg $ escrow_arg $ trace_capacity_arg $ trace_tail_arg $ trace_chrome_arg
+      $ profile_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one scenario under one protocol.") term
 
@@ -1018,6 +1033,85 @@ let ship_cmd =
           on the headline LOTEC row.")
     term
 
+let escrow_cmd =
+  let protocols_arg =
+    let doc = "Protocol to sweep (repeatable); default all four." in
+    Arg.(value & opt_all protocol_conv [] & info [ "protocol"; "p" ] ~doc)
+  in
+  let skews_arg =
+    let doc = "Access skew to sweep (repeatable); default 0.6 and 1.2." in
+    Arg.(value & opt_all float [] & info [ "skew" ] ~doc)
+  in
+  let quota_arg =
+    let doc = "Delegated local quota per (node, object, side); 0 disables the fast path." in
+    Arg.(value & opt (some int) None & info [ "quota" ] ~doc)
+  in
+  let reconcile_arg =
+    let doc = "Local commits between lazy reconcile pushes to the home." in
+    Arg.(value & opt (some int) None & info [ "reconcile-every" ] ~doc)
+  in
+  let json_arg =
+    let doc = "Also write the sweep as a JSON array to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+  in
+  let min_reduction_arg =
+    let doc =
+      "Fail (exit 1) unless the headline row (LOTEC with escrow at the hottest skew) \
+       completes at least $(docv) percent faster than its exclusive-locking baseline."
+    in
+    Arg.(value & opt (some float) None & info [ "assert-min-time-reduction" ] ~docv:"PCT" ~doc)
+  in
+  let action seed roots protocols skews quota reconcile json min_reduction =
+    let spec_of_skew skew =
+      apply_overrides (Experiments.Escrow.default_spec ~skew) seed roots
+    in
+    let params =
+      let p = Experiments.Escrow.default_params in
+      let p =
+        match quota with None -> p | Some q -> { p with Dsm.Escrow.local_quota = q }
+      in
+      match reconcile with None -> p | Some r -> { p with Dsm.Escrow.reconcile_every = r }
+    in
+    let protocols = if protocols = [] then None else Some protocols in
+    let skews = if skews = [] then None else Some skews in
+    let outcomes = Experiments.Escrow.sweep ~spec_of_skew ~params ?protocols ?skews () in
+    Format.printf "workload (hottest axis): %a@.@." Workload.Spec.pp (spec_of_skew 1.2);
+    Format.printf "%a@." Experiments.Escrow.pp_report outcomes;
+    (match json with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Experiments.Escrow.to_json outcomes);
+        close_out oc;
+        Format.printf "wrote %s@." file);
+    let failures = ref 0 in
+    let check cond msg = if not cond then (incr failures; prerr_endline ("FAIL: " ^ msg)) in
+    Option.iter
+      (fun floor ->
+        match Experiments.Escrow.headline outcomes with
+        | None -> check false "no headline row (LOTEC with escrow) in the sweep"
+        | Some (_, _, ratio) ->
+            let reduction = 100.0 *. (1.0 -. ratio) in
+            check (reduction >= floor)
+              (Printf.sprintf "headline completion reduction %.1f%% below the %.1f%% floor"
+                 reduction floor))
+      min_reduction;
+    if !failures > 0 then exit 1
+  in
+  let term =
+    Term.(
+      const action $ seed_arg $ roots_arg $ protocols_arg $ skews_arg $ quota_arg
+      $ reconcile_arg $ json_arg $ min_reduction_arg)
+  in
+  Cmd.v
+    (Cmd.info "escrow"
+       ~doc:
+         "Sweep escrow commit x protocols x access skews on the hot-account bank workload, \
+          against the exclusive-locking baseline; report reservation/fast-path/recall \
+          counters and completion times, optionally asserting a CI floor on the headline \
+          LOTEC row.")
+    term
+
 let batch_cmd =
   let protocols_arg =
     let doc = "Protocol to sweep (repeatable); default otec and lotec." in
@@ -1250,5 +1344,5 @@ let main () =
           [
             run_cmd; figure_cmd; figures_cmd; ratios_cmd; ablation_cmd; granularity_cmd;
             sweep_cmd; throughput_cmd; trace_cmd; chaos_cmd; partition_cmd; lease_cmd; cache_cmd; batch_cmd;
-            ship_cmd; scale_cmd;
+            ship_cmd; escrow_cmd; scale_cmd;
           ]))

@@ -34,6 +34,7 @@ type t = {
   batching : Dsm.Batching.t;
   method_cache : Dsm.Method_cache.policy;
   shipping : Dsm.Shipping.policy;
+  escrow : Dsm.Escrow.policy;
 }
 
 let default =
@@ -73,6 +74,7 @@ let default =
     batching = Dsm.Batching.off;
     method_cache = Dsm.Method_cache.off;
     shipping = Dsm.Shipping.off;
+    escrow = Dsm.Escrow.off;
   }
 
 let validate t =
@@ -142,6 +144,34 @@ let validate t =
       ((not (Dsm.Shipping.policy_enabled t.shipping)) || not t.prefetch)
       "shipping excludes prefetch (optimistic pre-acquisition races the site decision)"
   in
+  let* () = Dsm.Escrow.validate_policy t.escrow in
+  let* () =
+    check
+      ((not (Dsm.Escrow.policy_enabled t.escrow)) || Option.is_none t.faults)
+      "escrow requires a fault-free run (faults = None)"
+  in
+  let* () =
+    check
+      ((not (Dsm.Escrow.policy_enabled t.escrow)) || not t.prefetch)
+      "escrow excludes prefetch (pre-acquisition would lock what escrow avoids locking)"
+  in
+  let* () =
+    check
+      ((not (Dsm.Escrow.policy_enabled t.escrow))
+      || not (Dsm.Shipping.policy_enabled t.shipping))
+      "escrow excludes shipping (a shipped commutative call would double-apply its delta)"
+  in
+  let* () =
+    check
+      ((not (Dsm.Escrow.policy_enabled t.escrow)) || t.recovery = Txn.Recovery.Undo_logging)
+      "escrow requires undo-log recovery (reservations are undone, not shadowed)"
+  in
+  let* () =
+    check
+      ((not (Dsm.Escrow.policy_enabled t.escrow)) || t.abort_probability = 0.0)
+      "escrow requires abort_probability = 0 (escrow holds are family-level; an \
+       injected sub-retry would re-apply its delta)"
+  in
   match t.faults with None -> Ok () | Some f -> Sim.Fault.validate f
 
 let pp fmt t =
@@ -170,4 +200,6 @@ let pp fmt t =
     Format.fprintf fmt "@,method cache: %a" Dsm.Method_cache.pp_policy t.method_cache;
   if Dsm.Shipping.policy_enabled t.shipping then
     Format.fprintf fmt "@,shipping: %a" Dsm.Shipping.pp_policy t.shipping;
+  if Dsm.Escrow.policy_enabled t.escrow then
+    Format.fprintf fmt "@,escrow: %a" Dsm.Escrow.pp_policy t.escrow;
   Format.fprintf fmt "@]"

@@ -139,6 +139,16 @@ type t = {
           rules (see {!Dsm.Shipping}). Excludes [prefetch]: optimistic
           pre-acquisition would fetch pages to the invoker while the model
           is deciding to execute elsewhere. *)
+  escrow : Dsm.Escrow.policy;
+      (** Escrow commit: {!Dsm.Escrow.Off} (default) reproduces the
+          exclusive-locking runtime exactly; [On] routes every invocation of
+          a declared-commutative method ({!Objmodel.Method_ir.commutativity})
+          through bounds-checked delta reservations at the object's GDO home
+          instead of page locks, with per-node quota delegation enabling a
+          zero-message local pre-commit fast path, lazily reconciled and
+          epoch-fence recalled like a lease (see {!Dsm.Escrow}). Requires a
+          fault-free run and undo-log recovery; excludes [prefetch] and
+          [shipping]. *)
 }
 
 val default : t

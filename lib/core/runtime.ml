@@ -114,6 +114,34 @@ type ship_state = {
   mutable exec_sites : (int * int) list;
 }
 
+(* Node-side escrow ledger for one (node, object): the delegated quota
+   still undrawn ([el_q_*]; family holds are subtracted at draw time), the
+   net locally-committed delta not yet reconciled home ([el_pending]), the
+   quota units those commits spent ([el_spent_*]), and the commit count
+   driving the lazy-reconcile cadence. [el_epoch] is the highest recall
+   epoch the node has already yielded to — the fence against duplicate or
+   reordered recalls. *)
+type escrow_ledger = {
+  mutable el_q_up : int;
+  mutable el_q_down : int;
+  mutable el_pending : int;
+  mutable el_spent_up : int;
+  mutable el_spent_down : int;
+  mutable el_commits : int;
+  mutable el_epoch : int;
+}
+
+(* Per-family escrow bookkeeping, resolved at root end. [fe_home] lists
+   objects with a home reservation (one Escrow_commit resolution message
+   each); [fe_local] the units drawn from the root node's delegated quota
+   as [(oid, up units, down units, net delta)] rows — folded into the
+   ledger at commit, returned to it at abort. A quota recall moves a
+   row from [fe_local] to [fe_home] (the carried re-book). *)
+type fam_escrow = {
+  mutable fe_home : Oid.t list;
+  mutable fe_local : (Oid.t * int * int * int) list;
+}
+
 type t = {
   cfg : Config.t;
   catalog : Catalog.t;
@@ -280,6 +308,23 @@ type t = {
      them or an abort replays them site by site. *)
   parked_logs : (int * Recovery.t) list ref Txn_id.Table.t;
   mutable ship_waits : ship_wait list;
+  (* Escrow-commit subsystem (see Dsm.Escrow). Everything below is inert
+     when [escrow_enabled] is false — the default — keeping escrow-off
+     runs byte-identical to the lock-only runtime. *)
+  escrow_enabled : bool;
+  escrow_params : Dsm.Escrow.params option;  (* Some iff [escrow_enabled] *)
+  (* objects registered for escrow (their class declares a commuting
+     method); the node-side test mirroring the directory's registration. *)
+  escrow_oids : unit Oid.Table.t;
+  escrow_ledgers : escrow_ledger Itbl.t array;  (* per node: oid -> ledger *)
+  escrow_fams : fam_escrow Txn_id.Table.t;
+  (* home-side: objects with a quota recall in flight, mapped to the number
+     of yields still outstanding — guards against re-bumping the epoch
+     under an open recall (which would strand the stale yields' quota) and
+     clears exactly when the recalled epoch's last yield lands. *)
+  escrow_recalling : int Itbl.t;
+  (* typed op log for [Serializability.check_escrow], newest first. *)
+  mutable escrow_ops : Serializability.escrow_op list;
 }
 
 let config t = t.cfg
@@ -491,6 +536,16 @@ let create ~config:cfg ~catalog =
       ship_states = Txn_id.Table.create 16;
       parked_logs = Txn_id.Table.create 16;
       ship_waits = [];
+      escrow_enabled = Dsm.Escrow.policy_enabled cfg.Config.escrow;
+      escrow_params =
+        (match cfg.Config.escrow with
+        | Dsm.Escrow.Off -> None
+        | Dsm.Escrow.On p -> Some p);
+      escrow_oids = Oid.Table.create 16;
+      escrow_ledgers = Array.init cfg.Config.node_count (fun _ -> Itbl.create 8);
+      escrow_fams = Txn_id.Table.create 16;
+      escrow_recalling = Itbl.create 8;
+      escrow_ops = [];
     }
   in
   if t.cache_enabled then
@@ -524,7 +579,19 @@ let create ~config:cfg ~catalog =
       Gdo.Directory.register_object t.gdo oid ~pages ~initial_node:home;
       for p = 0 to pages - 1 do
         Dsm.Page_store.receive t.stores.(home) oid ~page:p ~version:0
-      done)
+      done;
+      (* Escrow registration: an object whose class declares any commuting
+         method carries an escrowed quantity at its home, seeded from the
+         policy's bounds. *)
+      match t.escrow_params with
+      | Some p
+        when List.exists
+               (fun (m : Obj_class.compiled_method) -> Method_ir.commutes m.Obj_class.ir)
+               (Obj_class.methods (Catalog.find catalog oid).Catalog.cls) ->
+          Gdo.Directory.register_escrow t.gdo oid ~lower:p.Dsm.Escrow.lower_bound
+            ~upper:p.Dsm.Escrow.upper_bound ~initial:p.Dsm.Escrow.initial;
+          Oid.Table.replace t.escrow_oids oid ()
+      | Some _ | None -> ())
     (Catalog.oids catalog);
   t
 
@@ -939,9 +1006,56 @@ let attach_lease t ~oid ~node (g : Gdo.Directory.grant) =
     lease
   end
 
+(* A family id whose attempt already ended: a request carrying it is a
+   pre-crash (or pre-give-up) straggler — family ids are never reused, so
+   Aborted is a permanent fence. Only reachable under the reliable
+   transport; on the perfect network no message outlives its family. *)
+let family_defunct t family =
+  t.reliable && Txn_tree.status t.tree family = Txn_tree.Aborted
+
+(* ------------------------------------------------------------------ *)
+(* Escrow bookkeeping helpers (see Dsm.Escrow). The ledgers and family
+   records are created on demand; everything stays empty with the policy
+   off.                                                                *)
+
+let escrow_ledger t ~node oid =
+  let key = Oid.to_int oid in
+  match Itbl.find_opt t.escrow_ledgers.(node) key with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          el_q_up = 0;
+          el_q_down = 0;
+          el_pending = 0;
+          el_spent_up = 0;
+          el_spent_down = 0;
+          el_commits = 0;
+          el_epoch = 0;
+        }
+      in
+      Itbl.replace t.escrow_ledgers.(node) key l;
+      l
+
+let fam_escrow_of t family =
+  match Txn_id.Table.find_opt t.escrow_fams family with
+  | Some fe -> fe
+  | None ->
+      let fe = { fe_home = []; fe_local = [] } in
+      Txn_id.Table.replace t.escrow_fams family fe;
+      fe
+
+(* The op log replayed by [Serializability.check_escrow]. Node-side
+   effects (local commits, reconcile sends, recall surrenders) are logged
+   when the node's ledger changes; home-side effects (reservations,
+   delegations, resolutions) when the home applies them. Until an
+   in-flight reconcile or yield lands, the home's view is strictly more
+   conservative than the log's, so every home admission is log-admissible. *)
+let record_escrow_op t op = t.escrow_ops <- op :: t.escrow_ops
+
 (* Directory half of an acquire, shared by the direct path and the
    continuations parked behind a lease recall. *)
-let process_acquire_core t ~home ~requester ~family ~oid ~mode ~block
+let rec process_acquire_core t ~home ~requester ~family ~oid ~mode ~block
     (iv : reply Sim.Engine.Ivar.t) =
   match Gdo.Directory.acquire t.gdo oid ~family ~node:requester ~mode ~block () with
   | Gdo.Directory.Granted g ->
@@ -950,10 +1064,221 @@ let process_acquire_core t ~home ~requester ~family ~oid ~mode ~block
       reply_from_home t ~home ~dst:requester ~oid iv (Ok (g, lease))
   | Gdo.Directory.Queued ->
       replicate_gdo_update t ~home ~oid;
-      Itbl.replace t.pending (okey oid family) iv
+      Itbl.replace t.pending (okey oid family) iv;
+      (* A waiter queued behind outstanding escrow work: recall whatever
+         quota is delegated so the queue can drain once the reservations
+         resolve. *)
+      if t.escrow_enabled then maybe_recall_escrow t ~home ~oid
   | Gdo.Directory.Busy -> reply_from_home t ~home ~dst:requester ~oid iv (Error Busy)
   | Gdo.Directory.Deadlock cycle ->
       reply_from_home t ~home ~dst:requester ~oid iv (Error (Deadlock cycle))
+
+and deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
+  let oid = d.d_grant.Gdo.Directory.g_oid in
+  match Itbl.find_opt t.pending (okey oid d.d_family) with
+  | None -> ()  (* e.g. a test driving the directory directly *)
+  | Some iv ->
+      Itbl.remove t.pending (okey oid d.d_family);
+      if family_defunct t d.d_family then begin
+        (* The queued family aborted while waiting (transport give-up or
+           crash unblocked it): hand the just-granted lock straight back
+           instead of delivering it to a corpse. If the waiter is a
+           function-shipped fiber that outlived the abort, fail its wait so
+           it unwinds (without shipping the ivar is already filled). *)
+        if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed);
+        let deliveries = Gdo.Directory.release t.gdo oid ~family:d.d_family ~dirty:[] in
+        List.iter (deliver_deferred_grant t ~home) deliveries
+      end
+      else begin
+        let lease = attach_lease t ~oid ~node:d.d_node d.d_grant in
+        reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok (d.d_grant, lease))
+      end
+
+(* Home side of a quota recall: bump the escrow epoch and ask every node
+   holding delegated quota to surrender it. One recall runs at a time per
+   object ([escrow_recalling] holds the outstanding yield count); nodes
+   always answer a fresh-epoch recall, so the count reliably drains. *)
+and maybe_recall_escrow t ~home ~oid =
+  if Gdo.Directory.has_escrow t.gdo oid then begin
+    let quotas = Gdo.Directory.escrow_quotas t.gdo oid in
+    if quotas <> [] && not (Itbl.mem t.escrow_recalling (Oid.to_int oid)) then begin
+      Itbl.replace t.escrow_recalling (Oid.to_int oid) (List.length quotas);
+      let epoch = Gdo.Directory.escrow_begin_recall t.gdo oid in
+      Dsm.Metrics.incr_escrow_recalls t.metrics;
+      record_event t (fun () ->
+          Dsm.Event.Escrow_recall { oid; node = home; nodes = List.length quotas; epoch });
+      List.iter
+        (fun (n, _, _) ->
+          send_exec t ~mtype:Dsm.Wire.Escrow_recall ~src:home ~dst:n
+            ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
+            (fun () -> node_escrow_yield t ~node:n ~home ~oid ~epoch))
+        quotas
+    end
+  end
+
+(* Node side of a quota recall: surrender everything. The unreconciled
+   delta goes home as a final reconcile, the units still held by
+   uncommitted families are carried over to become home reservations
+   (their rows move from [fe_local] to [fe_home], so their resolutions
+   travel to the home), and the ledger zeroes — the fast path misses until
+   a later request re-delegates. *)
+and node_escrow_yield t ~node ~home ~oid ~epoch =
+  let l = escrow_ledger t ~node oid in
+  if epoch > l.el_epoch then begin
+    l.el_epoch <- epoch;
+    let carried = ref [] in
+    Txn_id.Table.iter
+      (fun f fe ->
+        if Txn_tree.node_of t.tree f = node then
+          match List.find_opt (fun (o, _, _, _) -> Oid.equal o oid) fe.fe_local with
+          | Some (_, up, down, d) ->
+              fe.fe_local <- List.filter (fun (o, _, _, _) -> not (Oid.equal o oid)) fe.fe_local;
+              if not (List.exists (Oid.equal oid) fe.fe_home) then
+                fe.fe_home <- oid :: fe.fe_home;
+              carried := (f, up, down, d) :: !carried
+          | None -> ())
+      t.escrow_fams;
+    let carried =
+      List.sort (fun (a, _, _, _) (b, _, _, _) -> Txn_id.compare a b) !carried
+    in
+    let delta = l.el_pending and used_up = l.el_spent_up and used_down = l.el_spent_down in
+    if delta <> 0 || used_up > 0 || used_down > 0 then
+      record_escrow_op t (Serializability.E_reconcile { oid; node; delta; used_up; used_down });
+    record_escrow_op t (Serializability.E_revoke { oid; node });
+    List.iter
+      (fun (f, up, down, _) ->
+        if up > 0 then
+          record_escrow_op t (Serializability.E_reserve { oid; family = f; delta = up });
+        if down > 0 then
+          record_escrow_op t (Serializability.E_reserve { oid; family = f; delta = -down }))
+      carried;
+    l.el_q_up <- 0;
+    l.el_q_down <- 0;
+    l.el_pending <- 0;
+    l.el_spent_up <- 0;
+    l.el_spent_down <- 0;
+    l.el_commits <- 0;
+    Dsm.Metrics.incr_escrow_yields t.metrics;
+    record_event t (fun () -> Dsm.Event.Escrow_yield { oid; node; delta });
+    let carried_net = List.map (fun (f, up, down, _) -> (f, up - down)) carried in
+    let start () =
+      process_escrow_yield t ~home ~oid ~node ~epoch ~delta ~used_up ~used_down
+        ~carried:carried_net
+    in
+    if node = home then start ()
+    else
+      send_exec t ~mtype:Dsm.Wire.Escrow_yield ~src:node ~dst:home ~kind:Sim.Network.Control
+        ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) start
+  end
+
+(* Home receipt of a yield: reconcile, zero the node's quota, re-book the
+   carried family units as home reservations, evict waiters whose wait now
+   closes a cycle through a carried family (they get the usual deadlock
+   refusal), and deliver any promoted grants. *)
+and process_escrow_yield t ~home ~oid ~node ~epoch ~delta ~used_up ~used_down ~carried =
+  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      let deliveries, victims =
+        Gdo.Directory.escrow_yield t.gdo oid ~node ~epoch ~delta ~used_up ~used_down ~carried
+      in
+      (match Itbl.find_opt t.escrow_recalling (Oid.to_int oid) with
+      | Some n when n <= 1 -> Itbl.remove t.escrow_recalling (Oid.to_int oid)
+      | Some n -> Itbl.replace t.escrow_recalling (Oid.to_int oid) (n - 1)
+      | None -> ());
+      List.iter
+        (fun (f, vnode) ->
+          match Itbl.find_opt t.pending (okey oid f) with
+          | None -> ()
+          | Some iv ->
+              Itbl.remove t.pending (okey oid f);
+              reply_from_home t ~home ~dst:vnode ~oid iv (Error (Deadlock [ f ])))
+        victims;
+      List.iter (deliver_deferred_grant t ~home) deliveries)
+
+(* Home side of a slow-path escrow reservation: run the admission test,
+   and on admission ride the reply with a quota top-up toward the policy's
+   [local_quota] on the requested side — the delegation that makes later
+   calls at that node commit with zero messages. *)
+let process_escrow_request t ~home ~requester ~family ~oid ~delta ~want_up ~want_down
+    (iv : (bool * int * int) Sim.Engine.Ivar.t) =
+  Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+      let result = Gdo.Directory.escrow_reserve t.gdo oid ~family ~node:requester ~delta in
+      let admitted = result = Gdo.Directory.Escrow_admitted in
+      record_event t (fun () ->
+          Dsm.Event.Escrow_reserve { oid; family; node = requester; delta; admitted });
+      let gu, gd =
+        if admitted then begin
+          Dsm.Metrics.incr_escrow_reserves t.metrics;
+          record_escrow_op t (Serializability.E_reserve { oid; family; delta });
+          let gu, gd =
+            (* No delegation while a recall is draining: an in-flight yield
+               zeroes the node's directory rows wholesale, so units granted
+               now would be silently dropped when it lands — and the node's
+               later reconcile of them would underflow the quota ledger. *)
+            if
+              (want_up > 0 || want_down > 0)
+              && not (Itbl.mem t.escrow_recalling (Oid.to_int oid))
+            then
+              Gdo.Directory.escrow_delegate t.gdo oid ~node:requester ~up:want_up
+                ~down:want_down
+            else (0, 0)
+          in
+          if gu > 0 || gd > 0 then begin
+            Dsm.Metrics.add_escrow_quota_units t.metrics (gu + gd);
+            record_escrow_op t
+              (Serializability.E_delegate { oid; node = requester; up = gu; down = gd });
+            record_event t (fun () ->
+                Dsm.Event.Escrow_delegate { oid; node = requester; up = gu; down = gd })
+          end;
+          (gu, gd)
+        end
+        else begin
+          Dsm.Metrics.incr_escrow_refusals t.metrics;
+          (0, 0)
+        end
+      in
+      let fill () = Sim.Engine.Ivar.fill iv (admitted, gu, gd) in
+      if home = requester then fill ()
+      else
+        send_exec t ~mtype:Dsm.Wire.Escrow_reply ~src:home ~dst:requester
+          ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
+          fill)
+
+(* Fiber side of a slow-path reservation: one round trip to the home.
+   Returns true when admitted; any delegated quota is installed into the
+   node's ledger either way so a refused call still leaves the fast path
+   armed for the next one. *)
+let escrow_request t ~node ~family ~oid ~delta =
+  let p = match t.escrow_params with Some p -> p | None -> assert false in
+  let l = escrow_ledger t ~node oid in
+  let want_up = if delta > 0 then max 0 (p.Dsm.Escrow.local_quota - l.el_q_up) else 0 in
+  let want_down = if delta < 0 then max 0 (p.Dsm.Escrow.local_quota - l.el_q_down) else 0 in
+  let home = home_of t oid in
+  let iv = Sim.Engine.Ivar.create () in
+  let epoch0 = l.el_epoch in
+  let start () =
+    process_escrow_request t ~home ~requester:node ~family ~oid ~delta ~want_up ~want_down iv
+  in
+  if home = node then start ()
+  else
+    send_exec t ~mtype:Dsm.Wire.Escrow_request ~src:node ~dst:home ~kind:Sim.Network.Control
+      ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid) start;
+  let admitted, gu, gd = Sim.Engine.Ivar.read iv in
+  (* Epoch fence on the install: if a recall was processed while this fiber
+     was blocked, the node has already yielded — its directory quota rows
+     are wiped when that yield lands at the home, so installing the
+     delegated units now would let the node spend quota the home no longer
+     records (the next reconcile would underflow the quota ledger). Drop
+     them; the admission itself is a home-side reservation and stays
+     valid. *)
+  if l.el_epoch = epoch0 then begin
+    if gu > 0 then l.el_q_up <- l.el_q_up + gu;
+    if gd > 0 then l.el_q_down <- l.el_q_down + gd
+  end;
+  if admitted then begin
+    let fe = fam_escrow_of t family in
+    if not (List.exists (Oid.equal oid) fe.fe_home) then fe.fe_home <- oid :: fe.fe_home
+  end;
+  admitted
 
 (* Recall-before-write: a write acquisition reaching a home with leases
    outstanding (or a recall already running) parks until the recall clears.
@@ -984,13 +1309,6 @@ let gate_lease_write t ~home ~requester ~family ~oid ~block ~core
       | `Parked -> ()
     end
   else core ()
-
-(* A family id whose attempt already ended: a request carrying it is a
-   pre-crash (or pre-give-up) straggler — family ids are never reused, so
-   Aborted is a permanent fence. Only reachable under the reliable
-   transport; on the perfect network no message outlives its family. *)
-let family_defunct t family =
-  t.reliable && Txn_tree.status t.tree family = Txn_tree.Aborted
 
 (* Executed at the GDO home when an acquire request arrives. [epoch] is
    the membership epoch stamped by the requester at send time; a request
@@ -1058,27 +1376,6 @@ let rec process_acquire t ~home ~requester ~family ~oid ~mode ~block ~epoch
         end
       end)
 
-let rec deliver_deferred_grant t ~home (d : Gdo.Directory.delivery) =
-  let oid = d.d_grant.Gdo.Directory.g_oid in
-  match Itbl.find_opt t.pending (okey oid d.d_family) with
-  | None -> ()  (* e.g. a test driving the directory directly *)
-  | Some iv ->
-      Itbl.remove t.pending (okey oid d.d_family);
-      if family_defunct t d.d_family then begin
-        (* The queued family aborted while waiting (transport give-up or
-           crash unblocked it): hand the just-granted lock straight back
-           instead of delivering it to a corpse. If the waiter is a
-           function-shipped fiber that outlived the abort, fail its wait so
-           it unwinds (without shipping the ivar is already filled). *)
-        if not (Sim.Engine.Ivar.is_filled iv) then Sim.Engine.Ivar.fill iv (Error Crashed);
-        let deliveries = Gdo.Directory.release t.gdo oid ~family:d.d_family ~dirty:[] in
-        List.iter (deliver_deferred_grant t ~home) deliveries
-      end
-      else begin
-        let lease = attach_lease t ~oid ~node:d.d_node d.d_grant in
-        reply_from_home t ~home ~dst:d.d_node ~oid iv (Ok (d.d_grant, lease))
-      end
-
 (* Executed at the GDO home when a release arrives. [items] lists the objects
    (with their dirty page info) whose home is this node; [from] is the
    releasing node, kept for the crash re-dispatch. *)
@@ -1126,17 +1423,19 @@ and gdo_release t ~node ~family items =
       let cur = Option.value ~default:[] (Hashtbl.find_opt by_home home) in
       Hashtbl.replace by_home home (item :: cur))
     items;
-  Hashtbl.iter
-    (fun home items ->
-      if home = node then process_release t ~home ~from:node ~family items
-      else if t.batching.Dsm.Batching.coalesce_release && not t.crash_enabled then
-        (* Under crash injection coalescing stands down: a commit's releases
-           must leave the node atomically with the commit point, or a crash
-           inside the flush window could swallow a committed family's
-           releases and leak its locks (see [Batching]). *)
-        queue_release t ~node ~home ~family items
-      else send_release t ~node ~home ~family items)
-    by_home
+  (* Ascending-home order, not hash order: the send sequence (and with it
+     every downstream timestamp) must not depend on the hash seed. *)
+  Hashtbl.fold (fun home items acc -> (home, items) :: acc) by_home []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (home, items) ->
+         if home = node then process_release t ~home ~from:node ~family items
+         else if t.batching.Dsm.Batching.coalesce_release && not t.crash_enabled then
+           (* Under crash injection coalescing stands down: a commit's
+              releases must leave the node atomically with the commit point,
+              or a crash inside the flush window could swallow a committed
+              family's releases and leak its locks (see [Batching]). *)
+           queue_release t ~node ~home ~family items
+         else send_release t ~node ~home ~family items)
 
 (* One Release message carrying one family's per-home batch — the
    uncombined wire format. *)
@@ -1259,11 +1558,14 @@ let send_failover_confirms t ~home ~successor =
             if h.node <> successor && not t.crashed.(h.node) then Hashtbl.replace dests h.node ())
           (Gdo.Directory.holders t.gdo oid))
     (Catalog.oids t.catalog);
-  Hashtbl.iter
-    (fun dst () ->
-      send_exec t ~mtype:Dsm.Wire.Failover_confirm ~src:successor ~dst
-        ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1) (fun () -> ()))
-    dests
+  (* Sorted, not hash order: the send sequence must be hash-seed
+     independent. *)
+  Hashtbl.fold (fun dst () acc -> dst :: acc) dests []
+  |> List.sort Int.compare
+  |> List.iter (fun dst ->
+         send_exec t ~mtype:Dsm.Wire.Failover_confirm ~src:successor ~dst
+           ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(-1)
+           (fun () -> ()))
 
 (* Re-derive, for every partition, the node currently serving it: the home
    itself while not *declared* dead; with replication, a declared home's
@@ -1815,7 +2117,10 @@ let group_by_source ~node ~oid (grant : Gdo.Directory.grant) pages =
       let cur = Option.value ~default:[] (Hashtbl.find_opt by_src src) in
       Hashtbl.replace by_src src (p :: cur))
     pages;
+  (* Ascending-source order, not hash order: the parallel fetches are sent
+     in list order, so group order must be hash-seed independent. *)
   Hashtbl.fold (fun src ps acc -> (src, List.rev ps) :: acc) by_src []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 (* Fetch the given pages from their source nodes, in parallel, and install
    them locally. Blocks until every group has arrived — or, under crash
@@ -2538,6 +2843,90 @@ let drop_ship_state t root =
     drop_parked t root
   end
 
+(* Push a node ledger's unreconciled local commits home: one message, the
+   home folds the net delta in and retires the spent quota units. Called
+   when the batch threshold is reached and at end of run. *)
+let escrow_send_reconcile t ~node oid (l : escrow_ledger) =
+  let delta = l.el_pending and used_up = l.el_spent_up and used_down = l.el_spent_down in
+  if delta <> 0 || used_up > 0 || used_down > 0 then begin
+    let commits = l.el_commits in
+    record_escrow_op t (Serializability.E_reconcile { oid; node; delta; used_up; used_down });
+    l.el_pending <- 0;
+    l.el_spent_up <- 0;
+    l.el_spent_down <- 0;
+    l.el_commits <- 0;
+    Dsm.Metrics.incr_escrow_reconciles t.metrics;
+    record_event t (fun () -> Dsm.Event.Escrow_reconcile { oid; node; delta; commits });
+    let home = home_of t oid in
+    let apply () =
+      Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+          Gdo.Directory.escrow_reconcile t.gdo oid ~node ~delta ~used_up ~used_down)
+    in
+    if home = node then apply ()
+    else
+      send_exec t ~mtype:Dsm.Wire.Escrow_reconcile ~src:node ~dst:home
+        ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes ~tag:(tag_of oid)
+        apply
+  end
+
+(* Root-resolution half of escrow. On commit the family's fast-path holds
+   become the node's zero-message local commits (folded into the ledger,
+   reconciled home lazily in batches); on abort the drawn units simply
+   return to the delegated quota. Home-side reservations get one
+   resolution message per object either way, so the home folds (or drops)
+   the family's row and promotes any queued waiters. *)
+let escrow_resolve_family t root ~node ~commit =
+  match Txn_id.Table.find_opt t.escrow_fams root with
+  | None -> ()
+  | Some fe ->
+      Txn_id.Table.remove t.escrow_fams root;
+      let p = match t.escrow_params with Some p -> p | None -> assert false in
+      let local = List.sort (fun (a, _, _, _) (b, _, _, _) -> Oid.compare a b) fe.fe_local in
+      List.iter
+        (fun (oid, up, down, nd) ->
+          let l = escrow_ledger t ~node oid in
+          if commit then begin
+            (* Two checker ops when the family held units on both sides, so
+               the replayed quota spend matches the reconcile report. *)
+            if up > 0 then begin
+              l.el_spent_up <- l.el_spent_up + up;
+              record_escrow_op t (Serializability.E_local_commit { oid; node; delta = up })
+            end;
+            if down > 0 then begin
+              l.el_spent_down <- l.el_spent_down + down;
+              record_escrow_op t (Serializability.E_local_commit { oid; node; delta = -down })
+            end;
+            l.el_pending <- l.el_pending + nd;
+            l.el_commits <- l.el_commits + 1;
+            if l.el_commits >= p.Dsm.Escrow.reconcile_every then
+              escrow_send_reconcile t ~node oid l
+          end
+          else begin
+            l.el_q_up <- l.el_q_up + up;
+            l.el_q_down <- l.el_q_down + down
+          end)
+        local;
+      List.iter
+        (fun oid ->
+          let home = home_of t oid in
+          let resolve () =
+            Sim.Engine.schedule t.engine ~delay:t.cfg.Config.gdo_op_us (fun () ->
+                let deliveries =
+                  if commit then Gdo.Directory.escrow_commit t.gdo oid ~family:root
+                  else Gdo.Directory.escrow_abort t.gdo oid ~family:root
+                in
+                record_escrow_op t
+                  (if commit then Serializability.E_commit { oid; family = root }
+                   else Serializability.E_abort { oid; family = root });
+                List.iter (deliver_deferred_grant t ~home) deliveries)
+          in
+          if home = node then resolve ()
+          else
+            send_exec t ~mtype:Dsm.Wire.Escrow_commit ~src:node ~dst:home
+              ~kind:Sim.Network.Control ~bytes:t.cfg.Config.control_msg_bytes
+              ~tag:(tag_of oid) resolve)
+        (List.sort Oid.compare fe.fe_home)
+
 (* Runs entirely without yielding (waits happen at the caller, before the
    commit point), so a crash window can never tear a commit: either the
    family crash-aborts before the commit point, or every commit-side
@@ -2579,10 +2968,13 @@ let commit_root t root =
             (Recovery.dirty_pages log))
         site_logs;
       let dirty_of oid =
+        (* Ascending-page order, not hash order: the list lands in release
+           messages, whose bytes must be hash-seed independent. *)
         Hashtbl.fold
           (fun (o, page) (_, v, n) acc ->
             if o = Oid.to_int oid then (page, v, n) :: acc else acc)
           by_page []
+        |> List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b)
       in
       let seen = Oid.Table.create 16 in
       let total = ref 0 in
@@ -2621,6 +3013,7 @@ let commit_root t root =
       !total
     end
   in
+  if t.escrow_enabled then escrow_resolve_family t root ~node ~commit:true;
   if t.lease_enabled then drop_lease_reads t root;
   if not t.cfg.Config.streaming then
     t.history <-
@@ -2665,6 +3058,7 @@ let abort_root t root =
       if released <> [] then
         gdo_release t ~node:site ~family:root (List.map (fun oid -> (oid, [])) released))
     (family_exec_sites t ~family:root ~node);
+  if t.escrow_enabled then escrow_resolve_family t root ~node ~commit:false;
   if t.lease_enabled then drop_lease_reads t root;
   Txn_tree.set_status t.tree root Txn_tree.Aborted;
   record_event t (fun () -> Dsm.Event.Root_abort { family = root; node });
@@ -2874,11 +3268,73 @@ let check_no_recursion t ~parent ~target =
   let depth = climb parent 1 in
   Sim.Engine.wait (t.cfg.Config.local_lock_op_us *. float_of_int depth)
 
+(* The escrow commit path for a declared-commutative invocation on an
+   escrowed object: no lock, no page I/O — the method's effect is its unit
+   delta, booked either against the node's delegated quota (fast path,
+   zero messages) or as a home reservation (slow path, one round trip).
+   The units are held by the family until the root resolves; aborts are
+   family-level only (Config.validate excludes injected sub-retries with
+   escrow on), so per-family tracking is exact. Returns false when escrow
+   does not apply or the home refused — the caller falls back to the
+   exclusive-lock path. *)
+let escrow_try t ~oid ~(cm : Obj_class.compiled_method) ~node ~family =
+  t.escrow_enabled
+  && Method_ir.commutes cm.Obj_class.ir
+  && Oid.Table.mem t.escrow_oids oid
+  && begin
+       let delta = Method_ir.escrow_delta cm.Obj_class.ir in
+       (* The body's statements still cost CPU; they just run against the
+          escrowed quantity instead of pages. *)
+       for _ = 1 to Method_ir.statement_count cm.Obj_class.ir do
+         exec_statement t ~node
+       done;
+       (* Ride out lock bursts instead of folding at the first refusal: a
+          refused call that falls back grabs the write lock, which refuses
+          the next reservation in turn — one statement-batch writer would
+          cascade into escrow disabling itself on the hot account exactly
+          when it matters. Bounded, so a real conflict still reaches the
+          lock path (and its deadlock detection) quickly; each attempt
+          re-checks the fast path first, since quota may have landed while
+          we slept. *)
+       let backoff_us = [ 100.0; 200.0; 400.0; 800.0; 1600.0 ] in
+       let rec attempt backoffs =
+         let l = escrow_ledger t ~node oid in
+         let can_local =
+           if delta > 0 then l.el_q_up >= delta else l.el_q_down >= -delta
+         in
+         if can_local then begin
+           if delta > 0 then l.el_q_up <- l.el_q_up - delta
+           else l.el_q_down <- l.el_q_down + delta;
+           Dsm.Metrics.incr_escrow_local_commits t.metrics;
+           record_event t (fun () ->
+               Dsm.Event.Escrow_local_commit { oid; family; node; delta });
+           let fe = fam_escrow_of t family in
+           let up = max delta 0 and down = max (-delta) 0 in
+           (match List.find_opt (fun (o, _, _, _) -> Oid.equal o oid) fe.fe_local with
+           | Some (_, u, d, nd) ->
+               fe.fe_local <-
+                 (oid, u + up, d + down, nd + delta)
+                 :: List.filter (fun (o, _, _, _) -> not (Oid.equal o oid)) fe.fe_local
+           | None -> fe.fe_local <- (oid, up, down, delta) :: fe.fe_local);
+           true
+         end
+         else if escrow_request t ~node ~family ~oid ~delta then true
+         else
+           match backoffs with
+           | [] -> false
+           | wait :: rest ->
+               Sim.Engine.wait wait;
+               attempt rest
+       in
+       attempt backoff_us
+     end
+
 let rec run_body t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) =
   let node = Txn_tree.node_of t.tree txn in
   let family = Txn_tree.root_of t.tree txn in
   Txn_id.Table.replace t.txn_objects txn oid;
   if try_cache_serve t ~txn ~oid ~cm then ()
+  else if escrow_try t ~oid ~cm ~node ~family then ()
   else run_body_exec t ~prng ~txn ~oid ~cm ~node ~family
 
 and run_body_exec t ~prng ~txn ~oid ~(cm : Obj_class.compiled_method) ~node ~family =
@@ -3248,15 +3704,39 @@ let submit t ~at ~node ~oid ~meth ~seed =
               :: t.results;
           t.outstanding <- t.outstanding - 1))
 
+(* End-of-run escrow flush: every node ledger pushes its last partial
+   batch home, so the run ends with no unreconciled deltas (the checker's
+   end condition) and the homes report true final quantities. *)
+let escrow_flush t =
+  Array.iteri
+    (fun node ledgers ->
+      Itbl.fold (fun key l acc -> (key, l) :: acc) ledgers []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> List.iter (fun (key, l) -> escrow_send_reconcile t ~node (Oid.of_int key) l))
+    t.escrow_ledgers
+
 let run t =
   if t.crash_enabled && not t.ran then arm_crash_machinery t;
   Sim.Engine.run t.engine;
+  if t.escrow_enabled then begin
+    escrow_flush t;
+    Sim.Engine.run t.engine
+  end;
   t.ran <- true;
   assert (t.outstanding = 0);
   Dsm.Metrics.set_completion_time_us t.metrics (Sim.Engine.now t.engine)
 
 let results t = List.rev t.results
 let committed_history t = List.rev t.history
+let escrow_ops t = List.rev t.escrow_ops
+
+let check_escrow t =
+  match t.escrow_params with
+  | None -> Ok []
+  | Some p ->
+      Serializability.check_escrow ~lower:p.Dsm.Escrow.lower_bound
+        ~upper:p.Dsm.Escrow.upper_bound ~initial:p.Dsm.Escrow.initial
+        ~ops:(List.rev t.escrow_ops)
 let membership_epoch t = t.membership_epoch
 let membership_log t = t.membership_log
 let node_declared_down t ~node = t.declared_down.(node)

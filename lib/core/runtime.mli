@@ -94,6 +94,14 @@ val committed_history : t -> Serializability.committed_root list
 
 val check_serializable : t -> Serializability.verdict
 
+val escrow_ops : t -> Serializability.escrow_op list
+(** The typed escrow op log, in simulated-time order. Empty when the
+    escrow policy is off (or nothing commuting ran). *)
+
+val check_escrow : t -> ((Objmodel.Oid.t * int) list, string list) result
+(** Replay {!escrow_ops} through {!Serializability.check_escrow} under the
+    run's escrow bounds. [Ok []] trivially when the policy is off. *)
+
 val membership_epoch : t -> int
 (** Current membership epoch: bumped at every quorum death declaration,
     readmission, and rejoin-with-standing-declaration. 0 for fault-free

@@ -117,3 +117,183 @@ let check roots =
   in
   List.iter (fun n -> visit [] n) nodes;
   match !cycle with Some c -> Cyclic c | None -> Serializable !order
+
+(* --- escrow semantics -------------------------------------------------- *)
+
+type escrow_op =
+  | E_reserve of { oid : Oid.t; family : Txn_id.t; delta : int }
+  | E_commit of { oid : Oid.t; family : Txn_id.t }
+  | E_abort of { oid : Oid.t; family : Txn_id.t }
+  | E_delegate of { oid : Oid.t; node : int; up : int; down : int }
+  | E_local_commit of { oid : Oid.t; node : int; delta : int }
+  | E_reconcile of { oid : Oid.t; node : int; delta : int; used_up : int; used_down : int }
+  | E_revoke of { oid : Oid.t; node : int }
+
+(* Replay state of one escrowed object: the home's committed value, the
+   outstanding per-family reservations, and per node the remaining delegated
+   quota plus the locally committed delta not yet reconciled home. *)
+type obj_state = {
+  mutable value : int;
+  mutable res : (Txn_id.t * int) list;
+  mutable committed : int;  (* sum of every delta committed so far *)
+  nodes : (int, node_state) Hashtbl.t;
+}
+
+and node_state = {
+  mutable q_up : int;
+  mutable q_down : int;
+  mutable pending : int;  (* net local-commit delta since the last reconcile *)
+  mutable spent_up : int;  (* quota units spent since the last reconcile *)
+  mutable spent_down : int;
+}
+
+let check_escrow ~lower ~upper ~initial ~ops =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let objects : obj_state Oid.Table.t = Oid.Table.create 16 in
+  let state oid =
+    match Oid.Table.find_opt objects oid with
+    | Some s -> s
+    | None ->
+        let s = { value = initial; res = []; committed = 0; nodes = Hashtbl.create 4 } in
+        Oid.Table.add objects oid s;
+        s
+  in
+  let node_state s n =
+    match Hashtbl.find_opt s.nodes n with
+    | Some ns -> ns
+    | None ->
+        let ns = { q_up = 0; q_down = 0; pending = 0; spent_up = 0; spent_down = 0 } in
+        Hashtbl.add s.nodes n ns;
+        ns
+  in
+  let worst_down s =
+    List.fold_left (fun acc (_, d) -> if d < 0 then acc + d else acc) 0 s.res
+    - Hashtbl.fold (fun _ ns acc -> acc + ns.q_down) s.nodes 0
+  in
+  let worst_up s =
+    List.fold_left (fun acc (_, d) -> if d > 0 then acc + d else acc) 0 s.res
+    + Hashtbl.fold (fun _ ns acc -> acc + ns.q_up) s.nodes 0
+  in
+  (* Invariants that must hold after every step: the worst case over all
+     outstanding obligations stays in bounds, and the home value plus the
+     unreconciled node deltas equals initial + everything committed
+     (conservation — no delta is lost or applied twice). *)
+  let assert_state i oid s =
+    if s.value < lower || s.value > upper then
+      err "op %d: %a value %d outside [%d, %d]" i Oid.pp oid s.value lower upper;
+    if s.value + worst_down s < lower then
+      err "op %d: %a worst-case low %d breaches floor %d" i Oid.pp oid
+        (s.value + worst_down s) lower;
+    if upper - s.value - worst_up s < 0 then
+      err "op %d: %a worst-case high %d breaches ceiling %d" i Oid.pp oid
+        (s.value + worst_up s) upper;
+    let pending = Hashtbl.fold (fun _ ns acc -> acc + ns.pending) s.nodes 0 in
+    if s.value + pending <> initial + s.committed then
+      err "op %d: %a conservation broken: value %d + pending %d <> initial %d + committed %d"
+        i Oid.pp oid s.value pending initial s.committed
+  in
+  List.iteri
+    (fun i op ->
+      match op with
+      | E_reserve { oid; family; delta } ->
+          let s = state oid in
+          (* The log only records admitted reservations; re-run the
+             admission test to prove each admission was legal. *)
+          let ok =
+            if delta < 0 then s.value + worst_down s - lower + delta >= 0
+            else if delta > 0 then upper - s.value - worst_up s - delta >= 0
+            else true
+          in
+          if not ok then
+            err "op %d: %a reservation %+d by %a was admitted but breaches a bound" i Oid.pp
+              oid delta Txn_id.pp family;
+          let cur = Option.value ~default:0 (List.assoc_opt family s.res) in
+          s.res <- (family, cur + delta) :: List.remove_assoc family s.res;
+          assert_state i oid s
+      | E_commit { oid; family } -> (
+          let s = state oid in
+          match List.assoc_opt family s.res with
+          | None -> err "op %d: %a commit by %a with no reservation" i Oid.pp oid Txn_id.pp family
+          | Some d ->
+              s.res <- List.remove_assoc family s.res;
+              s.value <- s.value + d;
+              s.committed <- s.committed + d;
+              assert_state i oid s)
+      | E_abort { oid; family } ->
+          let s = state oid in
+          if not (List.mem_assoc family s.res) then
+            err "op %d: %a abort by %a with no reservation" i Oid.pp oid Txn_id.pp family
+          else s.res <- List.remove_assoc family s.res;
+          assert_state i oid s
+      | E_delegate { oid; node; up; down } ->
+          let s = state oid in
+          if up < 0 || down < 0 then err "op %d: %a negative delegation" i Oid.pp oid;
+          let ns = node_state s node in
+          ns.q_up <- ns.q_up + up;
+          ns.q_down <- ns.q_down + down;
+          assert_state i oid s
+      | E_local_commit { oid; node; delta } ->
+          let s = state oid in
+          let ns = node_state s node in
+          if delta > 0 then begin
+            if ns.q_up < delta then
+              err "op %d: %a node %d local commit %+d exceeds up-quota %d" i Oid.pp oid node
+                delta ns.q_up;
+            ns.q_up <- ns.q_up - delta;
+            ns.spent_up <- ns.spent_up + delta
+          end
+          else if delta < 0 then begin
+            if ns.q_down < -delta then
+              err "op %d: %a node %d local commit %+d exceeds down-quota %d" i Oid.pp oid node
+                delta ns.q_down;
+            ns.q_down <- ns.q_down + delta;
+            ns.spent_down <- ns.spent_down - delta
+          end;
+          ns.pending <- ns.pending + delta;
+          s.committed <- s.committed + delta;
+          assert_state i oid s
+      | E_reconcile { oid; node; delta; used_up; used_down } ->
+          let s = state oid in
+          let ns = node_state s node in
+          if delta <> ns.pending then
+            err "op %d: %a node %d reconciles %+d but %+d is pending" i Oid.pp oid node delta
+              ns.pending;
+          if used_up <> ns.spent_up || used_down <> ns.spent_down then
+            err "op %d: %a node %d reports quota use %d/%d, spent %d/%d" i Oid.pp oid node
+              used_up used_down ns.spent_up ns.spent_down;
+          s.value <- s.value + ns.pending;
+          ns.pending <- 0;
+          ns.spent_up <- 0;
+          ns.spent_down <- 0;
+          assert_state i oid s
+      | E_revoke { oid; node } ->
+          let s = state oid in
+          let ns = node_state s node in
+          if ns.pending <> 0 then
+            err "op %d: %a node %d quota revoked with %+d unreconciled" i Oid.pp oid node
+              ns.pending;
+          ns.q_up <- 0;
+          ns.q_down <- 0;
+          assert_state i oid s)
+    ops;
+  (* End of run: every reservation resolved, every local delta reconciled. *)
+  Oid.Table.iter
+    (fun oid s ->
+      List.iter
+        (fun (f, d) -> err "end: %a reservation %+d by %a never resolved" Oid.pp oid d Txn_id.pp f)
+        s.res;
+      Hashtbl.iter
+        (fun n ns ->
+          if ns.pending <> 0 then
+            err "end: %a node %d still has %+d unreconciled" Oid.pp oid n ns.pending)
+        s.nodes;
+      if s.value <> initial + s.committed then
+        err "end: %a final value %d <> initial %d + committed %d" Oid.pp oid s.value initial
+          s.committed)
+    objects;
+  let finals =
+    Oid.Table.fold (fun oid s acc -> (oid, s.value) :: acc) objects []
+    |> List.sort (fun (a, _) (b, _) -> Oid.compare a b)
+  in
+  if !errors = [] then Ok finals else Error (List.rev !errors)

@@ -1,0 +1,98 @@
+(* Escrow commit policy: coordination-avoiding concurrency control for
+   declared-commutative methods (Method_ir increment/decrement/insert). An
+   escrowed object carries a bounded integer quantity; commuting
+   sub-transactions reserve signed deltas against it instead of taking
+   exclusive page locks, the directory admits a reservation whenever the
+   worst case over all outstanding reservations keeps the quantity inside
+   [lower_bound, upper_bound], and admitted reservations run concurrently.
+   Each node may additionally hold a delegated quota — units of headroom it
+   may commit locally with zero messages, lazily reconciled at the home and
+   recalled with epoch fencing like a read lease. *)
+
+type params = {
+  lower_bound : int;
+  upper_bound : int;
+  initial : int;
+  local_quota : int;
+  reconcile_every : int;
+}
+
+type policy = Off | On of params
+
+let default_params =
+  {
+    (* A bank-account shape: balances must stay non-negative, have no
+       ceiling, and start with enough units that commuting withdrawals
+       rarely hit the floor. *)
+    lower_bound = 0;
+    upper_bound = max_int;
+    initial = 1_000;
+    local_quota = 16;
+    reconcile_every = 8;
+  }
+
+let off = Off
+
+let policy_enabled = function Off -> false | On _ -> true
+
+let validate_policy = function
+  | Off -> Ok ()
+  | On p ->
+      let check cond msg = if cond then Ok () else Error msg in
+      let ( let* ) = Result.bind in
+      let* () = check (p.lower_bound <= p.upper_bound) "escrow lower_bound must be <= upper_bound" in
+      let* () =
+        check
+          (p.initial >= p.lower_bound && p.initial <= p.upper_bound)
+          "escrow initial value must lie within [lower_bound, upper_bound]"
+      in
+      let* () = check (p.local_quota >= 0) "escrow local_quota must be >= 0" in
+      check (p.reconcile_every >= 1) "escrow reconcile_every must be >= 1"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "off" | "none" -> Ok Off
+  | "on" -> Ok (On default_params)
+  | other -> (
+      match String.index_opt other ':' with
+      | Some i when String.sub other 0 i = "on" -> (
+          let arg = String.sub other (i + 1) (String.length other - i - 1) in
+          match int_of_string_opt arg with
+          | Some q when q >= 0 -> Ok (On { default_params with local_quota = q })
+          | Some _ | None ->
+              Error
+                (Printf.sprintf "escrow local quota %S must be a non-negative integer" arg))
+      | _ ->
+          Error
+            (Printf.sprintf "unknown escrow policy %S (expected off|on|on:<local_quota>)"
+               other))
+
+let policy_to_string = function Off -> "off" | On _ -> "on"
+
+let pp_bound fmt b =
+  if b = max_int then Format.pp_print_string fmt "+inf"
+  else if b = min_int then Format.pp_print_string fmt "-inf"
+  else Format.pp_print_int fmt b
+
+let pp_policy fmt = function
+  | Off -> Format.pp_print_string fmt "off"
+  | On p ->
+      Format.fprintf fmt "on(bounds [%a,%a], init %d, quota %d, reconcile %d)" pp_bound
+        p.lower_bound pp_bound p.upper_bound p.initial p.local_quota p.reconcile_every
+
+(* The O'Neil escrow test. [worst_down] (<= 0) aggregates every outstanding
+   obligation that could still lower the quantity — uncommitted negative
+   reservations plus delegated down-quota; [worst_up] (>= 0) likewise for
+   raises. A new [delta] is admitted iff the quantity stays in bounds even
+   when every outstanding obligation on the same side commits. Written as
+   headroom comparisons so an unbounded side (max_int / min_int) cannot
+   overflow. *)
+let admits p ~value ~worst_down ~worst_up ~delta =
+  if delta < 0 then
+    let floor_room = value + worst_down - p.lower_bound in
+    (* floor_room is how far the worst case already sits above the floor. *)
+    floor_room + delta >= 0
+  else if delta > 0 then
+    let ceil_room = p.upper_bound - value - worst_up in
+    ceil_room - delta >= 0
+  else true

@@ -1,0 +1,79 @@
+(** Escrow commit: coordination-avoiding concurrency control for commuting
+    operations.
+
+    The bank workload is all deposits and withdrawals — operations that
+    commute, yet under plain O2PL serialize on exclusive object locks. With
+    escrow enabled, methods declared commutative
+    ({!Objmodel.Method_ir.commutativity}) update a bounded integer {e escrowed
+    quantity} attached to their object instead of locking its pages: a
+    sub-transaction {e reserves} a signed delta at the object's directory
+    home, the home admits the reservation whenever the worst case over all
+    outstanding reservations keeps the quantity inside
+    [[lower_bound, upper_bound]] (the classic escrow test), and admitted
+    reservations proceed concurrently — commit folds the delta in, abort
+    releases the reservation, and neither waits on the other.
+
+    Two coordination-avoidance levels stack on top:
+
+    - {e quota delegation}: the home may delegate [local_quota] units of
+      headroom per side to a node; commutative calls whose family's entire
+      access path stays commutative then commit {e locally} against the quota
+      with zero messages (the local pre-commit fast path);
+    - {e lazy reconciliation}: locally committed deltas are pushed home in a
+      single [Escrow_reconcile] message every [reconcile_every] local
+      commits (or when the quota runs dry), and quotas are {e recalled} with
+      epoch fencing — exactly the lease recall dance — when a
+      non-commutative access needs the object exclusively.
+
+    The policy is validated by [Core.Config]; {!off} is inert and
+    golden-tested byte-identical to the exclusive-locking runtime. With the
+    policy on, [Core.Serializability.check_escrow] replays the escrow event
+    log and asserts bounds and conservation. *)
+
+type params = {
+  lower_bound : int;  (** invariant floor of every escrowed quantity *)
+  upper_bound : int;  (** invariant ceiling; [max_int] means unbounded *)
+  initial : int;  (** starting quantity of each escrowed object *)
+  local_quota : int;
+      (** headroom units delegated per (node, object, side); [0] disables
+          the local fast path, leaving per-reservation home round trips *)
+  reconcile_every : int;
+      (** local commits between lazy [Escrow_reconcile] pushes to the home *)
+}
+
+type policy =
+  | Off  (** never escrow: byte-identical to the exclusive-locking runtime *)
+  | On of params
+
+val default_params : params
+(** Bank-account shape: bounds [[0, +inf)], initial 1000, quota 16,
+    reconcile every 8 local commits. *)
+
+val off : policy
+
+val policy_enabled : policy -> bool
+(** False only for {!Off}. *)
+
+val validate_policy : policy -> (unit, string) result
+(** Reject inverted bounds, an initial value outside them, a negative
+    quota, or a reconcile period below 1. *)
+
+val policy_of_string : string -> (policy, string) result
+(** Parse ["off"]/["none"], ["on"] (default parameters) or
+    ["on:<local_quota>"]; [Error] names the valid set. *)
+
+val policy_to_string : policy -> string
+(** ["off"] or ["on"]; parameters are not round-tripped (see {!pp_policy}). *)
+
+val pp_policy : Format.formatter -> policy -> unit
+(** Display form including parameters, e.g.
+    ["on(bounds [0,+inf], init 1000, quota 16, reconcile 8)"]. *)
+
+val admits : params -> value:int -> worst_down:int -> worst_up:int -> delta:int -> bool
+(** The escrow admission test. [value] is the object's committed quantity at
+    the home; [worst_down <= 0] sums every outstanding obligation that could
+    still lower it (uncommitted negative reservations, delegated down-quota)
+    and [worst_up >= 0] likewise for raises. [admits] is true iff applying
+    [delta] keeps the quantity inside the bounds even when all same-side
+    obligations commit. Written as headroom comparisons, so an unbounded
+    side never overflows. *)

@@ -52,6 +52,12 @@ type t =
       saved_bytes : int;
     }
   | Ship_exec of { oid : Oid.t; family : Txn_id.t; node : int }
+  | Escrow_reserve of { oid : Oid.t; family : Txn_id.t; node : int; delta : int; admitted : bool }
+  | Escrow_local_commit of { oid : Oid.t; family : Txn_id.t; node : int; delta : int }
+  | Escrow_delegate of { oid : Oid.t; node : int; up : int; down : int }
+  | Escrow_reconcile of { oid : Oid.t; node : int; delta : int; commits : int }
+  | Escrow_recall of { oid : Oid.t; node : int; nodes : int; epoch : int }
+  | Escrow_yield of { oid : Oid.t; node : int; delta : int }
 
 let category = function
   | Lock_request _ | Lock_grant _ | Lock_refused _ | Upgrade _ -> "lock"
@@ -76,6 +82,9 @@ let category = function
       "batch"
   | Cache_hit _ | Cache_fill _ | Cache_invalidate _ -> "cache"
   | Ship_decision _ | Ship_exec _ -> "ship"
+  | Escrow_reserve _ | Escrow_local_commit _ | Escrow_delegate _ | Escrow_reconcile _
+  | Escrow_recall _ | Escrow_yield _ ->
+      "escrow"
 
 let family = function
   | Lock_request { family; _ }
@@ -94,6 +103,8 @@ let family = function
   | Crash_abort { family; _ } -> Some family
   | Cache_hit { family; _ } -> Some family
   | Ship_decision { family; _ } | Ship_exec { family; _ } -> Some family
+  | Escrow_reserve { family; _ } | Escrow_local_commit { family; _ } -> Some family
+  | Escrow_delegate _ | Escrow_reconcile _ | Escrow_recall _ | Escrow_yield _ -> None
   | Lease_granted _ | Lease_recall _ | Lease_deferred _ | Lease_yield _
   | Lease_recall_cleared _ | Lease_expired _ | Transfer _ | Demand_fetch _ | Retransmit _
   | Fault _ | Node_crash _ | Node_restart _ | Node_suspected _ | Node_dead _
@@ -123,6 +134,13 @@ let oid = function
   | Fetch_aggregated { oid; _ } -> Some oid
   | Cache_hit { oid; _ } | Cache_fill { oid; _ } -> Some oid
   | Ship_decision { oid; _ } | Ship_exec { oid; _ } -> Some oid
+  | Escrow_reserve { oid; _ }
+  | Escrow_local_commit { oid; _ }
+  | Escrow_delegate { oid; _ }
+  | Escrow_reconcile { oid; _ }
+  | Escrow_recall { oid; _ }
+  | Escrow_yield { oid; _ } ->
+      Some oid
   | Cache_invalidate { oid; _ } -> oid
   | Deadlock_abort _ | Root_commit _ | Root_abort _ | Precommit _ | Sub_abort _
   | Retransmit _ | Fault _ | Node_crash _ | Node_restart _ | Crash_abort _
@@ -164,6 +182,13 @@ let node = function
   | Cache_hit { node; _ } | Cache_fill { node; _ } | Cache_invalidate { node; _ } -> node
   | Ship_decision { src; _ } -> src
   | Ship_exec { node; _ } -> node
+  | Escrow_reserve { node; _ }
+  | Escrow_local_commit { node; _ }
+  | Escrow_delegate { node; _ }
+  | Escrow_reconcile { node; _ }
+  | Escrow_recall { node; _ }
+  | Escrow_yield { node; _ } ->
+      node
   | Node_crash { node; _ }
   | Node_restart { node; _ }
   | Crash_abort { node; _ }
@@ -295,3 +320,24 @@ let pp fmt ev =
   | Ship_exec { oid; family; node } ->
       Format.fprintf fmt "%s: %a of %a executing at home node %d" cat Oid.pp oid Txn_id.pp
         family node
+  | Escrow_reserve { oid; family; node; delta; admitted } ->
+      if admitted then
+        Format.fprintf fmt "%s: %a reserves %+d on %a@%d" cat Oid.pp oid delta Txn_id.pp
+          family node
+      else
+        Format.fprintf fmt "%s: %a reservation %+d refused to %a@%d" cat Oid.pp oid delta
+          Txn_id.pp family node
+  | Escrow_local_commit { oid; family; node; delta } ->
+      Format.fprintf fmt "%s: %a local commit %+d by %a@%d (quota, zero messages)" cat Oid.pp
+        oid delta Txn_id.pp family node
+  | Escrow_delegate { oid; node; up; down } ->
+      Format.fprintf fmt "%s: %a delegates +%d/-%d quota to node %d" cat Oid.pp oid up down
+        node
+  | Escrow_reconcile { oid; node; delta; commits } ->
+      Format.fprintf fmt "%s: %a node %d reconciles %+d (%d local commit(s))" cat Oid.pp oid
+        node delta commits
+  | Escrow_recall { oid; nodes; epoch; _ } ->
+      Format.fprintf fmt "%s: %a recalling quota from %d node(s) at epoch %d" cat Oid.pp oid
+        nodes epoch
+  | Escrow_yield { oid; node; delta } ->
+      Format.fprintf fmt "%s: %a node %d yields quota (final %+d)" cat Oid.pp oid node delta

@@ -141,12 +141,31 @@ type t =
   | Ship_exec of { oid : Oid.t; family : Txn_id.t; node : int }
       (** a shipped invocation was delivered and began executing as a
           sub-fiber at home [node] *)
+  (* Escrow commit (see [Dsm.Escrow]). *)
+  | Escrow_reserve of { oid : Oid.t; family : Txn_id.t; node : int; delta : int; admitted : bool }
+      (** the home ran the escrow admission test for a [delta] reservation;
+          a refusal ([admitted = false]) sends the call down the
+          exclusive-lock fallback path *)
+  | Escrow_local_commit of { oid : Oid.t; family : Txn_id.t; node : int; delta : int }
+      (** a commutative call committed locally against [node]'s delegated
+          quota: zero messages (the local pre-commit fast path) *)
+  | Escrow_delegate of { oid : Oid.t; node : int; up : int; down : int }
+      (** the home delegated [up] raise / [down] lower quota units to [node] *)
+  | Escrow_reconcile of { oid : Oid.t; node : int; delta : int; commits : int }
+      (** [node] lazily pushed the net [delta] of [commits] local commits
+          home in one [Escrow_reconcile] message *)
+  | Escrow_recall of { oid : Oid.t; node : int; nodes : int; epoch : int }
+      (** the home ([node]) started recalling delegated quota from [nodes]
+          nodes at escrow epoch [epoch] — an exclusive access is queued *)
+  | Escrow_yield of { oid : Oid.t; node : int; delta : int }
+      (** [node] surrendered its quota, reconciling a final [delta] *)
 
 val category : t -> string
 (** Coarse grouping for tallies and filtering: ["lock"], ["lease"],
     ["transfer"], ["demand-fetch"], ["txn"], ["commit"], ["deadlock"],
     ["retransmit"], ["fault"], ["recursion"], ["crash"], ["suspect"],
-    ["reclaim"], ["failover"], ["batch"], ["cache"] or ["ship"]. *)
+    ["reclaim"], ["failover"], ["batch"], ["cache"], ["ship"] or
+    ["escrow"]. *)
 
 val family : t -> Txn_id.t option
 (** The transaction family the event belongs to, when it has one (lease

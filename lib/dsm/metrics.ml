@@ -56,6 +56,13 @@ type totals = {
   ship_declines : int;
   ships_forced : int;
   ship_bytes_saved : int;
+  escrow_reserves : int;
+  escrow_local_commits : int;
+  escrow_reconciles : int;
+  escrow_recalls : int;
+  escrow_yields : int;
+  escrow_refusals : int;
+  escrow_quota_units : int;
 }
 
 type t = {
@@ -104,6 +111,13 @@ type t = {
   mutable ship_declines : int;
   mutable ships_forced : int;
   mutable ship_bytes_saved : int;
+  mutable escrow_reserves : int;
+  mutable escrow_local_commits : int;
+  mutable escrow_reconciles : int;
+  mutable escrow_recalls : int;
+  mutable escrow_yields : int;
+  mutable escrow_refusals : int;
+  mutable escrow_quota_units : int;
   mutable completion_time_us : float;
   size_buckets : int array;  (* power-of-two message size histogram *)
   (* Per-message-type ledger, indexed by Wire.index; reconciles exactly with
@@ -176,6 +190,13 @@ let create () =
     ship_declines = 0;
     ships_forced = 0;
     ship_bytes_saved = 0;
+    escrow_reserves = 0;
+    escrow_local_commits = 0;
+    escrow_reconciles = 0;
+    escrow_recalls = 0;
+    escrow_yields = 0;
+    escrow_refusals = 0;
+    escrow_quota_units = 0;
     completion_time_us = 0.0;
     size_buckets = Array.make (Array.length bucket_bounds) 0;
     wire_counts = Array.make Wire.count 0;
@@ -305,6 +326,13 @@ let incr_ships t = t.ships <- t.ships + 1
 let incr_ship_declines t = t.ship_declines <- t.ship_declines + 1
 let incr_ships_forced t = t.ships_forced <- t.ships_forced + 1
 let add_ship_bytes_saved t n = t.ship_bytes_saved <- t.ship_bytes_saved + n
+let incr_escrow_reserves t = t.escrow_reserves <- t.escrow_reserves + 1
+let incr_escrow_local_commits t = t.escrow_local_commits <- t.escrow_local_commits + 1
+let incr_escrow_reconciles t = t.escrow_reconciles <- t.escrow_reconciles + 1
+let incr_escrow_recalls t = t.escrow_recalls <- t.escrow_recalls + 1
+let incr_escrow_yields t = t.escrow_yields <- t.escrow_yields + 1
+let incr_escrow_refusals t = t.escrow_refusals <- t.escrow_refusals + 1
+let add_escrow_quota_units t n = t.escrow_quota_units <- t.escrow_quota_units + n
 
 (* Home-node lock-protocol operations: every request the GDO home processes
    (acquires, upgrades, release batches) plus lease recall round trips. The
@@ -362,6 +390,13 @@ let totals t =
     ship_declines = t.ship_declines;
     ships_forced = t.ships_forced;
     ship_bytes_saved = t.ship_bytes_saved;
+    escrow_reserves = t.escrow_reserves;
+    escrow_local_commits = t.escrow_local_commits;
+    escrow_reconciles = t.escrow_reconciles;
+    escrow_recalls = t.escrow_recalls;
+    escrow_yields = t.escrow_yields;
+    escrow_refusals = t.escrow_refusals;
+    escrow_quota_units = t.escrow_quota_units;
   }
 
 let per_object t oid =
@@ -473,6 +508,17 @@ let pp_summary fmt t =
     Format.fprintf fmt
       "shipping: %d shipped (%d forced to pinned site), %d stayed, ~%d B predicted saved@,"
       tt.ships tt.ships_forced tt.ship_declines tt.ship_bytes_saved;
+  (* Escrow line: absent unless the escrow subsystem did work. *)
+  if
+    tt.escrow_reserves + tt.escrow_local_commits + tt.escrow_refusals + tt.escrow_recalls
+    + tt.escrow_quota_units
+    > 0
+  then
+    Format.fprintf fmt
+      "escrow: %d reserved, %d local commits, %d reconciles, %d recalls (%d yields), \
+       %d refusals, %d quota units@,"
+      tt.escrow_reserves tt.escrow_local_commits tt.escrow_reconciles tt.escrow_recalls
+      tt.escrow_yields tt.escrow_refusals tt.escrow_quota_units;
   Format.fprintf fmt "traffic: %d messages, %d bytes (%d data)@,completion: %.1f us@]"
     (total_messages t) (total_bytes t) (total_data_bytes t) t.completion_time_us
 

@@ -227,6 +227,24 @@ val incr_ship_declines : t -> unit
 val incr_ships_forced : t -> unit
 val add_ship_bytes_saved : t -> int -> unit
 
+(** {1 Escrow counters}
+
+    See [Dsm.Escrow]: delta reservations admitted at GDO homes (one per
+    [Escrow_request]/[Escrow_reply] round trip), commutative calls committed
+    locally against delegated quota with zero messages, lazy
+    [Escrow_reconcile] pushes of accumulated local deltas, quota recall
+    round trips the home initiated for a conflicting exclusive access (and
+    the yields that answered them), reservations refused (bounds or a held
+    lock — the call fell back to the exclusive-lock path), and quota units
+    delegated to nodes. All zero when the escrow policy is [Off]. *)
+val incr_escrow_reserves : t -> unit
+val incr_escrow_local_commits : t -> unit
+val incr_escrow_reconciles : t -> unit
+val incr_escrow_recalls : t -> unit
+val incr_escrow_yields : t -> unit
+val incr_escrow_refusals : t -> unit
+val add_escrow_quota_units : t -> int -> unit
+
 val home_lock_ops : t -> int
 (** Lock-protocol operations processed by GDO homes: global acquisitions +
     upgrades + release batches + recall/yield messages. The lease
@@ -278,6 +296,13 @@ type totals = {
   ship_declines : int;
   ships_forced : int;
   ship_bytes_saved : int;
+  escrow_reserves : int;
+  escrow_local_commits : int;
+  escrow_reconciles : int;
+  escrow_recalls : int;
+  escrow_yields : int;
+  escrow_refusals : int;
+  escrow_quota_units : int;
 }
 
 val totals : t -> totals

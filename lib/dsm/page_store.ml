@@ -50,3 +50,18 @@ let cached_objects t =
     (fun oid tbl acc -> if Hashtbl.length tbl > 0 then oid :: acc else acc)
     t.pages []
   |> List.sort Oid.compare
+
+let dump t =
+  (* Ascending oid, ascending page — never hash order: the dump is diffed
+     across runs (and hash seeds) by determinism checks. *)
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "page store (node %d):\n" t.node);
+  List.iter
+    (fun oid ->
+      Buffer.add_string b (Format.asprintf "  %a:" Oid.pp oid);
+      List.iter
+        (fun (p, v) -> Buffer.add_string b (Printf.sprintf " %d@v%d" p v))
+        (cached_pages t oid);
+      Buffer.add_char b '\n')
+    (cached_objects t);
+  Buffer.contents b

@@ -40,3 +40,9 @@ val cached_pages : t -> Objmodel.Oid.t -> (int * int) list
 
 val cached_objects : t -> Objmodel.Oid.t list
 (** Objects with at least one cached page, ascending. *)
+
+val dump : t -> string
+(** Human-readable listing of every cached page: one line per object,
+    ascending by oid with pages ascending within it — deterministic across
+    hash seeds (never raw hash-table order), so two equivalent runs yield
+    byte-identical dumps. *)

@@ -146,8 +146,14 @@ let to_chrome ~node_count entries =
               Hashtbl.replace open_spans key (time, ev)
           | None -> emit (instant_json ~time ev)))
     entries;
-  (* Opens never closed (in flight at run end, or the close was evicted). *)
-  Hashtbl.iter (fun _ (t0, opener) -> emit (instant_json ~time:t0 opener)) open_spans;
+  (* Opens never closed (in flight at run end, or the close was evicted) —
+     flushed in (open time, key) order, not hash order, so the exported
+     JSON is byte-identical across hash seeds. *)
+  Hashtbl.fold (fun key (t0, opener) acc -> (key, t0, opener) :: acc) open_spans []
+  |> List.sort (fun (k1, t1, _) (k2, t2, _) ->
+         let c = Float.compare t1 t2 in
+         if c <> 0 then c else compare k1 k2)
+  |> List.iter (fun (_, t0, opener) -> emit (instant_json ~time:t0 opener));
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   let rec add = function

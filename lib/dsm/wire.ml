@@ -16,12 +16,19 @@ type t =
   | Ship_invoke
   | Ship_reply
   | View_change
+  | Escrow_request
+  | Escrow_reply
+  | Escrow_commit
+  | Escrow_reconcile
+  | Escrow_recall
+  | Escrow_yield
 
 let all =
   [
     Acquire_request; Grant; Refusal; Release; Gdo_replica; Page_request; Page_reply;
     Eager_push; Lease_recall; Lease_yield; Ack; Heartbeat; Suspect; Failover_confirm;
-    Ship_invoke; Ship_reply; View_change;
+    Ship_invoke; Ship_reply; View_change; Escrow_request; Escrow_reply; Escrow_commit;
+    Escrow_reconcile; Escrow_recall; Escrow_yield;
   ]
 
 let count = List.length all
@@ -44,6 +51,12 @@ let index = function
   | Ship_invoke -> 14
   | Ship_reply -> 15
   | View_change -> 16
+  | Escrow_request -> 17
+  | Escrow_reply -> 18
+  | Escrow_commit -> 19
+  | Escrow_reconcile -> 20
+  | Escrow_recall -> 21
+  | Escrow_yield -> 22
 
 let to_string = function
   | Acquire_request -> "acquire-request"
@@ -63,12 +76,19 @@ let to_string = function
   | Ship_invoke -> "ship-invoke"
   | Ship_reply -> "ship-reply"
   | View_change -> "view-change"
+  | Escrow_request -> "escrow-request"
+  | Escrow_reply -> "escrow-reply"
+  | Escrow_commit -> "escrow-commit"
+  | Escrow_reconcile -> "escrow-reconcile"
+  | Escrow_recall -> "escrow-recall"
+  | Escrow_yield -> "escrow-yield"
 
 let kind = function
   | Page_reply | Eager_push -> Sim.Network.Data
   | Acquire_request | Grant | Refusal | Release | Gdo_replica | Page_request
   | Lease_recall | Lease_yield | Ack | Heartbeat | Suspect | Failover_confirm
-  | Ship_invoke | Ship_reply | View_change ->
+  | Ship_invoke | Ship_reply | View_change | Escrow_request | Escrow_reply
+  | Escrow_commit | Escrow_reconcile | Escrow_recall | Escrow_yield ->
       Sim.Network.Control
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -65,6 +65,28 @@ type t =
           declared node was readmitted. Receivers max-merge the carried
           epoch into their view; requests stamped with an older epoch are
           refused by the partition's acting home (split-brain fencing) *)
+  | Escrow_request
+      (** site → home: reserve a signed delta against an escrowed object's
+          quantity (the {!Escrow} admission test runs at the home); asks for
+          a delegated quota top-up in the same message when the local fast
+          path has drained its side *)
+  | Escrow_reply
+      (** home → site: admission verdict for an escrow reservation, carrying
+          any delegated quota grant as a rider *)
+  | Escrow_commit
+      (** site → home: fold a previously admitted reservation's delta into
+          the committed quantity (root commit), or release it (abort) *)
+  | Escrow_reconcile
+      (** site → home: lazy push of locally quota-committed deltas — one
+          small message summarising up to [reconcile_every] zero-message
+          local commits *)
+  | Escrow_recall
+      (** home → quota-holding node: surrender the delegated escrow quota —
+          a non-commutative access needs the object exclusively; epoch-fenced
+          exactly like a lease recall *)
+  | Escrow_yield
+      (** quota-holding node → home: quota surrendered, carrying the final
+          unreconciled local delta so the home's quantity is exact again *)
 
 val all : t list
 (** Every message type, in declaration order. *)

@@ -35,6 +35,15 @@ let execute ?(config = Core.Config.default) ?on_stall ~protocol
            (Format.pp_print_list ~pp_sep:(fun f () -> Format.pp_print_string f " -> ")
               Txn.Txn_id.pp)
            cycle));
+  (* Escrow runs trade page-level serializability on the escrowed objects
+     for the replayed ledger invariants; trivially Ok with the policy off. *)
+  (match Core.Runtime.check_escrow runtime with
+  | Ok _ -> ()
+  | Error errs ->
+      failwith
+        (Format.asprintf "escrow violation under %a:@,%a" Dsm.Protocol.pp protocol
+           (Format.pp_print_list ~pp_sep:Format.pp_print_newline Format.pp_print_string)
+           (List.filteri (fun i _ -> i < 5) errs)));
   { protocol; workload; runtime }
 
 let execute_all ?config ~protocols workload =

@@ -15,7 +15,9 @@ val execute :
 (** Build a runtime for the workload's catalog (node count taken from the
     workload spec; everything else from [config], default
     {!Core.Config.default}), submit every root, drive the simulation to
-    completion, and verify the committed history is serializable.
+    completion, and verify the committed history is serializable and —
+    when the config enables escrow — that the escrow op log replays within
+    bounds ({!Core.Runtime.check_escrow}).
     [on_stall], if given, is called with the runtime when the run raises
     (e.g. {!Sim.Engine.Stalled}) before the exception propagates — a hook
     for dumping diagnostic state such as {!Gdo.Directory.dump}.

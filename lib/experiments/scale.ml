@@ -16,6 +16,11 @@
 
 type bench_row = { component : string; ops : int; wall_s : float; ops_per_sec : float }
 
+(* Every reported rate goes through this one clamp: a timer reading of (or
+   rounding to) zero wall time must yield a large-but-finite rate, never a
+   division by zero or an infinity leaking into reports and JSON. *)
+let per_sec ops wall_s = float_of_int ops /. Float.max wall_s 1e-9
+
 type bench = {
   rows : bench_row list;
   total_ops : int;
@@ -122,7 +127,7 @@ let engine_bench ?(dispatch_events = 2_000_000) ?(dispatch_timers = 10_000)
       (fun (component, f) ->
         let ops, wall_s = timed f in
         let wall_s = max wall_s 1e-9 in
-        { component; ops; wall_s; ops_per_sec = float_of_int ops /. wall_s })
+        { component; ops; wall_s; ops_per_sec = per_sec ops wall_s })
       components
   in
   let total_ops = List.fold_left (fun acc r -> acc + r.ops) 0 rows in
@@ -131,7 +136,7 @@ let engine_bench ?(dispatch_events = 2_000_000) ?(dispatch_timers = 10_000)
     rows;
     total_ops;
     total_wall_s;
-    aggregate_ops_per_sec = float_of_int total_ops /. max total_wall_s 1e-9;
+    aggregate_ops_per_sec = per_sec total_ops total_wall_s;
   }
 
 (* Pre-refactor ops/sec on this machine (commit 5dd1ec4 engine: event
@@ -213,7 +218,7 @@ let profiled f =
       dispatched = s.Sim.Engine.dispatched;
       scheduled = s.Sim.Engine.scheduled;
       max_queue = s.Sim.Engine.max_queue;
-      events_per_sec = float_of_int s.Sim.Engine.dispatched /. wall_s;
+      events_per_sec = per_sec s.Sim.Engine.dispatched wall_s;
       alloc_mb = (Gc.allocated_bytes () -. a0) /. 1e6;
       peak_heap_mb =
         float_of_int (Gc.quick_stat ()).Gc.top_heap_words *. bytes_per_word /. 1e6;

@@ -18,6 +18,12 @@
 
 type bench_row = { component : string; ops : int; wall_s : float; ops_per_sec : float }
 
+val per_sec : int -> float -> float
+(** [per_sec ops wall_s]: the one rate helper every report uses — [wall_s]
+    is clamped to at least 1 ns, so a zero (or negative, after timer
+    quantisation) interval yields a large finite rate instead of a
+    division by zero or an infinity in reports and JSON. *)
+
 type bench = {
   rows : bench_row list;
   total_ops : int;

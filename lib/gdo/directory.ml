@@ -18,6 +18,28 @@ type delivery = { d_family : Txn_id.t; d_node : int; d_grant : grant }
 
 type waiter = { wt_family : Txn_id.t; wt_node : int; wt_mode : Lock.mode; wt_upgrade : bool }
 
+(* Escrow ledger of one object: the committed quantity, its invariant
+   bounds, the outstanding (uncommitted) per-family delta reservations, and
+   the per-node delegated quotas backing the zero-message local fast path.
+   Locks and escrow exclude each other: a reservation is refused while a
+   normal lock is held, and a normal acquire queues while foreign
+   reservations or any delegated quota are outstanding. *)
+type escrow_state = {
+  mutable esc_value : int;
+  esc_lower : int;
+  esc_upper : int;
+  (* (family, node, aggregated delta); each family appears at most once. *)
+  mutable esc_res : (Txn_id.t * int * int) list;
+  (* (node, remaining units), ascending by node; absent = 0. *)
+  mutable esc_quota_up : (int * int) list;
+  mutable esc_quota_down : (int * int) list;
+  (* Bumped by begin_recall; a yield stamped with an older epoch is stale
+     (the fencing mirrors lease recall). *)
+  mutable esc_epoch : int;
+}
+
+type escrow_result = Escrow_admitted | Escrow_refused_bounds | Escrow_refused_locked
+
 type entry = {
   oid : Oid.t;
   mutable state : lock_state;
@@ -26,6 +48,7 @@ type entry = {
   page_nodes : int array;
   page_versions : int array;
   mutable copyset : int list;  (* ascending *)
+  mutable escrow : escrow_state option;
 }
 
 type t = {
@@ -62,6 +85,7 @@ let register_object t oid ~pages ~initial_node =
       page_nodes = Array.make pages initial_node;
       page_versions = Array.make pages 0;
       copyset = [ initial_node ];
+      escrow = None;
     }
 
 let get t oid =
@@ -79,15 +103,65 @@ let make_grant e mode =
 
 let holds e family = List.exists (fun h -> Txn_id.equal h.family family) e.holders
 
-(* Families that [family] would wait on if queued on [e] with [mode]. *)
+(* --- escrow worst-case accounting ------------------------------------- *)
+
+let quota_sum q = List.fold_left (fun acc (_, u) -> acc + u) 0 q
+
+(* Sum of every outstanding obligation that could still lower (raise) the
+   committed quantity: uncommitted negative (positive) reservations plus
+   delegated down- (up-) quota. worst_down <= 0 <= worst_up. *)
+let esc_worst_down es =
+  List.fold_left (fun acc (_, _, d) -> if d < 0 then acc + d else acc) 0 es.esc_res
+  - quota_sum es.esc_quota_down
+
+let esc_worst_up es =
+  List.fold_left (fun acc (_, _, d) -> if d > 0 then acc + d else acc) 0 es.esc_res
+  + quota_sum es.esc_quota_up
+
+(* Headroom-form admission test (no overflow on an unbounded side). *)
+let esc_admits es ~delta =
+  if delta < 0 then es.esc_value + esc_worst_down es - es.esc_lower + delta >= 0
+  else if delta > 0 then es.esc_upper - es.esc_value - esc_worst_up es - delta >= 0
+  else true
+
+(* Is a normal lock grant to [family] blocked by escrow state? Foreign
+   reservations and any delegated quota must drain first (the runtime
+   recalls quotas when a waiter queues); the family's own reservations do
+   not block it — both commit together at its root commit. *)
+let escrow_blocked e family =
+  match e.escrow with
+  | None -> false
+  | Some es ->
+      List.exists (fun (f, _, _) -> not (Txn_id.equal f family)) es.esc_res
+      || List.exists (fun (_, u) -> u > 0) es.esc_quota_up
+      || List.exists (fun (_, u) -> u > 0) es.esc_quota_down
+
+(* Families that [family] would wait on if queued on [e] with [mode]:
+   the current lock holders, plus — while the entry is escrow-blocked —
+   the foreign escrow reservation families (a queued waiter cannot be
+   promoted until they commit or abort, so they are real wait targets;
+   a reservation family that itself waits on a lock elsewhere can close
+   a cycle through them). Delegated quota has no family to point at; it
+   is recalled actively, so a wait on quota always resolves. *)
 let blockers e ~family ~upgrade:_ =
-  List.filter_map
-    (fun h -> if Txn_id.equal h.family family then None else Some h.family)
-    e.holders
+  let held =
+    List.filter_map
+      (fun h -> if Txn_id.equal h.family family then None else Some h.family)
+      e.holders
+  in
+  let reserved =
+    match e.escrow with
+    | None -> []
+    | Some es ->
+        List.filter_map
+          (fun (f, _, _) -> if Txn_id.equal f family then None else Some f)
+          es.esc_res
+  in
+  held @ List.filter (fun f -> not (List.exists (Txn_id.equal f) held)) reserved
 
 (* Does making [family] wait on [oid] close a cycle? Walk the dynamic
-   waits-for graph: a waiting family points at the current holders of the
-   object it waits on. *)
+   waits-for graph: a waiting family points at the current holders — and
+   escrow reservers — of the object it waits on. *)
 let would_deadlock t ~family ~on_oid =
   let visited = ref Txn_id.Set.empty in
   let rec reaches_requester f =
@@ -98,7 +172,7 @@ let would_deadlock t ~family ~on_oid =
       Oid.Set.exists
         (fun oid ->
           let e = get t oid in
-          List.exists (fun h -> reaches_requester h.family) e.holders)
+          List.exists reaches_requester (blockers e ~family:f ~upgrade:false))
         (waits_of t f)
     end
   in
@@ -132,6 +206,12 @@ let acquire t oid ~family ~node ~mode ?(block = true) () =
     Granted (make_grant e m)
   in
   match e.state with
+  | Free when escrow_blocked e family ->
+      (* Outstanding escrow work excludes a normal grant; queue behind it.
+         Escrow families never wait (reservations are refused, not queued),
+         so they can have no outgoing waits-for edge and no cycle can run
+         through them — the deadlock check stays sound. *)
+      wait_or_busy ~upgrade:false
   | Free -> grant_fresh mode
   | Held_read when holds e family -> (
       match mode with
@@ -187,6 +267,10 @@ let promote t e =
     | [] -> ()
     | w :: rest -> (
         match e.state with
+        | Free when escrow_blocked e w.wt_family ->
+            (* Deferred until the escrow side drains (commit/abort of every
+               foreign reservation, yield of every delegated quota). *)
+            ()
         | Free ->
             e.waiting <- rest;
             grant_to w w.wt_mode;
@@ -230,6 +314,13 @@ let evict_families t ~dead =
   List.iter
     (fun e ->
       let note f = evicted := Txn_id.Set.add f !evicted in
+      (* A dead family's escrow reservations are released un-committed, as
+         its page writes are — the reserved delta was never published. *)
+      (match e.escrow with
+      | Some es when List.exists (fun (f, _, _) -> dead f) es.esc_res ->
+          List.iter (fun (f, _, _) -> if dead f then note f) es.esc_res;
+          es.esc_res <- List.filter (fun (f, _, _) -> not (dead f)) es.esc_res
+      | Some _ | None -> ());
       let doomed_holders = List.filter (fun h -> dead h.family) e.holders in
       let doomed_waiters = List.filter (fun w -> dead w.wt_family) e.waiting in
       if doomed_holders <> [] || doomed_waiters <> [] then begin
@@ -299,6 +390,185 @@ let copyset t oid = (get t oid).copyset
 
 let object_count t = Oid.Table.length t.entries
 
+(* --- escrow API -------------------------------------------------------- *)
+
+let register_escrow t oid ~lower ~upper ~initial =
+  let e = get t oid in
+  if e.escrow <> None then
+    invalid_arg (Format.asprintf "Directory.register_escrow: duplicate %a" Oid.pp oid);
+  if lower > upper || initial < lower || initial > upper then
+    invalid_arg "Directory.register_escrow: initial must lie within [lower, upper]";
+  e.escrow <-
+    Some
+      {
+        esc_value = initial;
+        esc_lower = lower;
+        esc_upper = upper;
+        esc_res = [];
+        esc_quota_up = [];
+        esc_quota_down = [];
+        esc_epoch = 0;
+      }
+
+let esc_get t oid =
+  match (get t oid).escrow with
+  | Some es -> es
+  | None -> invalid_arg (Format.asprintf "Directory: object %a has no escrow" Oid.pp oid)
+
+let has_escrow t oid = (get t oid).escrow <> None
+let escrow_value t oid = (esc_get t oid).esc_value
+let escrow_epoch t oid = (esc_get t oid).esc_epoch
+
+let escrow_reservations t oid =
+  List.sort
+    (fun (a, _, _) (b, _, _) -> Txn_id.compare a b)
+    (esc_get t oid).esc_res
+
+let escrow_quotas t oid =
+  let es = esc_get t oid in
+  let nodes =
+    List.sort_uniq Int.compare (List.map fst es.esc_quota_up @ List.map fst es.esc_quota_down)
+  in
+  List.filter_map
+    (fun n ->
+      let up = Option.value ~default:0 (List.assoc_opt n es.esc_quota_up) in
+      let down = Option.value ~default:0 (List.assoc_opt n es.esc_quota_down) in
+      if up > 0 || down > 0 then Some (n, up, down) else None)
+    nodes
+
+let escrow_outstanding t oid =
+  match (get t oid).escrow with
+  | None -> false
+  | Some es ->
+      es.esc_res <> []
+      || List.exists (fun (_, u) -> u > 0) es.esc_quota_up
+      || List.exists (fun (_, u) -> u > 0) es.esc_quota_down
+
+let escrow_reserve t oid ~family ~node ~delta =
+  let e = get t oid in
+  let es = esc_get t oid in
+  (* Queued waiters also refuse: a stream of reservations must not starve
+     a parked exclusive acquirer, and refusing keeps the waiters' recorded
+     wait edges complete — no reservation family appears after the
+     deadlock check that queued them ran (yield carry-over, the one
+     exception, re-runs the check itself). *)
+  if e.state <> Free || e.waiting <> [] then Escrow_refused_locked
+  else if not (esc_admits es ~delta) then Escrow_refused_bounds
+  else begin
+    (match List.find_opt (fun (f, _, _) -> Txn_id.equal f family) es.esc_res with
+    | Some (_, n, d) ->
+        es.esc_res <-
+          (family, n, d + delta)
+          :: List.filter (fun (f, _, _) -> not (Txn_id.equal f family)) es.esc_res
+    | None -> es.esc_res <- (family, node, delta) :: es.esc_res);
+    Escrow_admitted
+  end
+
+let esc_drop_res es family =
+  match List.find_opt (fun (f, _, _) -> Txn_id.equal f family) es.esc_res with
+  | None -> None
+  | Some (_, _, d) ->
+      es.esc_res <- List.filter (fun (f, _, _) -> not (Txn_id.equal f family)) es.esc_res;
+      Some d
+
+let escrow_commit t oid ~family =
+  let e = get t oid in
+  let es = esc_get t oid in
+  (match esc_drop_res es family with
+  | Some d -> es.esc_value <- es.esc_value + d
+  | None -> ());
+  promote t e
+
+let escrow_abort t oid ~family =
+  let e = get t oid in
+  let es = esc_get t oid in
+  ignore (esc_drop_res es family : int option);
+  promote t e
+
+let quota_add q node units =
+  let cur = Option.value ~default:0 (List.assoc_opt node q) in
+  (node, cur + units) :: List.remove_assoc node q |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let quota_take q node units =
+  let cur = Option.value ~default:0 (List.assoc_opt node q) in
+  if units > cur then
+    invalid_arg "Directory: escrow quota underflow (node returned more than delegated)";
+  let rest = List.remove_assoc node q in
+  if cur - units = 0 then rest
+  else (node, cur - units) :: rest |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let escrow_delegate t oid ~node ~up ~down =
+  let e = get t oid in
+  let es = esc_get t oid in
+  if e.state <> Free || up < 0 || down < 0 then (0, 0)
+  else begin
+    (* Clamp each side to the worst-case headroom left after every
+       outstanding obligation; delegated units become part of that worst
+       case, so the invariant holds even if the node spends them all. *)
+    let up_avail = max 0 (es.esc_upper - es.esc_value - esc_worst_up es) in
+    let down_avail = max 0 (es.esc_value + esc_worst_down es - es.esc_lower) in
+    let gu = min up up_avail and gd = min down down_avail in
+    if gu > 0 then es.esc_quota_up <- quota_add es.esc_quota_up node gu;
+    if gd > 0 then es.esc_quota_down <- quota_add es.esc_quota_down node gd;
+    (gu, gd)
+  end
+
+let escrow_reconcile t oid ~node ~delta ~used_up ~used_down =
+  let es = esc_get t oid in
+  if used_up < 0 || used_down < 0 || delta <> used_up - used_down then
+    invalid_arg "Directory.escrow_reconcile: delta must equal used_up - used_down";
+  es.esc_quota_up <- quota_take es.esc_quota_up node used_up;
+  es.esc_quota_down <- quota_take es.esc_quota_down node used_down;
+  es.esc_value <- es.esc_value + delta
+
+let escrow_begin_recall t oid =
+  let es = esc_get t oid in
+  es.esc_epoch <- es.esc_epoch + 1;
+  es.esc_epoch
+
+let escrow_yield t oid ~node ~epoch ~delta ~used_up ~used_down ~carried =
+  let e = get t oid in
+  let es = esc_get t oid in
+  if epoch < es.esc_epoch then ([], [])
+  else begin
+    escrow_reconcile t oid ~node ~delta ~used_up ~used_down;
+    (* Surrendering zeroes whatever quota remains after the final
+       reconcile — the node keeps nothing across a recall. *)
+    es.esc_quota_up <- List.remove_assoc node es.esc_quota_up;
+    es.esc_quota_down <- List.remove_assoc node es.esc_quota_down;
+    (* Re-book the units still held by the node's uncommitted families as
+       home reservations. Admission is guaranteed: the units were part of
+       the just-surrendered quota, so worst-case headroom only improved.
+       The carried families are new wait targets the queued waiters never
+       saw — re-run the deadlock check for each waiter and evict those
+       whose wait now closes a cycle (the runtime delivers them the usual
+       deadlock refusal). *)
+    List.iter
+      (fun (f, d) ->
+        match List.find_opt (fun (f', _, _) -> Txn_id.equal f' f) es.esc_res with
+        | Some (_, n, d0) ->
+            es.esc_res <-
+              (f, n, d0 + d) :: List.filter (fun (f', _, _) -> not (Txn_id.equal f' f)) es.esc_res
+        | None -> es.esc_res <- (f, node, d) :: es.esc_res)
+      carried;
+    let victims =
+      if carried = [] then []
+      else
+        List.filter
+          (fun w ->
+            match would_deadlock t ~family:w.wt_family ~on_oid:oid with
+            | Some _ -> true
+            | None -> false)
+          e.waiting
+    in
+    List.iter
+      (fun w ->
+        e.waiting <- List.filter (fun w' -> not (Txn_id.equal w'.wt_family w.wt_family)) e.waiting;
+        remove_wait t w.wt_family e.oid)
+      victims;
+    (promote t e, List.map (fun w -> (w.wt_family, w.wt_node)) victims)
+  end
+
 (* Structural invariants every reachable directory state must satisfy;
    the split-brain auditor's per-object half. Returns human-readable
    violation descriptions, [] when clean. *)
@@ -332,6 +602,37 @@ let audit t =
           if not (Oid.Set.mem e.oid (waits_of t w.wt_family)) then
             bad "%a: waiter %a has no waits-for edge" Oid.pp e.oid Txn_id.pp w.wt_family)
         e.waiting;
+      (match e.escrow with
+      | None -> ()
+      | Some es ->
+          if es.esc_value < es.esc_lower || es.esc_value > es.esc_upper then
+            bad "%a: escrow value %d outside [%d, %d]" Oid.pp e.oid es.esc_value es.esc_lower
+              es.esc_upper;
+          if es.esc_value + esc_worst_down es < es.esc_lower then
+            bad "%a: escrow worst-case low breaches the floor" Oid.pp e.oid;
+          if es.esc_upper - es.esc_value - esc_worst_up es < 0 then
+            bad "%a: escrow worst-case high breaches the ceiling" Oid.pp e.oid;
+          List.iter
+            (fun (n, u) -> if u < 0 then bad "%a: negative up-quota at node %d" Oid.pp e.oid n)
+            es.esc_quota_up;
+          List.iter
+            (fun (n, u) ->
+              if u < 0 then bad "%a: negative down-quota at node %d" Oid.pp e.oid n)
+            es.esc_quota_down;
+          let rec dup_res = function
+            | [] -> ()
+            | (f, _, _) :: rest ->
+                if List.exists (fun (f', _, _) -> Txn_id.equal f' f) rest then
+                  bad "%a: family %a reserves twice" Oid.pp e.oid Txn_id.pp f;
+                dup_res rest
+          in
+          dup_res es.esc_res;
+          if
+            e.state <> Free
+            && List.exists
+                 (fun (f, _, _) -> not (List.exists (fun h -> Txn_id.equal h.family f) e.holders))
+                 es.esc_res
+          then bad "%a: locked with foreign escrow reservations outstanding" Oid.pp e.oid);
       List.rev !v)
     entries
 
@@ -341,9 +642,14 @@ let dump ?partition_info t =
     Oid.Table.fold (fun _ e acc -> e :: acc) t.entries []
     |> List.sort (fun a b -> Oid.compare a.oid b.oid)
   in
+  let esc_active e =
+    match e.escrow with
+    | None -> false
+    | Some es -> es.esc_res <> [] || es.esc_quota_up <> [] || es.esc_quota_down <> []
+  in
   List.iter
     (fun e ->
-      if e.state <> Free || e.waiting <> [] then begin
+      if e.state <> Free || e.waiting <> [] || esc_active e then begin
         let state =
           match e.state with Free -> "free" | Held_read -> "R" | Held_write -> "W"
         in
@@ -366,9 +672,28 @@ let dump ?partition_info t =
           | None -> ""
           | Some f -> " " ^ f e.oid
         in
+        let escrow =
+          match e.escrow with
+          | Some es when esc_active e ->
+              let res =
+                String.concat ","
+                  (List.map
+                     (fun (f, n, d) -> Format.asprintf "%a@%d:%+d" Txn_id.pp f n d)
+                     (List.sort (fun (a, _, _) (b, _, _) -> Txn_id.compare a b) es.esc_res))
+              in
+              let quotas =
+                String.concat ","
+                  (List.map
+                     (fun (n, up, down) -> Printf.sprintf "n%d:+%d/-%d" n up down)
+                     (escrow_quotas t e.oid))
+              in
+              Printf.sprintf " escrow{v=%d res=[%s] quota=[%s] epoch=%d}" es.esc_value res
+                quotas es.esc_epoch
+          | Some _ | None -> ""
+        in
         Buffer.add_string buf
-          (Format.asprintf "%a: %s holders=[%s] waiting=[%s]%s\n" Oid.pp e.oid state holders
-             waiters extra)
+          (Format.asprintf "%a: %s holders=[%s] waiting=[%s]%s%s\n" Oid.pp e.oid state holders
+             waiters escrow extra)
       end)
     entries;
   Buffer.contents buf

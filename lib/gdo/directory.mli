@@ -52,6 +52,16 @@ type acquire_result =
     [d_family] at node [d_node]. *)
 type delivery = { d_family : Txn_id.t; d_node : int; d_grant : grant }
 
+type escrow_result =
+  | Escrow_admitted  (** the delta reservation is recorded; proceed without locking *)
+  | Escrow_refused_bounds
+      (** the worst case over outstanding reservations and delegated quota
+          would breach a bound; the caller falls back to the exclusive-lock
+          path (refusals never wait, so escrow adds no waits-for edges) *)
+  | Escrow_refused_locked
+      (** a normal lock is held on the object; commutative calls fall back
+          to the exclusive-lock path until it drains *)
+
 type t
 
 val create : unit -> t
@@ -151,6 +161,99 @@ val copyset : t -> Objmodel.Oid.t -> int list
 val object_count : t -> int
 (** Number of registered objects. *)
 
+(** {2 Escrow delta locks}
+
+    Escrow turns a registered object into a bounded integer quantity that
+    declared-commutative methods update through {e delta reservations}
+    instead of page locks (see {!Dsm.Escrow} for the policy and DESIGN.md
+    "Escrow commit" for the protocol). Locks and escrow exclude each other:
+    {!escrow_reserve} is refused while a normal lock is held, and a normal
+    {!acquire} queues while foreign reservations or delegated quota are
+    outstanding — the waiter is promoted when the escrow side drains. Escrow
+    never waits, so it adds no waits-for edges and cannot deadlock. *)
+
+val register_escrow : t -> Objmodel.Oid.t -> lower:int -> upper:int -> initial:int -> unit
+(** Attach an escrow ledger (quantity [initial], invariant
+    [[lower, upper]]) to a registered object.
+    @raise Invalid_argument if already escrowed or [initial] is out of
+    bounds. *)
+
+val has_escrow : t -> Objmodel.Oid.t -> bool
+
+val escrow_value : t -> Objmodel.Oid.t -> int
+(** Committed quantity at the home (excludes uncommitted reservations and
+    unreconciled local deltas at quota-holding nodes). *)
+
+val escrow_reserve :
+  t -> Objmodel.Oid.t -> family:Txn_id.t -> node:int -> delta:int -> escrow_result
+(** The escrow admission test: record a signed [delta] reservation for
+    [family] iff the quantity stays inside the bounds even when every
+    outstanding same-side obligation commits. A family's reservations
+    aggregate into one ledger row. *)
+
+val escrow_commit : t -> Objmodel.Oid.t -> family:Txn_id.t -> delivery list
+(** Fold [family]'s aggregated reservation into the committed quantity and
+    drop it; returns deferred grants for waiters unblocked by the drain.
+    A family with no reservation is a no-op (idempotent). *)
+
+val escrow_abort : t -> Objmodel.Oid.t -> family:Txn_id.t -> delivery list
+(** Drop [family]'s reservation without folding it in (abort undo), then
+    promote as {!escrow_commit} does. *)
+
+val escrow_delegate : t -> Objmodel.Oid.t -> node:int -> up:int -> down:int -> int * int
+(** Delegate local-commit quota to [node]: up to [up] raise units and
+    [down] lower units, each clamped to the worst-case headroom remaining.
+    Returns the units actually granted. Refused entirely (0, 0) while a
+    normal lock is held. *)
+
+val escrow_reconcile :
+  t -> Objmodel.Oid.t -> node:int -> delta:int -> used_up:int -> used_down:int -> unit
+(** Lazy reconciliation: fold [delta] — the net of [node]'s zero-message
+    local commits since its last push — into the committed quantity and
+    consume the quota units they spent. Requires
+    [delta = used_up - used_down].
+    @raise Invalid_argument on a malformed report or quota underflow. *)
+
+val escrow_begin_recall : t -> Objmodel.Oid.t -> int
+(** Bump and return the object's escrow epoch: the fence for a quota
+    recall. Yields stamped with an older epoch are stale and ignored. *)
+
+val escrow_yield :
+  t ->
+  Objmodel.Oid.t ->
+  node:int ->
+  epoch:int ->
+  delta:int ->
+  used_up:int ->
+  used_down:int ->
+  carried:(Txn_id.t * int) list ->
+  delivery list * (Txn_id.t * int) list
+(** [node] surrenders its delegated quota in response to a recall: the
+    final unreconciled [delta] is folded in ({!escrow_reconcile}), the
+    node's remaining quota is zeroed, and [carried] — the units still held
+    by the node's uncommitted families, as [(family, net delta)] rows —
+    is re-booked as home reservations (always admissible: the surrendered
+    quota covered them). Because the carried families are wait targets the
+    queued waiters never saw, the deadlock check is re-run for each
+    waiter; waiters whose wait now closes a cycle are evicted and returned
+    as [(family, node)] victims for the runtime to deliver the usual
+    deadlock refusal to. Then remaining waiters are promoted. A stale
+    [epoch] makes the whole call a no-op returning [([], [])]. *)
+
+val escrow_epoch : t -> Objmodel.Oid.t -> int
+
+val escrow_outstanding : t -> Objmodel.Oid.t -> bool
+(** Any uncommitted reservation or delegated quota on the object? While
+    true, normal acquires queue (and the runtime recalls quotas). *)
+
+val escrow_reservations : t -> Objmodel.Oid.t -> (Txn_id.t * int * int) list
+(** Outstanding [(family, node, aggregated delta)] rows, ascending by
+    family; for tests and diagnostics. *)
+
+val escrow_quotas : t -> Objmodel.Oid.t -> (int * int * int) list
+(** Outstanding delegated quota [(node, up units, down units)] rows,
+    ascending by node, omitting all-zero rows. *)
+
 val waits_for_edges : t -> (Txn_id.t * Txn_id.t) list
 (** Current waits-for edges (waiting family, holding family); for tests and
     diagnostics. *)
@@ -165,6 +268,8 @@ val audit : t -> string list
 
 val dump : ?partition_info:(Objmodel.Oid.t -> string) -> t -> string
 (** Human-readable dump of every non-free entry (lock state, holders,
-    waiters) — a stall diagnostic. [partition_info], when given, appends
-    per-object membership state (acting home, membership epoch, lease
-    fence) supplied by the runtime. *)
+    waiters, outstanding escrow ledger) — a stall diagnostic, in ascending
+    oid order with sorted sub-lists so the output is deterministic across
+    hash seeds. [partition_info], when given, appends per-object membership
+    state (acting home, membership epoch, lease fence) supplied by the
+    runtime. *)

@@ -7,9 +7,26 @@ type stmt =
   | If of { prob_then : float; then_ : stmt list; else_ : stmt list }
   | Loop of { count : int; body : stmt list }
 
-type t = { name : string; body : stmt list }
+type commutativity = Non_commuting | Increment | Decrement | Insert
 
-let make ~name ~body = { name; body }
+type t = { name : string; body : stmt list; commutativity : commutativity }
+
+let make ~name ~body = { name; body; commutativity = Non_commuting }
+let make_commuting ~name ~commutativity ~body = { name; body; commutativity }
+
+let commutes t = t.commutativity <> Non_commuting
+
+let escrow_delta t =
+  match t.commutativity with
+  | Non_commuting -> 0
+  | Increment | Insert -> 1
+  | Decrement -> -1
+
+let pp_commutativity fmt = function
+  | Non_commuting -> Format.pp_print_string fmt "non-commuting"
+  | Increment -> Format.pp_print_string fmt "increment"
+  | Decrement -> Format.pp_print_string fmt "decrement"
+  | Insert -> Format.pp_print_string fmt "insert"
 
 let rec max_slot_block body =
   List.fold_left
@@ -68,4 +85,7 @@ let rec pp_block fmt body =
       | Loop { count; body } -> Format.fprintf fmt "loop(%d){ %a}; " count pp_block body)
     body
 
-let pp fmt t = Format.fprintf fmt "method %s { %a}" t.name pp_block t.body
+let pp fmt t =
+  match t.commutativity with
+  | Non_commuting -> Format.fprintf fmt "method %s { %a}" t.name pp_block t.body
+  | c -> Format.fprintf fmt "method %s [%a] { %a}" t.name pp_commutativity c pp_block t.body

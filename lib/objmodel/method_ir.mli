@@ -29,12 +29,42 @@ type stmt =
   | Loop of { count : int; body : stmt list }
       (** Definite iteration: the body's accesses repeat [count] times. *)
 
+type commutativity =
+  | Non_commuting  (** default: the method needs ordinary exclusive/shared locks *)
+  | Increment  (** adds to a counter-like object; commutes with other escrow ops *)
+  | Decrement  (** subtracts from a counter-like object; commutes likewise *)
+  | Insert
+      (** adds an element to a set/bag-like object — modelled as a +1 on the
+          object's element count, so it commutes the same way [Increment] does *)
+(** Declared commutativity class of a method. Two invocations on the same
+    object commute when both are escrow-classed ([Increment]/[Decrement]/
+    [Insert]): the final state is independent of their order, so the escrow
+    protocol may run them concurrently under delta reservations instead of
+    serializing them on an exclusive lock. The declaration is trusted the way
+    the paper trusts its compiler analysis — {!Obj_class.define} only checks
+    the structural requirements (an updating body, no nested [Invoke]). *)
+
 type t = {
   name : string;
   body : stmt list;
+  commutativity : commutativity;
 }
 
 val make : name:string -> body:stmt list -> t
+(** A [Non_commuting] method. *)
+
+val make_commuting : name:string -> commutativity:commutativity -> body:stmt list -> t
+(** A method with a declared commutativity class; see {!Obj_class.define}
+    for the structural requirements it must then meet. *)
+
+val commutes : t -> bool
+(** [commutes m] is true iff [m]'s class is not [Non_commuting]. *)
+
+val escrow_delta : t -> int
+(** Signed unit delta the method applies to its object's escrowed quantity:
+    [+1] for [Increment]/[Insert], [-1] for [Decrement], [0] otherwise. *)
+
+val pp_commutativity : Format.formatter -> commutativity -> unit
 
 val max_slot : t -> int
 (** Largest reference slot mentioned anywhere in the body, or [-1] if none.

@@ -34,7 +34,21 @@ let define ~name ~attrs ~methods ~ref_slots =
                m.Method_ir.name a)
       in
       let summary = Access_analysis.analyse m in
-      List.iter check_attr summary.Access_analysis.read_attrs)
+      List.iter check_attr summary.Access_analysis.read_attrs;
+      if Method_ir.commutes m then begin
+        (* Escrow-classed methods must be self-contained updates: the escrow
+           protocol replaces their page locks with a delta reservation on one
+           object, so a nested Invoke (a sub-transaction on another object)
+           or a read-only body would escape that model. *)
+        if summary.Access_analysis.invoked <> [] then
+          invalid_arg
+            (Printf.sprintf "Obj_class.define: commutative method %s contains Invoke"
+               m.Method_ir.name);
+        if not summary.Access_analysis.updates then
+          invalid_arg
+            (Printf.sprintf "Obj_class.define: commutative method %s never writes"
+               m.Method_ir.name)
+      end)
     methods;
   { name; attrs; ref_slots; method_irs = methods; compiled = None }
 

@@ -19,8 +19,11 @@ val define :
   name:string -> attrs:Attribute.t array -> methods:Method_ir.t list -> ref_slots:int -> t
 (** Declare a class. [ref_slots] is the number of outgoing reference slots
     instances carry; every [Invoke] in every method must use a slot below it.
-    @raise Invalid_argument on duplicate method names or an [Invoke] slot out
-    of range. *)
+    Methods declared with a non-trivial {!Method_ir.commutativity} must be
+    self-contained updates: a body that writes and contains no [Invoke].
+    @raise Invalid_argument on duplicate method names, an [Invoke] slot out
+    of range, or a commutative method that is read-only or nests an
+    [Invoke]. *)
 
 val compile : page_size:int -> t -> t
 (** Fix the layout and compute method summaries. Idempotent. *)

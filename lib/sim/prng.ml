@@ -66,8 +66,17 @@ let exponential t ~mean =
   -. mean *. log u
 
 let geometric t ~p =
-  if p <= 0.0 || p > 1.0 then invalid_arg "Prng.geometric: p out of range";
-  if p = 1.0 then 0
+  (* Total over all float inputs, always consuming exactly one draw, so a
+     malformed parameter can neither raise nor desynchronise the stream:
+     NaN and p >= 1 degenerate to the point mass at 0; p <= 0 clamps to a
+     tiny success probability (log 1.0 = 0 would otherwise divide by
+     zero); a non-finite or negative quotient clamps to 0 and an
+     overflowing one to max_int. *)
+  let p = if Float.is_nan p then 1.0 else Float.min 1.0 (Float.max 1e-12 p) in
+  let u = 1.0 -. float t 1.0 in
+  if p >= 1.0 then 0
   else
-    let u = 1.0 -. float t 1.0 in
-    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+    let x = Float.floor (log u /. log (1.0 -. p)) in
+    if Float.is_nan x || x < 0.0 then 0
+    else if x >= float_of_int max_int then max_int
+    else int_of_float x

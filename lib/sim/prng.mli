@@ -51,4 +51,7 @@ val exponential : t -> mean:float -> float
 (** Exponential variate with the given mean (inter-arrival times). *)
 
 val geometric : t -> p:float -> int
-(** Number of failures before first success; [p] in (0, 1]. *)
+(** Number of failures before first success. Total: [p] is clamped to
+    [[1e-12, 1]] (NaN degenerates to 1, i.e. always 0), the result is
+    clamped to [[0, max_int]], and exactly one draw is consumed for every
+    input — a malformed [p] can neither raise nor shift the stream. *)

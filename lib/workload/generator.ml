@@ -69,9 +69,23 @@ let gen_class rng (spec : Spec.t) ~page_size ~index ~slot_count =
   let methods =
     List.init spec.methods_per_class (fun m ->
         (* Method m0 always updates, so every class has a writer; others may
-           be read-only. *)
-        let read_only = m > 0 && Sim.Prng.bernoulli rng spec.read_only_method_fraction in
-        gen_method rng spec ~attr_count ~slot_count ~name:(method_name m) ~read_only)
+           be read-only — or, when the spec asks for them, declared-
+           commutative unit updates (deposits/withdrawals). The 0.0 guard
+           keeps knob-free specs draw-identical to the pre-knob
+           generator. *)
+        if
+          m > 0
+          && spec.commuting_fraction > 0.0
+          && Sim.Prng.bernoulli rng spec.commuting_fraction
+        then
+          let commutativity =
+            if m land 1 = 1 then Method_ir.Increment else Method_ir.Decrement
+          in
+          Method_ir.make_commuting ~name:(method_name m) ~commutativity
+            ~body:[ Method_ir.Write 0 ]
+        else
+          let read_only = m > 0 && Sim.Prng.bernoulli rng spec.read_only_method_fraction in
+          gen_method rng spec ~attr_count ~slot_count ~name:(method_name m) ~read_only)
   in
   Obj_class.compile ~page_size
     (Obj_class.define

@@ -83,6 +83,39 @@ let web_flash_crowd =
     load_shape = Spec.Flash_crowd { at = 0.5; width = 0.2; boost = 8.0 };
   }
 
+(* Escrow bank: a handful of hot accounts hammered by deposits and
+   withdrawals — declared-commutative unit updates that all serialize on
+   the account's exclusive lock under the baseline protocols but commute
+   under escrow delta locks. The writer m0 keeps a minority of full
+   (non-commuting) updates in the mix, so the lock and escrow paths
+   interleave on the same objects; strong skew concentrates the fight on
+   the head accounts. *)
+let bank =
+  {
+    Spec.default with
+    Spec.seed = 51;
+    object_count = 12;
+    min_pages = 1;
+    max_pages = 2;
+    root_count = 600;
+    node_count = 8;
+    arrival_mean_us = 40.0;
+    methods_per_class = 4;
+    commuting_fraction = 0.95;
+    (* The rare non-commuting picks are balance checks (read-only), so the
+       only write locks on a hot account come from m0 — write holds are
+       what turn escrow refusals into convoys. *)
+    read_only_method_fraction = 1.0;
+    (* Deposits vastly outnumber statement-batch runs (m0, the full
+       writer): with uniform method choice the writer would claim a quarter
+       of the traffic and keep the hot accounts exclusively locked, turning
+       nearly every escrow reservation into a refusal. *)
+    root_update_fraction = Some 0.04;
+    invoke_probability = 0.1;
+    max_ref_slots = 2;
+    access_skew = 1.2;
+  }
+
 let name contention size =
   Printf.sprintf "%s-%s"
     (match size with Medium -> "medium" | Large -> "large")
@@ -98,4 +131,5 @@ let all =
     ("web-catalog", web_catalog);
     ("web-diurnal", web_diurnal);
     ("web-flash-crowd", web_flash_crowd);
+    ("bank", bank);
   ]

@@ -42,6 +42,16 @@ val web_diurnal : Spec.t
 val web_flash_crowd : Spec.t
 (** {!web_catalog} with an 8x flash crowd mid-run *)
 
+(** {1 Escrow bank}
+
+    Hot-account deposits/withdrawals — declared-commutative unit updates
+    that serialize on exclusive locks but commute under escrow delta
+    locks. Not from the paper; used by the [escrow] experiment. *)
+
+val bank : Spec.t
+(** 12 accounts under strong skew, 90% of non-writer methods commuting,
+    brisk arrivals — the high-contention regime escrow targets. *)
+
 val name : contention -> size -> string
 
 val all : (string * Spec.t) list

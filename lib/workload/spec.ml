@@ -25,6 +25,7 @@ type t = {
   root_update_fraction : float option;
   access_skew : float;
   load_shape : load_shape;
+  commuting_fraction : float;
 }
 
 let default =
@@ -50,6 +51,7 @@ let default =
     root_update_fraction = None;
     access_skew = 0.0;
     load_shape = Steady;
+    commuting_fraction = 0.0;
   }
 
 let validate t =
@@ -81,6 +83,7 @@ let validate t =
           "root_update_fraction needs methods_per_class >= 2 (a writer and a non-writer)"
   in
   let* () = check (t.access_skew >= 0.0) "access_skew must be >= 0" in
+  let* () = frac "commuting_fraction" t.commuting_fraction in
   match t.load_shape with
   | Steady -> Ok ()
   | Diurnal { trough } ->
@@ -108,6 +111,9 @@ let pp fmt t =
   (match t.root_update_fraction with
   | Some p -> Format.fprintf fmt "@,root updates: %.1f%% of requests" (p *. 100.)
   | None -> ());
+  if t.commuting_fraction > 0.0 then
+    Format.fprintf fmt "@,commuting methods: %.0f%% of non-writers"
+      (t.commuting_fraction *. 100.);
   if t.load_shape <> Steady then
     Format.fprintf fmt "@,load: %a" pp_load_shape t.load_shape;
   Format.fprintf fmt "@]"

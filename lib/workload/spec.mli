@@ -60,6 +60,13 @@ type t = {
       (** how the root arrival rate varies over the run; {!Steady} (the
           default) keeps generated workloads byte-identical to the
           pre-shape generator. *)
+  commuting_fraction : float;
+      (** per non-writer method, chance it is a declared-commutative unit
+          update (alternating [Increment]/[Decrement] by method index, body
+          one write, no nesting) instead of a generated body — the
+          deposits/withdrawals the escrow commit path accelerates. [0.0]
+          (the default) draws nothing extra, so existing specs generate
+          byte-identical workloads. *)
 }
 
 val default : t

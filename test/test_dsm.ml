@@ -173,6 +173,29 @@ let test_store_enumeration () =
   Alcotest.(check (list int)) "objects sorted" [ 2; 5 ]
     (List.map Oid.to_int (Dsm.Page_store.cached_objects s))
 
+let test_store_dump_deterministic () =
+  (* The dump must be a function of the cached contents alone — never of
+     hash-table iteration order, so insertion order (and the process hash
+     seed) cannot leak into golden comparisons. *)
+  let fill order =
+    let s = Dsm.Page_store.create ~node:0 in
+    List.iter (fun (o, p, v) -> Dsm.Page_store.receive s (oid o) ~page:p ~version:v) order;
+    s
+  in
+  let contents = [ (7, 1, 3); (2, 0, 1); (7, 0, 2); (2, 2, 5); (11, 4, 1) ] in
+  let a = fill contents and b = fill (List.rev contents) in
+  Alcotest.(check string) "insertion order invisible" (Dsm.Page_store.dump a)
+    (Dsm.Page_store.dump b);
+  (* Objects ascend, pages ascend within each line. *)
+  let d = Dsm.Page_store.dump a in
+  let idx needle =
+    let nl = String.length needle and l = String.length d in
+    let rec go i = if i + nl > l then -1 else if String.sub d i nl = needle then i else go (i + 1) in
+    go 0
+  in
+  Alcotest.(check bool) "O2 before O7 before O11" true
+    (idx "O2" >= 0 && idx "O7" > idx "O2" && idx "O11" > idx "O7")
+
 (* ---------- Metrics ---------- *)
 
 let test_metrics_messages () =
@@ -270,6 +293,7 @@ let tests =
         Alcotest.test_case "store restore" `Quick test_store_restore;
         Alcotest.test_case "store is_current" `Quick test_store_is_current;
         Alcotest.test_case "store enumeration" `Quick test_store_enumeration;
+        Alcotest.test_case "store dump deterministic" `Quick test_store_dump_deterministic;
         Alcotest.test_case "metrics messages" `Quick test_metrics_messages;
         Alcotest.test_case "metrics time model" `Quick test_metrics_time_model;
         Alcotest.test_case "metrics counters" `Quick test_metrics_counters;

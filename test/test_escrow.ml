@@ -1,0 +1,327 @@
+(* Escrow commit: the admission test ({!Dsm.Escrow.admits}), the directory's
+   delta-lock ledger (reserve/commit/abort, quota delegation, epoch-fenced
+   recall), the {!Core.Serializability.check_escrow} replay checker, the
+   escrow-off byte-identity guarantee, and the sweep's headline gate. *)
+
+open Objmodel
+
+let params = Dsm.Escrow.default_params
+
+(* ---------- the admission test ---------- *)
+
+let admits ?(params = params) ~value ~worst_down ~worst_up delta =
+  Dsm.Escrow.admits params ~value ~worst_down ~worst_up ~delta
+
+let test_admits_basics () =
+  (* Bank shape: [0, +inf), value 1000. Any deposit fits; a withdrawal
+     fits iff the worst case keeps the balance non-negative. *)
+  Alcotest.(check bool) "deposit" true (admits ~value:1000 ~worst_down:0 ~worst_up:0 1);
+  Alcotest.(check bool) "withdrawal" true (admits ~value:1000 ~worst_down:0 ~worst_up:0 (-1));
+  Alcotest.(check bool) "drain to floor" true
+    (admits ~value:1000 ~worst_down:(-999) ~worst_up:0 (-1));
+  Alcotest.(check bool) "one past the floor" false
+    (admits ~value:1000 ~worst_down:(-1000) ~worst_up:0 (-1));
+  (* Obligations on the other side never help: a pending deposit cannot
+     fund a withdrawal that would otherwise breach the floor. *)
+  Alcotest.(check bool) "other side ignored" false
+    (admits ~value:0 ~worst_down:0 ~worst_up:50 (-1))
+
+let test_admits_unbounded_side_never_overflows () =
+  (* upper_bound = max_int: the headroom form must stay exact (no
+     overflow) with the value and outstanding raises near max_int. *)
+  Alcotest.(check bool) "headroom near max_int" true
+    (admits ~value:(max_int - 10) ~worst_down:0 ~worst_up:9 1);
+  Alcotest.(check bool) "huge raises refused without overflow" false
+    (admits ~value:(max_int - 10) ~worst_down:0 ~worst_up:(max_int / 2) 1);
+  let bounded = { params with Dsm.Escrow.upper_bound = 2000 } in
+  Alcotest.(check bool) "bounded ceiling holds" false
+    (admits ~params:bounded ~value:1990 ~worst_down:0 ~worst_up:10 1);
+  Alcotest.(check bool) "bounded ceiling admits" true
+    (admits ~params:bounded ~value:1990 ~worst_down:0 ~worst_up:9 1)
+
+let test_policy_of_string () =
+  let ok = function Ok p -> p | Error e -> Alcotest.failf "parse error: %s" e in
+  Alcotest.(check bool) "off" false (Dsm.Escrow.policy_enabled (ok (Dsm.Escrow.policy_of_string "off")));
+  Alcotest.(check bool) "none" false (Dsm.Escrow.policy_enabled (ok (Dsm.Escrow.policy_of_string "none")));
+  (match ok (Dsm.Escrow.policy_of_string "on") with
+  | Dsm.Escrow.On p -> Alcotest.(check int) "default quota" params.Dsm.Escrow.local_quota p.Dsm.Escrow.local_quota
+  | Dsm.Escrow.Off -> Alcotest.fail "on parsed as Off");
+  (match ok (Dsm.Escrow.policy_of_string "on:4") with
+  | Dsm.Escrow.On p -> Alcotest.(check int) "quota override" 4 p.Dsm.Escrow.local_quota
+  | Dsm.Escrow.Off -> Alcotest.fail "on:4 parsed as Off");
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Dsm.Escrow.policy_of_string "sometimes"))
+
+(* ---------- the directory's escrow ledger ---------- *)
+
+let oid = Oid.of_int
+let fam i = Txn.Txn_id.of_int i
+
+let make_dir ?(lower = 0) ?(upper = max_int) ?(initial = 100) () =
+  let d = Gdo.Directory.create () in
+  Gdo.Directory.register_object d (oid 0) ~pages:2 ~initial_node:0;
+  Gdo.Directory.register_escrow d (oid 0) ~lower ~upper ~initial;
+  d
+
+let is_admitted = function Gdo.Directory.Escrow_admitted -> true | _ -> false
+let is_refused_bounds = function Gdo.Directory.Escrow_refused_bounds -> true | _ -> false
+let is_refused_locked = function Gdo.Directory.Escrow_refused_locked -> true | _ -> false
+
+let test_reserve_commit_abort () =
+  let d = make_dir () in
+  Alcotest.(check bool) "deposit admitted" true
+    (is_admitted (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam 1) ~node:1 ~delta:1));
+  Alcotest.(check bool) "withdrawal admitted" true
+    (is_admitted (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam 2) ~node:2 ~delta:(-5)));
+  (* Reservations are pending, not folded in. *)
+  Alcotest.(check int) "value unchanged" 100 (Gdo.Directory.escrow_value d (oid 0));
+  Alcotest.(check int) "two rows" 2 (List.length (Gdo.Directory.escrow_reservations d (oid 0)));
+  ignore (Gdo.Directory.escrow_commit d (oid 0) ~family:(fam 1));
+  Alcotest.(check int) "commit folds" 101 (Gdo.Directory.escrow_value d (oid 0));
+  ignore (Gdo.Directory.escrow_abort d (oid 0) ~family:(fam 2));
+  Alcotest.(check int) "abort drops" 101 (Gdo.Directory.escrow_value d (oid 0));
+  Alcotest.(check bool) "ledger drained" false (Gdo.Directory.escrow_outstanding d (oid 0));
+  (* Idempotent under retransmission. *)
+  ignore (Gdo.Directory.escrow_commit d (oid 0) ~family:(fam 1));
+  Alcotest.(check int) "re-commit is a no-op" 101 (Gdo.Directory.escrow_value d (oid 0))
+
+let test_reserve_worst_case_bounds () =
+  let d = make_dir ~initial:3 () in
+  (* Three concurrent unit withdrawals exhaust the worst-case headroom. *)
+  List.iter
+    (fun i ->
+      Alcotest.(check bool)
+        (Printf.sprintf "withdrawal %d admitted" i)
+        true
+        (is_admitted (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam i) ~node:i ~delta:(-1))))
+    [ 1; 2; 3 ];
+  Alcotest.(check bool) "fourth refused on bounds" true
+    (is_refused_bounds (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam 4) ~node:4 ~delta:(-1)));
+  (* One abort restores exactly one unit of headroom. *)
+  ignore (Gdo.Directory.escrow_abort d (oid 0) ~family:(fam 1));
+  Alcotest.(check bool) "headroom returns" true
+    (is_admitted (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam 4) ~node:4 ~delta:(-1)))
+
+let test_reserve_refused_while_locked () =
+  let d = make_dir () in
+  (match
+     Gdo.Directory.acquire d (oid 0) ~family:(fam 9) ~node:0 ~mode:Txn.Lock.Write ()
+   with
+  | Gdo.Directory.Granted _ -> ()
+  | _ -> Alcotest.fail "write lock not granted on a free object");
+  Alcotest.(check bool) "refused under a lock" true
+    (is_refused_locked (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam 1) ~node:1 ~delta:1));
+  Alcotest.(check bool) "delegation refused too" true
+    (Gdo.Directory.escrow_delegate d (oid 0) ~node:1 ~up:8 ~down:8 = (0, 0));
+  ignore (Gdo.Directory.release d (oid 0) ~family:(fam 9) ~dirty:[]);
+  Alcotest.(check bool) "admitted once the lock drains" true
+    (is_admitted (Gdo.Directory.escrow_reserve d (oid 0) ~family:(fam 1) ~node:1 ~delta:1))
+
+let test_delegate_clamps_to_headroom () =
+  let d = make_dir ~initial:5 () in
+  (* Down-quota is capped by worst-case headroom above the floor; up-quota
+     is unbounded here (ceiling max_int). *)
+  let up, down = Gdo.Directory.escrow_delegate d (oid 0) ~node:1 ~up:16 ~down:16 in
+  Alcotest.(check int) "up granted in full" 16 up;
+  Alcotest.(check int) "down clamped to headroom" 5 down;
+  Alcotest.(check bool) "quota row recorded" true
+    (Gdo.Directory.escrow_quotas d (oid 0) = [ (1, 16, 5) ]);
+  (* A second node sees no down headroom left. *)
+  let _, down2 = Gdo.Directory.escrow_delegate d (oid 0) ~node:2 ~up:16 ~down:16 in
+  Alcotest.(check int) "second node gets none" 0 down2;
+  (* Reconcile: node 1 spent 3 down units and 2 up units, net -1. *)
+  Gdo.Directory.escrow_reconcile d (oid 0) ~node:1 ~delta:(-1) ~used_up:2 ~used_down:3;
+  Alcotest.(check int) "delta folded" 4 (Gdo.Directory.escrow_value d (oid 0));
+  Alcotest.(check bool) "quota consumed" true
+    (List.mem (1, 14, 2) (Gdo.Directory.escrow_quotas d (oid 0)));
+  Alcotest.check_raises "over-spend rejected"
+    (Invalid_argument "Directory: escrow quota underflow (node returned more than delegated)")
+    (fun () -> Gdo.Directory.escrow_reconcile d (oid 0) ~node:1 ~delta:100 ~used_up:100 ~used_down:0)
+
+let test_recall_epoch_fencing () =
+  let d = make_dir ~initial:50 () in
+  let up, down = Gdo.Directory.escrow_delegate d (oid 0) ~node:1 ~up:8 ~down:8 in
+  Alcotest.(check bool) "delegated" true (up = 8 && down = 8);
+  let e0 = Gdo.Directory.escrow_epoch d (oid 0) in
+  let e1 = Gdo.Directory.escrow_begin_recall d (oid 0) in
+  Alcotest.(check int) "epoch bumped" (e0 + 1) e1;
+  (* A yield stamped with the pre-recall epoch is stale: whole call no-ops. *)
+  let deliveries, carried =
+    Gdo.Directory.escrow_yield d (oid 0) ~node:1 ~epoch:e0 ~delta:5 ~used_up:5 ~used_down:0
+      ~carried:[]
+  in
+  Alcotest.(check bool) "stale yield ignored" true (deliveries = [] && carried = []);
+  Alcotest.(check int) "value untouched" 50 (Gdo.Directory.escrow_value d (oid 0));
+  Alcotest.(check bool) "quota still booked" true
+    (Gdo.Directory.escrow_quotas d (oid 0) = [ (1, 8, 8) ]);
+  (* The fresh-epoch yield lands: delta folds, quota zeroes, the carried
+     family re-books as a home reservation. *)
+  let _, rebooked =
+    Gdo.Directory.escrow_yield d (oid 0) ~node:1 ~epoch:e1 ~delta:3 ~used_up:4 ~used_down:1
+      ~carried:[ (fam 7, 2) ]
+  in
+  Alcotest.(check bool) "carried re-booked" true
+    (List.exists (fun (f, n) -> Txn.Txn_id.to_int f = 7 && n = 2) rebooked
+    || List.exists
+         (fun (f, _, delta) -> Txn.Txn_id.to_int f = 7 && delta = 2)
+         (Gdo.Directory.escrow_reservations d (oid 0)));
+  Alcotest.(check int) "yield delta folded" 53 (Gdo.Directory.escrow_value d (oid 0));
+  Alcotest.(check bool) "quota zeroed" true (Gdo.Directory.escrow_quotas d (oid 0) = []);
+  ignore (Gdo.Directory.escrow_commit d (oid 0) ~family:(fam 7));
+  Alcotest.(check int) "carried family commits" 55 (Gdo.Directory.escrow_value d (oid 0));
+  Alcotest.(check bool) "drained" false (Gdo.Directory.escrow_outstanding d (oid 0))
+
+(* ---------- the replay checker ---------- *)
+
+let check ops = Core.Serializability.check_escrow ~lower:0 ~upper:1000 ~initial:100 ~ops
+
+let test_check_escrow_accepts_clean_log () =
+  let ops =
+    [
+      Core.Serializability.E_reserve { oid = oid 0; family = fam 1; delta = 5 };
+      Core.Serializability.E_delegate { oid = oid 0; node = 2; up = 4; down = 4 };
+      Core.Serializability.E_commit { oid = oid 0; family = fam 1 };
+      Core.Serializability.E_local_commit { oid = oid 0; node = 2; delta = 1 };
+      Core.Serializability.E_local_commit { oid = oid 0; node = 2; delta = -2 };
+      Core.Serializability.E_reconcile { oid = oid 0; node = 2; delta = -1; used_up = 1; used_down = 2 };
+      Core.Serializability.E_revoke { oid = oid 0; node = 2 };
+    ]
+  in
+  match check ops with
+  | Ok [ (o, final) ] ->
+      Alcotest.(check int) "oid" 0 (Oid.to_int o);
+      Alcotest.(check int) "final value" 104 final
+  | Ok _ -> Alcotest.fail "expected exactly one escrowed object"
+  | Error es -> Alcotest.failf "clean log rejected: %s" (String.concat "; " es)
+
+let test_check_escrow_rejects_bounds_breach () =
+  (* A reservation the admission test should have refused: worst case
+     101 - 200 < lower bound 0. *)
+  let ops =
+    [
+      Core.Serializability.E_reserve { oid = oid 0; family = fam 1; delta = -200 };
+      Core.Serializability.E_abort { oid = oid 0; family = fam 1 };
+    ]
+  in
+  Alcotest.(check bool) "bounds breach detected" true (Result.is_error (check ops))
+
+let test_check_escrow_rejects_quota_overspend () =
+  let ops =
+    [
+      Core.Serializability.E_delegate { oid = oid 0; node = 2; up = 1; down = 0 };
+      Core.Serializability.E_local_commit { oid = oid 0; node = 2; delta = 1 };
+      Core.Serializability.E_local_commit { oid = oid 0; node = 2; delta = 1 };
+    ]
+  in
+  Alcotest.(check bool) "overspend detected" true (Result.is_error (check ops))
+
+let test_check_escrow_rejects_unresolved_end_state () =
+  let dangling_reserve =
+    [ Core.Serializability.E_reserve { oid = oid 0; family = fam 1; delta = 1 } ]
+  in
+  Alcotest.(check bool) "dangling reservation detected" true
+    (Result.is_error (check dangling_reserve));
+  let unreconciled =
+    [
+      Core.Serializability.E_delegate { oid = oid 0; node = 2; up = 4; down = 0 };
+      Core.Serializability.E_local_commit { oid = oid 0; node = 2; delta = 1 };
+    ]
+  in
+  Alcotest.(check bool) "unreconciled delta detected" true (Result.is_error (check unreconciled))
+
+(* ---------- escrow off: byte-identity against the goldens ---------- *)
+
+(* The same pre-subsystem goldens test_method_cache.ml and
+   test_function_shipping.ml pin: with escrow = Off the runtime must take
+   the exact pre-escrow code path, byte for byte, on all four protocols. *)
+let golden_spec =
+  {
+    (Workload.Scenarios.spec Workload.Scenarios.High Workload.Scenarios.Medium) with
+    Workload.Spec.root_count = 40;
+    seed = 42;
+  }
+
+let goldens =
+  [
+    (Dsm.Protocol.Cotec, (484, 1_169_012, 25968.873648));
+    (Dsm.Protocol.Otec, (419, 956_560, 20047.449955));
+    (Dsm.Protocol.Lotec, (370, 731_252, 19580.172744));
+    (Dsm.Protocol.Rc_nested, (425, 1_606_888, 20610.322997));
+  ]
+
+let escrow_counter_sum (t : Dsm.Metrics.totals) =
+  t.Dsm.Metrics.escrow_reserves + t.Dsm.Metrics.escrow_local_commits
+  + t.Dsm.Metrics.escrow_reconciles + t.Dsm.Metrics.escrow_recalls
+  + t.Dsm.Metrics.escrow_yields + t.Dsm.Metrics.escrow_refusals
+  + t.Dsm.Metrics.escrow_quota_units
+
+let test_escrow_off_byte_identity () =
+  let wl = Workload.Generator.generate golden_spec ~page_size:4096 in
+  let config = { Core.Config.default with Core.Config.escrow = Dsm.Escrow.off } in
+  List.iter
+    (fun (protocol, (messages, bytes, completion)) ->
+      let name = Format.asprintf "%a" Dsm.Protocol.pp protocol in
+      let m = Experiments.Runner.metrics (Experiments.Runner.execute ~config ~protocol wl) in
+      Alcotest.(check int) (name ^ " messages") messages (Dsm.Metrics.total_messages m);
+      Alcotest.(check int) (name ^ " bytes") bytes (Dsm.Metrics.total_bytes m);
+      Alcotest.(check (float 1e-6)) (name ^ " completion") completion
+        (Dsm.Metrics.completion_time_us m);
+      Alcotest.(check int) (name ^ " all escrow counters zero") 0
+        (escrow_counter_sum (Dsm.Metrics.totals m)))
+    goldens
+
+(* ---------- the headline gate ---------- *)
+
+(* The acceptance numbers: on the hottest-skew bank workload, LOTEC with
+   escrow must complete at least 25% sooner than its exclusive-locking
+   baseline — with real coordination avoidance behind it (local zero-
+   message commits and lazy reconciles, not just admissions). run_case
+   itself asserts serializability, the escrow-ledger replay, root
+   accounting, zero-counter hygiene and exact wire reconciliation for
+   both rows. *)
+let test_lotec_headline_gate () =
+  let outcomes =
+    Experiments.Escrow.sweep ~protocols:[ Dsm.Protocol.Lotec ] ~skews:[ 1.2 ] ()
+  in
+  match Experiments.Escrow.headline outcomes with
+  | None -> Alcotest.fail "sweep produced no headline row"
+  | Some (baseline, on, ratio) ->
+      Alcotest.(check int) "baseline runs no escrow" 0 baseline.Experiments.Escrow.reserves;
+      Alcotest.(check bool) "escrow run reserves" true (on.Experiments.Escrow.reserves > 0);
+      Alcotest.(check bool) "zero-message local commits happen" true
+        (on.Experiments.Escrow.local_commits > 0);
+      Alcotest.(check bool) "lazy reconciles happen" true
+        (on.Experiments.Escrow.reconciles > 0);
+      Alcotest.(check bool) "recalls drain quotas for exclusive access" true
+        (on.Experiments.Escrow.recalls > 0);
+      Alcotest.(check bool) "replay reports escrowed finals" true
+        (on.Experiments.Escrow.escrow_finals <> []);
+      if ratio > 0.75 then
+        Alcotest.failf "completion ratio %.3f misses the 0.75 ceiling (%.0f vs %.0f us)" ratio
+          on.Experiments.Escrow.completion_us baseline.Experiments.Escrow.completion_us
+
+let tests =
+  [
+    ( "escrow",
+      [
+        Alcotest.test_case "admission test basics" `Quick test_admits_basics;
+        Alcotest.test_case "unbounded side never overflows" `Quick
+          test_admits_unbounded_side_never_overflows;
+        Alcotest.test_case "policy parsing" `Quick test_policy_of_string;
+        Alcotest.test_case "reserve, commit, abort" `Quick test_reserve_commit_abort;
+        Alcotest.test_case "worst-case bounds refusal" `Quick test_reserve_worst_case_bounds;
+        Alcotest.test_case "refused while locked" `Quick test_reserve_refused_while_locked;
+        Alcotest.test_case "delegation clamps to headroom" `Quick
+          test_delegate_clamps_to_headroom;
+        Alcotest.test_case "recall epoch fencing" `Quick test_recall_epoch_fencing;
+        Alcotest.test_case "replay accepts a clean log" `Quick test_check_escrow_accepts_clean_log;
+        Alcotest.test_case "replay rejects a bounds breach" `Quick
+          test_check_escrow_rejects_bounds_breach;
+        Alcotest.test_case "replay rejects quota overspend" `Quick
+          test_check_escrow_rejects_quota_overspend;
+        Alcotest.test_case "replay rejects unresolved end state" `Quick
+          test_check_escrow_rejects_unresolved_end_state;
+        Alcotest.test_case "escrow off is byte-identical" `Quick test_escrow_off_byte_identity;
+        Alcotest.test_case "lotec headline gate" `Quick test_lotec_headline_gate;
+      ] );
+  ]

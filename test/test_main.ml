@@ -35,5 +35,6 @@ let () =
          Test_batching.tests;
          Test_scale.tests;
          Test_function_shipping.tests;
+         Test_escrow.tests;
          Test_partition.tests;
        ])

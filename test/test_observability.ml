@@ -259,6 +259,21 @@ let test_chrome_export_well_formed () =
       (contains (Printf.sprintf "\"name\": \"node %d\"" n))
   done
 
+let test_chrome_export_deterministic () =
+  (* Two identical runs must export byte-identical JSON — in particular
+     the flush of unmatched span-opening events (kept in a hash table
+     while the trace is scanned) must come out in sorted order, not
+     hash-iteration order. A short trace ends with requests still in
+     flight, so the flush path is exercised, not just the paired one. *)
+  let export () =
+    let run, tr = traced_run (medium_high_small 12) in
+    let node_count =
+      (Core.Runtime.config run.Experiments.Runner.runtime).Core.Config.node_count
+    in
+    Trace_export.to_chrome ~node_count (Sim.Trace.events tr)
+  in
+  Alcotest.(check string) "byte-identical across runs" (export ()) (export ())
+
 let test_validate_json_rejects_garbage () =
   List.iter
     (fun (name, s) ->
@@ -344,6 +359,8 @@ let tests =
         Alcotest.test_case "tracing off is byte-identical" `Quick
           test_tracing_off_is_byte_identical;
         Alcotest.test_case "chrome export well-formed" `Quick test_chrome_export_well_formed;
+        Alcotest.test_case "chrome export deterministic" `Quick
+          test_chrome_export_deterministic;
         Alcotest.test_case "json validator" `Quick test_validate_json_rejects_garbage;
         Alcotest.test_case "timeline filters by family" `Quick test_timeline_filters_by_family;
         Alcotest.test_case "latency histograms recorded" `Quick test_latencies_recorded;

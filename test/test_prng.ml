@@ -129,6 +129,40 @@ let test_geometric () =
     check bool_c "non-negative" true (Prng.geometric rng ~p:0.3 >= 0)
   done
 
+let test_geometric_edge_cases () =
+  (* Malformed parameters must neither raise nor go negative: NaN and
+     p >= 1 are the point mass at 0, p <= 0 clamps to a tiny success
+     probability instead of dividing by log 1.0 = 0. *)
+  let rng = Prng.create ~seed:16 in
+  check int_c "NaN is 0" 0 (Prng.geometric rng ~p:Float.nan);
+  check int_c "p=2 is 0" 0 (Prng.geometric rng ~p:2.0);
+  check int_c "p=+inf is 0" 0 (Prng.geometric rng ~p:Float.infinity);
+  check bool_c "p=0 finite non-negative" true (Prng.geometric rng ~p:0.0 >= 0);
+  check bool_c "p<0 finite non-negative" true (Prng.geometric rng ~p:(-5.0) >= 0);
+  check bool_c "p=-inf finite non-negative" true
+    (Prng.geometric rng ~p:Float.neg_infinity >= 0)
+
+let test_geometric_consumes_one_draw () =
+  (* Every call — degenerate parameters included — consumes exactly one
+     uniform draw, so a bad p cannot desynchronise the stream relative to
+     a run that drew a sane p at the same point. *)
+  List.iter
+    (fun p ->
+      let a = Prng.create ~seed:17 and b = Prng.create ~seed:17 in
+      ignore (Prng.geometric a ~p);
+      ignore (Prng.float b 1.0);
+      check int_c
+        (Printf.sprintf "stream in sync after p=%h" p)
+        (Prng.int a 1_000_000) (Prng.int b 1_000_000))
+    [ 0.3; 1.0; 0.0; -1.0; 2.0; Float.nan; Float.infinity ]
+
+let qcheck_geometric_total =
+  QCheck.Test.make ~name:"geometric is total and non-negative for every p" ~count:500
+    QCheck.(pair small_int float)
+    (fun (seed, p) ->
+      let rng = Prng.create ~seed in
+      Prng.geometric rng ~p >= 0)
+
 let qcheck_int_bounds =
   QCheck.Test.make ~name:"prng int stays in bounds" ~count:200
     QCheck.(pair small_int (int_range 1 1000))
@@ -156,6 +190,10 @@ let tests =
         Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
         Alcotest.test_case "exponential mean" `Quick test_exponential;
         Alcotest.test_case "geometric" `Quick test_geometric;
+        Alcotest.test_case "geometric edge cases" `Quick test_geometric_edge_cases;
+        Alcotest.test_case "geometric consumes one draw" `Quick
+          test_geometric_consumes_one_draw;
         QCheck_alcotest.to_alcotest qcheck_int_bounds;
+        QCheck_alcotest.to_alcotest qcheck_geometric_total;
       ] );
   ]

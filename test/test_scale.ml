@@ -124,6 +124,19 @@ let test_engine_bench_and_json () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "BENCH_engine.json payload is not valid JSON: %s" e
 
+(* The rate helper behind every ops/sec and events/sec column: a
+   sub-resolution wall time must clamp instead of dividing by zero —
+   regression pin for the Inf/NaN rates toy-sized benches used to print. *)
+let test_per_sec_clamps () =
+  Alcotest.(check (float 1e-9)) "normal rate" 500.0 (Experiments.Scale.per_sec 1000 2.0);
+  Alcotest.(check (float 1e-9)) "zero ops" 0.0 (Experiments.Scale.per_sec 0 1.0);
+  Alcotest.(check bool) "zero wall clamps finite" true
+    (Float.is_finite (Experiments.Scale.per_sec 1000 0.0));
+  Alcotest.(check bool) "negative wall clamps finite" true
+    (Float.is_finite (Experiments.Scale.per_sec 1000 (-1.0)));
+  Alcotest.(check bool) "zero ops, zero wall is not NaN" true
+    (Experiments.Scale.per_sec 0 0.0 = 0.0)
+
 (* The 100k-root golden. Streaming vs plain doubles as a determinism
    check: two full submissions/runs of the same seed from different
    process states must land on the identical summary string. The
@@ -167,6 +180,7 @@ let tests =
         Alcotest.test_case "roots ascending by arrival" `Quick test_roots_ascending;
         Alcotest.test_case "run_point profile" `Quick test_run_point_profile;
         Alcotest.test_case "engine bench + json" `Quick test_engine_bench_and_json;
+        Alcotest.test_case "per_sec clamps" `Quick test_per_sec_clamps;
         Alcotest.test_case "100k determinism golden" `Slow test_scale_determinism;
       ] );
   ]

@@ -122,8 +122,9 @@ let test_scenarios_match_paper () =
   check_spec "fig3" Workload.Scenarios.large_high 20 (10, 20);
   check_spec "fig4" Workload.Scenarios.medium_moderate 100 (1, 5);
   check_spec "fig5" Workload.Scenarios.large_moderate 100 (10, 20);
-  (* Four paper-figure scenarios plus the four web-serving presets. *)
-  Alcotest.(check int) "all scenarios" 8 (List.length Workload.Scenarios.all);
+  (* Four paper-figure scenarios, four web-serving presets, and the escrow
+     bank workload. *)
+  Alcotest.(check int) "all scenarios" 9 (List.length Workload.Scenarios.all);
   List.iter
     (fun (name, spec) ->
       Alcotest.(check bool) (name ^ " valid") true (Workload.Spec.validate spec = Ok ()))
